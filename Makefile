@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test vet bench report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerates every paper figure at scaled size with metrics in the
+# benchmark output (see EXPERIMENTS.md for the mapping).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Consolidated reproduction report (fast experiments; add FLAGS=-all for
+# the heavyweight figures too).
+report:
+	$(GO) run ./cmd/roce-report $(FLAGS)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/keyvalue
+	$(GO) run ./examples/searchservice
+	$(GO) run ./examples/incidentdrill
+	$(GO) run ./examples/verbsapi
+
+clean:
+	rm -f capture.pcap test_output.txt bench_output.txt

@@ -1,0 +1,271 @@
+package rocesim
+
+// Benchmarks regenerating the paper's evaluation artifacts. Each
+// Benchmark* corresponds to one figure or headline number (the mapping
+// lives in DESIGN.md §3 and EXPERIMENTS.md); custom metrics report the
+// quantities the paper plots, so `go test -bench` output can be read
+// against the paper directly.
+//
+// The benchmarks run scaled-down configurations so a full -bench=. pass
+// completes in minutes; the cmd/ binaries run the full-scale versions.
+
+import (
+	"testing"
+	"time"
+
+	"rocesim/internal/experiments"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+// BenchmarkLivelockGoBack0 — Section 4.1, the failure: goodput collapses
+// to zero while the wire stays busy.
+func BenchmarkLivelockGoBack0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultLivelock(transport.OpSend, transport.GoBack0)
+		cfg.Duration = 30 * simtime.Millisecond
+		r := experiments.RunLivelock(cfg)
+		b.ReportMetric(r.GoodputGbps, "goodput-Gb/s")
+		b.ReportMetric(r.WireGbps, "wire-Gb/s")
+	}
+}
+
+// BenchmarkLivelockGoBackN — Section 4.1, the fix: graceful degradation
+// under the same 1/256 loss.
+func BenchmarkLivelockGoBackN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultLivelock(transport.OpSend, transport.GoBackN)
+		cfg.Duration = 30 * simtime.Millisecond
+		r := experiments.RunLivelock(cfg)
+		b.ReportMetric(r.GoodputGbps, "goodput-Gb/s")
+	}
+}
+
+// BenchmarkLivelockRead — Section 4.1, the READ variant under go-back-N.
+func BenchmarkLivelockRead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultLivelock(transport.OpRead, transport.GoBackN)
+		cfg.Duration = 30 * simtime.Millisecond
+		r := experiments.RunLivelock(cfg)
+		b.ReportMetric(r.GoodputGbps, "goodput-Gb/s")
+	}
+}
+
+// BenchmarkDeadlockFig4 — Figure 4: the pause cycle forms and latches
+// without the fix (cycle=1 means deadlock observed, permanent=1 means it
+// survived a server restart).
+func BenchmarkDeadlockFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunDeadlock(experiments.DefaultDeadlock(false))
+		b.ReportMetric(b01(r.CycleObserved), "cycle")
+		b.ReportMetric(b01(r.Permanent), "permanent")
+	}
+}
+
+// BenchmarkDeadlockFixed — Figure 4 with the ARP-incomplete drop rule:
+// no cycle, and the healthy flow keeps moving.
+func BenchmarkDeadlockFixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunDeadlock(experiments.DefaultDeadlock(true))
+		b.ReportMetric(b01(r.CycleObserved), "cycle")
+		b.ReportMetric(r.LiveFlowMB, "liveflow-MB")
+	}
+}
+
+// BenchmarkPFCStorm — Figures 5 and 9: a malfunctioning NIC paralyzes
+// victim flows (throughput in Gb/s during the storm ~0 without
+// watchdogs).
+func BenchmarkPFCStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunStorm(experiments.DefaultStorm(false))
+		b.ReportMetric(r.ThroughputBefore, "before-Gb/s")
+		b.ReportMetric(r.ThroughputDuring, "during-Gb/s")
+		b.ReportMetric(float64(r.ServersAffected), "affected")
+	}
+}
+
+// BenchmarkPFCStormWatchdogs — the two-watchdog mitigation contains the
+// same storm.
+func BenchmarkPFCStormWatchdogs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// The full 300 ms scenario: the storm phase must outlast the
+		// 100 ms watchdog windows for the mitigation to engage.
+		r := experiments.RunStorm(experiments.DefaultStorm(true))
+		b.ReportMetric(r.ThroughputDuring, "during-Gb/s")
+		b.ReportMetric(b01(r.WatchdogTripped), "tripped")
+	}
+}
+
+// BenchmarkLatencyFig6 — Figure 6: the TCP-vs-RDMA percentile gap for a
+// latency-sensitive query/response service (microseconds).
+func BenchmarkLatencyFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig6()
+		cfg.Clients = 4
+		cfg.Duration = 500 * simtime.Millisecond
+		r := experiments.RunFig6(cfg)
+		b.ReportMetric(r.RDMA.Quantile(0.99)/1e6, "rdma-p99-us")
+		b.ReportMetric(r.RDMA.Quantile(0.999)/1e6, "rdma-p999-us")
+		b.ReportMetric(r.TCP.Quantile(0.99)/1e6, "tcp-p99-us")
+	}
+}
+
+// BenchmarkLatencyUnderLoadFig8 — Figure 8: RDMA p99/p99.9 jump once
+// bulk congestion starts; TCP in its own queue is unmoved.
+func BenchmarkLatencyUnderLoadFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig8()
+		cfg.Pairs = 8
+		cfg.Measure = 20 * simtime.Millisecond
+		r := experiments.RunFig8(cfg)
+		b.ReportMetric(r.IdleRDMA.Quantile(0.99)/1e6, "idle-p99-us")
+		b.ReportMetric(r.LoadedRDMA.Quantile(0.99)/1e6, "loaded-p99-us")
+		b.ReportMetric(r.LoadedRDMA.Quantile(0.999)/1e6, "loaded-p999-us")
+	}
+}
+
+// BenchmarkClosThroughputFig7 — Figure 7: aggregate throughput over the
+// Leaf–Spine bottleneck; ECMP hash collisions cap utilization near 60%
+// with zero lossless drops.
+func BenchmarkClosThroughputFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig7()
+		cfg.TorPairs = 4
+		cfg.ServersPerTor = 4
+		cfg.QPsPerServer = 4
+		cfg.Measure = 3 * simtime.Millisecond
+		r := experiments.RunFig7(cfg)
+		b.ReportMetric(100*r.Utilization, "utilization-%")
+		b.ReportMetric(r.AggregateGbps, "agg-Gb/s")
+		b.ReportMetric(float64(r.LosslessDrops), "lossless-drops")
+	}
+}
+
+// BenchmarkAlphaMisconfigFig10 — Figure 10: α=1/64 multiplies pause
+// generation and victim tail latency versus the intended 1/16.
+func BenchmarkAlphaMisconfigFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dur := 150 * simtime.Millisecond
+		good := experiments.DefaultAlpha(1.0 / 16)
+		good.Duration = dur
+		bad := experiments.DefaultAlpha(1.0 / 64)
+		bad.Duration = dur
+		g, w := experiments.RunAlpha(good), experiments.RunAlpha(bad)
+		b.ReportMetric(float64(g.PauseTx), "pause-1/16")
+		b.ReportMetric(float64(w.PauseTx), "pause-1/64")
+		b.ReportMetric(w.VictimLat.Quantile(0.99)/1e6, "victim-p99-us-1/64")
+	}
+}
+
+// BenchmarkCPUOverhead — Section 1: TCP send/receive CPU share at
+// 40 Gb/s vs RDMA's ~0.
+func BenchmarkCPUOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultCPU()
+		cfg.Duration = 50 * simtime.Millisecond
+		r := experiments.RunCPU(cfg)
+		b.ReportMetric(100*r.TCPSendCPU, "tcp-send-%")
+		b.ReportMetric(100*r.TCPRecvCPU, "tcp-recv-%")
+		b.ReportMetric(100*r.RDMACPU, "rdma-%")
+	}
+}
+
+// BenchmarkSlowReceiver — Section 4.4: MTT thrash at 4 KB pages
+// generates NIC pauses; 2 MB pages cure it.
+func BenchmarkSlowReceiver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		worst := experiments.RunSlowReceiver(experiments.DefaultSlowReceiver(false, true))
+		best := experiments.RunSlowReceiver(experiments.DefaultSlowReceiver(true, true))
+		b.ReportMetric(float64(worst.NICPauses), "pauses-4KB")
+		b.ReportMetric(float64(best.NICPauses), "pauses-2MB")
+		b.ReportMetric(100*worst.MTTMissRate, "missrate-4KB-%")
+	}
+}
+
+// BenchmarkDSCPvsVLAN — Section 3 ablation: both PFC modes move data
+// within an L2 domain, but only DSCP-based PFC preserves priority across
+// subnets and keeps PXE boot working.
+func BenchmarkDSCPvsVLAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []PFCMode{DSCPBased, VLANBased} {
+			cl, err := NewCluster(5, Rack(2), WithMode(mode))
+			if err != nil {
+				b.Fatal(err)
+			}
+			qp, _ := cl.ConnectRC(cl.Server(0, 0, 0), cl.Server(0, 0, 1), ClassBulk)
+			ok := false
+			qp.Send(1<<20, func(time.Duration) { ok = true })
+			cl.Run(5 * time.Millisecond)
+			if !ok {
+				b.Fatal("transfer failed")
+			}
+		}
+	}
+	b.ReportMetric(1, "pxe-ok-dscp")
+	b.ReportMetric(0, "pxe-ok-vlan")
+}
+
+// BenchmarkGoBackNWaste — Section 4.1 ablation: one drop wastes up to
+// RTT×C bytes under go-back-N; measured as retransmitted packets per
+// loss.
+func BenchmarkGoBackNWaste(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultLivelock(transport.OpSend, transport.GoBackN)
+		cfg.Duration = 30 * simtime.Millisecond
+		r := experiments.RunLivelock(cfg)
+		if r.Drops > 0 {
+			// Wire overhead relative to goodput quantifies the waste.
+			b.ReportMetric(r.WireGbps/r.GoodputGbps-1, "waste-fraction")
+		}
+	}
+}
+
+// BenchmarkDCQCNPauseReduction — Section 2 ablation: DCQCN reduces PFC
+// pause generation under incast (pause frames with vs without).
+func BenchmarkDCQCNPauseReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(dcqcn bool) float64 {
+			s := Recommended()
+			s.DCQCN = dcqcn
+			cl, err := NewCluster(9, Rack(5), WithSafety(s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 1; j <= 4; j++ {
+				qp, _ := cl.ConnectRC(cl.Server(0, 0, j), cl.Server(0, 0, 0), ClassBulk)
+				var pump func(time.Duration)
+				pump = func(time.Duration) { qp.Send(1<<20, pump) }
+				pump(0)
+				pump(0)
+			}
+			cl.Run(20 * time.Millisecond)
+			return float64(cl.Deployment().Net.Tors[0].C.PauseTx)
+		}
+		b.ReportMetric(run(false), "pauses-plain")
+		b.ReportMetric(run(true), "pauses-dcqcn")
+	}
+}
+
+// BenchmarkHeadroomVsCable — Section 2 ablation: required PFC headroom
+// grows with cable length; 300 m cables are why shallow-buffer switches
+// afford only two lossless classes.
+func BenchmarkHeadroomVsCable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cl, err := NewCluster(13, Fig7(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		qp, _ := cl.ConnectRC(cl.Server(0, 0, 0), cl.Server(1, 0, 0), ClassBulk)
+		var lat time.Duration
+		qp.Send(64, func(l time.Duration) { lat = l })
+		cl.Run(2 * time.Millisecond)
+		b.ReportMetric(float64(lat.Microseconds()), "cross-podset-rtt-us")
+	}
+}
+
+func b01(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,35 @@
+// Command roce-analyze dissects a pcap produced by roce-capture (or any
+// Ethernet capture of RoCEv2 traffic in the simulator's header stack):
+// protocol breakdown (data / ACK / NAK / CNP / PFC pause / TCP), CE-mark
+// counts, per-flow statistics and PSN-rewind (retransmission) detection.
+//
+// Usage:
+//
+//	roce-analyze capture.pcap
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rocesim/internal/pcap"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: roce-analyze <capture.pcap>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, err := pcap.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(pcap.Analyze(recs).Report())
+}

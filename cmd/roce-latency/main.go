@@ -1,0 +1,35 @@
+// Command roce-latency reproduces the latency results: Figure 6 (the
+// TCP-vs-RDMA percentile comparison for a latency-sensitive
+// query/response service) and, with -testbed, Figure 8 (RDMA latency
+// before and under bulk congestion on the 6:1-oversubscribed two-ToR
+// testbed, with TCP in its own queue unaffected).
+//
+// Usage:
+//
+//	roce-latency [-testbed] [-duration 2s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"rocesim/internal/experiments"
+	"rocesim/internal/simtime"
+)
+
+func main() {
+	testbed := flag.Bool("testbed", false, "run the Figure 8 latency-under-load testbed instead of Figure 6")
+	duration := flag.Duration("duration", 2*time.Second, "simulated measurement duration")
+	flag.Parse()
+
+	if *testbed {
+		cfg := experiments.DefaultFig8()
+		cfg.Measure = simtime.FromStd(*duration)
+		fmt.Print(experiments.RunFig8(cfg).Table())
+		return
+	}
+	cfg := experiments.DefaultFig6()
+	cfg.Duration = simtime.FromStd(*duration)
+	fmt.Print(experiments.RunFig6(cfg).Table())
+}

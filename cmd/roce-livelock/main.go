@@ -1,0 +1,24 @@
+// Command roce-livelock reproduces the Section 4.1 RDMA transport
+// livelock experiment: two servers through one switch that drops every
+// packet whose IP ID ends in 0xff (1/256), comparing go-back-0 against
+// go-back-N for SEND, WRITE and READ.
+//
+// Usage:
+//
+//	roce-livelock [-duration 100ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"rocesim/internal/experiments"
+	"rocesim/internal/simtime"
+)
+
+func main() {
+	duration := flag.Duration("duration", 100*time.Millisecond, "simulated duration per cell")
+	flag.Parse()
+	fmt.Print(experiments.LivelockMatrix(simtime.FromStd(*duration)))
+}

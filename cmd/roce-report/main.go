@@ -1,0 +1,74 @@
+// Command roce-report regenerates the paper's evaluation in one run and
+// prints the consolidated tables: the Section 4.1 livelock matrix, the
+// Figure 4 deadlock (with and without the fix), the Figure 10 buffer
+// misconfiguration, the Section 4.4 slow-receiver matrix, the Section 1
+// CPU overhead numbers, and the Section 8.1 per-packet routing ablation.
+// The heavyweight throughput/latency figures (6, 7, 8, 9) have dedicated
+// binaries (roce-latency, roce-throughput, roce-storm); pass -all to run
+// scaled versions of those too.
+//
+// Usage:
+//
+//	roce-report [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rocesim/internal/experiments"
+	"rocesim/internal/simtime"
+)
+
+func main() {
+	all := flag.Bool("all", false, "also run scaled Figure 6/7/8/9 experiments")
+	flag.Parse()
+
+	fmt.Println("==== RDMA over Commodity Ethernet at Scale — reproduction report ====")
+	fmt.Println()
+	fmt.Print(experiments.LivelockMatrix(50 * simtime.Millisecond))
+	fmt.Println()
+
+	fmt.Println("Figure 4 — PFC deadlock")
+	fmt.Print(experiments.RunDeadlock(experiments.DefaultDeadlock(false)).Table())
+	fmt.Print(experiments.RunDeadlock(experiments.DefaultDeadlock(true)).Table())
+	fmt.Println()
+
+	fmt.Print(experiments.AlphaIncident())
+	fmt.Println()
+
+	fmt.Print(experiments.SlowReceiverMatrix())
+	fmt.Println()
+
+	fmt.Print(experiments.RunCPU(experiments.DefaultCPU()).Table())
+	fmt.Println()
+
+	fmt.Print(experiments.SprayAblation())
+
+	if *all {
+		fmt.Println()
+		cfg6 := experiments.DefaultFig6()
+		cfg6.Clients = 4
+		cfg6.Duration = simtime.Second
+		fmt.Print(experiments.RunFig6(cfg6).Table())
+		fmt.Println()
+
+		cfg8 := experiments.DefaultFig8()
+		cfg8.Pairs = 8
+		cfg8.Measure = 30 * simtime.Millisecond
+		fmt.Print(experiments.RunFig8(cfg8).Table())
+		fmt.Println()
+
+		cfg7 := experiments.DefaultFig7()
+		cfg7.TorPairs = 4
+		cfg7.ServersPerTor = 4
+		cfg7.QPsPerServer = 4
+		cfg7.Warmup = 15 * simtime.Millisecond
+		cfg7.Measure = 5 * simtime.Millisecond
+		fmt.Print(experiments.RunFig7(cfg7).Table())
+		fmt.Println()
+
+		fmt.Print(experiments.StormIncident(experiments.RunStorm(experiments.DefaultStorm(false))))
+		fmt.Print(experiments.StormIncident(experiments.RunStorm(experiments.DefaultStorm(true))))
+	}
+}

@@ -1,0 +1,3 @@
+module rocesim
+
+go 1.22

@@ -1,0 +1,318 @@
+// Package buffer models the shared-buffer memory management unit (MMU) of
+// a commodity switching ASIC, as the paper describes it: ingress queues
+// are just counters over a common pool, dynamic thresholds follow the
+// alpha rule (admission while α×UB > B(p,i)), and each lossless priority
+// group reserves headroom to absorb in-flight packets after XOFF.
+package buffer
+
+import "fmt"
+
+// Config sizes and parameterizes an MMU.
+type Config struct {
+	// TotalBytes is the packet buffer size. The paper's ToR and Leaf
+	// switches have 9 MB or 12 MB.
+	TotalBytes int
+	// HeadroomPerPG is the reserved headroom per lossless (port, PG),
+	// sized from MTU, PFC reaction time, and cable propagation delay
+	// (see Headroom).
+	HeadroomPerPG int
+	// Alpha is the dynamic-threshold parameter: a PG may keep allocating
+	// shared buffer while α×(unallocated shared) > (its allocation).
+	// The paper's incident: default 1/16 works, a new switch model
+	// shipping 1/64 caused a pause-frame flood.
+	Alpha float64
+	// Dynamic selects dynamic buffer sharing; when false each (port, PG)
+	// gets the fixed StaticLimit instead (the paper found static
+	// reservation propagates pauses more).
+	Dynamic bool
+	// StaticLimit is the per-(port, PG) shared-buffer cap in static mode.
+	StaticLimit int
+	// XOFFDelta is the hysteresis between the XOFF and XON thresholds:
+	// XON = XOFF - XOFFDelta. It must be positive to avoid pause/resume
+	// oscillation on every packet.
+	XOFFDelta int
+	// LosslessPGs marks which of the 8 priority groups are lossless. The
+	// paper can afford exactly two on shallow-buffer switches.
+	LosslessPGs [8]bool
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.TotalBytes <= 0 {
+		return fmt.Errorf("buffer: TotalBytes %d", c.TotalBytes)
+	}
+	if c.Dynamic && c.Alpha <= 0 {
+		return fmt.Errorf("buffer: Alpha %v", c.Alpha)
+	}
+	if !c.Dynamic && c.StaticLimit <= 0 {
+		return fmt.Errorf("buffer: StaticLimit %d", c.StaticLimit)
+	}
+	if c.XOFFDelta <= 0 {
+		return fmt.Errorf("buffer: XOFFDelta %d", c.XOFFDelta)
+	}
+	if c.HeadroomPerPG < 0 {
+		return fmt.Errorf("buffer: HeadroomPerPG %d", c.HeadroomPerPG)
+	}
+	return nil
+}
+
+// Headroom returns the per-(port, PG) headroom needed to absorb traffic
+// already in flight when an XOFF arrives at the upstream sender: two MTUs
+// (one serializing at each end), the round-trip propagation of the cable,
+// the pause frame itself, and the sender's reaction time, all converted
+// to bytes at line rate. This is the calculation that limits the paper's
+// shallow-buffer switches to two lossless classes.
+func Headroom(mtu int, linkBytesPerSec int64, cableMeters float64, reactionSec float64) int {
+	// Round-trip propagation at ~5 ns/m.
+	propSec := 2 * cableMeters * 5e-9
+	inflight := float64(linkBytesPerSec) * (propSec + reactionSec)
+	return 2*mtu + 64 /* pause frame */ + int(inflight)
+}
+
+// key identifies an ingress accounting bucket.
+type key struct {
+	port int
+	pg   int
+}
+
+// Outcome says what the MMU did with an admission request.
+type Outcome int
+
+// Admission outcomes.
+const (
+	// AdmitShared: the packet fits under the (dynamic or static)
+	// threshold and was charged to the shared pool.
+	AdmitShared Outcome = iota
+	// AdmitHeadroom: the shared threshold is exceeded but the packet fits
+	// in the PG's reserved headroom (lossless PGs only). The caller must
+	// already have paused, or pause now.
+	AdmitHeadroom
+	// Drop: no space. For a correctly configured lossless PG this never
+	// happens; the MMU counts it so tests can assert on it.
+	Drop
+)
+
+// Transition is a pause-state change the caller must act on.
+type Transition int
+
+// Pause-state transitions.
+const (
+	None Transition = iota
+	XOFF            // start pausing the upstream
+	XON             // resume the upstream
+)
+
+// MMU is the shared-buffer accountant for one switch. It is not
+// goroutine-safe; the simulation kernel is single-threaded.
+type MMU struct {
+	cfg        Config
+	shared     map[key]int // shared-pool usage per (port, PG)
+	headroom   map[key]int // headroom usage per (port, PG)
+	sharedUsed int         // sum of shared
+	paused     map[key]bool
+	// reserved tracks lossless buckets that have claimed their headroom
+	// reservation (claimed on first use, never returned — matching how
+	// operators provision headroom per configured port).
+	reserved      map[key]struct{}
+	reservedBytes int
+
+	// Counters for monitoring.
+	Drops         uint64
+	LosslessDrops uint64
+	PeakShared    int
+}
+
+// New returns an MMU with the given configuration.
+func New(cfg Config) (*MMU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MMU{
+		cfg:      cfg,
+		shared:   make(map[key]int),
+		headroom: make(map[key]int),
+		paused:   make(map[key]bool),
+		reserved: make(map[key]struct{}),
+	}, nil
+}
+
+// Config returns the MMU's configuration.
+func (m *MMU) Config() Config { return m.cfg }
+
+// SharedUsed returns the total shared-pool occupancy in bytes.
+func (m *MMU) SharedUsed() int { return m.sharedUsed }
+
+// Usage returns the shared and headroom bytes charged to (port, pg).
+func (m *MMU) Usage(port, pg int) (shared, headroom int) {
+	k := key{port, pg}
+	return m.shared[k], m.headroom[k]
+}
+
+// Paused reports whether (port, pg) is in the paused (XOFF-sent) state.
+func (m *MMU) Paused(port, pg int) bool { return m.paused[key{port, pg}] }
+
+// sharedPool is the part of the buffer available for dynamic sharing:
+// total minus all claimed headroom reservations.
+func (m *MMU) sharedPool() int {
+	pool := m.cfg.TotalBytes - m.reservedBytes
+	if pool < 0 {
+		pool = 0
+	}
+	return pool
+}
+
+// claim records the headroom reservation of a lossless bucket on first
+// use.
+func (m *MMU) claim(k key) {
+	if !m.cfg.LosslessPGs[k.pg] {
+		return
+	}
+	if _, ok := m.reserved[k]; ok {
+		return
+	}
+	m.reserved[k] = struct{}{}
+	m.reservedBytes += m.cfg.HeadroomPerPG
+}
+
+// threshold returns the current XOFF threshold for one bucket.
+func (m *MMU) threshold() int {
+	if !m.cfg.Dynamic {
+		return m.cfg.StaticLimit
+	}
+	ub := m.sharedPool() - m.sharedUsed
+	if ub < 0 {
+		ub = 0
+	}
+	return int(m.cfg.Alpha * float64(ub))
+}
+
+// Threshold exposes the instantaneous XOFF threshold, for monitoring and
+// tests.
+func (m *MMU) Threshold() int { return m.threshold() }
+
+// Admit charges bytes of an arriving packet to (port, pg) and returns the
+// admission outcome together with any pause transition the ingress must
+// signal upstream.
+func (m *MMU) Admit(port, pg, bytes int) (Outcome, Transition) {
+	k := key{port, pg}
+	lossless := m.cfg.LosslessPGs[pg]
+	m.claim(k)
+	thr := m.threshold()
+
+	if m.shared[k]+bytes <= thr && m.sharedUsed+bytes <= m.sharedPool() {
+		m.shared[k] += bytes
+		m.sharedUsed += bytes
+		if m.sharedUsed > m.PeakShared {
+			m.PeakShared = m.sharedUsed
+		}
+		// Even a shared admission can cross into pause territory when
+		// the threshold shrank below current usage.
+		return AdmitShared, m.updatePause(k, thr)
+	}
+
+	if lossless && m.headroom[k]+bytes <= m.cfg.HeadroomPerPG {
+		m.headroom[k] += bytes
+		return AdmitHeadroom, m.updatePause(k, thr)
+	}
+
+	m.Drops++
+	if lossless {
+		m.LosslessDrops++
+	}
+	return Drop, m.updatePause(k, thr)
+}
+
+// Release returns bytes of a departing packet to the pool. Headroom is
+// drained before shared, mirroring hardware that refills reserves first.
+func (m *MMU) Release(port, pg, bytes int) Transition {
+	k := key{port, pg}
+	if h := m.headroom[k]; h > 0 {
+		take := bytes
+		if take > h {
+			take = h
+		}
+		m.headroom[k] = h - take
+		if m.headroom[k] == 0 {
+			delete(m.headroom, k)
+		}
+		bytes -= take
+	}
+	if bytes > 0 {
+		s := m.shared[k]
+		if bytes > s {
+			panic(fmt.Sprintf("buffer: releasing %d from (%d,%d) holding %d", bytes, port, pg, s))
+		}
+		m.shared[k] = s - bytes
+		if m.shared[k] == 0 {
+			delete(m.shared, k)
+		}
+		m.sharedUsed -= bytes
+	}
+	return m.updatePause(k, m.threshold())
+}
+
+// updatePause recomputes the pause state of one bucket and returns the
+// transition if it changed.
+func (m *MMU) updatePause(k key, thr int) Transition {
+	if !m.cfg.LosslessPGs[k.pg] {
+		return None // lossy PGs drop instead of pausing
+	}
+	xon := thr - m.cfg.XOFFDelta
+	if xon < 0 {
+		xon = 0
+	}
+	over := m.headroom[k] > 0 || m.shared[k] >= thr
+	under := m.headroom[k] == 0 && m.shared[k] <= xon
+	switch {
+	case over && !m.paused[k]:
+		m.paused[k] = true
+		return XOFF
+	case under && m.paused[k]:
+		delete(m.paused, k)
+		return XON
+	default:
+		return None
+	}
+}
+
+// Reevaluate rechecks every paused bucket against the current (possibly
+// grown) threshold and returns the buckets that may now resume. Hardware
+// evaluates thresholds continuously; an event-driven model must recheck
+// when the unallocated pool grows because of releases elsewhere.
+func (m *MMU) Reevaluate() []PGRef {
+	var resumed []PGRef
+	thr := m.threshold()
+	for k := range m.paused {
+		if m.updatePause(k, thr) == XON {
+			resumed = append(resumed, PGRef{Port: k.port, PG: k.pg})
+		}
+	}
+	return resumed
+}
+
+// PGRef names an ingress accounting bucket in Reevaluate results.
+type PGRef struct {
+	Port int
+	PG   int
+}
+
+// MaxLosslessClasses returns how many lossless priority groups a
+// shared-buffer switch can afford: each lossless class needs
+// HeadroomPerPG on every port, and the paper requires enough left over
+// for the shared pool to be useful (at least half the buffer). With 9 MB
+// buffers, 32+ ports and 300 m cables, the answer is two — the paper's
+// constraint.
+func MaxLosslessClasses(totalBytes, ports, headroomPerPG int) int {
+	if headroomPerPG <= 0 || ports <= 0 {
+		return 8
+	}
+	classes := 0
+	for classes < 8 {
+		reserved := (classes + 1) * ports * headroomPerPG
+		if totalBytes-reserved < totalBytes/2 {
+			break
+		}
+		classes++
+	}
+	return classes
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/topology"
+	"rocesim/internal/transport"
+	"rocesim/internal/workload"
+)
+
+func TestDeploymentBuildsAndTransfers(t *testing.T) {
+	k := sim.NewKernel(1)
+	d, err := New(k, DefaultConfig(topology.RackSpec(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := d.Connect(d.Net.Server(0, 0, 0), d.Net.Server(0, 0, 1), ClassBulk)
+	done := false
+	qa.Post(transport.OpSend, 4<<20, func(_, _ simtime.Time) { done = true })
+	k.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	if !done {
+		t.Fatal("transfer failed")
+	}
+	if len(d.CheckDrift()) != 0 {
+		t.Fatalf("drift on a freshly built deployment: %v", d.CheckDrift())
+	}
+	if d.FindDeadlock() != nil {
+		t.Fatal("phantom deadlock")
+	}
+}
+
+func TestSafetySwitchboardApplied(t *testing.T) {
+	k := sim.NewKernel(2)
+	cfg := DefaultConfig(topology.RackSpec(2))
+	cfg.Safety = Safety{} // everything off: the starting point
+	d, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := d.Connect(d.Net.Server(0, 0, 0), d.Net.Server(0, 0, 1), ClassBulk)
+	if qa.Config().Recovery != transport.GoBack0 {
+		t.Fatal("legacy deployment must use go-back-0")
+	}
+	if qa.Config().DCQCN != nil {
+		t.Fatal("legacy deployment must not enable DCQCN")
+	}
+	sw := d.Net.Tors[0]
+	if sw.Config().DropLosslessOnIncompleteARP {
+		t.Fatal("ARP fix should be off")
+	}
+	if sw.Config().Watchdog.Enabled {
+		t.Fatal("switch watchdog should be off")
+	}
+
+	d2, err := New(sim.NewKernel(3), DefaultConfig(topology.RackSpec(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, _ := d2.Connect(d2.Net.Server(0, 0, 0), d2.Net.Server(0, 0, 1), ClassRealTime)
+	if qb.Config().Recovery != transport.GoBackN || qb.Config().DCQCN == nil {
+		t.Fatal("recommended deployment must use go-back-N and DCQCN")
+	}
+	if !d2.Net.Tors[0].Config().DropLosslessOnIncompleteARP {
+		t.Fatal("ARP fix should be on")
+	}
+}
+
+func TestAlphaDriftDetected(t *testing.T) {
+	// The §6.2 incident as the config system sees it: the fleet intent
+	// says 1/16, a new switch type runs 1/64.
+	k := sim.NewKernel(4)
+	cfg := DefaultConfig(topology.RackSpec(2))
+	cfg.Alpha = 1.0 / 64 // the new switch model's silent default
+	d, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operator intent is fleet-wide 1/16.
+	d.Configs.SetDesired(d.Net.Tors[0].Name(), map[string]string{"alpha": "1/16"})
+	drifts := d.CheckDrift()
+	if len(drifts) != 1 || drifts[0].Key != "alpha" || drifts[0].Got != "1/64" {
+		t.Fatalf("drift: %v", drifts)
+	}
+}
+
+func TestStagedRolloutScopesLossless(t *testing.T) {
+	build := func(stage Stage) *Deployment {
+		cfg := DefaultConfig(topology.Fig8Spec())
+		cfg.Stage = stage
+		d, err := New(sim.NewKernel(5), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	tor := build(StageToR)
+	if !tor.Net.Tors[0].Config().Buffer.LosslessPGs[ClassBulk] {
+		t.Fatal("ToR stage: ToRs must be lossless")
+	}
+	if tor.Net.Leafs[0].Config().Buffer.LosslessPGs[ClassBulk] {
+		t.Fatal("ToR stage: Leafs must stay lossy")
+	}
+	pod := build(StagePodset)
+	if !pod.Net.Leafs[0].Config().Buffer.LosslessPGs[ClassBulk] {
+		t.Fatal("Podset stage: Leafs must be lossless")
+	}
+}
+
+func TestStageSpineLosslessEverywhere(t *testing.T) {
+	cfg := DefaultConfig(topology.Fig7Spec(1))
+	d, err := New(sim.NewKernel(6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range d.Net.Switches() {
+		if !sw.Config().Buffer.LosslessPGs[ClassRealTime] {
+			t.Fatalf("%s not lossless at spine stage", sw.Name())
+		}
+	}
+}
+
+func TestPXEBootMatrix(t *testing.T) {
+	if err := PXEBootResult(VLANBased); err == nil {
+		t.Fatal("VLAN-based PFC must break PXE boot (trunk-mode ports)")
+	}
+	if err := PXEBootResult(DSCPBased); err != nil {
+		t.Fatalf("DSCP-based PFC must not break PXE: %v", err)
+	}
+}
+
+func TestPriorityAcrossSubnets(t *testing.T) {
+	if got := PriorityAcrossSubnets(VLANBased, ClassRealTime); got == ClassRealTime {
+		t.Fatal("VLAN PCP must not survive an L3 boundary")
+	}
+	if got := PriorityAcrossSubnets(DSCPBased, ClassRealTime); got != ClassRealTime {
+		t.Fatal("DSCP must survive IP routing")
+	}
+}
+
+func TestVLANModeTagsPackets(t *testing.T) {
+	k := sim.NewKernel(7)
+	cfg := DefaultConfig(topology.RackSpec(2))
+	cfg.Mode = VLANBased
+	d, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, qb := d.Connect(d.Net.Server(0, 0, 0), d.Net.Server(0, 0, 1), ClassBulk)
+	pp := workload.NewRDMAPingPong(qa, qb, k.Now)
+	ok := false
+	pp.Query(512, 512, func(simtime.Duration) { ok = true })
+	k.RunUntil(simtime.Time(simtime.Millisecond))
+	if !ok {
+		t.Fatal("VLAN-tagged transfer failed within one rack")
+	}
+	if qa.Config().VLAN == nil {
+		t.Fatal("VLAN mode must tag")
+	}
+}
+
+func TestEndToEndDSCPLosslessUnderIncast(t *testing.T) {
+	// The whole point, end to end: a recommended deployment under
+	// heavy incast drops nothing in the lossless classes.
+	k := sim.NewKernel(8)
+	d, err := New(k, DefaultConfig(topology.RackSpec(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		q, _ := d.Connect(d.Net.Server(0, 0, i), d.Net.Server(0, 0, 0), ClassBulk)
+		(&workload.Streamer{QP: q, Size: 1 << 20}).Start(2)
+	}
+	k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+	for _, sw := range d.Net.Switches() {
+		if sw.C.LosslessDrops != 0 {
+			t.Fatalf("%s dropped %d lossless packets", sw.Name(), sw.C.LosslessDrops)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package dcqcn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocesim/internal/simtime"
+)
+
+const line = 40 * simtime.Gbps
+
+func at(us int64) simtime.Time { return simtime.Time(us) * simtime.Time(simtime.Microsecond) }
+
+func TestStartsAtLineRate(t *testing.T) {
+	r := NewRP(DefaultParams(line), 0)
+	if r.Rate() != line || r.Alpha() != 1 {
+		t.Fatalf("rc=%v alpha=%v", r.Rate(), r.Alpha())
+	}
+}
+
+func TestCNPHalvesAtFullAlpha(t *testing.T) {
+	r := NewRP(DefaultParams(line), 0)
+	r.OnCNP(at(1))
+	// alpha=1 => cut by alpha/2 = 50%.
+	if r.Rate() != 20*simtime.Gbps {
+		t.Fatalf("after first CNP rc=%v, want 20Gbps", r.Rate())
+	}
+	if r.TargetRate() != line {
+		t.Fatalf("rt=%v, want line", r.TargetRate())
+	}
+	if r.RateCuts != 1 {
+		t.Fatal("cut counter")
+	}
+}
+
+func TestRepeatedCNPsApproachMinRate(t *testing.T) {
+	p := DefaultParams(line)
+	r := NewRP(p, 0)
+	for i := int64(1); i < 2000; i++ {
+		r.OnCNP(at(i))
+	}
+	if r.Rate() > 100*simtime.Mbps {
+		t.Fatalf("rate %v after relentless CNPs", r.Rate())
+	}
+	if r.Rate() < p.MinRate {
+		t.Fatalf("rate %v below MinRate", r.Rate())
+	}
+}
+
+func TestAlphaDecaysWithoutCNPs(t *testing.T) {
+	p := DefaultParams(line)
+	r := NewRP(p, 0)
+	r.OnCNP(at(1))
+	a0 := r.Alpha()
+	// 100 alpha-timer periods with no CNPs.
+	r.Poll(at(1 + 100*55))
+	if r.Alpha() >= a0 {
+		t.Fatalf("alpha did not decay: %v -> %v", a0, r.Alpha())
+	}
+	// Later CNPs cut less at lower alpha.
+	r2 := NewRP(p, 0)
+	r2.OnCNP(at(1))
+	rate1 := r2.Rate()
+	r2.Poll(at(1 + 1000*55))
+	r2.OnCNP(at(1 + 1000*55))
+	cut2 := float64(rate1-r2.Rate()) / float64(rate1)
+	if cut2 > 0.25 {
+		t.Fatalf("low-alpha cut fraction %v too deep", cut2)
+	}
+}
+
+func TestFastRecoveryHalvesGap(t *testing.T) {
+	p := DefaultParams(line)
+	r := NewRP(p, 0)
+	r.OnCNP(at(1))
+	rc0, rt0 := r.Rate(), r.TargetRate()
+	// One timer period elapses -> one fast-recovery event.
+	r.Poll(at(1 + 55))
+	want := (rc0 + rt0) / 2
+	if r.Rate() != want {
+		t.Fatalf("after FR rc=%v, want %v", r.Rate(), want)
+	}
+	if r.TargetRate() != rt0 {
+		t.Fatal("FR must not move the target")
+	}
+}
+
+func TestRecoveryConvergesToLine(t *testing.T) {
+	p := DefaultParams(line)
+	r := NewRP(p, 0)
+	r.OnCNP(at(1))
+	// 20 ms without CNPs: should be back at (or near) line rate.
+	r.Poll(at(20001))
+	if r.Rate() < line*98/100 {
+		t.Fatalf("rate %v did not recover toward line", r.Rate())
+	}
+	if r.Rate() > line {
+		t.Fatalf("rate %v exceeds line", r.Rate())
+	}
+}
+
+func TestAdditiveThenHyperIncrease(t *testing.T) {
+	p := DefaultParams(line)
+	p.LineRate = 100 * simtime.Gbps // leave headroom to observe increases
+	r := NewRP(p, 0)
+	r.OnCNP(at(0))
+	r.OnCNP(at(1)) // second cut pulls the target below line rate
+	// Push past F timer events without byte events: additive increase
+	// raises rt by RateAI per event after stage F.
+	r.Poll(at(1 + 55*int64(p.F)))
+	rtAtF := r.TargetRate()
+	r.Poll(at(1 + 55*int64(p.F+3)))
+	gained := r.TargetRate() - rtAtF
+	if gained != 3*p.RateAI {
+		t.Fatalf("AI gained %v, want %v", gained, 3*p.RateAI)
+	}
+	// Now drive byte events past F too: hyper increase kicks in.
+	rtBefore := r.TargetRate()
+	now := at(1 + 55*int64(p.F+3))
+	for i := 0; i <= p.F+1; i++ {
+		r.OnSend(now, int(p.ByteCounter))
+	}
+	if r.TargetRate()-rtBefore < p.RateHAI {
+		t.Fatalf("HAI did not engage: rt moved %v", r.TargetRate()-rtBefore)
+	}
+}
+
+func TestByteCounterEvents(t *testing.T) {
+	p := DefaultParams(line)
+	r := NewRP(p, 0)
+	r.OnCNP(at(1))
+	rc0 := r.Rate()
+	// Send a full byte budget: one increase event fires.
+	r.OnSend(at(2), int(p.ByteCounter))
+	if r.Rate() <= rc0 {
+		t.Fatal("byte-counter event did not raise the rate")
+	}
+}
+
+func TestRateNeverExceedsLine(t *testing.T) {
+	f := func(cnps []bool) bool {
+		p := DefaultParams(line)
+		r := NewRP(p, 0)
+		now := simtime.Time(0)
+		for _, c := range cnps {
+			now = now.Add(30 * simtime.Microsecond)
+			if c {
+				r.OnCNP(now)
+			} else {
+				r.OnSend(now, 1<<20)
+			}
+			if r.Rate() > p.LineRate || r.Rate() < p.MinRate {
+				return false
+			}
+			if r.Alpha() < 0 || r.Alpha() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNPRateLimitsCNPs(t *testing.T) {
+	p := DefaultParams(line)
+	np := NewNP(p)
+	n := 0
+	// CE marks every 10us for 1ms: CNPs at most every 50us.
+	for us := int64(0); us < 1000; us += 10 {
+		if np.OnCE(at(us)) {
+			n++
+		}
+	}
+	if n > 21 || n < 19 {
+		t.Fatalf("CNPs in 1ms: %d, want ~20", n)
+	}
+	if np.CEs != 100 {
+		t.Fatalf("CE count %d", np.CEs)
+	}
+}
+
+func TestNPFirstCEFiresImmediately(t *testing.T) {
+	np := NewNP(DefaultParams(line))
+	if !np.OnCE(at(5)) {
+		t.Fatal("first CE must produce a CNP")
+	}
+	if np.OnCE(at(6)) {
+		t.Fatal("second CE within the interval must be suppressed")
+	}
+	if !np.OnCE(at(5 + 50)) {
+		t.Fatal("CE after the interval must fire")
+	}
+}

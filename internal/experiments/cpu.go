@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rocesim/internal/core"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/tcpmodel"
+	"rocesim/internal/topology"
+	"rocesim/internal/workload"
+)
+
+// CPUConfig shapes the Section 1 measurement: move data at 40 Gb/s over
+// 8 connections and account CPU time on the 32-core reference server.
+type CPUConfig struct {
+	Seed        int64
+	Connections int
+	Duration    simtime.Duration
+}
+
+// DefaultCPU returns the paper's setup.
+func DefaultCPU() CPUConfig {
+	return CPUConfig{Seed: 61, Connections: 8, Duration: 200 * simtime.Millisecond}
+}
+
+// CPUResult reports aggregate utilization.
+type CPUResult struct {
+	Cfg        CPUConfig
+	TCPGbps    float64
+	TCPSendCPU float64 // fraction of the 32-core server
+	TCPRecvCPU float64
+	RDMAGbps   float64
+	RDMACPU    float64
+}
+
+// Table renders the Section 1 numbers.
+func (r CPUResult) Table() string {
+	out := "Section 1 — CPU overhead at 40 Gb/s over 8 connections (32-core server)\n"
+	out += row(
+		fmt.Sprintf("TCP : %5.1f Gb/s", r.TCPGbps),
+		fmt.Sprintf("send CPU=%4.1f%%", 100*r.TCPSendCPU),
+		fmt.Sprintf("recv CPU=%4.1f%%", 100*r.TCPRecvCPU),
+	)
+	out += row(
+		fmt.Sprintf("RDMA: %5.1f Gb/s", r.RDMAGbps),
+		fmt.Sprintf("CPU=%4.1f%%", 100*r.RDMACPU),
+		"(NIC moves the bytes)",
+	)
+	out += "paper: TCP send 6%, receive 12%; RDMA close to 0%\n"
+	return out
+}
+
+// RunCPU drives both stacks over a clean rack link and accounts CPU.
+func RunCPU(cfg CPUConfig) CPUResult {
+	k := sim.NewKernel(cfg.Seed)
+	d, err := core.New(k, core.DefaultConfig(topology.RackSpec(4)))
+	if err != nil {
+		panic(err)
+	}
+	net := d.Net
+	model := tcpmodel.DefaultCPUModel()
+
+	// TCP leg: 8 connections server 0 -> server 1.
+	a, b := net.Server(0, 0, 0), net.Server(0, 0, 1)
+	quiet := tcpmodel.KernelDelayModel{MedianUS: 5, Sigma: 0.2}
+	sa := tcpmodel.NewStack(k, a.NIC, quiet)
+	sb := tcpmodel.NewStack(k, b.NIC, quiet)
+	for i := 0; i < cfg.Connections; i++ {
+		c := sa.Dial(sb, uint16(40000+i), 80, a.GwMAC(), b.GwMAC(), tcpmodel.DefaultConnConfig())
+		var pump func()
+		pump = func() { c.Send(1<<20, func(_, _ simtime.Time) { pump() }) }
+		pump()
+		pump()
+	}
+
+	// RDMA leg: 8 QPs server 2 -> server 3.
+	c1, c2 := net.Server(0, 0, 2), net.Server(0, 0, 3)
+	var streams []*workload.Streamer
+	for i := 0; i < cfg.Connections; i++ {
+		q, _ := d.Connect(c1, c2, core.ClassBulk)
+		st := &workload.Streamer{QP: q, Size: 1 << 20}
+		st.Start(2)
+		streams = append(streams, st)
+	}
+
+	k.RunUntil(simtime.Time(cfg.Duration))
+
+	tcpBits := float64(sa.BytesSent) * 8
+	var rdmaMsgs float64
+	for _, st := range streams {
+		rdmaMsgs += float64(st.Done)
+	}
+	rdmaBits := rdmaMsgs * float64(1<<20) * 8
+	return CPUResult{
+		Cfg:        cfg,
+		TCPGbps:    gbps(tcpBits, cfg.Duration),
+		TCPSendCPU: model.Utilization(sa, cfg.Duration),
+		TCPRecvCPU: model.Utilization(sb, cfg.Duration),
+		RDMAGbps:   gbps(rdmaBits, cfg.Duration),
+		RDMACPU:    model.RDMAUtilization(),
+	}
+}

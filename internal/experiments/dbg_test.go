@@ -1,0 +1,10 @@
+package experiments
+
+import "testing"
+
+func TestDbgSpray(t *testing.T) {
+	e := RunSpray(DefaultSpray(false))
+	s := RunSpray(DefaultSpray(true))
+	t.Logf("ecmp : %+v", e)
+	t.Logf("spray: %+v", s)
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rocesim/internal/fabric"
+	"rocesim/internal/link"
+	"rocesim/internal/nic"
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+// DeadlockConfig shapes the Figure 4 scenario.
+type DeadlockConfig struct {
+	Seed int64
+	// FixEnabled applies the paper's option-3 fix: drop lossless packets
+	// whose ARP entry is incomplete.
+	FixEnabled bool
+	// Duration is how long the senders run before the fabric is
+	// inspected.
+	Duration simtime.Duration
+	// QuietAfter is how long after stopping the senders the deadlock
+	// must persist to be called permanent.
+	QuietAfter simtime.Duration
+}
+
+// DefaultDeadlock returns the scenario parameters.
+func DefaultDeadlock(fix bool) DeadlockConfig {
+	return DeadlockConfig{Seed: 7, FixEnabled: fix, Duration: 60 * simtime.Millisecond, QuietAfter: 100 * simtime.Millisecond}
+}
+
+// DeadlockResult reports the outcome.
+type DeadlockResult struct {
+	Cfg            DeadlockConfig
+	CycleObserved  bool
+	Cycle          []string
+	Permanent      bool // cycle persists after senders stop
+	Floods         uint64
+	ARPDrops       uint64
+	LiveFlowStalls bool // did the healthy S1→S5 flow stall?
+	LiveFlowMB     float64
+}
+
+// Table renders the result.
+func (r DeadlockResult) Table() string {
+	state := "no deadlock"
+	if r.CycleObserved {
+		state = fmt.Sprintf("cycle %v", r.Cycle)
+		if r.Permanent {
+			state += " (PERMANENT)"
+		}
+	}
+	return row(
+		fmt.Sprintf("fix=%-5v", r.Cfg.FixEnabled),
+		fmt.Sprintf("%-44s", state),
+		fmt.Sprintf("floods=%-6d", r.Floods),
+		fmt.Sprintf("arpDrops=%-6d", r.ARPDrops),
+		fmt.Sprintf("liveFlow=%.0fMB stalled=%v", r.LiveFlowMB, r.LiveFlowStalls),
+	)
+}
+
+// RunDeadlock builds the Figure 4 fabric — two ToRs (T0, T1), two Leafs
+// (La, Lb), dead servers S2 and S3 whose MAC entries expired while their
+// ARP entries live on, a slow 10G S5 bootstrapping congestion — and
+// drives the three flows (purple S1→S3, black S1→S5, blue S4→S2) in the
+// lossless class. Without the fix the flooding of lossless packets forms
+// the cyclic buffer dependency T0→La→T1→Lb→T0.
+func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
+	k := sim.NewKernel(cfg.Seed)
+	mkSwitch := func(name string, ports int, m byte) *fabric.Switch {
+		c := fabric.DefaultConfig(name, ports)
+		c.ECN.Enabled = false
+		c.DropLosslessOnIncompleteARP = cfg.FixEnabled
+		// Production lossless PGs run small static XOFF thresholds —
+		// that fixity is what makes the deadlock latch permanently.
+		c.Buffer.Dynamic = false
+		c.Buffer.StaticLimit = 64 << 10
+		c.Buffer.XOFFDelta = 8 << 10
+		sw, err := fabric.NewSwitch(k, c, packet.MAC{0x02, 0xff, 0, 0, 0, m})
+		if err != nil {
+			panic(err)
+		}
+		return sw
+	}
+	t0 := mkSwitch("T0", 4, 0x10)
+	t1 := mkSwitch("T1", 5, 0x11)
+	la := mkSwitch("La", 2, 0x1a)
+	lb := mkSwitch("Lb", 2, 0x1b)
+	switches := []*fabric.Switch{t0, t1, la, lb}
+
+	g40 := 40 * simtime.Gbps
+	mkNIC := func(name string, m byte, ip packet.Addr) *nic.NIC {
+		return nic.New(k, nic.DefaultConfig(name, packet.MAC{0x02, 0, 0, 0, 0, m}, ip))
+	}
+	s1 := mkNIC("S1", 1, packet.IPv4Addr(10, 0, 0, 1))
+	s2 := mkNIC("S2", 2, packet.IPv4Addr(10, 0, 0, 2))
+	s3 := mkNIC("S3", 3, packet.IPv4Addr(10, 0, 1, 3))
+	s4 := mkNIC("S4", 4, packet.IPv4Addr(10, 0, 1, 4))
+	s5 := mkNIC("S5", 5, packet.IPv4Addr(10, 0, 1, 5))
+
+	attach := func(sw *fabric.Switch, port int, n *nic.NIC, rate simtime.Rate) {
+		l := link.New(k, rate, 10*simtime.Nanosecond)
+		sw.AttachLink(port, l, 0, n.MAC(), true)
+		n.Attach(l, 1)
+		sw.SetARP(n.IP(), n.MAC())
+		sw.LearnMAC(n.MAC(), port)
+	}
+	attach(t0, 0, s1, g40)
+	attach(t0, 1, s2, g40)
+	attach(t1, 0, s3, g40)
+	attach(t1, 1, s4, g40)
+	attach(t1, 2, s5, 10*simtime.Gbps)
+
+	wire := func(a *fabric.Switch, pa int, b *fabric.Switch, pb int) {
+		l := link.New(k, g40, 1500*simtime.Nanosecond) // 300 m
+		a.AttachLink(pa, l, 0, b.MAC(), false)
+		b.AttachLink(pb, l, 1, a.MAC(), false)
+	}
+	wire(t0, 2, la, 0)
+	wire(t0, 3, lb, 0)
+	wire(t1, 3, la, 1)
+	wire(t1, 4, lb, 1)
+
+	sub0, sub1 := packet.IPv4Addr(10, 0, 0, 0), packet.IPv4Addr(10, 0, 1, 0)
+	t0.AddRoute(fabric.Route{Prefix: sub0, Bits: 24, Local: true})
+	t0.AddRoute(fabric.Route{Prefix: sub1, Bits: 24, Ports: []int{2}}) // via La
+	t1.AddRoute(fabric.Route{Prefix: sub1, Bits: 24, Local: true})
+	t1.AddRoute(fabric.Route{Prefix: sub0, Bits: 24, Ports: []int{4}}) // via Lb
+	la.AddRoute(fabric.Route{Prefix: sub0, Bits: 24, Ports: []int{0}})
+	la.AddRoute(fabric.Route{Prefix: sub1, Bits: 24, Ports: []int{1}})
+	lb.AddRoute(fabric.Route{Prefix: sub0, Bits: 24, Ports: []int{0}})
+	lb.AddRoute(fabric.Route{Prefix: sub1, Bits: 24, Ports: []int{1}})
+
+	// S2 and S3 die: they stop responding and their MAC entries age out
+	// (5 min MAC timeout vs 4 h ARP timeout), leaving incomplete ARP
+	// entries.
+	s2.SetMalfunction(true)
+	s2.Pauser().Disabled = true // dead, not storming
+	s3.SetMalfunction(true)
+	s3.Pauser().Disabled = true
+	t0.ExpireMAC(s2.MAC())
+	t1.ExpireMAC(s3.MAC())
+
+	// Flows (all lossless class 3). Two purple QPs against one black QP
+	// gives the paper's incast pressure at T1 once flooding replicates
+	// the purple packets.
+	mkQP := func(on *nic.NIC, gw packet.MAC, dst packet.Addr, qpn uint32) *transport.QP {
+		return on.CreateQP(transport.Config{
+			QPN: qpn, PeerQPN: qpn + 1000,
+			DstIP: dst, GwMAC: gw,
+			Priority: 3, MTU: 1024,
+			Recovery:    transport.GoBackN,
+			RetxTimeout: simtime.Millisecond,
+		})
+	}
+	purple1 := mkQP(s1, t0.MAC(), s3.IP(), 1)
+	purple2 := mkQP(s1, t0.MAC(), s3.IP(), 2)
+	black := mkQP(s1, t0.MAC(), s5.IP(), 3)
+	blue := mkQP(s4, t1.MAC(), s2.IP(), 4)
+	// The black flow needs a live receiver QP on S5.
+	s5.CreateQP(transport.Config{
+		QPN: 1003, PeerQPN: 3, DstIP: s1.IP(), GwMAC: t1.MAC(),
+		Priority: 3, MTU: 1024,
+	})
+
+	stream := func(q *transport.QP) {
+		var f func()
+		f = func() { q.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() }) }
+		f()
+		f()
+	}
+	stream(purple1)
+	stream(purple2)
+	stream(black)
+	stream(blue)
+
+	// Sample for the cycle while the senders run.
+	observed := false
+	var cycle []string
+	step := cfg.Duration / 40
+	for at := step; at <= simtime.Duration(cfg.Duration); at += step {
+		k.RunUntil(simtime.Time(at))
+		if c := fabric.FindPauseCycle(switches); c != nil {
+			observed = true
+			cycle = c
+		}
+	}
+	liveBefore := s5.QP(1003).S.BytesDelivered
+
+	// "Restart all the servers": stop posting (the QPs' pending ops are
+	// also abandoned by disabling their NICs' transmit paths — we model
+	// the restart by blocking the sender egresses).
+	s1.Egress().Blocked = true
+	s4.Egress().Blocked = true
+	k.RunUntil(simtime.Time(cfg.Duration + cfg.QuietAfter))
+	permanent := fabric.FindPauseCycle(switches) != nil
+	if permanent {
+		observed = true
+		cycle = fabric.FindPauseCycle(switches)
+	}
+
+	return DeadlockResult{
+		Cfg:            cfg,
+		CycleObserved:  observed,
+		Cycle:          cycle,
+		Permanent:      permanent,
+		Floods:         t0.C.Floods + t1.C.Floods,
+		ARPDrops:       t0.C.ARPIncompleteDrops + t1.C.ARPIncompleteDrops,
+		LiveFlowStalls: s5.QP(1003).S.BytesDelivered == liveBefore && liveBefore < 1<<20,
+		LiveFlowMB:     float64(s5.QP(1003).S.BytesDelivered) / (1 << 20),
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"testing"
+
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+func TestLivelockExperiment(t *testing.T) {
+	gb0 := RunLivelock(DefaultLivelock(transport.OpSend, transport.GoBack0))
+	if gb0.MessagesCompleted != 0 {
+		t.Fatalf("go-back-0 completed %d messages; paper: zero goodput", gb0.MessagesCompleted)
+	}
+	if gb0.WireGbps < 10 {
+		t.Fatalf("go-back-0 wire rate %.1f; the link should stay busy", gb0.WireGbps)
+	}
+	gbn := RunLivelock(DefaultLivelock(transport.OpSend, transport.GoBackN))
+	if gbn.MessagesCompleted < 20 {
+		t.Fatalf("go-back-N completed only %d", gbn.MessagesCompleted)
+	}
+	if gbn.GoodputGbps < 10 {
+		t.Fatalf("go-back-N goodput %.2f Gb/s", gbn.GoodputGbps)
+	}
+}
+
+func TestDeadlockExperiment(t *testing.T) {
+	r := RunDeadlock(DefaultDeadlock(false))
+	t.Log(r.Table())
+	if !r.CycleObserved {
+		t.Fatal("no cycle without the fix")
+	}
+	if !r.Permanent {
+		t.Fatal("deadlock should persist after server restart")
+	}
+	f := RunDeadlock(DefaultDeadlock(true))
+	t.Log(f.Table())
+	if f.CycleObserved {
+		t.Fatal("cycle despite the fix")
+	}
+	if f.ARPDrops == 0 {
+		t.Fatal("fix not exercised")
+	}
+	_ = simtime.Second
+}
+
+func TestStormExperiment(t *testing.T) {
+	raw := RunStorm(DefaultStorm(false))
+	t.Log(raw.Table())
+	if raw.ServersAffected == 0 {
+		t.Fatal("storm without watchdogs must strangle victim flows")
+	}
+	if raw.ThroughputDuring >= raw.ThroughputBefore*0.5 {
+		t.Fatalf("throughput barely moved: %.1f -> %.1f", raw.ThroughputBefore, raw.ThroughputDuring)
+	}
+	// Recovery after repair: well above the storm level (full recovery
+	// takes longer than the short post-repair window as retransmission
+	// backlogs drain).
+	if raw.ThroughputAfter < raw.ThroughputDuring*10 && raw.ThroughputAfter < raw.ThroughputBefore*0.3 {
+		t.Fatalf("no recovery after repair: before=%.1f during=%.1f after=%.1f",
+			raw.ThroughputBefore, raw.ThroughputDuring, raw.ThroughputAfter)
+	}
+
+	wd := RunStorm(DefaultStorm(true))
+	t.Log(wd.Table())
+	if !wd.WatchdogTripped {
+		t.Fatal("watchdogs never tripped")
+	}
+	if wd.ThroughputDuring <= raw.ThroughputDuring*1.5 {
+		t.Fatalf("watchdogs did not contain the storm: %.1f vs %.1f Gb/s", wd.ThroughputDuring, raw.ThroughputDuring)
+	}
+}
+
+func TestFig6Experiment(t *testing.T) {
+	cfg := DefaultFig6()
+	cfg.Clients = 4
+	cfg.Duration = 800 * simtime.Millisecond
+	r := RunFig6(cfg)
+	t.Log("\n" + r.Table())
+	if r.RDMA.Count() < 200 || r.TCP.Count() < 200 {
+		t.Fatalf("samples: rdma=%d tcp=%d", r.RDMA.Count(), r.TCP.Count())
+	}
+	rp99, tp99 := r.RDMA.Quantile(0.99), r.TCP.Quantile(0.99)
+	// The paper's headline: TCP p99 several times RDMA p99.
+	if tp99 < 3*rp99 {
+		t.Fatalf("TCP p99 %s not well above RDMA p99 %s", us(tp99), us(rp99))
+	}
+	// RDMA p99 in the tens-to-low-hundreds of microseconds.
+	if rp99 > 500e6 {
+		t.Fatalf("RDMA p99 %s implausibly high", us(rp99))
+	}
+	// TCP worst-case shows multi-ms spikes.
+	if r.TCP.Max() < 1e9 {
+		t.Fatalf("TCP max %s lacks the paper's millisecond spikes", us(r.TCP.Max()))
+	}
+}
+
+func TestFig8Experiment(t *testing.T) {
+	cfg := DefaultFig8()
+	cfg.Pairs = 8
+	cfg.Measure = 40 * simtime.Millisecond
+	r := RunFig8(cfg)
+	t.Log("\n" + r.Table())
+	idle99 := r.IdleRDMA.Quantile(0.99)
+	load99 := r.LoadedRDMA.Quantile(0.99)
+	if load99 < 3*idle99 {
+		t.Fatalf("loaded p99 %s should be several times idle p99 %s", us(load99), us(idle99))
+	}
+	// TCP rides a separate queue: its median must not blow up like
+	// RDMA's tail did.
+	ti, tl := r.IdleTCP.Quantile(0.5), r.LoadedTCP.Quantile(0.5)
+	if tl > 5*ti {
+		t.Fatalf("TCP median moved %s -> %s; classes are not isolated", us(ti), us(tl))
+	}
+	if r.PerServerGbps < 4 {
+		t.Fatalf("bulk throughput %.1f Gb/s per server too low", r.PerServerGbps)
+	}
+}
+
+func TestFig7ExperimentScaled(t *testing.T) {
+	cfg := DefaultFig7()
+	cfg.TorPairs = 4
+	cfg.ServersPerTor = 4
+	cfg.QPsPerServer = 4
+	cfg.Warmup = 15 * simtime.Millisecond
+	cfg.Measure = 5 * simtime.Millisecond
+	r := RunFig7(cfg)
+	t.Log("\n" + r.Table())
+	if r.LosslessDrops != 0 {
+		t.Fatalf("lossless drops: %d", r.LosslessDrops)
+	}
+	// The scaled fabric has only ~8 flows per bottleneck link (the paper
+	// has 24), so hash-allocation variance bites harder and utilization
+	// sits below the paper's 60%; the full-scale cmd run lands close to
+	// it.
+	if r.Utilization < 0.35 || r.Utilization > 0.85 {
+		t.Fatalf("utilization %.2f outside the ECMP-collision band", r.Utilization)
+	}
+}
+
+func TestAlphaIncidentExperiment(t *testing.T) {
+	good := RunAlpha(DefaultAlpha(1.0 / 16))
+	bad := RunAlpha(DefaultAlpha(1.0 / 64))
+	t.Log("\n" + good.Table() + bad.Table())
+	if bad.PauseTx < 2*good.PauseTx {
+		t.Fatalf("alpha=1/64 pauses (%d) should far exceed 1/16 (%d)", bad.PauseTx, good.PauseTx)
+	}
+	if bad.VictimLat.Quantile(0.99) < good.VictimLat.Quantile(0.99) {
+		t.Fatal("victim latency should worsen under the misconfiguration")
+	}
+}
+
+func TestCPUExperiment(t *testing.T) {
+	r := RunCPU(DefaultCPU())
+	t.Log("\n" + r.Table())
+	if r.TCPGbps < 25 {
+		t.Fatalf("TCP only %.1f Gb/s", r.TCPGbps)
+	}
+	if r.TCPSendCPU < 0.03 || r.TCPSendCPU > 0.09 {
+		t.Fatalf("TCP send CPU %.3f outside the paper's band (~0.06)", r.TCPSendCPU)
+	}
+	if r.TCPRecvCPU < 2*r.TCPSendCPU*0.8 {
+		t.Fatalf("receive CPU %.3f should be ~2x send %.3f", r.TCPRecvCPU, r.TCPSendCPU)
+	}
+	if r.RDMACPU != 0 {
+		t.Fatal("RDMA CPU must be ~0")
+	}
+	if r.RDMAGbps < 30 {
+		t.Fatalf("RDMA only %.1f Gb/s", r.RDMAGbps)
+	}
+}
+
+func TestSlowReceiverExperiment(t *testing.T) {
+	worst := RunSlowReceiver(DefaultSlowReceiver(false, true))
+	best := RunSlowReceiver(DefaultSlowReceiver(true, true))
+	t.Log("\n" + worst.Table() + best.Table())
+	if worst.NICPauses == 0 {
+		t.Fatal("4KB pages must trigger the symptom")
+	}
+	if best.NICPauses*10 > worst.NICPauses && worst.NICPauses > 10 {
+		t.Fatalf("2MB pages should slash pauses: %d vs %d", best.NICPauses, worst.NICPauses)
+	}
+	if best.GoodputGbps < worst.GoodputGbps {
+		t.Fatal("mitigation should not reduce goodput")
+	}
+	// Switch-side mitigation: dynamic buffers absorb more pauses
+	// locally than static reservation.
+	dynProp := RunSlowReceiver(DefaultSlowReceiver(false, true)).PropagatedPauses
+	statProp := RunSlowReceiver(DefaultSlowReceiver(false, false)).PropagatedPauses
+	if statProp < dynProp {
+		t.Fatalf("static buffers should propagate at least as many pauses: static=%d dynamic=%d", statProp, dynProp)
+	}
+}
+
+func TestSprayAblation(t *testing.T) {
+	ecmp := RunSpray(DefaultSpray(false))
+	spray := RunSpray(DefaultSpray(true))
+	t.Log("\n" + ecmp.Table() + spray.Table())
+	if spray.Naks <= ecmp.Naks {
+		t.Fatal("per-packet spraying must trigger reordering NAKs")
+	}
+	if spray.Retx <= ecmp.Retx*2 {
+		t.Fatalf("spraying should cause heavy retransmission: %d vs %d", spray.Retx, ecmp.Retx)
+	}
+}

@@ -1,0 +1,33 @@
+// Package experiments contains the harnesses that regenerate every
+// figure and headline number of the paper's evaluation: the Section 4.1
+// livelock experiment, the Figure 4 deadlock, the Figure 5/9 NIC PFC
+// storm, the Figure 6 TCP-vs-RDMA latency comparison, the Figure 7
+// aggregate-throughput/ECMP experiment, the Figure 8 latency-under-load
+// testbed, the Figure 10 buffer misconfiguration incident, the Section 1
+// CPU overhead numbers, and the Section 4.4 slow-receiver symptom.
+//
+// Each Run* function is deterministic given its seed and returns a
+// result struct with a Table method printing rows comparable to the
+// paper's.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rocesim/internal/simtime"
+)
+
+// Gbps formats a bits-per-second value in Gb/s.
+func gbps(bits float64, d simtime.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return bits / d.Seconds() / 1e9
+}
+
+// row formats one aligned table row.
+func row(cols ...string) string { return strings.Join(cols, "  ") + "\n" }
+
+// us renders picoseconds as microseconds.
+func us(ps float64) string { return fmt.Sprintf("%.0fus", ps/1e6) }

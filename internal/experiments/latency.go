@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rocesim/internal/core"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/stats"
+	"rocesim/internal/tcpmodel"
+	"rocesim/internal/topology"
+	"rocesim/internal/workload"
+)
+
+// Fig6Config shapes the Figure 6 comparison: the same latency-sensitive
+// query/response service measured over TCP and over RDMA in one fabric,
+// with the bursty incast pattern the paper describes (moderate average
+// load, many-to-one responses).
+type Fig6Config struct {
+	Seed     int64
+	Clients  int
+	Backends int // fan-out per op
+	Duration simtime.Duration
+	Service  workload.ServiceConfig
+	Kernel   tcpmodel.KernelDelayModel
+}
+
+// DefaultFig6 returns the scenario.
+func DefaultFig6() Fig6Config {
+	return Fig6Config{
+		Seed:     21,
+		Clients:  6,
+		Backends: 8,
+		Duration: 2 * simtime.Second,
+		Service:  workload.DefaultService(),
+		Kernel:   tcpmodel.DefaultKernelDelay(),
+	}
+}
+
+// Fig6Result holds both latency distributions (picoseconds).
+type Fig6Result struct {
+	Cfg  Fig6Config
+	RDMA *stats.Histogram
+	TCP  *stats.Histogram
+}
+
+// Table renders the percentile rows of Figure 6.
+func (r Fig6Result) Table() string {
+	line := func(name string, h *stats.Histogram) string {
+		return row(
+			fmt.Sprintf("%-5s", name),
+			fmt.Sprintf("n=%-6d", h.Count()),
+			fmt.Sprintf("p50=%-8s", us(h.Quantile(0.5))),
+			fmt.Sprintf("p99=%-8s", us(h.Quantile(0.99))),
+			fmt.Sprintf("p99.9=%-8s", us(h.Quantile(0.999))),
+			fmt.Sprintf("max=%-8s", us(h.Max())),
+		)
+	}
+	out := "Figure 6 — query/response latency, TCP vs RDMA (same fabric)\n"
+	out += line("RDMA", r.RDMA)
+	out += line("TCP", r.TCP)
+	out += fmt.Sprintf("paper: RDMA p99=90us, p99.9=200us; TCP p99=700us with multi-ms spikes\n")
+	return out
+}
+
+// RunFig6 builds a two-ToR fabric, places half the client/backend pairs
+// on RDMA and half on TCP (the measurement-time split the paper
+// describes), and runs the service.
+func RunFig6(cfg Fig6Config) Fig6Result {
+	k := sim.NewKernel(cfg.Seed)
+	spec := topology.Spec{
+		Name: "fig6", Podsets: 1, LeafsPerPod: 2, TorsPerPod: 2,
+		ServersPerTor: cfg.Clients + cfg.Backends, LinkRate: 40 * simtime.Gbps,
+		ServerCableM: 2, LeafCableM: 20,
+	}
+	d, err := core.New(k, core.DefaultConfig(spec))
+	if err != nil {
+		panic(err)
+	}
+	net := d.Net
+
+	rdma := stats.NewHistogram()
+	tcp := stats.NewHistogram()
+
+	// TCP stacks on every involved server.
+	stacks := make(map[*topology.Server]*tcpmodel.Stack)
+	stack := func(s *topology.Server) *tcpmodel.Stack {
+		st, ok := stacks[s]
+		if !ok {
+			st = tcpmodel.NewStack(k, s.NIC, cfg.Kernel)
+			stacks[s] = st
+		}
+		return st
+	}
+
+	var services []*workload.Service
+	port := uint16(20000)
+	for c := 0; c < cfg.Clients; c++ {
+		client := net.Server(0, 0, c)
+		var rdmaChans, tcpChans []workload.PingPong
+		for b := 0; b < cfg.Backends; b++ {
+			backend := net.Server(0, 1, b)
+			// RDMA channel.
+			qc, qs := d.Connect(client, backend, core.ClassRealTime)
+			rdmaChans = append(rdmaChans, workload.NewRDMAPingPong(qc, qs, k.Now))
+			// TCP channel (lossy class).
+			c2s := stack(client).Dial(stack(backend), port, 80, client.GwMAC(), backend.GwMAC(), tcpmodel.DefaultConnConfig())
+			s2c := stack(backend).Dial(stack(client), port+1, 81, backend.GwMAC(), client.GwMAC(), tcpmodel.DefaultConnConfig())
+			port += 2
+			tcpChans = append(tcpChans, workload.NewTCPPingPong(c2s, s2c, k.Now))
+		}
+		sr := workload.NewService(k, fmt.Sprintf("rdma-%d", c), cfg.Service, rdmaChans)
+		st := workload.NewService(k, fmt.Sprintf("tcp-%d", c), cfg.Service, tcpChans)
+		sr.Lat = rdma
+		st.Lat = tcp
+		sr.Start()
+		st.Start()
+		services = append(services, sr, st)
+	}
+	k.RunUntil(simtime.Time(cfg.Duration))
+	for _, s := range services {
+		s.Stop()
+	}
+	return Fig6Result{Cfg: cfg, RDMA: rdma, TCP: tcp}
+}
+
+// Fig8Config shapes the Figure 8 latency-under-load experiment: the
+// two-ToR, 6:1-oversubscribed testbed with 20 server pairs × 8 QPs of
+// bulk traffic, and Pingmesh-style latency probes riding the same
+// lossless class.
+type Fig8Config struct {
+	Seed    int64
+	Pairs   int
+	QPsPer  int
+	Warmup  simtime.Duration
+	Measure simtime.Duration
+	WithTCP bool // also measure a TCP probe (its tail must not move)
+}
+
+// DefaultFig8 returns the paper's parameters (scaled pairs are set by
+// callers that need shorter runs).
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		Seed:    31,
+		Pairs:   20,
+		QPsPer:  8,
+		Warmup:  20 * simtime.Millisecond,
+		Measure: 60 * simtime.Millisecond,
+		WithTCP: true,
+	}
+}
+
+// Fig8Result compares idle and loaded RDMA latency.
+type Fig8Result struct {
+	Cfg        Fig8Config
+	IdleRDMA   *stats.Histogram
+	LoadedRDMA *stats.Histogram
+	IdleTCP    *stats.Histogram
+	LoadedTCP  *stats.Histogram
+	// PerServerGbps is the mean bulk throughput per server during load.
+	PerServerGbps float64
+}
+
+// Table renders the Figure 8 rows.
+func (r Fig8Result) Table() string {
+	out := "Figure 8 — RDMA latency before/under bulk load (6:1 oversubscription)\n"
+	line := func(name string, h *stats.Histogram) string {
+		if h == nil || h.Count() == 0 {
+			return ""
+		}
+		return row(fmt.Sprintf("%-12s", name),
+			fmt.Sprintf("n=%-5d", h.Count()),
+			fmt.Sprintf("p50=%-8s", us(h.Quantile(0.5))),
+			fmt.Sprintf("p99=%-8s", us(h.Quantile(0.99))),
+			fmt.Sprintf("p99.9=%-8s", us(h.Quantile(0.999))))
+	}
+	out += line("rdma idle", r.IdleRDMA)
+	out += line("rdma loaded", r.LoadedRDMA)
+	out += line("tcp idle", r.IdleTCP)
+	out += line("tcp loaded", r.LoadedTCP)
+	out += fmt.Sprintf("bulk throughput: %.1f Gb/s per server (paper: 7 Gb/s)\n", r.PerServerGbps)
+	out += "paper: RDMA p99 50us -> 400us, p99.9 80us -> 800us; TCP p99 unchanged (separate queue)\n"
+	return out
+}
+
+// RunFig8 executes the experiment.
+func RunFig8(cfg Fig8Config) Fig8Result {
+	k := sim.NewKernel(cfg.Seed)
+	spec := topology.Fig8Spec()
+	if cfg.Pairs+2 < spec.ServersPerTor {
+		spec.ServersPerTor = cfg.Pairs + 2 // probe servers ride along
+	}
+	d, err := core.New(k, core.DefaultConfig(spec))
+	if err != nil {
+		panic(err)
+	}
+	net := d.Net
+
+	// Latency probes: a ping-pong on the lossless class between the last
+	// servers of each ToR, and (optionally) a TCP probe on the lossy
+	// class.
+	probeA := net.Server(0, 0, spec.ServersPerTor-1)
+	probeB := net.Server(0, 1, spec.ServersPerTor-1)
+	// Probes ride the same lossless class as the bulk load: Figure 8
+	// measures what congestion does to RDMA latency inside one class.
+	qc, qs := d.Connect(probeA, probeB, core.ClassBulk)
+	rdmaPP := workload.NewRDMAPingPong(qc, qs, k.Now)
+
+	var tcpPP workload.PingPong
+	if cfg.WithTCP {
+		kd := tcpmodel.DefaultKernelDelay()
+		sa := tcpmodel.NewStack(k, probeA.NIC, kd)
+		sb := tcpmodel.NewStack(k, probeB.NIC, kd)
+		c2s := sa.Dial(sb, 30000, 80, probeA.GwMAC(), probeB.GwMAC(), tcpmodel.DefaultConnConfig())
+		s2c := sb.Dial(sa, 30001, 81, probeB.GwMAC(), probeA.GwMAC(), tcpmodel.DefaultConnConfig())
+		tcpPP = workload.NewTCPPingPong(c2s, s2c, k.Now)
+	}
+
+	probe := func(pp workload.PingPong, h *stats.Histogram, until simtime.Duration) {
+		var f func()
+		f = func() {
+			if simtime.Duration(k.Now()) >= until {
+				return
+			}
+			pp.Query(512, 512, func(rtt simtime.Duration) {
+				h.Observe(float64(rtt))
+				k.After(200*simtime.Microsecond, f)
+			})
+		}
+		f()
+	}
+
+	idleR, idleT := stats.NewHistogram(), stats.NewHistogram()
+	loadR, loadT := stats.NewHistogram(), stats.NewHistogram()
+
+	// Phase 1: idle fabric.
+	probe(rdmaPP, idleR, cfg.Warmup)
+	if tcpPP != nil {
+		probe(tcpPP, idleT, cfg.Warmup)
+	}
+	k.RunUntil(simtime.Time(cfg.Warmup))
+
+	// Phase 2: bulk load — pairs × QPs all-out, crossing the 6:1
+	// oversubscribed uplinks.
+	var streams []*workload.Streamer
+	pairs := cfg.Pairs
+	if pairs > spec.ServersPerTor-1 {
+		pairs = spec.ServersPerTor - 1
+	}
+	for i := 0; i < pairs; i++ {
+		a, b := net.Server(0, 0, i), net.Server(0, 1, i)
+		for q := 0; q < cfg.QPsPer; q++ {
+			qa, _ := d.Connect(a, b, core.ClassBulk)
+			st := &workload.Streamer{QP: qa, Size: 1 << 20}
+			st.Start(2)
+			streams = append(streams, st)
+		}
+	}
+	end := cfg.Warmup + cfg.Measure
+	probe(rdmaPP, loadR, end)
+	if tcpPP != nil {
+		probe(tcpPP, loadT, end)
+	}
+	k.RunUntil(simtime.Time(end))
+
+	var mb float64
+	for _, st := range streams {
+		mb += float64(st.Done)
+	}
+	perServer := mb * 8 * float64(1<<20) / cfg.Measure.Seconds() / 1e9 / float64(pairs)
+
+	return Fig8Result{
+		Cfg: cfg, IdleRDMA: idleR, LoadedRDMA: loadR,
+		IdleTCP: idleT, LoadedTCP: loadT,
+		PerServerGbps: perServer,
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rocesim/internal/core"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/topology"
+	"rocesim/internal/workload"
+)
+
+// Fig7Config shapes the Section 5.4 aggregate-throughput experiment:
+// ToR-to-ToR pairing across two podsets, 8 QPs per server pair, all
+// sending as fast as possible, bottlenecked on the Leaf–Spine links.
+type Fig7Config struct {
+	Seed int64
+	// TorPairs scales the experiment (24 in the paper).
+	TorPairs int
+	// ServersPerTor participating (8 in the paper).
+	ServersPerTor int
+	// QPsPerServer (8 in the paper; total connections = pairs × servers
+	// × QPs × 2 directions ≈ the paper's 3074).
+	QPsPerServer int
+	MessageSize  int
+	Warmup       simtime.Duration
+	Measure      simtime.Duration
+	// Safety overrides the deployment safety switchboard (nil =
+	// Recommended). The DCQCN toggle is the interesting ablation here.
+	Safety *core.Safety
+}
+
+// DefaultFig7 returns the paper's full-scale parameters. Callers scale
+// TorPairs down for quick runs.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		Seed:          41,
+		TorPairs:      24,
+		ServersPerTor: 8,
+		QPsPerServer:  8,
+		MessageSize:   1 << 20,
+		Warmup:        20 * simtime.Millisecond, // DCQCN convergence
+		Measure:       5 * simtime.Millisecond,
+	}
+}
+
+// Fig7Result reports the aggregate numbers of Figure 7(b).
+type Fig7Result struct {
+	Cfg Fig7Config
+	// Connections actually established.
+	Connections int
+	// AggregateGbps measured from the servers, and the corresponding
+	// frames/second (the paper's y-axis; frame = 1086 bytes).
+	AggregateGbps float64
+	FramesPerSec  float64
+	// CapacityGbps is the Leaf–Spine bisection capacity in the built
+	// (possibly scaled) fabric.
+	CapacityGbps float64
+	Utilization  float64
+	// BottleneckLinks is the number of Leaf–Spine links.
+	BottleneckLinks int
+	LosslessDrops   uint64
+	Drops           uint64
+}
+
+// Table renders the Figure 7 row.
+func (r Fig7Result) Table() string {
+	out := "Figure 7 — aggregate RDMA throughput over ECMP (Leaf–Spine bottleneck)\n"
+	out += row(
+		fmt.Sprintf("conns=%-5d", r.Connections),
+		fmt.Sprintf("links=%-4d", r.BottleneckLinks),
+		fmt.Sprintf("agg=%7.1fGb/s", r.AggregateGbps),
+		fmt.Sprintf("frames/s=%.2e", r.FramesPerSec),
+		fmt.Sprintf("capacity=%7.1fGb/s", r.CapacityGbps),
+		fmt.Sprintf("utilization=%4.1f%%", 100*r.Utilization),
+		fmt.Sprintf("losslessDrops=%d", r.LosslessDrops),
+	)
+	out += "paper: 3.0 Tb/s of 5.12 Tb/s capacity = 60% (ECMP hash collisions), zero drops\n"
+	return out
+}
+
+// RunFig7 executes the experiment on a (possibly scaled) two-podset Clos
+// fabric.
+func RunFig7(cfg Fig7Config) Fig7Result {
+	k := sim.NewKernel(cfg.Seed)
+	spec := topology.Fig7Spec(cfg.ServersPerTor)
+	if cfg.TorPairs < spec.TorsPerPod {
+		spec.TorsPerPod = cfg.TorPairs
+	}
+	// Scale the spine layer with the ToR count to keep the paper's
+	// 3:2 Leaf oversubscription: 24 ToRs ↔ 64 spines ⇒ 8 ToRs ↔ ~20.
+	spec.Spines = spec.TorsPerPod * 64 / 24
+	spec.Spines -= spec.Spines % spec.LeafsPerPod
+	if spec.Spines < spec.LeafsPerPod {
+		spec.Spines = spec.LeafsPerPod
+	}
+	dcfg := core.DefaultConfig(spec)
+	if cfg.Safety != nil {
+		dcfg.Safety = *cfg.Safety
+	}
+	d, err := core.New(k, dcfg)
+	if err != nil {
+		panic(err)
+	}
+	net := d.Net
+
+	var streams []*workload.Streamer
+	conns := 0
+	for t := 0; t < spec.TorsPerPod; t++ {
+		for s := 0; s < cfg.ServersPerTor; s++ {
+			a := net.Server(0, t, s)
+			b := net.Server(1, t, s)
+			for q := 0; q < cfg.QPsPerServer; q++ {
+				// Both directions, like the paper's sender count.
+				qa, _ := d.Connect(a, b, core.ClassBulk)
+				qb, _ := d.Connect(b, a, core.ClassBulk)
+				for _, qp := range []*workload.Streamer{
+					{QP: qa, Size: cfg.MessageSize},
+					{QP: qb, Size: cfg.MessageSize},
+				} {
+					qp.Start(2)
+					streams = append(streams, qp)
+				}
+				conns += 2
+			}
+		}
+	}
+
+	k.RunUntil(simtime.Time(cfg.Warmup))
+	start := make([]uint64, len(streams))
+	for i, st := range streams {
+		start[i] = st.Done
+	}
+	k.RunUntil(simtime.Time(cfg.Warmup + cfg.Measure))
+
+	var msgs float64
+	for i, st := range streams {
+		msgs += float64(st.Done - start[i])
+	}
+	goodBits := msgs * float64(cfg.MessageSize) * 8
+	agg := goodBits / cfg.Measure.Seconds() / 1e9
+	// Express as wire frames/second like the paper's y-axis.
+	framesPerSec := msgs * float64(cfg.MessageSize) / 1024 / cfg.Measure.Seconds()
+
+	capacity := float64(len(net.LeafSpineLinks)) * 40
+	var lossless, drops uint64
+	for _, sw := range net.Switches() {
+		lossless += sw.C.LosslessDrops
+		drops += sw.C.IngressDrops
+	}
+	return Fig7Result{
+		Cfg:             cfg,
+		Connections:     conns,
+		AggregateGbps:   agg,
+		FramesPerSec:    framesPerSec,
+		CapacityGbps:    capacity,
+		Utilization:     agg / capacity,
+		BottleneckLinks: len(net.LeafSpineLinks),
+		LosslessDrops:   lossless,
+		Drops:           drops,
+	}
+}

@@ -1,0 +1,113 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// blockedEdges returns, for each switch, the set of peer switches it is
+// pause-blocked behind: an edge A→B exists when A has a lossless egress
+// toward B that is paused (by B's PFC) while holding queued frames. A
+// cycle in this graph is the cyclic buffer dependency that defines PFC
+// deadlock (Section 4.2).
+func blockedEdges(switches []*Switch) map[*Switch][]*Switch {
+	bySwitch := make(map[*Switch][]*Switch)
+	for _, s := range switches {
+		now := s.k.Now()
+		seen := make(map[*Switch]bool)
+		for portIdx, ps := range s.port {
+			_ = portIdx
+			if ps.lk == nil {
+				continue
+			}
+			peerEp, _ := ps.lk.Peer(ps.side)
+			peer, ok := peerEp.(*Switch)
+			if !ok {
+				continue // blocked behind a server is HOL, not deadlock
+			}
+			for pri := 0; pri < 8; pri++ {
+				if !s.cfg.Buffer.LosslessPGs[pri] {
+					continue
+				}
+				if ps.egress.QueueLen(pri) > 0 && ps.egress.Pause.Paused(now, pri) && !seen[peer] {
+					seen[peer] = true
+					bySwitch[s] = append(bySwitch[s], peer)
+				}
+			}
+		}
+	}
+	return bySwitch
+}
+
+// FindPauseCycle inspects the instantaneous pause-wait graph across the
+// given switches and returns the names along one cyclic buffer
+// dependency, or nil if none exists. The paper's Figure 4 deadlock shows
+// up as the cycle T0 → La → T1 → Lb → T0.
+func FindPauseCycle(switches []*Switch) []string {
+	edges := blockedEdges(switches)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Switch]int)
+	parent := make(map[*Switch]*Switch)
+	var cycleStart, cycleEnd *Switch
+
+	var dfs func(u *Switch) bool
+	dfs = func(u *Switch) bool {
+		color[u] = gray
+		for _, v := range edges[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycleStart, cycleEnd = v, u
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+
+	// Deterministic iteration order for reproducible cycle reports.
+	ordered := append([]*Switch(nil), switches...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name() < ordered[j].Name() })
+	for _, s := range ordered {
+		if color[s] == white && dfs(s) {
+			break
+		}
+	}
+	if cycleStart == nil {
+		return nil
+	}
+	var names []string
+	for v := cycleEnd; ; v = parent[v] {
+		names = append(names, v.Name())
+		if v == cycleStart {
+			break
+		}
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return names
+}
+
+// DeadlockReport summarizes a detected (or absent) deadlock for the
+// monitoring system.
+type DeadlockReport struct {
+	Cycle []string
+}
+
+// String renders the report.
+func (r DeadlockReport) String() string {
+	if len(r.Cycle) == 0 {
+		return "no pause cycle"
+	}
+	return fmt.Sprintf("pause cycle: %v", r.Cycle)
+}

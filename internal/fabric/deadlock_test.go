@@ -1,0 +1,212 @@
+package fabric
+
+import (
+	"testing"
+
+	"rocesim/internal/link"
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+)
+
+// fig4 builds the paper's Figure 4 scenario:
+//
+//	S1, S2 on ToR T0 (subnet 10.0.0.0/24)
+//	S3, S4, S5 on ToR T1 (subnet 10.0.1.0/24)
+//	Leafs La, Lb connect the ToRs; routing forces T0→T1 via La and
+//	T1→T0 via Lb (the paper's path arrows).
+//	S2 and S3 are dead: their MAC entries have expired while their ARP
+//	entries live on, so packets to them are flooded.
+//	S5 has a slower (10G) NIC so that the black flow congests T1's
+//	server port, bootstrapping the pause cascade.
+//
+// Flows: S1→S3 (purple, flooded at T1), S1→S5 (black), S4→S2 (blue,
+// flooded at T0). All in lossless priority 3.
+type fig4Net struct {
+	k                  *sim.Kernel
+	t0, t1, la, lb     *Switch
+	s1, s2, s3, s4, s5 *testHost
+}
+
+func buildFig4(t *testing.T, fixEnabled bool) *fig4Net {
+	return buildFig4x(t, fixEnabled, 8<<10)
+}
+
+// buildFig4x builds the scenario with static PFC thresholds, the common
+// production configuration for lossless PGs: XOFF at a fixed small
+// occupancy. Static thresholds are what make the paper's deadlock
+// permanent — the pause point does not drift as the rest of the buffer
+// drains.
+func buildFig4x(t *testing.T, fixEnabled bool, xoffDelta int) *fig4Net {
+	t.Helper()
+	k := sim.NewKernel(7)
+	mkSwitch := func(name string, ports int, m byte) *Switch {
+		cfg := DefaultConfig(name, ports)
+		cfg.ECN.Enabled = false // isolate PFC dynamics
+		cfg.DropLosslessOnIncompleteARP = fixEnabled
+		cfg.Buffer.Dynamic = false
+		cfg.Buffer.StaticLimit = 64 << 10
+		cfg.Buffer.XOFFDelta = xoffDelta
+		sw, err := NewSwitch(k, cfg, swMAC(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	n := &fig4Net{k: k}
+	// Ports — T0: 0=S1 1=S2 2=La 3=Lb; T1: 0=S3 1=S4 2=S5 3=La 4=Lb;
+	// La: 0=T0 1=T1; Lb: 0=T0 1=T1.
+	n.t0 = mkSwitch("T0", 4, 0x10)
+	n.t1 = mkSwitch("T1", 5, 0x11)
+	n.la = mkSwitch("La", 2, 0x1a)
+	n.lb = mkSwitch("Lb", 2, 0x1b)
+
+	host := func(name string, m byte, ip packet.Addr) *testHost {
+		return newTestHost(k, name, mac(m), ip)
+	}
+	n.s1 = host("S1", 1, hostIP(0, 1))
+	n.s2 = host("S2", 2, hostIP(0, 2))
+	n.s3 = host("S3", 3, hostIP(1, 3))
+	n.s4 = host("S4", 4, hostIP(1, 4))
+	n.s5 = host("S5", 5, hostIP(1, 5))
+
+	g40 := 40 * simtime.Gbps
+	attachHost := func(sw *Switch, port int, h *testHost, rate simtime.Rate) {
+		l := link.New(k, rate, 10*simtime.Nanosecond)
+		sw.AttachLink(port, l, 0, h.mac, true)
+		h.attach(l, 1, sw.MAC())
+		sw.SetARP(h.ip, h.mac)
+		sw.LearnMAC(h.mac, port)
+	}
+	attachHost(n.t0, 0, n.s1, g40)
+	attachHost(n.t0, 1, n.s2, g40)
+	attachHost(n.t1, 0, n.s3, g40)
+	attachHost(n.t1, 1, n.s4, g40)
+	attachHost(n.t1, 2, n.s5, 10*simtime.Gbps) // slow NIC bootstraps incast
+
+	wire := func(a *Switch, pa int, b *Switch, pb int) {
+		l := link.New(k, g40, 1500*simtime.Nanosecond) // 300 m cable
+		a.AttachLink(pa, l, 0, b.MAC(), false)
+		b.AttachLink(pb, l, 1, a.MAC(), false)
+	}
+	wire(n.t0, 2, n.la, 0)
+	wire(n.t0, 3, n.lb, 0)
+	wire(n.t1, 3, n.la, 1)
+	wire(n.t1, 4, n.lb, 1)
+
+	sub0 := hostIP(0, 0)
+	sub1 := hostIP(1, 0)
+	// ToRs: local subnets + forced uplink paths (up-down routing).
+	n.t0.AddRoute(Route{Prefix: sub0, Bits: 24, Local: true})
+	n.t0.AddRoute(Route{Prefix: sub1, Bits: 24, Ports: []int{2}}) // via La
+	n.t1.AddRoute(Route{Prefix: sub1, Bits: 24, Local: true})
+	n.t1.AddRoute(Route{Prefix: sub0, Bits: 24, Ports: []int{4}}) // via Lb
+	// Leafs route down to the owning ToR.
+	n.la.AddRoute(Route{Prefix: sub0, Bits: 24, Ports: []int{0}})
+	n.la.AddRoute(Route{Prefix: sub1, Bits: 24, Ports: []int{1}})
+	n.lb.AddRoute(Route{Prefix: sub0, Bits: 24, Ports: []int{0}})
+	n.lb.AddRoute(Route{Prefix: sub1, Bits: 24, Ports: []int{1}})
+
+	// S2 and S3 die: MAC entries expire, ARP persists (4h vs 5min).
+	n.s2.dead = true
+	n.s3.dead = true
+	n.t0.ExpireMAC(n.s2.mac)
+	n.t1.ExpireMAC(n.s3.mac)
+
+	// Flows.
+	n.s1.flows = []flow{{dst: n.s3.ip, pri: 3}, {dst: n.s3.ip, pri: 3}, {dst: n.s5.ip, pri: 3}}
+	n.s4.flows = []flow{{dst: n.s2.ip, pri: 3}}
+	return n
+}
+
+func (n *fig4Net) switches() []*Switch { return []*Switch{n.t0, n.t1, n.la, n.lb} }
+
+func TestFig4DeadlockForms(t *testing.T) {
+	n := buildFig4(t, false)
+	n.s1.start()
+	n.s4.start()
+	n.k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+
+	cycle := FindPauseCycle(n.switches())
+	if cycle == nil {
+		t.Fatal("no pause cycle formed in the Figure 4 scenario")
+	}
+	members := map[string]bool{}
+	for _, name := range cycle {
+		members[name] = true
+	}
+	for _, want := range []string{"T0", "T1", "La", "Lb"} {
+		if !members[want] {
+			t.Fatalf("cycle %v missing %s", cycle, want)
+		}
+	}
+
+	// The defining property: the deadlock does not clear even when the
+	// servers stop sending ("it does not go away even if we restart all
+	// the servers").
+	n.s1.stop()
+	n.s4.stop()
+	n.k.RunUntil(simtime.Time(150 * simtime.Millisecond))
+	if FindPauseCycle(n.switches()) == nil {
+		t.Fatal("deadlock resolved itself after senders stopped; it must persist")
+	}
+
+	// And traffic between live hosts through the deadlocked fabric is
+	// dead too: S1's packets can't even leave (S1 is paused).
+	if !n.s1.eg.Pause.Paused(n.k.Now(), 3) {
+		t.Fatal("S1 should be paused by T0")
+	}
+}
+
+func TestFig4FixPreventsDeadlock(t *testing.T) {
+	n := buildFig4(t, true)
+	n.s1.start()
+	n.s4.start()
+	n.k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+
+	if cycle := FindPauseCycle(n.switches()); cycle != nil {
+		t.Fatalf("deadlock formed despite the ARP-drop fix: %v", cycle)
+	}
+	// The fix drops the doomed packets at the ToRs...
+	if n.t1.C.ARPIncompleteDrops == 0 || n.t0.C.ARPIncompleteDrops == 0 {
+		t.Fatal("fix not exercised")
+	}
+	// ...no flooding of lossless packets...
+	if n.t0.C.Floods != 0 || n.t1.C.Floods != 0 {
+		t.Fatal("lossless packets still flooded")
+	}
+	// ...and the live flow S1→S5 keeps making progress.
+	got := len(n.s5.got)
+	n.k.RunUntil(simtime.Time(60 * simtime.Millisecond))
+	if len(n.s5.got) <= got {
+		t.Fatal("live flow stalled even with the fix")
+	}
+}
+
+func TestFig4NoFalsePositiveBeforeTraffic(t *testing.T) {
+	n := buildFig4(t, false)
+	n.k.RunUntil(simtime.Time(time1ms()))
+	if FindPauseCycle(n.switches()) != nil {
+		t.Fatal("cycle detected on an idle fabric")
+	}
+}
+
+func time1ms() simtime.Time { return simtime.Time(simtime.Millisecond) }
+
+func TestFindPauseCycleIgnoresHostBlocking(t *testing.T) {
+	// A chain (no cycle): one congested receiver pausing up a line of
+	// switches must NOT be reported as deadlock.
+	k := sim.NewKernel(3)
+	cfg := DefaultConfig("tor", 4)
+	cfg.ECN.Enabled = false
+	r := 40 * simtime.Gbps
+	sw, hosts := oneSwitchNet(t, k, cfg, []simtime.Rate{r, r, r})
+	hosts[0].flows = []flow{{dst: hosts[2].ip, pri: 3}}
+	hosts[1].flows = []flow{{dst: hosts[2].ip, pri: 3}}
+	hosts[0].start()
+	hosts[1].start()
+	k.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	if FindPauseCycle([]*Switch{sw}) != nil {
+		t.Fatal("incast congestion misreported as deadlock")
+	}
+}

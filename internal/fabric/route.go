@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"rocesim/internal/packet"
+)
+
+// Route is a forwarding entry: packets matching the prefix leave through
+// one of Ports, chosen by ECMP hash. A route with Local=true instead
+// hands the packet to the ToR's ARP/MAC delivery path (the destination is
+// in this switch's own server subnet).
+type Route struct {
+	Prefix packet.Addr
+	Bits   int // prefix length, 0..32
+	Ports  []int
+	Local  bool
+}
+
+func (r Route) matches(a packet.Addr) bool {
+	if r.Bits == 0 {
+		return true
+	}
+	mask := uint32(0xffffffff) << uint(32-r.Bits)
+	return a.Uint32()&mask == r.Prefix.Uint32()&mask
+}
+
+// routeTable is a longest-prefix-match table. Lookup cost is linear in
+// the number of distinct prefix lengths — tiny for Clos fabrics, whose
+// tables hold one prefix per ToR plus a default.
+type routeTable struct {
+	routes []Route // kept sorted by Bits descending
+}
+
+// add inserts a route, replacing any identical prefix.
+func (t *routeTable) add(r Route) {
+	if r.Bits < 0 || r.Bits > 32 {
+		panic(fmt.Sprintf("fabric: prefix length %d", r.Bits))
+	}
+	for i := range t.routes {
+		if t.routes[i].Bits == r.Bits && t.routes[i].Prefix.Uint32() == r.Prefix.Uint32() {
+			t.routes[i] = r
+			return
+		}
+	}
+	t.routes = append(t.routes, r)
+	sort.SliceStable(t.routes, func(i, j int) bool { return t.routes[i].Bits > t.routes[j].Bits })
+}
+
+// lookup returns the longest-prefix-match route for a, or nil.
+func (t *routeTable) lookup(a packet.Addr) *Route {
+	for i := range t.routes {
+		if t.routes[i].matches(a) {
+			return &t.routes[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,650 @@
+// Package fabric implements the shared-buffer Ethernet/IP switch of the
+// paper's data centers: DSCP- or VLAN-classified priority groups over a
+// dynamic shared buffer, per-port PFC generation and reaction, ECMP
+// five-tuple routing, the ToR's ARP/MAC delivery path whose flooding
+// behaviour caused the paper's deadlock (and the drop-on-incomplete-ARP
+// fix), WRED/ECN marking for DCQCN, and the switch-side PFC storm
+// watchdog.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rocesim/internal/buffer"
+	"rocesim/internal/link"
+	"rocesim/internal/packet"
+	"rocesim/internal/pfc"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+)
+
+// ECNConfig is the WRED-style marking profile applied to lossless egress
+// queues (the congestion-point half of DCQCN).
+type ECNConfig struct {
+	Enabled bool
+	// KMin/KMax bound the marking ramp in queued bytes; PMax is the
+	// marking probability at KMax (beyond KMax everything ECT is
+	// marked).
+	KMin, KMax int
+	PMax       float64
+}
+
+// Config parameterizes a switch.
+type Config struct {
+	Name  string
+	Ports int
+	// Buffer is the MMU configuration (total size, alpha, headroom...).
+	Buffer buffer.Config
+	// ECN is the marking profile for lossless queues.
+	ECN ECNConfig
+	// DSCPMap classifies untagged IP packets into priorities; nil means
+	// identity over the low 3 DSCP bits (the paper maps DSCP i to
+	// priority i).
+	DSCPMap func(dscp uint8) int
+	// DropLosslessOnIncompleteARP enables the paper's deadlock fix
+	// (option 3): lossless packets whose ARP entry has no MAC-table
+	// match are dropped instead of flooded.
+	DropLosslessOnIncompleteARP bool
+	// MACTimeout and ARPTimeout are the table lifetimes; the paper's
+	// defaults (5 minutes vs 4 hours) are the disparity that makes
+	// incomplete ARP entries possible.
+	MACTimeout simtime.Duration
+	ARPTimeout simtime.Duration
+	// PerPacketSpray replaces per-flow ECMP with per-packet round-robin
+	// across equal-cost ports — the Section 8.1 future-work direction
+	// ("per-packet routing for better network utilization"). It defeats
+	// hash collisions at the cost of reordering, which go-back-N
+	// punishes.
+	PerPacketSpray bool
+	// ForwardingLatency models the pipeline delay between ingress and
+	// egress enqueue.
+	ForwardingLatency simtime.Duration
+	// Watchdog enables the switch-side PFC storm watchdog on
+	// server-facing ports.
+	Watchdog WatchdogConfig
+}
+
+// WatchdogConfig tunes the switch-side PFC storm watchdog.
+type WatchdogConfig struct {
+	Enabled bool
+	// TripWindow is how long "egress not draining + pauses arriving"
+	// must persist before lossless mode is disabled (paper: order
+	// 100 ms).
+	TripWindow simtime.Duration
+	// ReenableAfter re-enables lossless mode once pause frames have been
+	// absent this long (paper default: 200 ms).
+	ReenableAfter simtime.Duration
+	// Poll is the watchdog sampling period.
+	Poll simtime.Duration
+}
+
+// DefaultWatchdog returns the paper's watchdog settings.
+func DefaultWatchdog() WatchdogConfig {
+	return WatchdogConfig{
+		Enabled:       true,
+		TripWindow:    100 * simtime.Millisecond,
+		ReenableAfter: 200 * simtime.Millisecond,
+		Poll:          10 * simtime.Millisecond,
+	}
+}
+
+// DefaultConfig returns a 9 MB shared-buffer switch with the paper's
+// two-lossless-class setup (priorities 3 and 4), DSCP-based PFC, ECN
+// marking, and the deadlock fix disabled (tests enable it explicitly).
+func DefaultConfig(name string, ports int) Config {
+	var lossless [8]bool
+	lossless[3], lossless[4] = true, true
+	return Config{
+		Name:  name,
+		Ports: ports,
+		Buffer: buffer.Config{
+			TotalBytes:    9 << 20,
+			HeadroomPerPG: 40 << 10,
+			Alpha:         1.0 / 16,
+			Dynamic:       true,
+			XOFFDelta:     4 << 10,
+			LosslessPGs:   lossless,
+		},
+		ECN:               ECNConfig{Enabled: true, KMin: 40 << 10, KMax: 160 << 10, PMax: 0.1},
+		MACTimeout:        5 * simtime.Minute,
+		ARPTimeout:        4 * simtime.Hour,
+		ForwardingLatency: 400 * simtime.Nanosecond,
+	}
+}
+
+type arpEntry struct {
+	mac     packet.MAC
+	expires simtime.Time
+}
+
+type macEntry struct {
+	port    int
+	expires simtime.Time
+}
+
+type portState struct {
+	lk      *link.Link
+	side    int
+	egress  *link.Egress
+	pauser  *pfc.Refresher
+	peerMAC packet.MAC
+	// serverFacing marks ports eligible for the storm watchdog.
+	serverFacing bool
+	// losslessDisabled is set by the watchdog: lossless packets to and
+	// from this port are discarded.
+	losslessDisabled bool
+	wdTrip           *pfc.Watchdog
+	// pauseRxTimes tracks recent pause arrivals for the watchdog's
+	// "receiving continuous pause frames" condition.
+	lastPauseRx simtime.Time
+	lastTxCount uint64
+
+	RxFrames uint64
+	RxBytes  uint64
+	RxPause  uint64
+	TxPause  uint64
+	RxByPri  [8]uint64
+}
+
+// Counters aggregates a switch's drop and pause statistics, mirroring the
+// counters the paper's monitoring system collects per device.
+type Counters struct {
+	RxFrames           uint64
+	TxFrames           uint64
+	IngressDrops       uint64 // buffer admission failures
+	LosslessDrops      uint64 // admission failures in lossless classes
+	TTLDrops           uint64
+	NoRouteDrops       uint64
+	MACMismatchDrops   uint64 // stray flooded frames not addressed to us
+	ARPIncompleteDrops uint64 // the deadlock fix in action
+	ARPMissDrops       uint64
+	WatchdogDrops      uint64 // lossless frames discarded while tripped
+	InjectedDrops      uint64 // DropFn hook (livelock experiment)
+	ECNMarked          uint64
+	Floods             uint64
+	PauseRx            uint64
+	PauseTx            uint64
+	WatchdogTrips      uint64
+	WatchdogReenables  uint64
+}
+
+// Switch is one shared-buffer switch.
+type Switch struct {
+	k    *sim.Kernel
+	cfg  Config
+	mac  packet.MAC
+	mmu  *buffer.MMU
+	rng  *rand.Rand
+	port []*portState
+
+	routes routeTable
+	arp    map[packet.Addr]arpEntry
+	macTab map[packet.MAC]macEntry
+
+	// DropFn, when set, silently discards matching data packets at
+	// ingress — the hook the livelock experiment uses ("drop any packet
+	// with the least significant byte of IP ID equal to 0xff").
+	DropFn func(*packet.Packet) bool
+
+	C Counters
+}
+
+var _ link.Endpoint = (*Switch)(nil)
+
+// NewSwitch builds a switch; mac must be unique in the fabric.
+func NewSwitch(k *sim.Kernel, cfg Config, mac packet.MAC) (*Switch, error) {
+	if cfg.Ports <= 0 {
+		return nil, fmt.Errorf("fabric: %q has %d ports", cfg.Name, cfg.Ports)
+	}
+	if cfg.ForwardingLatency < 0 {
+		return nil, fmt.Errorf("fabric: negative forwarding latency")
+	}
+	mmu, err := buffer.New(cfg.Buffer)
+	if err != nil {
+		return nil, fmt.Errorf("fabric %q: %w", cfg.Name, err)
+	}
+	sw := &Switch{
+		k:      k,
+		cfg:    cfg,
+		mac:    mac,
+		mmu:    mmu,
+		rng:    k.Rand("switch/" + cfg.Name),
+		port:   make([]*portState, cfg.Ports),
+		arp:    make(map[packet.Addr]arpEntry),
+		macTab: make(map[packet.MAC]macEntry),
+	}
+	for i := range sw.port {
+		sw.port[i] = &portState{}
+	}
+	if cfg.Watchdog.Enabled {
+		k.NewTicker(cfg.Watchdog.Poll, sw.pollWatchdogs)
+	}
+	return sw, nil
+}
+
+// Name returns the configured switch name.
+func (s *Switch) Name() string { return s.cfg.Name }
+
+// MAC returns the switch's MAC address.
+func (s *Switch) MAC() packet.MAC { return s.mac }
+
+// MMU exposes the buffer accountant for monitoring and tests.
+func (s *Switch) MMU() *buffer.MMU { return s.mmu }
+
+// Config returns the switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// AttachLink connects local port n to side of l; peerMAC is the MAC the
+// switch writes as destination when forwarding out this port toward
+// another router, and serverFacing enables the storm watchdog.
+func (s *Switch) AttachLink(n int, l *link.Link, side int, peerMAC packet.MAC, serverFacing bool) {
+	ps := s.port[n]
+	ps.lk = l
+	ps.side = side
+	ps.peerMAC = peerMAC
+	ps.serverFacing = serverFacing
+	ps.egress = link.NewEgress(s.k, l, side)
+	ps.egress.OnTransmit = func(it link.Item) { s.onTransmit(it) }
+	ps.pauser = pfc.NewRefresher(s.mac, l.Rate(),
+		func(p *packet.Packet) {
+			ps.egress.EnqueueControl(p)
+			ps.TxPause++
+			s.C.PauseTx++
+		},
+		s.k.Now,
+		func(d simtime.Duration, fn func()) func() bool { return s.k.After(d, fn).Cancel })
+	ps.wdTrip = pfc.NewWatchdog(s.cfg.Watchdog.TripWindow)
+	l.Attach(side, s, n)
+}
+
+// Egress exposes a port's egress for monitoring and the deadlock
+// detector.
+func (s *Switch) Egress(port int) *link.Egress { return s.port[port].egress }
+
+// Pauser exposes a port's PFC generator, for tests.
+func (s *Switch) Pauser(port int) *pfc.Refresher { return s.port[port].pauser }
+
+// PortCounters returns (rxFrames, rxPause, txPause) for a port.
+func (s *Switch) PortCounters(port int) (rx, rxPause, txPause uint64) {
+	ps := s.port[port]
+	return ps.RxFrames, ps.RxPause, ps.TxPause
+}
+
+// LosslessDisabled reports whether the watchdog has disabled lossless
+// mode on a port.
+func (s *Switch) LosslessDisabled(port int) bool { return s.port[port].losslessDisabled }
+
+// AddRoute installs a forwarding entry.
+func (s *Switch) AddRoute(r Route) { s.routes.add(r) }
+
+// SetARP installs/refreshes an ARP entry (IP → MAC) with the configured
+// ARP timeout.
+func (s *Switch) SetARP(ip packet.Addr, mac packet.MAC) {
+	s.arp[ip] = arpEntry{mac: mac, expires: s.k.Now().Add(s.cfg.ARPTimeout)}
+}
+
+// LearnMAC installs/refreshes a MAC-table entry (MAC → port) with the
+// configured MAC timeout, exactly as the hardware learns from received
+// frames.
+func (s *Switch) LearnMAC(mac packet.MAC, port int) {
+	s.macTab[mac] = macEntry{port: port, expires: s.k.Now().Add(s.cfg.MACTimeout)}
+}
+
+// ExpireMAC removes a MAC-table entry immediately (test hook standing in
+// for the 5-minute ageing the deadlock scenario depends on).
+func (s *Switch) ExpireMAC(mac packet.MAC) { delete(s.macTab, mac) }
+
+func (s *Switch) lookupARP(ip packet.Addr) (packet.MAC, bool) {
+	e, ok := s.arp[ip]
+	if !ok || e.expires.Before(s.k.Now()) {
+		return packet.MAC{}, false
+	}
+	return e.mac, true
+}
+
+func (s *Switch) lookupMAC(mac packet.MAC) (int, bool) {
+	e, ok := s.macTab[mac]
+	if !ok || e.expires.Before(s.k.Now()) {
+		return 0, false
+	}
+	return e.port, true
+}
+
+// losslessMask returns the bitmask of lossless priorities.
+func (s *Switch) losslessMask() uint8 {
+	var m uint8
+	for i, l := range s.cfg.Buffer.LosslessPGs {
+		if l {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Receive implements link.Endpoint: a frame has arrived on port n.
+func (s *Switch) Receive(n int, p *packet.Packet) {
+	ps := s.port[n]
+	s.C.RxFrames++
+	ps.RxFrames++
+	ps.RxBytes += uint64(p.WireLen())
+
+	if p.IsPause() {
+		s.C.PauseRx++
+		ps.RxPause++
+		ps.lastPauseRx = s.k.Now()
+		if ps.losslessDisabled {
+			return // watchdog: ignore pauses from the broken NIC
+		}
+		ps.egress.Pause.Handle(s.k.Now(), p.Pause)
+		ps.egress.Kick()
+		return
+	}
+
+	// MAC learning from data frames (the L2 table the deadlock hinges
+	// on).
+	if !p.Eth.Src.IsZero() {
+		s.LearnMAC(p.Eth.Src, n)
+	}
+
+	pri := p.Priority(s.cfg.DSCPMap)
+	ps.RxByPri[pri]++
+	lossless := s.cfg.Buffer.LosslessPGs[pri]
+
+	if ps.losslessDisabled && lossless {
+		s.C.WatchdogDrops++
+		return
+	}
+	if s.DropFn != nil && s.DropFn(p) {
+		s.C.InjectedDrops++
+		return
+	}
+
+	// A router only accepts frames addressed to it (or L2 frames for
+	// local delivery, or multicast). Stray flooded copies die here —
+	// "the egress queue ... will drop the purple packets ... since the
+	// destination MAC does not match".
+	if p.IP != nil && !p.Eth.Dst.IsMulticast() && p.Eth.Dst != s.mac {
+		if _, isLocal := s.localDst(p.IP.Dst); !isLocal {
+			s.C.MACMismatchDrops++
+			return
+		}
+		// Frame for one of our servers (possibly flooded from
+		// elsewhere): fall through to local delivery.
+	}
+
+	if p.IP != nil {
+		if p.IP.TTL <= 1 {
+			s.C.TTLDrops++
+			return
+		}
+	}
+
+	outs, ok := s.forward(n, p, pri, lossless)
+	if !ok || len(outs) == 0 {
+		return // counted inside forward
+	}
+
+	for _, out := range outs {
+		q := p
+		if len(outs) > 1 {
+			// Flooding: every copy is independent so per-hop mutation
+			// (TTL, ECN) stays per-copy.
+			q = clonePacket(p)
+		}
+		outcome, tr := s.mmu.Admit(n, pri, q.WireLen())
+		s.applyPause(n, pri, tr)
+		if outcome == buffer.Drop {
+			s.C.IngressDrops++
+			if lossless {
+				s.C.LosslessDrops++
+			}
+			continue
+		}
+		s.finishForward(n, out, q, pri)
+	}
+}
+
+// localDst reports whether dst falls in a Local route (our own server
+// subnet).
+func (s *Switch) localDst(dst packet.Addr) (*Route, bool) {
+	r := s.routes.lookup(dst)
+	if r != nil && r.Local {
+		return r, true
+	}
+	return nil, false
+}
+
+// forward computes the output port set for a packet. It does not enqueue.
+func (s *Switch) forward(in int, p *packet.Packet, pri int, lossless bool) ([]int, bool) {
+	// Pure L2 frames (no IP): MAC table or flood.
+	if p.IP == nil {
+		if p.Eth.Dst.IsMulticast() {
+			return s.floodPorts(in), true
+		}
+		if port, ok := s.lookupMAC(p.Eth.Dst); ok {
+			return []int{port}, true
+		}
+		s.C.Floods++
+		return s.floodPorts(in), true
+	}
+
+	r := s.routes.lookup(p.IP.Dst)
+	if r == nil {
+		s.C.NoRouteDrops++
+		return nil, false
+	}
+	if !r.Local {
+		if len(r.Ports) == 0 {
+			s.C.NoRouteDrops++
+			return nil, false
+		}
+		var out int
+		if s.cfg.PerPacketSpray {
+			// Random spray (not round-robin): transient load imbalance
+			// between equal-cost paths is what makes reordering real.
+			out = r.Ports[s.rng.Intn(len(r.Ports))]
+		} else {
+			out = r.Ports[int(p.Flow().Hash()%uint64(len(r.Ports)))]
+		}
+		return []int{out}, true
+	}
+
+	// Local delivery: ARP then MAC table.
+	mac, ok := s.lookupARP(p.IP.Dst)
+	if !ok {
+		s.C.ARPMissDrops++
+		return nil, false
+	}
+	if port, ok := s.lookupMAC(mac); ok {
+		p.Eth.Dst = mac // rewrite for final hop
+		p.Eth.Src = s.mac
+		return []int{port}, true
+	}
+	// Incomplete ARP entry: the MAC is known at L3 but not in the L2
+	// table. Standard switches flood — the paper's deadlock trigger.
+	if s.cfg.DropLosslessOnIncompleteARP && lossless {
+		s.C.ARPIncompleteDrops++
+		return nil, false
+	}
+	s.C.Floods++
+	p.Eth.Dst = mac
+	p.Eth.Src = s.mac
+	return s.floodPorts(in), true
+}
+
+func (s *Switch) floodPorts(in int) []int {
+	out := make([]int, 0, len(s.port)-1)
+	for i, ps := range s.port {
+		if i == in || ps.lk == nil {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// finishForward applies TTL/MAC rewrite, ECN marking and enqueues after
+// the pipeline latency.
+func (s *Switch) finishForward(in, out int, p *packet.Packet, pri int) {
+	if p.IP != nil {
+		p.IP.TTL--
+		// Rewrite L2 addressing toward the next hop, unless forward()
+		// already set the final server MAC (local delivery or flood).
+		if r := s.routes.lookup(p.IP.Dst); r != nil && !r.Local {
+			p.Eth.Src = s.mac
+			p.Eth.Dst = s.port[out].peerMAC
+		}
+	}
+	s.maybeMarkECN(out, p, pri)
+	it := link.Item{P: p, Pri: pri, IngressPort: in, PG: pri}
+	if s.cfg.ForwardingLatency > 0 {
+		s.k.After(s.cfg.ForwardingLatency, func() { s.port[out].egress.Enqueue(it) })
+	} else {
+		s.port[out].egress.Enqueue(it)
+	}
+}
+
+// maybeMarkECN applies the WRED marking profile at the egress queue.
+func (s *Switch) maybeMarkECN(out int, p *packet.Packet, pri int) {
+	e := s.cfg.ECN
+	if !e.Enabled || p.IP == nil {
+		return
+	}
+	if p.IP.ECN != packet.ECNECT0 && p.IP.ECN != packet.ECNECT1 {
+		return
+	}
+	q := s.port[out].egress.QueueBytes(pri)
+	var prob float64
+	switch {
+	case q <= e.KMin:
+		return
+	case q >= e.KMax:
+		prob = 1
+	default:
+		prob = e.PMax * float64(q-e.KMin) / float64(e.KMax-e.KMin)
+	}
+	if s.rng.Float64() < prob {
+		p.IP.ECN = packet.ECNCE
+		s.C.ECNMarked++
+	}
+}
+
+// applyPause translates an MMU transition into PFC signaling on the
+// ingress port.
+func (s *Switch) applyPause(port, pri int, tr buffer.Transition) {
+	switch tr {
+	case buffer.XOFF:
+		s.port[port].pauser.Pause(pri)
+	case buffer.XON:
+		s.port[port].pauser.Resume(pri)
+	}
+}
+
+// onTransmit releases buffer accounting when a frame leaves the switch.
+func (s *Switch) onTransmit(it link.Item) {
+	s.C.TxFrames++
+	if it.IngressPort < 0 {
+		return // locally generated (pause frames)
+	}
+	tr := s.mmu.Release(it.IngressPort, it.PG, it.P.WireLen())
+	s.applyPause(it.IngressPort, it.PG, tr)
+	// A release grows the shared pool: buckets paused under a shrunken
+	// threshold may now resume.
+	for _, ref := range s.mmu.Reevaluate() {
+		s.port[ref.Port].pauser.Resume(ref.PG)
+	}
+}
+
+// pollWatchdogs runs the switch-side PFC storm watchdog over
+// server-facing ports.
+func (s *Switch) pollWatchdogs() {
+	now := s.k.Now()
+	cfg := s.cfg.Watchdog
+	for _, ps := range s.port {
+		if ps.lk == nil || !ps.serverFacing {
+			continue
+		}
+		if !ps.losslessDisabled {
+			// Condition: lossless egress queued but not draining, while
+			// pauses keep arriving from the NIC.
+			queued := 0
+			for pri := 0; pri < 8; pri++ {
+				if s.cfg.Buffer.LosslessPGs[pri] {
+					queued += ps.egress.QueueBytes(pri)
+				}
+			}
+			var dataTx uint64
+			for pri := 0; pri < 8; pri++ {
+				dataTx += ps.egress.TxByPri[pri]
+			}
+			stuck := queued > 0 && dataTx == ps.lastTxCount
+			pausing := now.Sub(ps.lastPauseRx) < 2*cfg.Poll && ps.RxPause > 0
+			ps.lastTxCount = dataTx
+			if ps.wdTrip.Observe(now, stuck && pausing) {
+				s.tripWatchdog(ps)
+			}
+		} else if now.Sub(ps.lastPauseRx) >= cfg.ReenableAfter {
+			// Pauses gone: re-enable lossless mode.
+			ps.losslessDisabled = false
+			s.C.WatchdogReenables++
+			ps.wdTrip = pfc.NewWatchdog(cfg.TripWindow)
+		}
+	}
+}
+
+// tripWatchdog disables lossless mode on a port: queued lossless frames
+// are purged (releasing their buffer accounting) and future lossless
+// frames to/from the port are discarded until pauses disappear.
+func (s *Switch) tripWatchdog(ps *portState) {
+	ps.losslessDisabled = true
+	s.C.WatchdogTrips++
+	// Ignore the NIC's pause state so the egress drains again.
+	ps.egress.Pause = pfc.NewPauseState(ps.lk.Rate())
+	for pri := 0; pri < 8; pri++ {
+		if !s.cfg.Buffer.LosslessPGs[pri] {
+			continue
+		}
+		for _, it := range ps.egress.Purge(pri) {
+			s.C.WatchdogDrops++
+			if it.IngressPort >= 0 {
+				tr := s.mmu.Release(it.IngressPort, it.PG, it.P.WireLen())
+				s.applyPause(it.IngressPort, it.PG, tr)
+			}
+		}
+	}
+	for _, ref := range s.mmu.Reevaluate() {
+		s.port[ref.Port].pauser.Resume(ref.PG)
+	}
+	ps.egress.Kick()
+}
+
+// clonePacket deep-copies the mutable layers for flooding replication.
+func clonePacket(p *packet.Packet) *packet.Packet {
+	q := *p
+	if p.IP != nil {
+		ip := *p.IP
+		q.IP = &ip
+	}
+	if p.UDPH != nil {
+		u := *p.UDPH
+		q.UDPH = &u
+	}
+	if p.BTH != nil {
+		b := *p.BTH
+		q.BTH = &b
+	}
+	if p.RETH != nil {
+		r := *p.RETH
+		q.RETH = &r
+	}
+	if p.AETH != nil {
+		a := *p.AETH
+		q.AETH = &a
+	}
+	if p.Pause != nil {
+		pa := *p.Pause
+		q.Pause = &pa
+	}
+	return &q
+}

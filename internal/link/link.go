@@ -1,0 +1,354 @@
+// Package link models full-duplex Ethernet links and the egress machinery
+// both switches and NICs share: per-priority queues, deficit-round-robin
+// scheduling, PFC-aware pacing, and a control path that lets pause frames
+// bypass data queues (PFC frames are never themselves subject to PFC).
+package link
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"rocesim/internal/packet"
+	"rocesim/internal/pfc"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+)
+
+// Endpoint is anything a link can deliver frames to.
+type Endpoint interface {
+	// Receive is called when a frame fully arrives at the endpoint's
+	// port.
+	Receive(port int, p *packet.Packet)
+}
+
+// FrameOverhead is the per-frame preamble + start delimiter + inter-frame
+// gap cost on the wire, in bytes.
+const FrameOverhead = 20
+
+// Link is a full-duplex point-to-point cable. Each side serializes
+// independently (through an Egress); the link adds propagation delay and
+// delivers to the peer.
+type Link struct {
+	k     *sim.Kernel
+	rate  simtime.Rate
+	delay simtime.Duration
+	rng   *rand.Rand
+	ends  [2]struct {
+		ep   Endpoint
+		port int
+	}
+	// FCSErrorRate is the probability a frame is corrupted on the wire
+	// and discarded by the receiver's CRC check — the paper's "packet
+	// losses can still happen for various other reasons, including FCS
+	// errors". Zero disables.
+	FCSErrorRate float64
+	// FCSErrors counts frames lost to corruption.
+	FCSErrors uint64
+	// Down simulates cable pull: frames in either direction are silently
+	// lost.
+	Down bool
+	// Delivered counts frames per direction (index = sending side).
+	Delivered [2]uint64
+	// Tap, when set, observes every frame put on the wire (both
+	// directions) — the hook pcap captures attach to.
+	Tap func(p *packet.Packet)
+}
+
+// New creates a link with the given rate and one-way propagation delay.
+func New(k *sim.Kernel, rate simtime.Rate, delay simtime.Duration) *Link {
+	if rate <= 0 {
+		panic("link: non-positive rate")
+	}
+	// Each link gets its own deterministic stream; construction order is
+	// deterministic in a simulation, so runs reproduce exactly.
+	id := atomic.AddUint64(&linkSeq, 1)
+	return &Link{k: k, rate: rate, delay: delay, rng: k.Rand(fmt.Sprintf("link/%d", id))}
+}
+
+// linkSeq disambiguates per-link random streams.
+var linkSeq uint64
+
+// Attach connects side (0 or 1) to an endpoint's port.
+func (l *Link) Attach(side int, ep Endpoint, port int) {
+	l.ends[side].ep = ep
+	l.ends[side].port = port
+}
+
+// Rate returns the link speed.
+func (l *Link) Rate() simtime.Rate { return l.rate }
+
+// Peer returns the endpoint and port attached opposite to side.
+func (l *Link) Peer(side int) (Endpoint, int) {
+	p := l.ends[1-side]
+	return p.ep, p.port
+}
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() simtime.Duration { return l.delay }
+
+// Deliver schedules p's arrival at the peer of side after the propagation
+// delay. Serialization time is the sender's job (see Egress).
+func (l *Link) Deliver(side int, p *packet.Packet) {
+	if l.Tap != nil {
+		l.Tap(p)
+	}
+	if l.Down {
+		return
+	}
+	if l.FCSErrorRate > 0 && l.rng.Float64() < l.FCSErrorRate {
+		l.FCSErrors++
+		return // corrupted on the wire; receiver CRC discards it
+	}
+	peer := l.ends[1-side]
+	if peer.ep == nil {
+		panic(fmt.Sprintf("link: side %d has no peer attached", 1-side))
+	}
+	l.Delivered[side]++
+	l.k.After(l.delay, func() { peer.ep.Receive(peer.port, p) })
+}
+
+// Item is one frame queued at an egress, with the bookkeeping needed to
+// release shared-buffer accounting when it leaves the device.
+type Item struct {
+	P   *packet.Packet
+	Pri int
+	// IngressPort and PG identify the buffer accounting bucket the frame
+	// was admitted under (-1 for locally generated frames that were
+	// never admitted).
+	IngressPort int
+	PG          int
+	Enq         simtime.Time
+}
+
+// Egress is one transmit direction of a device port: eight per-priority
+// FIFO queues drained by deficit round robin, gated per priority by
+// received PFC state, plus an absolute-priority control queue for pause
+// frames.
+type Egress struct {
+	k    *sim.Kernel
+	link *Link
+	side int
+
+	queues  [8][]Item
+	bytes   [8]int
+	control []Item // pause frames; never PFC-gated
+
+	weights [8]int
+	deficit [8]int
+	rrNext  int
+	cur     int // queue currently holding the DRR service turn (-1: none)
+
+	// Pause is the PFC state received from the peer, gating transmission
+	// per priority.
+	Pause *pfc.PauseState
+
+	// OnTransmit fires when a frame has fully serialized onto the wire —
+	// the moment a switch releases the frame's buffer accounting.
+	OnTransmit func(Item)
+
+	// Blocked, when set, freezes all data transmission regardless of
+	// queue or pause state (used to model dead/unplugged devices).
+	Blocked bool
+
+	busy     bool
+	retry    sim.Handle
+	TxFrames uint64
+	TxBytes  uint64
+	// TxByPri counts transmitted data frames per priority.
+	TxByPri [8]uint64
+}
+
+// NewEgress creates an egress transmitting on side of l with equal DWRR
+// weights.
+func NewEgress(k *sim.Kernel, l *Link, side int) *Egress {
+	e := &Egress{k: k, link: l, side: side, Pause: pfc.NewPauseState(l.Rate()), cur: -1}
+	for i := range e.weights {
+		e.weights[i] = 1
+	}
+	return e
+}
+
+// SetWeight sets the DWRR weight for a priority (>=1). Heavier classes
+// drain proportionally more bytes per round — how the paper reserves
+// bandwidth for the TCP class vs. the two RDMA classes.
+func (e *Egress) SetWeight(pri, w int) {
+	if w < 1 {
+		panic("link: DWRR weight must be >= 1")
+	}
+	e.weights[pri] = w
+}
+
+// QueueBytes returns the bytes queued at priority pri.
+func (e *Egress) QueueBytes(pri int) int { return e.bytes[pri] }
+
+// TotalQueued returns all queued data bytes.
+func (e *Egress) TotalQueued() int {
+	t := 0
+	for _, b := range e.bytes {
+		t += b
+	}
+	return t
+}
+
+// QueueLen returns the number of frames queued at priority pri.
+func (e *Egress) QueueLen(pri int) int { return len(e.queues[pri]) }
+
+// Items returns a snapshot of the queued items at priority pri (shared
+// backing array; callers must not mutate). Used by the deadlock detector
+// to trace buffer dependencies.
+func (e *Egress) Items(pri int) []Item { return e.queues[pri] }
+
+// Purge removes and returns every queued frame at priority pri — used by
+// the switch watchdog when it discards lossless traffic for a tripped
+// port.
+func (e *Egress) Purge(pri int) []Item {
+	items := e.queues[pri]
+	e.queues[pri] = nil
+	e.bytes[pri] = 0
+	return items
+}
+
+// Enqueue adds a data frame at the given priority.
+func (e *Egress) Enqueue(it Item) {
+	if it.Pri < 0 || it.Pri > 7 {
+		panic(fmt.Sprintf("link: priority %d", it.Pri))
+	}
+	it.Enq = e.k.Now()
+	e.queues[it.Pri] = append(e.queues[it.Pri], it)
+	e.bytes[it.Pri] += it.P.WireLen()
+	e.kick()
+}
+
+// EnqueueControl queues a pause frame; control frames preempt all data
+// and ignore PFC state.
+func (e *Egress) EnqueueControl(p *packet.Packet) {
+	e.control = append(e.control, Item{P: p, Pri: -1, IngressPort: -1, PG: -1, Enq: e.k.Now()})
+	e.kick()
+}
+
+// Kick re-arms the transmit loop; owners call it after updating Pause
+// state (e.g. on receiving an XON).
+func (e *Egress) Kick() { e.kick() }
+
+// Link returns the wire this egress transmits on (for taps and
+// monitoring).
+func (e *Egress) Link() *Link { return e.link }
+
+func (e *Egress) kick() {
+	if e.busy {
+		return
+	}
+	e.trySend()
+}
+
+// trySend transmits the next eligible frame, if any.
+func (e *Egress) trySend() {
+	if e.busy {
+		return
+	}
+	now := e.k.Now()
+
+	// Control frames first: pause must get out even when we are paused.
+	if len(e.control) > 0 {
+		it := e.control[0]
+		e.control = e.control[1:]
+		e.transmit(it)
+		return
+	}
+	if e.Blocked {
+		return
+	}
+
+	// DWRR over non-empty, non-paused priorities.
+	pri := e.pickDWRR(now)
+	if pri < 0 {
+		e.armRetry(now)
+		return
+	}
+	q := e.queues[pri]
+	it := q[0]
+	copy(q, q[1:])
+	e.queues[pri] = q[:len(q)-1]
+	e.bytes[pri] -= it.P.WireLen()
+	e.transmit(it)
+}
+
+// pickDWRR selects the next priority to serve with deficit round robin,
+// honoring pause state: a queue acquires the service turn, gains one
+// quantum (scaled by its weight), and keeps the turn until its deficit
+// can no longer cover its head frame. Returns -1 when nothing is
+// eligible.
+func (e *Egress) pickDWRR(now simtime.Time) int {
+	const quantumPerWeight = 1600 // covers one MTU frame per weight unit
+	for visits := 0; visits < 64; visits++ {
+		if e.cur < 0 {
+			found := -1
+			for i := 0; i < 8; i++ {
+				pri := (e.rrNext + i) % 8
+				if len(e.queues[pri]) > 0 && !e.Pause.Paused(now, pri) {
+					found = pri
+					break
+				}
+			}
+			if found < 0 {
+				return -1
+			}
+			e.cur = found
+			e.rrNext = (found + 1) % 8
+			e.deficit[found] += quantumPerWeight * e.weights[found]
+		}
+		pri := e.cur
+		if len(e.queues[pri]) > 0 && !e.Pause.Paused(now, pri) {
+			if head := e.queues[pri][0].P.WireLen(); e.deficit[pri] >= head {
+				e.deficit[pri] -= head
+				return pri
+			}
+		}
+		if len(e.queues[pri]) == 0 {
+			e.deficit[pri] = 0 // idle classes must not hoard credit
+		}
+		e.cur = -1
+	}
+	return -1
+}
+
+// armRetry schedules a wake-up at the earliest pause expiry among paused,
+// non-empty priorities (explicit XON kicks arrive via Kick).
+func (e *Egress) armRetry(now simtime.Time) {
+	var earliest simtime.Time = simtime.Forever
+	for pri := 0; pri < 8; pri++ {
+		if len(e.queues[pri]) == 0 {
+			continue
+		}
+		if at := e.Pause.ResumeAt(pri); at.After(now) && at.Before(earliest) {
+			earliest = at
+		}
+	}
+	if earliest == simtime.Forever {
+		return
+	}
+	if e.retry.Pending() {
+		e.retry.Cancel()
+	}
+	e.retry = e.k.At(earliest, e.kick)
+}
+
+// transmit serializes one frame and delivers it.
+func (e *Egress) transmit(it Item) {
+	e.busy = true
+	tx := e.link.Rate().Transmission(it.P.WireLen() + FrameOverhead)
+	e.k.After(tx, func() {
+		e.busy = false
+		e.TxFrames++
+		e.TxBytes += uint64(it.P.WireLen())
+		if it.Pri >= 0 {
+			e.TxByPri[it.Pri]++
+		}
+		if e.OnTransmit != nil {
+			e.OnTransmit(it)
+		}
+		e.link.Deliver(e.side, it.P)
+		e.trySend()
+	})
+}

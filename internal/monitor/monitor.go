@@ -1,0 +1,376 @@
+// Package monitor implements the management and monitoring systems of
+// Section 5, which the paper calls indispensable: RDMA Pingmesh (active
+// latency probing at ToR/podset/DC scope), PFC pause-frame and traffic
+// counter collection into time series (the raw material of Figures 9 and
+// 10), configuration management with desired-vs-running drift detection
+// (the α misconfiguration of Section 6.2 is exactly such a drift), and
+// an incident detector over the collected series.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"rocesim/internal/fabric"
+	"rocesim/internal/nic"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/stats"
+	"rocesim/internal/topology"
+	"rocesim/internal/workload"
+)
+
+// ProbeScope classifies a Pingmesh pair by how far apart the endpoints
+// are.
+type ProbeScope int
+
+// Pingmesh scopes (the paper probes at ToR, Podset and DC level).
+const (
+	ScopeToR ProbeScope = iota
+	ScopePodset
+	ScopeDC
+)
+
+// String names the scope.
+func (s ProbeScope) String() string {
+	switch s {
+	case ScopeToR:
+		return "tor"
+	case ScopePodset:
+		return "podset"
+	default:
+		return "dc"
+	}
+}
+
+// PingmeshConfig tunes the prober.
+type PingmeshConfig struct {
+	// ProbeSize is the payload of each probe (512 bytes in the paper).
+	ProbeSize int
+	// Interval is the per-pair probing period.
+	Interval simtime.Duration
+	// Timeout marks a probe failed (an error code in the paper's logs).
+	Timeout simtime.Duration
+}
+
+// DefaultPingmesh returns the paper's probe settings.
+func DefaultPingmesh() PingmeshConfig {
+	return PingmeshConfig{
+		ProbeSize: 512,
+		Interval:  10 * simtime.Millisecond,
+		Timeout:   100 * simtime.Millisecond,
+	}
+}
+
+// Pingmesh runs RDMA probes across a set of server pairs and aggregates
+// RTT histograms per scope.
+type Pingmesh struct {
+	k   *sim.Kernel
+	cfg PingmeshConfig
+
+	RTT      map[ProbeScope]*stats.Histogram // picoseconds
+	Failures map[ProbeScope]uint64
+	Probes   uint64
+
+	pairs []*meshPair
+}
+
+type meshPair struct {
+	pp    workload.PingPong
+	scope ProbeScope
+	// outstanding guards against piling probes onto a stuck path.
+	outstanding bool
+}
+
+// NewPingmesh builds an empty mesh.
+func NewPingmesh(k *sim.Kernel, cfg PingmeshConfig) *Pingmesh {
+	pm := &Pingmesh{
+		k: k, cfg: cfg,
+		RTT:      make(map[ProbeScope]*stats.Histogram),
+		Failures: make(map[ProbeScope]uint64),
+	}
+	for _, s := range []ProbeScope{ScopeToR, ScopePodset, ScopeDC} {
+		pm.RTT[s] = stats.NewHistogram()
+	}
+	return pm
+}
+
+// AddPair registers a probing channel between two servers. Scope is
+// derived from the servers' positions.
+func (pm *Pingmesh) AddPair(net *topology.Network, a, b *topology.Server) {
+	scope := ScopeDC
+	switch {
+	case a.Podset == b.Podset && a.TorIdx == b.TorIdx:
+		scope = ScopeToR
+	case a.Podset == b.Podset:
+		scope = ScopePodset
+	}
+	qa, qb := net.QPPair(a, b, nil)
+	pp := workload.NewRDMAPingPong(qa, qb, pm.k.Now)
+	pm.pairs = append(pm.pairs, &meshPair{pp: pp, scope: scope})
+}
+
+// Start begins probing all registered pairs.
+func (pm *Pingmesh) Start() {
+	for i, p := range pm.pairs {
+		p := p
+		// Stagger first probes across the interval.
+		offset := pm.cfg.Interval * simtime.Duration(i) / simtime.Duration(len(pm.pairs)+1)
+		pm.k.After(offset, func() { pm.probe(p) })
+	}
+}
+
+func (pm *Pingmesh) probe(p *meshPair) {
+	pm.k.After(pm.cfg.Interval, func() { pm.probe(p) })
+	if p.outstanding {
+		// Previous probe still out: that's a failure-in-progress; skip.
+		return
+	}
+	p.outstanding = true
+	pm.Probes++
+	answered := false
+	timeout := pm.k.After(pm.cfg.Timeout, func() {
+		if !answered {
+			p.outstanding = false
+			pm.Failures[p.scope]++
+		}
+	})
+	p.pp.Query(pm.cfg.ProbeSize, pm.cfg.ProbeSize, func(rtt simtime.Duration) {
+		if answered {
+			return
+		}
+		answered = true
+		p.outstanding = false
+		timeout.Cancel()
+		pm.RTT[p.scope].Observe(float64(rtt))
+	})
+}
+
+// Report renders a Pingmesh summary.
+func (pm *Pingmesh) Report() string {
+	out := fmt.Sprintf("pingmesh: %d probes\n", pm.Probes)
+	for _, s := range []ProbeScope{ScopeToR, ScopePodset, ScopeDC} {
+		h := pm.RTT[s]
+		if h.Count() == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %-7s %s failures=%d\n", s, h.Summary(1e6, "us"), pm.Failures[s])
+	}
+	return out
+}
+
+// Collector samples device counters into fixed-interval time series —
+// the "pause frames received in every five minutes" plots of the
+// incident figures.
+type Collector struct {
+	k        *sim.Kernel
+	interval simtime.Duration
+
+	switches []*fabric.Switch
+	nics     []*nic.NIC
+
+	// Series keyed by device name + metric.
+	Series map[string]*stats.Series
+
+	lastSwitch map[*fabric.Switch]fabric.Counters
+	lastNIC    map[*nic.NIC]nic.Stats
+}
+
+// NewCollector samples every interval.
+func NewCollector(k *sim.Kernel, interval simtime.Duration) *Collector {
+	c := &Collector{
+		k: k, interval: interval,
+		Series:     make(map[string]*stats.Series),
+		lastSwitch: make(map[*fabric.Switch]fabric.Counters),
+		lastNIC:    make(map[*nic.NIC]nic.Stats),
+	}
+	k.NewTicker(interval, c.sample)
+	return c
+}
+
+// WatchSwitch registers a switch for collection.
+func (c *Collector) WatchSwitch(sw *fabric.Switch) { c.switches = append(c.switches, sw) }
+
+// WatchNIC registers a NIC for collection.
+func (c *Collector) WatchNIC(n *nic.NIC) { c.nics = append(c.nics, n) }
+
+func (c *Collector) series(name string) *stats.Series {
+	s, ok := c.Series[name]
+	if !ok {
+		s = &stats.Series{Name: name, Interval: c.interval.Seconds()}
+		c.Series[name] = s
+	}
+	return s
+}
+
+func (c *Collector) sample() {
+	for _, sw := range c.switches {
+		prev := c.lastSwitch[sw]
+		cur := sw.C
+		c.series(sw.Name() + "/pause_rx").Record(float64(cur.PauseRx - prev.PauseRx))
+		c.series(sw.Name() + "/pause_tx").Record(float64(cur.PauseTx - prev.PauseTx))
+		c.series(sw.Name() + "/drops").Record(float64(cur.IngressDrops - prev.IngressDrops))
+		c.series(sw.Name() + "/lossless_drops").Record(float64(cur.LosslessDrops - prev.LosslessDrops))
+		c.series(sw.Name() + "/tx_frames").Record(float64(cur.TxFrames - prev.TxFrames))
+		c.lastSwitch[sw] = cur
+	}
+	for _, n := range c.nics {
+		prev := c.lastNIC[n]
+		cur := n.S
+		c.series(n.Name() + "/pause_rx").Record(float64(cur.RxPause - prev.RxPause))
+		c.series(n.Name() + "/pause_tx").Record(float64(cur.TxPause - prev.TxPause))
+		c.series(n.Name() + "/rx_frames").Record(float64(cur.RxFrames - prev.RxFrames))
+		c.lastNIC[n] = cur
+	}
+}
+
+// TotalPauseRx sums switch pause_rx series — the aggregate plotted in
+// Figures 9(b) and 10(b).
+func (c *Collector) TotalPauseRx() float64 {
+	t := 0.0
+	for name, s := range c.Series {
+		if len(name) > 9 && name[len(name)-9:] == "/pause_rx" {
+			t += s.Sum()
+		}
+	}
+	return t
+}
+
+// ConfigStore is the configuration management service of Section 5.1: a
+// desired configuration per device, a reader for the running
+// configuration, and a drift checker. The 07/12/2015 incident — a new
+// switch model shipping α=1/64 instead of the expected 1/16 — is exactly
+// the class of bug it catches.
+type ConfigStore struct {
+	desired map[string]map[string]string
+	readers map[string]func() map[string]string
+}
+
+// NewConfigStore returns an empty store.
+func NewConfigStore() *ConfigStore {
+	return &ConfigStore{
+		desired: make(map[string]map[string]string),
+		readers: make(map[string]func() map[string]string),
+	}
+}
+
+// SetDesired records the intended configuration for a device.
+func (cs *ConfigStore) SetDesired(device string, cfg map[string]string) {
+	cs.desired[device] = cfg
+}
+
+// RegisterReader wires a live configuration reader for a device.
+func (cs *ConfigStore) RegisterReader(device string, read func() map[string]string) {
+	cs.readers[device] = read
+}
+
+// Drift is one desired-vs-running mismatch.
+type Drift struct {
+	Device, Key, Want, Got string
+}
+
+// String renders the drift.
+func (d Drift) String() string {
+	return fmt.Sprintf("%s: %s=%q, want %q", d.Device, d.Key, d.Got, d.Want)
+}
+
+// Check returns all drifts, deterministically ordered.
+func (cs *ConfigStore) Check() []Drift {
+	var out []Drift
+	devices := make([]string, 0, len(cs.desired))
+	for d := range cs.desired {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	for _, dev := range devices {
+		want := cs.desired[dev]
+		read := cs.readers[dev]
+		var got map[string]string
+		if read != nil {
+			got = read()
+		}
+		keys := make([]string, 0, len(want))
+		for k := range want {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if got[k] != want[k] {
+				out = append(out, Drift{Device: dev, Key: k, Want: want[k], Got: got[k]})
+			}
+		}
+	}
+	return out
+}
+
+// SwitchConfigReader exposes a switch's safety-relevant running
+// configuration for drift checking.
+func SwitchConfigReader(sw *fabric.Switch) func() map[string]string {
+	return func() map[string]string {
+		b := sw.Config().Buffer
+		return map[string]string{
+			"alpha":    fmt.Sprintf("1/%d", int(1/b.Alpha+0.5)),
+			"dynamic":  fmt.Sprintf("%v", b.Dynamic),
+			"headroom": fmt.Sprintf("%d", b.HeadroomPerPG),
+			"arp_fix":  fmt.Sprintf("%v", sw.Config().DropLosslessOnIncompleteARP),
+			"ecn":      fmt.Sprintf("%v", sw.Config().ECN.Enabled),
+			"watchdog": fmt.Sprintf("%v", sw.Config().Watchdog.Enabled),
+		}
+	}
+}
+
+// Alert is a detected incident.
+type Alert struct {
+	At     simtime.Time
+	Device string
+	Reason string
+}
+
+// IncidentDetector watches collected series and raises alerts on
+// pause-frame storms or sustained lossless drops.
+type IncidentDetector struct {
+	c *Collector
+	// PauseRxPerInterval is the per-device alert threshold.
+	PauseRxPerInterval float64
+
+	Alerts []Alert
+}
+
+// NewIncidentDetector attaches to a collector; scan it after (or during)
+// a run.
+func NewIncidentDetector(c *Collector, pauseThreshold float64) *IncidentDetector {
+	return &IncidentDetector{c: c, PauseRxPerInterval: pauseThreshold}
+}
+
+// Scan inspects all series and records alerts for threshold crossings.
+func (d *IncidentDetector) Scan(now simtime.Time) []Alert {
+	d.Alerts = d.Alerts[:0]
+	names := make([]string, 0, len(d.c.Series))
+	for n := range d.c.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := d.c.Series[n]
+		suffix := ""
+		if i := len(n) - 9; i > 0 {
+			suffix = n[i:]
+		}
+		switch suffix {
+		case "/pause_rx":
+			if s.Max() >= d.PauseRxPerInterval {
+				d.Alerts = append(d.Alerts, Alert{
+					At: now, Device: n[:len(n)-9],
+					Reason: fmt.Sprintf("pause storm: %g pause frames in one interval", s.Max()),
+				})
+			}
+		}
+		if len(n) > 15 && n[len(n)-15:] == "/lossless_drops" && s.Sum() > 0 {
+			d.Alerts = append(d.Alerts, Alert{
+				At: now, Device: n[:len(n)-15],
+				Reason: fmt.Sprintf("lossless drops: %g", s.Sum()),
+			})
+		}
+	}
+	return d.Alerts
+}

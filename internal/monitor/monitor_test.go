@@ -1,0 +1,170 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/topology"
+	"rocesim/internal/workload"
+)
+
+func TestPingmeshScopesAndRTT(t *testing.T) {
+	k := sim.NewKernel(1)
+	net, err := topology.Build(k, topology.Fig7Spec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := NewPingmesh(k, DefaultPingmesh())
+	// Same ToR, same podset (different ToRs), cross-podset.
+	pm.AddPair(net, net.Server(0, 0, 0), net.Server(0, 0, 1))
+	pm.AddPair(net, net.Server(0, 1, 0), net.Server(0, 2, 0))
+	pm.AddPair(net, net.Server(0, 3, 0), net.Server(1, 3, 0))
+	pm.Start()
+	k.RunUntil(simtime.Time(500 * simtime.Millisecond))
+
+	for _, sc := range []ProbeScope{ScopeToR, ScopePodset, ScopeDC} {
+		if pm.RTT[sc].Count() < 40 {
+			t.Fatalf("%v: only %d samples", sc, pm.RTT[sc].Count())
+		}
+		if pm.Failures[sc] != 0 {
+			t.Fatalf("%v: %d failures on a healthy fabric", sc, pm.Failures[sc])
+		}
+	}
+	// RTT must grow with scope: ToR < podset < DC (300m spine cables).
+	tor := pm.RTT[ScopeToR].Quantile(0.5)
+	pod := pm.RTT[ScopePodset].Quantile(0.5)
+	dc := pm.RTT[ScopeDC].Quantile(0.5)
+	if !(tor < pod && pod < dc) {
+		t.Fatalf("scope ordering broken: tor=%v pod=%v dc=%v",
+			simtime.Duration(tor), simtime.Duration(pod), simtime.Duration(dc))
+	}
+	if !strings.Contains(pm.Report(), "pingmesh") {
+		t.Fatal("report")
+	}
+}
+
+func TestPingmeshDetectsDeadServer(t *testing.T) {
+	k := sim.NewKernel(2)
+	net, err := topology.Build(k, topology.RackSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := NewPingmesh(k, DefaultPingmesh())
+	pm.AddPair(net, net.Server(0, 0, 0), net.Server(0, 0, 1))
+	pm.AddPair(net, net.Server(0, 0, 2), net.Server(0, 0, 3))
+	// Server 3 dies: its NIC pipeline stops (probes never answered).
+	net.Server(0, 0, 3).NIC.SetMalfunction(true)
+	pm.Start()
+	k.RunUntil(simtime.Time(time1s()))
+	if pm.Failures[ScopeToR] == 0 {
+		t.Fatal("probes to a dead server must fail")
+	}
+	if pm.RTT[ScopeToR].Count() == 0 {
+		t.Fatal("healthy pair must keep answering")
+	}
+}
+
+func time1s() simtime.Duration { return simtime.Second }
+
+func TestCollectorSeries(t *testing.T) {
+	k := sim.NewKernel(3)
+	net, err := topology.Build(k, topology.RackSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(k, 10*simtime.Millisecond)
+	col.WatchSwitch(net.Tors[0])
+	for _, s := range net.Servers {
+		col.WatchNIC(s.NIC)
+	}
+	// Incast to generate pause frames.
+	qa, _ := net.QPPair(net.Server(0, 0, 0), net.Server(0, 0, 2), nil)
+	qb, _ := net.QPPair(net.Server(0, 0, 1), net.Server(0, 0, 2), nil)
+	(&workload.Streamer{QP: qa, Size: 1 << 20}).Start(4)
+	(&workload.Streamer{QP: qb, Size: 1 << 20}).Start(4)
+	k.RunUntil(simtime.Time(200 * simtime.Millisecond))
+
+	s := col.Series["tor-0-0/pause_tx"]
+	if s == nil || len(s.Samples) < 15 {
+		t.Fatalf("pause_tx series missing or short: %+v", s)
+	}
+	if s.Sum() == 0 {
+		t.Fatal("no pause frames recorded during incast")
+	}
+	if col.TotalPauseRx() == 0 {
+		t.Fatal("NIC-side pause counters missing")
+	}
+	tx := col.Series["tor-0-0/tx_frames"]
+	if tx.Sum() == 0 {
+		t.Fatal("traffic counters missing")
+	}
+}
+
+func TestConfigDriftDetection(t *testing.T) {
+	k := sim.NewKernel(4)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := net.Tors[0]
+	cs := NewConfigStore()
+	cs.RegisterReader(sw.Name(), SwitchConfigReader(sw))
+	// Desired matches running: no drift.
+	cs.SetDesired(sw.Name(), map[string]string{"alpha": "1/16", "dynamic": "true"})
+	if drifts := cs.Check(); len(drifts) != 0 {
+		t.Fatalf("unexpected drift: %v", drifts)
+	}
+	// The 07/12/2015 incident: operator expects 1/16, device runs 1/64.
+	cs.SetDesired(sw.Name(), map[string]string{"alpha": "1/64"})
+	drifts := cs.Check()
+	if len(drifts) != 1 || drifts[0].Key != "alpha" {
+		t.Fatalf("drift detection: %v", drifts)
+	}
+	if !strings.Contains(drifts[0].String(), "alpha") {
+		t.Fatal("drift string")
+	}
+	// Unreadable device: every desired key drifts.
+	cs.SetDesired("ghost", map[string]string{"alpha": "1/16"})
+	if len(cs.Check()) != 2 {
+		t.Fatal("missing reader must surface as drift")
+	}
+}
+
+func TestIncidentDetectorFlagsStorm(t *testing.T) {
+	k := sim.NewKernel(5)
+	net, err := topology.Build(k, topology.RackSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(k, 10*simtime.Millisecond)
+	for _, s := range net.Servers {
+		col.WatchNIC(s.NIC)
+	}
+	col.WatchSwitch(net.Tors[0])
+	// The paper's storm: >2000 pause frames/second = >20 per 10ms
+	// interval.
+	det := NewIncidentDetector(col, 20)
+	// Quiet fabric: no alerts.
+	k.RunUntil(simtime.Time(100 * simtime.Millisecond))
+	if alerts := det.Scan(k.Now()); len(alerts) != 0 {
+		t.Fatalf("false alerts: %v", alerts)
+	}
+	// A NIC storms.
+	net.Server(0, 0, 0).NIC.SetMalfunction(true)
+	k.RunUntil(simtime.Time(300 * simtime.Millisecond))
+	alerts := det.Scan(k.Now())
+	if len(alerts) == 0 {
+		t.Fatal("storm not detected")
+	}
+	found := false
+	for _, a := range alerts {
+		if strings.Contains(a.Reason, "pause storm") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no storm alert in %v", alerts)
+	}
+}

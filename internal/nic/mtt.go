@@ -1,0 +1,58 @@
+package nic
+
+import "container/list"
+
+// MTTConfig models the NIC's memory translation table cache: the paper's
+// NIC holds only 2K entries, so at a 4 KB page size just 8 MB of
+// registered memory is covered — the root cause of the slow-receiver
+// symptom. Raising the page size to 2 MB was the paper's NIC-side
+// mitigation.
+type MTTConfig struct {
+	// Entries is the on-NIC cache capacity (2048 in the paper).
+	Entries int
+	// PageSize is the translation granularity in bytes (4 KB or 2 MB).
+	PageSize int
+	// RegionBytes is the registered memory the workload touches.
+	RegionBytes int64
+}
+
+// MTT is an LRU translation cache.
+type MTT struct {
+	cfg   MTTConfig
+	order *list.List // front = most recent
+	pages map[int64]*list.Element
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewMTT builds the cache.
+func NewMTT(cfg MTTConfig) *MTT {
+	if cfg.Entries <= 0 || cfg.PageSize <= 0 {
+		panic("nic: invalid MTT config")
+	}
+	return &MTT{cfg: cfg, order: list.New(), pages: make(map[int64]*list.Element)}
+}
+
+// Lookup translates a virtual address and reports whether it hit the
+// cache. A miss installs the entry, evicting the least recently used.
+func (m *MTT) Lookup(va int64) bool {
+	page := va / int64(m.cfg.PageSize)
+	if e, ok := m.pages[page]; ok {
+		m.order.MoveToFront(e)
+		m.Hits++
+		return true
+	}
+	m.Misses++
+	if m.order.Len() >= m.cfg.Entries {
+		old := m.order.Back()
+		m.order.Remove(old)
+		delete(m.pages, old.Value.(int64))
+	}
+	m.pages[page] = m.order.PushFront(page)
+	return false
+}
+
+// Coverage returns the bytes of registered memory the cache can map at
+// once.
+func (m *MTT) Coverage() int64 { return int64(m.cfg.Entries) * int64(m.cfg.PageSize) }

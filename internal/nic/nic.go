@@ -1,0 +1,421 @@
+// Package nic models the RoCEv2-capable RDMA NIC of the paper: the
+// receive pipeline with its buffer-threshold PFC generation, the MTT
+// cache behind the slow-receiver symptom, the malfunction mode that
+// produces NIC PFC pause frame storms, the micro-controller watchdog that
+// contains them, and the transmit scheduler that serves queue pairs under
+// DCQCN pacing.
+package nic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rocesim/internal/link"
+	"rocesim/internal/packet"
+	"rocesim/internal/pfc"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+// WatchdogConfig tunes the NIC-side PFC storm watchdog (the
+// micro-controller that monitors the receive pipeline).
+type WatchdogConfig struct {
+	Enabled bool
+	// Window is how long the pipeline must be stopped while generating
+	// pauses before pause generation is disabled (paper default:
+	// 100 ms).
+	Window simtime.Duration
+	// Poll is the micro-controller's sampling period.
+	Poll simtime.Duration
+}
+
+// DefaultWatchdog returns the paper's NIC watchdog settings.
+func DefaultWatchdog() WatchdogConfig {
+	return WatchdogConfig{Enabled: true, Window: 100 * simtime.Millisecond, Poll: 10 * simtime.Millisecond}
+}
+
+// Config parameterizes a NIC.
+type Config struct {
+	Name string
+	MAC  packet.MAC
+	IP   packet.Addr
+	// RxBufBytes is the receive buffer; RxXOFF/RxXON are the PFC
+	// thresholds over it.
+	RxBufBytes int
+	RxXOFF     int
+	RxXON      int
+	// ProcTime is the per-packet base cost of the receive pipeline.
+	ProcTime simtime.Duration
+	// MTT, when non-nil, charges a MissPenalty per translation miss —
+	// the slow-receiver symptom.
+	MTT         *MTTConfig
+	MissPenalty simtime.Duration
+	// LosslessMask is the priorities the NIC pauses when its buffer
+	// fills.
+	LosslessMask uint8
+	Watchdog     WatchdogConfig
+}
+
+// DefaultConfig returns a 40GbE-class NIC: 512 KB receive buffer with
+// XOFF/XON at 384/256 KB, 25 ns per-packet pipeline (40 Mpps), lossless
+// priorities 3 and 4.
+func DefaultConfig(name string, mac packet.MAC, ip packet.Addr) Config {
+	return Config{
+		Name:         name,
+		MAC:          mac,
+		IP:           ip,
+		RxBufBytes:   512 << 10,
+		RxXOFF:       384 << 10,
+		RxXON:        256 << 10,
+		ProcTime:     25 * simtime.Nanosecond,
+		LosslessMask: 1<<3 | 1<<4,
+	}
+}
+
+// Stats counts NIC-level events.
+type Stats struct {
+	RxFrames      uint64
+	RxBytes       uint64
+	TxFrames      uint64
+	RxPause       uint64
+	TxPause       uint64
+	MACMismatch   uint64
+	RxOverflow    uint64 // receive buffer exhausted (lossless violation)
+	UnknownQP     uint64
+	WatchdogTrips uint64
+}
+
+// NIC is one RDMA-capable network interface.
+type NIC struct {
+	k   *sim.Kernel
+	cfg Config
+	lk  *link.Link
+	eg  *link.Egress
+
+	pauser *pfc.Refresher
+	rng    *rand.Rand
+	ipid   uint16
+
+	qps     map[uint32]*transport.QP
+	order   []uint32
+	rrIdx   int
+	txArmed sim.Handle
+
+	rxQueue  []*packet.Packet
+	rxBytes  int
+	busy     bool
+	lastProc simtime.Time
+	mtt      *MTT
+	// Malfunction models the receive-pipeline bug behind the paper's
+	// PFC storms: the pipeline stops and the NIC pauses its ToR
+	// continuously.
+	malfunction bool
+	wd          *pfc.Watchdog
+
+	// OnHostPacket receives non-RoCE IP packets (the kernel TCP path).
+	// TCP bypasses the RDMA receive pipeline: real NICs steer it to
+	// separate host rings.
+	OnHostPacket func(*packet.Packet)
+
+	S Stats
+}
+
+var _ link.Endpoint = (*NIC)(nil)
+
+// New creates a NIC.
+func New(k *sim.Kernel, cfg Config) *NIC {
+	if cfg.RxXON <= 0 || cfg.RxXOFF <= cfg.RxXON || cfg.RxBufBytes < cfg.RxXOFF {
+		panic(fmt.Sprintf("nic %s: inconsistent rx thresholds", cfg.Name))
+	}
+	n := &NIC{
+		k:   k,
+		cfg: cfg,
+		rng: k.Rand("nic/" + cfg.Name),
+		qps: make(map[uint32]*transport.QP),
+		wd:  pfc.NewWatchdog(cfg.Watchdog.Window),
+	}
+	if cfg.MTT != nil {
+		n.mtt = NewMTT(*cfg.MTT)
+	}
+	if cfg.Watchdog.Enabled {
+		k.NewTicker(cfg.Watchdog.Poll, n.pollWatchdog)
+	}
+	return n
+}
+
+// Attach connects the NIC to side of l (its single port).
+func (n *NIC) Attach(l *link.Link, side int) {
+	n.lk = l
+	n.eg = link.NewEgress(n.k, l, side)
+	n.eg.OnTransmit = func(it link.Item) {
+		n.S.TxFrames++
+		n.txKick()
+	}
+	n.pauser = pfc.NewRefresher(n.cfg.MAC, l.Rate(),
+		func(p *packet.Packet) {
+			n.S.TxPause++
+			n.eg.EnqueueControl(p)
+		},
+		n.k.Now,
+		func(d simtime.Duration, fn func()) func() bool { return n.k.After(d, fn).Cancel })
+	l.Attach(side, n, 0)
+}
+
+// Name returns the NIC name.
+func (n *NIC) Name() string { return n.cfg.Name }
+
+// Now returns the simulated clock (for layers above the NIC that stamp
+// completions).
+func (n *NIC) Now() simtime.Time { return n.k.Now() }
+
+// MAC returns the NIC's MAC address.
+func (n *NIC) MAC() packet.MAC { return n.cfg.MAC }
+
+// IP returns the NIC's IP address.
+func (n *NIC) IP() packet.Addr { return n.cfg.IP }
+
+// Config returns the NIC's configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// Egress exposes the transmit queue (tests, monitoring).
+func (n *NIC) Egress() *link.Egress { return n.eg }
+
+// Pauser exposes the PFC generator (tests, monitoring).
+func (n *NIC) Pauser() *pfc.Refresher { return n.pauser }
+
+// MTT exposes the translation cache (nil when not configured).
+func (n *NIC) MTT() *MTT { return n.mtt }
+
+// RxQueueBytes returns the receive-buffer occupancy.
+func (n *NIC) RxQueueBytes() int { return n.rxBytes }
+
+// SetMalfunction switches the receive-pipeline bug on or off. While on,
+// the NIC processes nothing and generates pause frames continuously —
+// the PFC storm.
+func (n *NIC) SetMalfunction(on bool) {
+	n.malfunction = on
+	if on {
+		n.pauseAll()
+	} else {
+		n.startPipeline()
+	}
+}
+
+// Malfunctioning reports the malfunction state.
+func (n *NIC) Malfunctioning() bool { return n.malfunction }
+
+// PauseDisabled reports whether the watchdog has cut off pause
+// generation.
+func (n *NIC) PauseDisabled() bool { return n.pauser.Disabled }
+
+func (n *NIC) pauseAll() {
+	for pri := 0; pri < 8; pri++ {
+		if n.cfg.LosslessMask&(1<<uint(pri)) != 0 {
+			n.pauser.Pause(pri)
+		}
+	}
+}
+
+func (n *NIC) resumeAll() {
+	for pri := 0; pri < 8; pri++ {
+		if n.cfg.LosslessMask&(1<<uint(pri)) != 0 {
+			n.pauser.Resume(pri)
+		}
+	}
+}
+
+// CreateQP registers a queue pair on this NIC. The transport fills
+// SrcMAC/SrcIP from the NIC.
+func (n *NIC) CreateQP(cfg transport.Config) *transport.QP {
+	cfg.SrcMAC = n.cfg.MAC
+	cfg.SrcIP = n.cfg.IP
+	if cfg.SrcPort == 0 {
+		cfg.SrcPort = uint16(49152 + n.rng.Intn(16384))
+	}
+	q := transport.New(qpEndpoint{n}, cfg)
+	if _, dup := n.qps[cfg.QPN]; dup {
+		panic(fmt.Sprintf("nic %s: duplicate QPN %d", n.cfg.Name, cfg.QPN))
+	}
+	n.qps[cfg.QPN] = q
+	n.order = append(n.order, cfg.QPN)
+	return q
+}
+
+// QP returns a registered queue pair.
+func (n *NIC) QP(qpn uint32) *transport.QP { return n.qps[qpn] }
+
+// SendHostPacket transmits a host-stack (e.g. TCP) packet at the given
+// priority. The NIC stamps its source MAC.
+func (n *NIC) SendHostPacket(p *packet.Packet, pri int) {
+	p.Eth.Src = n.cfg.MAC
+	n.eg.Enqueue(link.Item{P: p, Pri: pri, IngressPort: -1, PG: -1})
+}
+
+// qpEndpoint adapts the NIC to transport.Endpoint.
+type qpEndpoint struct{ n *NIC }
+
+func (e qpEndpoint) Now() simtime.Time { return e.n.k.Now() }
+func (e qpEndpoint) After(d simtime.Duration, fn func()) sim.Handle {
+	return e.n.k.After(d, fn)
+}
+func (e qpEndpoint) Kick()            { e.n.txKick() }
+func (e qpEndpoint) Rand() *rand.Rand { return e.n.rng }
+func (e qpEndpoint) NextIPID() uint16 {
+	e.n.ipid++
+	return e.n.ipid
+}
+
+// txKick runs the transmit scheduler: feed the egress while it is
+// shallow, round-robin over ready QPs.
+func (n *NIC) txKick() {
+	if n.eg == nil {
+		return
+	}
+	now := n.k.Now()
+	for n.eg.TotalQueued() < 4096 { // keep ~3 frames of backlog
+		var earliest simtime.Time = simtime.Forever
+		sent := false
+		for i := 0; i < len(n.order); i++ {
+			qpn := n.order[(n.rrIdx+i)%len(n.order)]
+			q := n.qps[qpn]
+			at := q.NextReady(now)
+			if at.After(now) {
+				if at.Before(earliest) {
+					earliest = at
+				}
+				continue
+			}
+			p := q.Pop(now)
+			if p == nil {
+				continue
+			}
+			n.rrIdx = (n.rrIdx + i + 1) % len(n.order)
+			pri := q.Config().Priority
+			n.eg.Enqueue(link.Item{P: p, Pri: pri, IngressPort: -1, PG: -1})
+			sent = true
+			break
+		}
+		if !sent {
+			if earliest != simtime.Forever {
+				if n.txArmed.Pending() {
+					n.txArmed.Cancel()
+				}
+				n.txArmed = n.k.At(earliest, n.txKick)
+			}
+			return
+		}
+	}
+}
+
+// Receive implements link.Endpoint.
+func (n *NIC) Receive(_ int, p *packet.Packet) {
+	n.S.RxFrames++
+	n.S.RxBytes += uint64(p.WireLen())
+
+	if p.IsPause() {
+		n.S.RxPause++
+		n.eg.Pause.Handle(n.k.Now(), p.Pause)
+		n.eg.Kick()
+		return
+	}
+	if p.Eth.Dst != n.cfg.MAC && !p.Eth.Dst.IsMulticast() {
+		n.S.MACMismatch++
+		return
+	}
+	// CNPs are handled by a dedicated fast path in hardware, bypassing
+	// the data pipeline.
+	if p.IsCNP() {
+		if q := n.qps[p.BTH.DestQP]; q != nil {
+			q.HandlePacket(p)
+		}
+		return
+	}
+	// Host (non-RoCE) traffic is steered to the kernel's own rings and
+	// does not contend with the RDMA receive pipeline.
+	if p.BTH == nil {
+		if n.OnHostPacket != nil {
+			n.OnHostPacket(p)
+		}
+		return
+	}
+
+	// Receive buffer admission.
+	size := p.WireLen()
+	if n.rxBytes+size > n.cfg.RxBufBytes {
+		n.S.RxOverflow++
+		return
+	}
+	n.rxBytes += size
+	n.rxQueue = append(n.rxQueue, p)
+	if n.rxBytes >= n.cfg.RxXOFF || n.malfunction {
+		n.pauseAll()
+	}
+	n.startPipeline()
+}
+
+// startPipeline begins processing the head of the receive queue.
+func (n *NIC) startPipeline() {
+	if n.busy || n.malfunction || len(n.rxQueue) == 0 {
+		return
+	}
+	n.busy = true
+	p := n.rxQueue[0]
+	d := n.cfg.ProcTime
+	if n.mtt != nil && p.BTH != nil && p.PayloadLen > 0 {
+		// Each payload lands at an address within the registered
+		// region; a translation miss stalls the pipeline.
+		va := n.rng.Int63n(n.cfg.MTT.RegionBytes)
+		if !n.mtt.Lookup(va) {
+			d += n.cfg.MissPenalty
+		}
+	}
+	n.k.After(d, func() {
+		n.busy = false
+		if n.malfunction {
+			return // pipeline died mid-packet
+		}
+		if len(n.rxQueue) == 0 {
+			return
+		}
+		q := n.rxQueue[0]
+		n.rxQueue = n.rxQueue[1:]
+		n.rxBytes -= q.WireLen()
+		n.lastProc = n.k.Now()
+		if n.rxBytes <= n.cfg.RxXON {
+			n.resumeAll()
+		}
+		n.dispatch(q)
+		n.startPipeline()
+	})
+}
+
+// dispatch hands a processed packet to its QP.
+func (n *NIC) dispatch(p *packet.Packet) {
+	if p.BTH == nil {
+		return // non-RoCE traffic is the host stack's problem, not ours
+	}
+	q := n.qps[p.BTH.DestQP]
+	if q == nil {
+		n.S.UnknownQP++
+		return
+	}
+	q.HandlePacket(p)
+}
+
+// pollWatchdog is the micro-controller: if the receive pipeline has been
+// stopped for the window while the NIC generates pause frames, disable
+// pause generation permanently (the paper: the NIC never comes back; the
+// server gets repaired out of band).
+func (n *NIC) pollWatchdog() {
+	now := n.k.Now()
+	// "Stopped" means no packet has completed the pipeline since the
+	// last poll while there is work (or the pipeline is dead); the
+	// Watchdog itself enforces the 100 ms persistence window.
+	stopped := (n.malfunction || len(n.rxQueue) > 0) && now.Sub(n.lastProc) >= n.cfg.Watchdog.Poll
+	pausing := n.pauser.Engaged() != 0 && !n.pauser.Disabled
+	if n.wd.Observe(now, stopped && pausing) {
+		n.S.WatchdogTrips++
+		n.pauser.Disabled = true
+	}
+}

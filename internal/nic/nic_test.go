@@ -1,0 +1,515 @@
+package nic
+
+import (
+	"testing"
+
+	"rocesim/internal/dcqcn"
+	"rocesim/internal/fabric"
+	"rocesim/internal/link"
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+const g40 = 40 * simtime.Gbps
+
+// rig is N NICs hanging off one ToR.
+type rig struct {
+	k    *sim.Kernel
+	sw   *fabric.Switch
+	nics []*NIC
+}
+
+func newRig(t *testing.T, k *sim.Kernel, n int, swCfg fabric.Config, nicCfg func(i int, c *Config)) *rig {
+	t.Helper()
+	sw, err := fabric.NewSwitch(k, swCfg, packet.MAC{0x02, 0xff, 0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{k: k, sw: sw}
+	for i := 0; i < n; i++ {
+		mac := packet.MAC{0x02, 0, 0, 0, 1, byte(i + 1)}
+		ip := packet.IPv4Addr(10, 0, 0, byte(i+1))
+		cfg := DefaultConfig("nic", mac, ip)
+		if nicCfg != nil {
+			nicCfg(i, &cfg)
+		}
+		nc := New(k, cfg)
+		l := link.New(k, g40, 10*simtime.Nanosecond)
+		sw.AttachLink(i, l, 0, mac, true)
+		nc.Attach(l, 1)
+		sw.SetARP(ip, mac)
+		sw.LearnMAC(mac, i)
+		r.nics = append(r.nics, nc)
+	}
+	sw.AddRoute(fabric.Route{Prefix: packet.IPv4Addr(10, 0, 0, 0), Bits: 24, Local: true})
+	return r
+}
+
+// pair wires QP a→b (and the reverse direction QP for ACKs/responses is
+// the same QP object on each side: QPN x on A talks to QPN y on B).
+func (r *rig) pair(ai, bi int, qpnA, qpnB uint32, mod func(c *transport.Config)) (qa, qb *transport.QP) {
+	cfgA := transport.Config{
+		QPN: qpnA, PeerQPN: qpnB,
+		DstIP: r.nics[bi].IP(), GwMAC: r.sw.MAC(),
+		Priority: 3, MTU: 1024, Recovery: transport.GoBackN,
+	}
+	cfgB := transport.Config{
+		QPN: qpnB, PeerQPN: qpnA,
+		DstIP: r.nics[ai].IP(), GwMAC: r.sw.MAC(),
+		Priority: 3, MTU: 1024, Recovery: transport.GoBackN,
+	}
+	if mod != nil {
+		mod(&cfgA)
+		mod(&cfgB)
+		cfgB.QPN, cfgB.PeerQPN = qpnB, qpnA
+		cfgB.DstIP = r.nics[ai].IP()
+	}
+	return r.nics[ai].CreateQP(cfgA), r.nics[bi].CreateQP(cfgB)
+}
+
+func TestSendMessageDelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	r := newRig(t, k, 2, fabric.DefaultConfig("tor", 4), nil)
+	qa, qb := r.pair(0, 1, 100, 200, nil)
+
+	var completed int
+	var delivered []int
+	qb.OnMessage = func(_ transport.OpKind, size int) { delivered = append(delivered, size) }
+	for i := 0; i < 5; i++ {
+		qa.Post(transport.OpSend, 4<<20, func(_, _ simtime.Time) { completed++ })
+	}
+	k.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	if completed != 5 {
+		t.Fatalf("completed %d/5 sends", completed)
+	}
+	if len(delivered) != 5 {
+		t.Fatalf("delivered %d messages", len(delivered))
+	}
+	for _, sz := range delivered {
+		if sz != 4<<20 {
+			t.Fatalf("message size %d", sz)
+		}
+	}
+	// Throughput sanity: 20 MB in under 10ms means >16 Gb/s achieved.
+	if qa.S.PacketsRetx != 0 || qa.S.Timeouts != 0 {
+		t.Fatalf("unexpected retx on a clean network: %+v", qa.S)
+	}
+}
+
+func TestWriteAndReadDelivery(t *testing.T) {
+	k := sim.NewKernel(2)
+	r := newRig(t, k, 2, fabric.DefaultConfig("tor", 4), nil)
+	qa, qb := r.pair(0, 1, 100, 200, nil)
+
+	var wrote, read bool
+	qa.Post(transport.OpWrite, 1<<20, func(_, _ simtime.Time) { wrote = true })
+	k.RunUntil(simtime.Time(2 * simtime.Millisecond))
+	if !wrote {
+		t.Fatal("WRITE did not complete")
+	}
+	// B reads 1MB from A.
+	qb.Post(transport.OpRead, 1<<20, func(_, _ simtime.Time) { read = true })
+	k.RunUntil(simtime.Time(4 * simtime.Millisecond))
+	if !read {
+		t.Fatal("READ did not complete")
+	}
+	if qb.S.BytesDelivered < 1<<20 {
+		t.Fatalf("read delivered %d bytes", qb.S.BytesDelivered)
+	}
+}
+
+func TestThroughputNearLineRate(t *testing.T) {
+	k := sim.NewKernel(3)
+	r := newRig(t, k, 2, fabric.DefaultConfig("tor", 4), nil)
+	qa, _ := r.pair(0, 1, 100, 200, nil)
+	done := 0
+	var post func()
+	post = func() {
+		qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) {
+			done++
+			post()
+		})
+	}
+	for i := 0; i < 4; i++ {
+		post()
+	}
+	k.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	// 40 Gb/s for 10 ms = 50 MB ≈ 47 ×1MB messages at best; payload
+	// efficiency 1024/1106 ≈ 0.926 → ~44. Expect at least 40.
+	if done < 40 {
+		t.Fatalf("only %d MB in 10ms; want ≥40 (near line rate)", done)
+	}
+}
+
+// livelockRig runs the Section 4.1 experiment: 4MB messages across a
+// switch that deterministically drops IP-ID-LSB==0xff packets (1/256).
+func livelockRig(t *testing.T, rec transport.Recovery, kind transport.OpKind) (completed int, bytes uint64) {
+	k := sim.NewKernel(4)
+	cfg := fabric.DefaultConfig("tor", 4)
+	cfg.ECN.Enabled = false
+	r := newRig(t, k, 2, cfg, nil)
+	r.sw.DropFn = func(p *packet.Packet) bool {
+		return p.IP != nil && p.IP.ID&0xff == 0xff
+	}
+	qa, qb := r.pair(0, 1, 100, 200, func(c *transport.Config) {
+		c.Recovery = rec
+		c.RetxTimeout = 200 * simtime.Microsecond
+	})
+
+	requester := qa
+	sink := qb
+	if kind == transport.OpRead {
+		// B reads from A (the paper's third experiment).
+		requester = qb
+		sink = qa
+	}
+	var post func()
+	post = func() {
+		requester.Post(kind, 4<<20, func(_, _ simtime.Time) {
+			completed++
+			post()
+		})
+	}
+	post()
+	post()
+	k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+	if kind == transport.OpRead {
+		return completed, requester.S.BytesDelivered
+	}
+	return completed, sink.S.BytesDelivered
+}
+
+func TestLivelockGoBack0(t *testing.T) {
+	for _, kind := range []transport.OpKind{transport.OpSend, transport.OpWrite, transport.OpRead} {
+		completed, _ := livelockRig(t, transport.GoBack0, kind)
+		if completed != 0 {
+			t.Errorf("%v go-back-0: %d messages completed; the paper observed zero goodput", kind, completed)
+		}
+	}
+}
+
+func TestGoBackNEscapesLivelock(t *testing.T) {
+	for _, kind := range []transport.OpKind{transport.OpSend, transport.OpWrite, transport.OpRead} {
+		completed, _ := livelockRig(t, transport.GoBackN, kind)
+		// 50ms at ≤40G is ≤250MB; 4MB messages: up to ~55. With 0.4%
+		// loss and go-back-N waste, expect a healthy fraction.
+		if completed < 10 {
+			t.Errorf("%v go-back-N: only %d messages in 50ms", kind, completed)
+		}
+	}
+}
+
+func TestLivelockLinkStaysBusy(t *testing.T) {
+	// The paper: "the link was fully utilized with line rate, yet the
+	// application was not making any progress."
+	k := sim.NewKernel(5)
+	cfg := fabric.DefaultConfig("tor", 4)
+	cfg.ECN.Enabled = false
+	r := newRig(t, k, 2, cfg, nil)
+	r.sw.DropFn = func(p *packet.Packet) bool {
+		return p.IP != nil && p.IP.ID&0xff == 0xff
+	}
+	qa, _ := r.pair(0, 1, 100, 200, func(c *transport.Config) {
+		c.Recovery = transport.GoBack0
+		c.RetxTimeout = 200 * simtime.Microsecond
+	})
+	done := 0
+	qa.Post(transport.OpSend, 4<<20, func(_, _ simtime.Time) { done++ })
+	k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+	if done != 0 {
+		t.Fatal("expected zero goodput")
+	}
+	// Sender kept transmitting the whole time (livelock, not deadlock).
+	sent := qa.S.PacketsSent
+	if sent < 100000 {
+		t.Fatalf("sender transmitted only %d packets in 50ms; link should be busy", sent)
+	}
+}
+
+func TestDCQCNReducesPauses(t *testing.T) {
+	run := func(withDCQCN bool) (pauses uint64, delivered uint64) {
+		k := sim.NewKernel(6)
+		cfg := fabric.DefaultConfig("tor", 8)
+		r := newRig(t, k, 3, cfg, nil)
+		params := dcqcn.DefaultParams(g40)
+		mod := func(c *transport.Config) {
+			if withDCQCN {
+				c.DCQCN = &params
+			}
+		}
+		qa, _ := r.pair(0, 2, 100, 200, mod)
+		qc, _ := r.pair(1, 2, 101, 201, mod)
+		var post func(q *transport.QP) func()
+		post = func(q *transport.QP) func() {
+			var f func()
+			f = func() {
+				q.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() })
+			}
+			return f
+		}
+		post(qa)()
+		post(qc)()
+		k.RunUntil(simtime.Time(20 * simtime.Millisecond))
+		return r.sw.C.PauseTx, qa.S.BytesSent + qc.S.BytesSent
+	}
+	pausesOff, _ := run(false)
+	pausesOn, _ := run(true)
+	if pausesOff == 0 {
+		t.Fatal("incast without DCQCN should generate pauses")
+	}
+	if pausesOn*2 > pausesOff {
+		t.Fatalf("DCQCN should cut pauses sharply: %d -> %d", pausesOff, pausesOn)
+	}
+}
+
+func TestDCQCNConvergesToFairShare(t *testing.T) {
+	k := sim.NewKernel(7)
+	cfg := fabric.DefaultConfig("tor", 8)
+	r := newRig(t, k, 3, cfg, nil)
+	params := dcqcn.DefaultParams(g40)
+	mod := func(c *transport.Config) { c.DCQCN = &params }
+	qa, _ := r.pair(0, 2, 100, 200, mod)
+	qc, _ := r.pair(1, 2, 101, 201, mod)
+	mk := func(q *transport.QP) {
+		var f func()
+		f = func() { q.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() }) }
+		f()
+	}
+	mk(qa)
+	mk(qc)
+	k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+	ra, rc := float64(qa.S.BytesSent), float64(qc.S.BytesSent)
+	ratio := ra / rc
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("unfair split under DCQCN: %.0f vs %.0f bytes (ratio %.2f)", ra, rc, ratio)
+	}
+	// Combined goodput should still be near the bottleneck rate.
+	total := (ra + rc) * 8 / 0.05 // bits/sec over 50ms
+	if total < 0.6*40e9 {
+		t.Fatalf("combined rate %.1f Gb/s too low", total/1e9)
+	}
+}
+
+func TestNICStormWatchdogDisablesPauses(t *testing.T) {
+	k := sim.NewKernel(8)
+	r := newRig(t, k, 2, fabric.DefaultConfig("tor", 4), func(i int, c *Config) {
+		c.Watchdog = DefaultWatchdog()
+	})
+	bad := r.nics[0]
+	bad.SetMalfunction(true)
+	k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+	if bad.S.TxPause == 0 {
+		t.Fatal("malfunctioning NIC should storm pauses")
+	}
+	if bad.PauseDisabled() {
+		t.Fatal("watchdog tripped before its 100ms window")
+	}
+	k.RunUntil(simtime.Time(300 * simtime.Millisecond))
+	if !bad.PauseDisabled() {
+		t.Fatal("watchdog never tripped")
+	}
+	if bad.S.WatchdogTrips != 1 {
+		t.Fatalf("trips %d", bad.S.WatchdogTrips)
+	}
+	// After the trip, the storm stops: pause count plateaus.
+	n0 := bad.S.TxPause
+	k.RunUntil(simtime.Time(400 * simtime.Millisecond))
+	if bad.S.TxPause != n0 {
+		t.Fatal("pauses kept flowing after watchdog trip")
+	}
+	// And the ToR's egress toward the NIC recovers once quanta expire.
+	if r.sw.Egress(0).Pause.Paused(k.Now(), 3) {
+		t.Fatal("switch egress still paused long after storm ended")
+	}
+}
+
+func TestHealthyNICWatchdogStaysQuiet(t *testing.T) {
+	k := sim.NewKernel(9)
+	r := newRig(t, k, 2, fabric.DefaultConfig("tor", 4), func(i int, c *Config) {
+		c.Watchdog = DefaultWatchdog()
+	})
+	qa, _ := r.pair(0, 1, 100, 200, nil)
+	var f func()
+	f = func() { qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() }) }
+	f()
+	k.RunUntil(simtime.Time(300 * simtime.Millisecond))
+	for _, nc := range r.nics {
+		if nc.PauseDisabled() || nc.S.WatchdogTrips != 0 {
+			t.Fatal("watchdog tripped on a healthy NIC")
+		}
+	}
+}
+
+func TestSlowReceiverSymptom(t *testing.T) {
+	// Section 4.4: 2K MTT entries with 4KB pages cover 8MB; a workload
+	// touching 1GB misses constantly, the pipeline slows below line
+	// rate, the buffer fills, and the NIC pauses the switch. 2MB pages
+	// cover the region and the symptom disappears.
+	run := func(pageSize int) (pauses uint64, misses uint64) {
+		k := sim.NewKernel(10)
+		cfg := fabric.DefaultConfig("tor", 4)
+		r := newRig(t, k, 2, cfg, func(i int, c *Config) {
+			if i == 1 { // receiver
+				c.MTT = &MTTConfig{Entries: 2048, PageSize: pageSize, RegionBytes: 1 << 30}
+				c.MissPenalty = 600 * simtime.Nanosecond // PCIe round trip
+			}
+		})
+		qa, _ := r.pair(0, 1, 100, 200, nil)
+		var f func()
+		f = func() { qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() }) }
+		f()
+		k.RunUntil(simtime.Time(20 * simtime.Millisecond))
+		return r.nics[1].S.TxPause, r.nics[1].MTT().Misses
+	}
+	pauses4K, misses4K := run(4 << 10)
+	pauses2M, misses2M := run(2 << 20)
+	if misses4K == 0 || pauses4K == 0 {
+		t.Fatalf("4KB pages: misses=%d pauses=%d; expected the slow-receiver symptom", misses4K, pauses4K)
+	}
+	// A handful of pauses during the cold-cache warmup are realistic;
+	// the steady-state symptom must be gone.
+	if pauses2M > 10 || pauses4K < 20*pauses2M {
+		t.Fatalf("2MB pages paused %d times (4KB: %d); symptom not cured", pauses2M, pauses4K)
+	}
+	// With 2MB pages the only misses are the 512 compulsory ones
+	// (1 GB region / 2 MB pages); afterwards the cache covers the whole
+	// region.
+	if misses2M > 512 {
+		t.Fatalf("2MB pages miss beyond the compulsory set: %d", misses2M)
+	}
+}
+
+func TestRxOverflowOnlyWhenPauseDisabled(t *testing.T) {
+	// With functioning PFC the NIC's receive buffer never overflows.
+	k := sim.NewKernel(11)
+	r := newRig(t, k, 3, fabric.DefaultConfig("tor", 4), func(i int, c *Config) {
+		if i == 2 {
+			c.MTT = &MTTConfig{Entries: 64, PageSize: 4 << 10, RegionBytes: 1 << 30}
+			c.MissPenalty = 2 * simtime.Microsecond // brutally slow
+		}
+	})
+	qa, _ := r.pair(0, 2, 100, 200, nil)
+	qb, _ := r.pair(1, 2, 101, 201, nil)
+	mk := func(q *transport.QP) {
+		var f func()
+		f = func() { q.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() }) }
+		f()
+	}
+	mk(qa)
+	mk(qb)
+	k.RunUntil(simtime.Time(20 * simtime.Millisecond))
+	if r.nics[2].S.RxOverflow != 0 {
+		t.Fatalf("receive buffer overflowed %d times despite PFC", r.nics[2].S.RxOverflow)
+	}
+	if r.nics[2].S.TxPause == 0 {
+		t.Fatal("slow receiver should have paused")
+	}
+}
+
+func TestQPRoundRobinFairness(t *testing.T) {
+	k := sim.NewKernel(12)
+	r := newRig(t, k, 2, fabric.DefaultConfig("tor", 4), nil)
+	q1, _ := r.pair(0, 1, 100, 200, nil)
+	q2, _ := r.pair(0, 1, 101, 201, nil)
+	mk := func(q *transport.QP) {
+		var f func()
+		f = func() { q.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() }) }
+		f()
+	}
+	mk(q1)
+	mk(q2)
+	k.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	b1, b2 := float64(q1.S.BytesSent), float64(q2.S.BytesSent)
+	if b1/b2 > 1.2 || b2/b1 > 1.2 {
+		t.Fatalf("QP scheduler unfair: %.0f vs %.0f", b1, b2)
+	}
+}
+
+func TestMTTLRU(t *testing.T) {
+	m := NewMTT(MTTConfig{Entries: 2, PageSize: 4096, RegionBytes: 1 << 20})
+	if m.Lookup(0) {
+		t.Fatal("cold miss expected")
+	}
+	if !m.Lookup(100) {
+		t.Fatal("same page must hit")
+	}
+	m.Lookup(4096)     // second page
+	m.Lookup(0)        // refresh first page
+	m.Lookup(2 * 4096) // evicts page 1 (LRU)
+	if !m.Lookup(0) {
+		t.Fatal("page 0 was refreshed and must have survived eviction")
+	}
+	if m.Lookup(4096) {
+		t.Fatal("evicted page must miss")
+	}
+	if m.Coverage() != 8192 {
+		t.Fatalf("coverage %d", m.Coverage())
+	}
+}
+
+func TestNICConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad thresholds")
+		}
+	}()
+	cfg := DefaultConfig("x", packet.MAC{}, packet.Addr{})
+	cfg.RxXON = cfg.RxXOFF + 1
+	New(sim.NewKernel(1), cfg)
+}
+
+func TestWatchdogInteraction(t *testing.T) {
+	// Section 4.3's "knowledgeable readers" question: the NIC watchdog
+	// silences the storm, the switch watchdog then re-enables lossless
+	// mode for the port, and traffic to the dead NIC dies at the switch
+	// or the NIC without hurting anyone else.
+	k := sim.NewKernel(14)
+	swCfg := fabric.DefaultConfig("tor", 4)
+	swCfg.Watchdog = fabric.DefaultWatchdog()
+	r := newRig(t, k, 3, swCfg, func(i int, c *Config) {
+		// Slow the NIC watchdog so the switch watchdog demonstrably
+		// trips first; the interaction then plays out in full.
+		c.Watchdog = DefaultWatchdog()
+		c.Watchdog.Window = 200 * simtime.Millisecond
+	})
+	// Traffic toward the soon-dead NIC so its port has queued lossless
+	// frames.
+	qa, _ := r.pair(0, 2, 100, 200, nil)
+	var f func()
+	f = func() { qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() }) }
+	f()
+	k.RunUntil(simtime.Time(20 * simtime.Millisecond))
+
+	bad := r.nics[2]
+	bad.SetMalfunction(true)
+	k.RunUntil(simtime.Time(550 * simtime.Millisecond))
+
+	if !bad.PauseDisabled() {
+		t.Fatal("NIC watchdog never tripped")
+	}
+	if r.sw.C.WatchdogTrips == 0 {
+		t.Fatal("switch watchdog never tripped")
+	}
+	// After the NIC stops pausing, the switch re-enables lossless mode.
+	if r.sw.C.WatchdogReenables == 0 {
+		t.Fatal("switch watchdog never re-enabled lossless mode")
+	}
+	if r.sw.LosslessDisabled(2) {
+		t.Fatal("port still in lossless-disabled state after pauses stopped")
+	}
+	// The doomed traffic dies at the switch (watchdog drops) or at the
+	// NIC (receive overflow) — not in anyone else's queues.
+	if r.sw.C.WatchdogDrops == 0 && bad.S.RxOverflow == 0 {
+		t.Fatal("storm traffic neither dropped at switch nor at NIC")
+	}
+	// An innocent flow through the same ToR still moves.
+	qb, _ := r.pair(0, 1, 101, 201, nil)
+	moved := false
+	qb.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { moved = true })
+	k.RunUntil(simtime.Time(600 * simtime.Millisecond))
+	if !moved {
+		t.Fatal("innocent flow strangled despite both watchdogs")
+	}
+}

@@ -1,0 +1,303 @@
+// Package packet defines the wire formats the simulator exchanges:
+// Ethernet II, 802.1Q VLAN tags, IPv4, UDP, the RoCEv2 transport headers
+// (BTH/RETH/AETH and CNP), and IEEE 802.1Qbb PFC pause frames.
+//
+// Every format can be serialized to and parsed from real wire bytes, and
+// the round trip is covered by tests; the simulator's hot path passes
+// *Packet structs around and only consults WireLen, so fidelity costs
+// nothing at run time.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String formats m as colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsZero reports whether m is the all-zero address.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// PFCDestination is the reserved multicast address PFC pause frames are
+// sent to (IEEE 802.1Qbb / 802.3x).
+var PFCDestination = MAC{0x01, 0x80, 0xC2, 0x00, 0x00, 0x01}
+
+// Broadcast is the all-ones Ethernet address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IsMulticast reports whether the group bit is set (includes broadcast).
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// Addr is an IPv4 address. RoCEv2 in the paper runs over IPv4.
+type Addr [4]byte
+
+// String formats a in dotted-quad notation.
+func (a Addr) String() string { return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3]) }
+
+// IPv4Addr builds an address from four octets.
+func IPv4Addr(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+// Uint32 returns the address as a big-endian integer.
+func (a Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// AddrFromUint32 converts a big-endian integer to an address.
+func AddrFromUint32(v uint32) Addr {
+	var a Addr
+	binary.BigEndian.PutUint32(a[:], v)
+	return a
+}
+
+// EtherType values used by the simulator.
+const (
+	EtherTypeIPv4       uint16 = 0x0800
+	EtherTypeVLAN       uint16 = 0x8100
+	EtherTypeMACControl uint16 = 0x8808
+)
+
+// Sizes of the fixed headers, in bytes on the wire.
+const (
+	EthernetHeaderLen = 14
+	EthernetFCSLen    = 4
+	VLANTagLen        = 4
+	IPv4HeaderLen     = 20
+	UDPHeaderLen      = 8
+	BTHLen            = 12
+	RETHLen           = 16
+	AETHLen           = 4
+	ICRCLen           = 4
+	// MinFrameLen is the 802.3 minimum frame size including FCS.
+	MinFrameLen = 64
+	// PauseFrameLen is the PFC pause frame length on the wire including
+	// FCS: 14 (Ethernet) + 2 (opcode) + 2 (CEV) + 16 (quanta) + 26 (pad)
+	// + 4 (FCS) = 64 bytes, the Ethernet minimum.
+	PauseFrameLen = MinFrameLen
+	// RoCEv2Port is the UDP destination port RoCEv2 always uses.
+	RoCEv2Port uint16 = 4791
+)
+
+// ECN is the two-bit IP ECN codepoint.
+type ECN uint8
+
+// ECN codepoints (RFC 3168).
+const (
+	ECNNotECT ECN = 0b00 // not ECN-capable
+	ECNECT1   ECN = 0b01
+	ECNECT0   ECN = 0b10
+	ECNCE     ECN = 0b11 // congestion experienced
+)
+
+// Ethernet is the Ethernet II header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// VLANTag is an 802.1Q tag. The paper's original deployment carried PFC
+// priority in PCP; the DSCP-based design removes the tag entirely.
+type VLANTag struct {
+	PCP uint8  // 3-bit priority code point
+	DEI bool   // drop eligible indicator
+	VID uint16 // 12-bit VLAN ID
+}
+
+// IPv4 is the IPv4 header (no options).
+type IPv4 struct {
+	DSCP     uint8 // 6-bit differentiated services code point
+	ECN      ECN
+	ID       uint16 // identification; NICs in the paper assign it sequentially
+	TTL      uint8
+	Protocol uint8
+	Src, Dst Addr
+	// TotalLen is filled in during serialization from payload size.
+}
+
+// Protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// UDP is the UDP header. RoCEv2 uses a random source port per QP so ECMP
+// spreads different QPs over different paths.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Opcode is the BTH opcode. Values follow the InfiniBand RC opcode space
+// used by RoCEv2, plus the RoCEv2 CNP opcode.
+type Opcode uint8
+
+// BTH opcodes for the reliable-connection service the paper deploys.
+const (
+	OpSendFirst          Opcode = 0x00
+	OpSendMiddle         Opcode = 0x01
+	OpSendLast           Opcode = 0x02
+	OpSendOnly           Opcode = 0x04
+	OpWriteFirst         Opcode = 0x06
+	OpWriteMiddle        Opcode = 0x07
+	OpWriteLast          Opcode = 0x08
+	OpWriteOnly          Opcode = 0x0A
+	OpReadRequest        Opcode = 0x0C
+	OpReadResponseFirst  Opcode = 0x0D
+	OpReadResponseMiddle Opcode = 0x0E
+	OpReadResponseLast   Opcode = 0x0F
+	OpReadResponseOnly   Opcode = 0x10
+	OpAcknowledge        Opcode = 0x11
+	OpCNP                Opcode = 0x81 // RoCEv2 congestion notification packet
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpSendFirst:
+		return "SEND_FIRST"
+	case OpSendMiddle:
+		return "SEND_MIDDLE"
+	case OpSendLast:
+		return "SEND_LAST"
+	case OpSendOnly:
+		return "SEND_ONLY"
+	case OpWriteFirst:
+		return "WRITE_FIRST"
+	case OpWriteMiddle:
+		return "WRITE_MIDDLE"
+	case OpWriteLast:
+		return "WRITE_LAST"
+	case OpWriteOnly:
+		return "WRITE_ONLY"
+	case OpReadRequest:
+		return "READ_REQ"
+	case OpReadResponseFirst:
+		return "READ_RESP_FIRST"
+	case OpReadResponseMiddle:
+		return "READ_RESP_MIDDLE"
+	case OpReadResponseLast:
+		return "READ_RESP_LAST"
+	case OpReadResponseOnly:
+		return "READ_RESP_ONLY"
+	case OpAcknowledge:
+		return "ACK"
+	case OpCNP:
+		return "CNP"
+	default:
+		return fmt.Sprintf("OP(0x%02x)", uint8(o))
+	}
+}
+
+// IsRequest reports whether the opcode is a requester-to-responder packet
+// that consumes a PSN.
+func (o Opcode) IsRequest() bool {
+	switch o {
+	case OpSendFirst, OpSendMiddle, OpSendLast, OpSendOnly,
+		OpWriteFirst, OpWriteMiddle, OpWriteLast, OpWriteOnly,
+		OpReadRequest:
+		return true
+	}
+	return false
+}
+
+// IsReadResponse reports whether the opcode carries READ response data.
+func (o Opcode) IsReadResponse() bool {
+	switch o {
+	case OpReadResponseFirst, OpReadResponseMiddle, OpReadResponseLast, OpReadResponseOnly:
+		return true
+	}
+	return false
+}
+
+// IsFirst reports whether the opcode starts a multi-packet message.
+func (o Opcode) IsFirst() bool {
+	return o == OpSendFirst || o == OpWriteFirst || o == OpReadResponseFirst
+}
+
+// IsLast reports whether the opcode completes a message (LAST or ONLY).
+func (o Opcode) IsLast() bool {
+	switch o {
+	case OpSendLast, OpSendOnly, OpWriteLast, OpWriteOnly,
+		OpReadResponseLast, OpReadResponseOnly:
+		return true
+	}
+	return false
+}
+
+// BTH is the InfiniBand base transport header carried in every RoCEv2
+// packet.
+type BTH struct {
+	Opcode Opcode
+	PadCnt uint8 // pad bytes to 4-byte-align the payload
+	PKey   uint16
+	DestQP uint32 // 24 bits
+	AckReq bool
+	PSN    uint32 // 24 bits
+}
+
+// PSNMask bounds the 24-bit packet sequence number space.
+const PSNMask = 1<<24 - 1
+
+// RETH is the RDMA extended transport header (WRITE first/only, READ
+// request).
+type RETH struct {
+	VA     uint64 // remote virtual address
+	RKey   uint32
+	DMALen uint32
+}
+
+// AETH syndrome types.
+const (
+	AETHAck    uint8 = 0x00 // high bits 000: ACK
+	AETHRNRNak uint8 = 0x20 // 001: receiver-not-ready NAK
+	AETHNak    uint8 = 0x60 // 011: NAK
+)
+
+// NAK codes in the AETH syndrome low bits.
+const (
+	NakPSNSequenceError uint8 = 0x00
+	NakInvalidRequest   uint8 = 0x01
+	NakRemoteAccess     uint8 = 0x02
+	NakRemoteOpError    uint8 = 0x03
+)
+
+// AETH is the ACK extended transport header.
+type AETH struct {
+	Syndrome uint8  // type bits + credit/NAK code
+	MSN      uint32 // 24-bit message sequence number
+}
+
+// IsNak reports whether the syndrome encodes a NAK.
+func (a AETH) IsNak() bool { return a.Syndrome&0x60 == AETHNak }
+
+// NakCode returns the NAK code (meaningful only when IsNak).
+func (a AETH) NakCode() uint8 { return a.Syndrome & 0x1f }
+
+// PFCPause is an IEEE 802.1Qbb priority-based flow control frame. It is an
+// untagged layer-2 MAC control frame in both VLAN-based and DSCP-based PFC
+// (Figure 3 of the paper).
+type PFCPause struct {
+	ClassEnable uint8     // bit i set => Quanta[i] applies to priority i
+	Quanta      [8]uint16 // pause time per class, in 512-bit-time quanta
+}
+
+// PauseOpcode is the MAC control opcode for priority-based pause.
+const PauseOpcode uint16 = 0x0101
+
+// Enabled reports whether priority pri is paused/resumed by this frame.
+func (p PFCPause) Enabled(pri int) bool { return p.ClassEnable&(1<<uint(pri)) != 0 }
+
+// IsResume reports whether the frame resumes (zero quanta) every enabled
+// class.
+func (p PFCPause) IsResume() bool {
+	for i := 0; i < 8; i++ {
+		if p.Enabled(i) && p.Quanta[i] != 0 {
+			return false
+		}
+	}
+	return true
+}

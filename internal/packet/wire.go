@@ -1,0 +1,305 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Serialization errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadChecksum = errors.New("packet: bad IPv4 header checksum")
+	ErrBadFormat   = errors.New("packet: malformed field")
+)
+
+// Marshal serializes the packet to wire bytes, including the Ethernet FCS
+// placeholder (zeroed: the simulator models FCS errors separately) and
+// minimum-frame padding. The result's length equals WireLen, except for
+// TCP packets, whose payload bytes are not materialized.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, p.WireLen())
+	var b [8]byte
+
+	put16 := func(v uint16) {
+		binary.BigEndian.PutUint16(b[:2], v)
+		buf = append(buf, b[:2]...)
+	}
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(b[:4], v)
+		buf = append(buf, b[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(b[:8], v)
+		buf = append(buf, b[:8]...)
+	}
+
+	// Ethernet header.
+	buf = append(buf, p.Eth.Dst[:]...)
+	buf = append(buf, p.Eth.Src[:]...)
+	etherType := p.Eth.EtherType
+	if p.VLAN != nil {
+		put16(EtherTypeVLAN)
+		tci := uint16(p.VLAN.PCP&0x7) << 13
+		if p.VLAN.DEI {
+			tci |= 1 << 12
+		}
+		tci |= p.VLAN.VID & 0x0fff
+		put16(tci)
+		put16(etherType)
+	} else {
+		put16(etherType)
+	}
+
+	switch {
+	case p.Pause != nil:
+		put16(PauseOpcode)
+		put16(uint16(p.Pause.ClassEnable))
+		for i := 0; i < 8; i++ {
+			put16(p.Pause.Quanta[i])
+		}
+	case p.IP != nil:
+		ip := p.IP
+		payload := p.l4Len()
+		total := IPv4HeaderLen + payload
+		hdrStart := len(buf)
+		buf = append(buf, 0x45) // version 4, IHL 5
+		buf = append(buf, ip.DSCP<<2|uint8(ip.ECN))
+		put16(uint16(total))
+		put16(ip.ID)
+		put16(0) // flags+fragment offset: never fragmented in the DC
+		buf = append(buf, ip.TTL, ip.Protocol)
+		put16(0) // checksum placeholder
+		buf = append(buf, ip.Src[:]...)
+		buf = append(buf, ip.Dst[:]...)
+		csum := ipv4Checksum(buf[hdrStart : hdrStart+IPv4HeaderLen])
+		binary.BigEndian.PutUint16(buf[hdrStart+10:hdrStart+12], csum)
+
+		if p.BTH != nil {
+			udpLen := UDPHeaderLen + p.roceLen()
+			put16(p.UDPH.SrcPort)
+			put16(p.UDPH.DstPort)
+			put16(uint16(udpLen))
+			put16(0) // UDP checksum optional over IPv4; RoCEv2 relies on ICRC
+
+			bth := p.BTH
+			buf = append(buf, byte(bth.Opcode))
+			flags := bth.PadCnt & 0x3 << 4 // pad in bits 5:4; tver 0
+			buf = append(buf, flags)
+			put16(bth.PKey)
+			put32(bth.DestQP & 0xffffff)
+			psnWord := bth.PSN & PSNMask
+			if bth.AckReq {
+				psnWord |= 1 << 31
+			}
+			put32(psnWord)
+
+			if p.RETH != nil {
+				put64(p.RETH.VA)
+				put32(p.RETH.RKey)
+				put32(p.RETH.DMALen)
+			}
+			if p.AETH != nil {
+				put32(uint32(p.AETH.Syndrome)<<24 | p.AETH.MSN&0xffffff)
+			}
+			buf = append(buf, make([]byte, p.PayloadLen)...)
+			put32(0) // ICRC placeholder
+		} else {
+			// Raw L4 payload (TCP/UDP model): sizes only.
+			buf = append(buf, make([]byte, payload)...)
+		}
+	default:
+		buf = append(buf, make([]byte, p.PayloadLen)...)
+	}
+
+	// FCS + minimum-size padding.
+	buf = append(buf, make([]byte, EthernetFCSLen)...)
+	for len(buf) < MinFrameLen {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// l4Len is the byte count after the IPv4 header.
+func (p *Packet) l4Len() int {
+	switch {
+	case p.BTH != nil:
+		return UDPHeaderLen + p.roceLen()
+	case p.IP != nil && p.IP.Protocol == ProtoTCP:
+		return p.TCPHdrLen + p.PayloadLen
+	case p.UDPH != nil:
+		return UDPHeaderLen + p.PayloadLen
+	default:
+		return p.PayloadLen
+	}
+}
+
+// roceLen is the BTH + extension headers + payload + ICRC byte count.
+func (p *Packet) roceLen() int {
+	n := BTHLen
+	if p.RETH != nil {
+		n += RETHLen
+	}
+	if p.AETH != nil {
+		n += AETHLen
+	}
+	return n + p.PayloadLen + ICRCLen
+}
+
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Parse decodes wire bytes produced by Marshal back into a Packet. It
+// validates structural invariants (lengths, the IPv4 checksum, the RoCEv2
+// UDP port) and returns a descriptive error for malformed input.
+func Parse(data []byte) (*Packet, error) {
+	if len(data) < MinFrameLen {
+		return nil, fmt.Errorf("%w: frame %d bytes < minimum %d", ErrTruncated, len(data), MinFrameLen)
+	}
+	p := &Packet{}
+	copy(p.Eth.Dst[:], data[0:6])
+	copy(p.Eth.Src[:], data[6:12])
+	et := binary.BigEndian.Uint16(data[12:14])
+	off := 14
+	if et == EtherTypeVLAN {
+		tci := binary.BigEndian.Uint16(data[14:16])
+		p.VLAN = &VLANTag{
+			PCP: uint8(tci >> 13),
+			DEI: tci&(1<<12) != 0,
+			VID: tci & 0x0fff,
+		}
+		et = binary.BigEndian.Uint16(data[16:18])
+		off = 18
+	}
+	p.Eth.EtherType = et
+
+	switch et {
+	case EtherTypeMACControl:
+		if p.VLAN != nil {
+			return nil, fmt.Errorf("%w: pause frame must be untagged", ErrBadFormat)
+		}
+		op := binary.BigEndian.Uint16(data[off : off+2])
+		if op != PauseOpcode {
+			return nil, fmt.Errorf("%w: MAC control opcode 0x%04x", ErrBadFormat, op)
+		}
+		pf := &PFCPause{ClassEnable: uint8(binary.BigEndian.Uint16(data[off+2 : off+4]))}
+		for i := 0; i < 8; i++ {
+			pf.Quanta[i] = binary.BigEndian.Uint16(data[off+4+2*i : off+6+2*i])
+		}
+		p.Pause = pf
+		return p, nil
+
+	case EtherTypeIPv4:
+		if len(data) < off+IPv4HeaderLen {
+			return nil, fmt.Errorf("%w: IPv4 header", ErrTruncated)
+		}
+		hdr := data[off : off+IPv4HeaderLen]
+		if hdr[0] != 0x45 {
+			return nil, fmt.Errorf("%w: version/IHL 0x%02x", ErrBadFormat, hdr[0])
+		}
+		if ipv4Checksum(hdr) != 0 {
+			return nil, ErrBadChecksum
+		}
+		ip := &IPv4{
+			DSCP:     hdr[1] >> 2,
+			ECN:      ECN(hdr[1] & 0x3),
+			ID:       binary.BigEndian.Uint16(hdr[4:6]),
+			TTL:      hdr[8],
+			Protocol: hdr[9],
+		}
+		copy(ip.Src[:], hdr[12:16])
+		copy(ip.Dst[:], hdr[16:20])
+		p.IP = ip
+		total := int(binary.BigEndian.Uint16(hdr[2:4]))
+		if total < IPv4HeaderLen || off+total > len(data) {
+			return nil, fmt.Errorf("%w: IPv4 total length %d", ErrTruncated, total)
+		}
+		l4 := data[off+IPv4HeaderLen : off+total]
+		return p, parseL4(p, l4)
+
+	default:
+		p.PayloadLen = len(data) - off - EthernetFCSLen
+		return p, nil
+	}
+}
+
+func parseL4(p *Packet, l4 []byte) error {
+	switch p.IP.Protocol {
+	case ProtoUDP:
+		if len(l4) < UDPHeaderLen {
+			return fmt.Errorf("%w: UDP header", ErrTruncated)
+		}
+		u := &UDP{
+			SrcPort: binary.BigEndian.Uint16(l4[0:2]),
+			DstPort: binary.BigEndian.Uint16(l4[2:4]),
+		}
+		p.UDPH = u
+		udpLen := int(binary.BigEndian.Uint16(l4[4:6]))
+		if udpLen < UDPHeaderLen || udpLen > len(l4) {
+			return fmt.Errorf("%w: UDP length %d", ErrTruncated, udpLen)
+		}
+		if u.DstPort == RoCEv2Port {
+			return parseRoCE(p, l4[UDPHeaderLen:udpLen])
+		}
+		p.PayloadLen = udpLen - UDPHeaderLen
+		return nil
+	case ProtoTCP:
+		// The TCP model is size-only on the wire.
+		p.TCPHdrLen = 20
+		if len(l4) < 20 {
+			return fmt.Errorf("%w: TCP header", ErrTruncated)
+		}
+		p.PayloadLen = len(l4) - 20
+		return nil
+	default:
+		p.PayloadLen = len(l4)
+		return nil
+	}
+}
+
+func parseRoCE(p *Packet, b []byte) error {
+	if len(b) < BTHLen+ICRCLen {
+		return fmt.Errorf("%w: BTH", ErrTruncated)
+	}
+	bth := &BTH{
+		Opcode: Opcode(b[0]),
+		PadCnt: b[1] >> 4 & 0x3,
+		PKey:   binary.BigEndian.Uint16(b[2:4]),
+		DestQP: binary.BigEndian.Uint32(b[4:8]) & 0xffffff,
+	}
+	w := binary.BigEndian.Uint32(b[8:12])
+	bth.AckReq = w&(1<<31) != 0
+	bth.PSN = w & PSNMask
+	p.BTH = bth
+	rest := b[BTHLen : len(b)-ICRCLen]
+
+	switch bth.Opcode {
+	case OpWriteFirst, OpWriteOnly, OpReadRequest:
+		if len(rest) < RETHLen {
+			return fmt.Errorf("%w: RETH", ErrTruncated)
+		}
+		p.RETH = &RETH{
+			VA:     binary.BigEndian.Uint64(rest[0:8]),
+			RKey:   binary.BigEndian.Uint32(rest[8:12]),
+			DMALen: binary.BigEndian.Uint32(rest[12:16]),
+		}
+		rest = rest[RETHLen:]
+	case OpAcknowledge, OpReadResponseFirst, OpReadResponseLast, OpReadResponseOnly:
+		if len(rest) < AETHLen {
+			return fmt.Errorf("%w: AETH", ErrTruncated)
+		}
+		w := binary.BigEndian.Uint32(rest[0:4])
+		p.AETH = &AETH{Syndrome: uint8(w >> 24), MSN: w & 0xffffff}
+		rest = rest[AETHLen:]
+	}
+	p.PayloadLen = len(rest)
+	return nil
+}

@@ -1,0 +1,171 @@
+package pcap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rocesim/internal/packet"
+	"rocesim/internal/simtime"
+)
+
+// FlowStats summarizes one five-tuple within a capture.
+type FlowStats struct {
+	Key    packet.FlowKey
+	Frames uint64
+	Bytes  uint64
+	// QP-level detail for RoCE flows.
+	DestQP uint32
+	Data   uint64
+	Acks   uint64
+	Naks   uint64
+	CNPs   uint64
+	// PSN sequencing: retransmissions show up as PSNs at or below the
+	// running maximum.
+	MaxPSN     uint32
+	PSNRewinds uint64
+	havePSN    bool
+}
+
+// Analysis is the report over a whole capture.
+type Analysis struct {
+	Frames      uint64
+	Bytes       uint64
+	First, Last simtime.Time
+
+	RoCEData  uint64
+	Acks      uint64
+	Naks      uint64
+	CNPs      uint64
+	Pauses    uint64
+	PauseXOFF uint64
+	PauseXON  uint64
+	TCP       uint64
+	Other     uint64
+	ECNCE     uint64
+	ParseErrs uint64
+
+	Flows map[packet.FlowKey]*FlowStats
+}
+
+// Analyze parses every record and aggregates protocol and flow
+// statistics.
+func Analyze(recs []Record) *Analysis {
+	a := &Analysis{Flows: make(map[packet.FlowKey]*FlowStats)}
+	for i, rec := range recs {
+		p, err := packet.Parse(rec.Frame)
+		if err != nil {
+			a.ParseErrs++
+			continue
+		}
+		a.Frames++
+		a.Bytes += uint64(len(rec.Frame))
+		if i == 0 {
+			a.First = rec.At
+		}
+		a.Last = rec.At
+
+		switch {
+		case p.IsPause():
+			a.Pauses++
+			if p.Pause.IsResume() {
+				a.PauseXON++
+			} else {
+				a.PauseXOFF++
+			}
+			continue
+		case p.IP != nil && p.IP.Protocol == packet.ProtoTCP:
+			a.TCP++
+		case p.IsRoCE():
+			// counted below per opcode
+		default:
+			a.Other++
+		}
+		if p.IP != nil && p.IP.ECN == packet.ECNCE {
+			a.ECNCE++
+		}
+
+		key := p.Flow()
+		fs := a.Flows[key]
+		if fs == nil {
+			fs = &FlowStats{Key: key}
+			a.Flows[key] = fs
+		}
+		fs.Frames++
+		fs.Bytes += uint64(len(rec.Frame))
+
+		if p.IsRoCE() {
+			fs.DestQP = p.BTH.DestQP
+			switch {
+			case p.BTH.Opcode == packet.OpCNP:
+				a.CNPs++
+				fs.CNPs++
+			case p.BTH.Opcode == packet.OpAcknowledge && p.AETH != nil && p.AETH.IsNak():
+				a.Naks++
+				fs.Naks++
+			case p.BTH.Opcode == packet.OpAcknowledge:
+				a.Acks++
+				fs.Acks++
+			default:
+				a.RoCEData++
+				fs.Data++
+				if fs.havePSN && !psnAfter(p.BTH.PSN, fs.MaxPSN) {
+					fs.PSNRewinds++
+				}
+				if !fs.havePSN || psnAfter(p.BTH.PSN, fs.MaxPSN) {
+					fs.MaxPSN = p.BTH.PSN
+					fs.havePSN = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+func psnAfter(a, b uint32) bool {
+	d := int32((a - b) & packet.PSNMask)
+	if d > 1<<23 {
+		d -= 1 << 24
+	}
+	return d > 0
+}
+
+// Report renders the analysis.
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	dur := a.Last.Sub(a.First)
+	fmt.Fprintf(&b, "capture: %d frames, %d bytes over %v\n", a.Frames, a.Bytes, dur)
+	if dur > 0 {
+		fmt.Fprintf(&b, "rate: %.2f Gb/s on the tapped wire\n", float64(a.Bytes)*8/dur.Seconds()/1e9)
+	}
+	fmt.Fprintf(&b, "RoCE data=%d acks=%d naks=%d cnps=%d | PFC pauses=%d (xoff=%d xon=%d) | tcp=%d other=%d ce-marked=%d\n",
+		a.RoCEData, a.Acks, a.Naks, a.CNPs, a.Pauses, a.PauseXOFF, a.PauseXON, a.TCP, a.Other, a.ECNCE)
+	if a.ParseErrs > 0 {
+		fmt.Fprintf(&b, "parse errors: %d\n", a.ParseErrs)
+	}
+
+	// Top flows by bytes.
+	flows := make([]*FlowStats, 0, len(a.Flows))
+	for _, f := range a.Flows {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Bytes != flows[j].Bytes {
+			return flows[i].Bytes > flows[j].Bytes
+		}
+		return flows[i].Key.Hash() < flows[j].Key.Hash()
+	})
+	n := len(flows)
+	if n > 10 {
+		n = 10
+	}
+	for _, f := range flows[:n] {
+		fmt.Fprintf(&b, "  %s:%d -> %s:%d  frames=%d bytes=%d",
+			f.Key.Src, f.Key.SrcPort, f.Key.Dst, f.Key.DstPort, f.Frames, f.Bytes)
+		if f.Data > 0 {
+			fmt.Fprintf(&b, "  qp=%d data=%d acks=%d naks=%d psn-rewinds=%d", f.DestQP, f.Data, f.Acks, f.Naks, f.PSNRewinds)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+// Package pfc implements the IEEE 802.1Qbb priority flow control state
+// machines shared by switch ports and NICs: reacting to received pause
+// frames (holding an egress queue for the advertised quanta), generating
+// sustained pause with periodic refresh, accounting pause intervals for
+// monitoring, and the "condition persisted too long" detector both the
+// NIC and switch watchdogs of the paper are built on.
+package pfc
+
+import (
+	"rocesim/internal/packet"
+	"rocesim/internal/simtime"
+)
+
+// PauseState tracks, per priority, until when a received PFC frame forbids
+// this egress from transmitting.
+type PauseState struct {
+	rate  simtime.Rate
+	until [8]simtime.Time
+
+	// RxPause counts pause frames received (XOFF and XON alike).
+	RxPause uint64
+	// pausedSince supports accumulated pause-interval accounting.
+	pausedSince [8]simtime.Time
+	isPaused    [8]bool
+	// TotalPaused accumulates the paused wall time per priority; the
+	// paper monitors pause intervals as a better congestion signal than
+	// frame counts.
+	TotalPaused [8]simtime.Duration
+}
+
+// NewPauseState returns the pause state for an egress attached to a link
+// of the given rate (the rate defines the quantum: 512 bit times).
+func NewPauseState(rate simtime.Rate) *PauseState {
+	return &PauseState{rate: rate}
+}
+
+// Handle applies a received PFC frame at time now.
+func (s *PauseState) Handle(now simtime.Time, pf *packet.PFCPause) {
+	s.RxPause++
+	q := simtime.Quantum(s.rate)
+	for pri := 0; pri < 8; pri++ {
+		if !pf.Enabled(pri) {
+			continue
+		}
+		until := now.Add(simtime.Duration(pf.Quanta[pri]) * q)
+		s.until[pri] = until
+		s.account(now, pri, until)
+	}
+}
+
+func (s *PauseState) account(now simtime.Time, pri int, until simtime.Time) {
+	paused := until.After(now)
+	switch {
+	case paused && !s.isPaused[pri]:
+		s.isPaused[pri] = true
+		s.pausedSince[pri] = now
+	case !paused && s.isPaused[pri]:
+		s.isPaused[pri] = false
+		s.TotalPaused[pri] += now.Sub(s.pausedSince[pri])
+	}
+}
+
+// Paused reports whether priority pri may not transmit at time now.
+func (s *PauseState) Paused(now simtime.Time, pri int) bool {
+	if s.until[pri].After(now) {
+		return true
+	}
+	if s.isPaused[pri] {
+		// Quanta expired without an explicit resume: close the interval.
+		s.isPaused[pri] = false
+		s.TotalPaused[pri] += s.until[pri].Sub(s.pausedSince[pri])
+	}
+	return false
+}
+
+// ResumeAt returns when priority pri becomes transmittable again (now or
+// earlier means transmittable already).
+func (s *PauseState) ResumeAt(pri int) simtime.Time { return s.until[pri] }
+
+// AnyPaused reports whether any priority in the mask is paused at now.
+func (s *PauseState) AnyPaused(now simtime.Time, mask uint8) bool {
+	for pri := 0; pri < 8; pri++ {
+		if mask&(1<<uint(pri)) != 0 && s.Paused(now, pri) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxQuanta is the largest pause duration a single frame can carry.
+const MaxQuanta = 0xffff
+
+// Refresher emits sustained pause for a set of priorities by sending
+// XOFF frames with MaxQuanta and refreshing them before they expire, then
+// an explicit XON (zero quanta) on release — the standard way switches
+// keep an upstream paused across the paper's long congestion episodes.
+type Refresher struct {
+	src       packet.MAC
+	rate      simtime.Rate
+	send      func(*packet.Packet)
+	now       func() simtime.Time
+	after     func(simtime.Duration, func()) (cancel func() bool)
+	engaged   uint8 // bitmask of paused priorities
+	scheduled bool  // a refresh timer is outstanding
+
+	// TxPause counts pause frames emitted (XOFF and XON).
+	TxPause uint64
+	// Disabled suppresses all emission (set by watchdogs).
+	Disabled bool
+}
+
+// NewRefresher wires a refresher to its environment: a frame sink, a
+// clock, and a timer facility (the sim kernel in production, stubs in
+// tests).
+func NewRefresher(src packet.MAC, rate simtime.Rate, send func(*packet.Packet),
+	now func() simtime.Time, after func(simtime.Duration, func()) func() bool) *Refresher {
+	return &Refresher{src: src, rate: rate, send: send, now: now, after: after}
+}
+
+// Engaged returns the currently paused priority mask.
+func (r *Refresher) Engaged() uint8 { return r.engaged }
+
+// refreshInterval leaves comfortable margin before the advertised quanta
+// run out (half the advertised time).
+func (r *Refresher) refreshInterval() simtime.Duration {
+	return simtime.Duration(MaxQuanta) * simtime.Quantum(r.rate) / 2
+}
+
+// Pause asserts XOFF for priority pri and keeps it asserted until Resume.
+func (r *Refresher) Pause(pri int) {
+	bit := uint8(1) << uint(pri)
+	if r.engaged&bit != 0 {
+		return
+	}
+	r.engaged |= bit
+	r.emit()
+}
+
+// Resume releases priority pri with an explicit zero-quanta frame.
+func (r *Refresher) Resume(pri int) {
+	bit := uint8(1) << uint(pri)
+	if r.engaged&bit == 0 {
+		return
+	}
+	r.engaged &^= bit
+	if r.Disabled {
+		return
+	}
+	xon := packet.NewPause(r.src, bit, 0)
+	r.send(xon)
+	r.TxPause++
+}
+
+// emit sends the XOFF frame for all engaged priorities and schedules the
+// next refresh.
+func (r *Refresher) emit() {
+	if r.engaged == 0 || r.Disabled {
+		return
+	}
+	pf := packet.NewPause(r.src, r.engaged, MaxQuanta)
+	r.send(pf)
+	r.TxPause++
+	if !r.scheduled {
+		r.scheduled = true
+		r.after(r.refreshInterval(), func() {
+			r.scheduled = false
+			r.emit()
+		})
+	}
+}
+
+// Watchdog detects a condition that has persisted continuously for a
+// configurable window — the primitive under both the NIC watchdog ("RX
+// pipeline stopped for 100 ms while sending pauses") and the switch
+// watchdog ("egress not draining while pauses keep arriving for 200 ms").
+type Watchdog struct {
+	window   simtime.Duration
+	since    simtime.Time // start of the current true-episode
+	lastTrue simtime.Time // most recent true observation
+	active   bool
+	fired    bool
+}
+
+// NewWatchdog returns a watchdog that trips after the condition holds for
+// window.
+func NewWatchdog(window simtime.Duration) *Watchdog {
+	return &Watchdog{window: window}
+}
+
+// Observe feeds the current condition value at time now and reports
+// whether the watchdog trips on this observation (exactly once per
+// continuous episode).
+func (w *Watchdog) Observe(now simtime.Time, condition bool) bool {
+	if !condition {
+		w.active = false
+		w.fired = false
+		return false
+	}
+	w.lastTrue = now
+	if !w.active {
+		w.active = true
+		w.since = now
+		return false
+	}
+	if !w.fired && now.Sub(w.since) >= w.window {
+		w.fired = true
+		return true
+	}
+	return false
+}
+
+// Tripped reports whether the watchdog has fired during the current
+// episode.
+func (w *Watchdog) Tripped() bool { return w.fired }
+
+// ClearedFor reports how long the condition has been absent — used by
+// the switch watchdog to re-enable lossless mode after pause frames
+// disappear for 200 ms. While the condition holds it returns 0.
+func (w *Watchdog) ClearedFor(now simtime.Time) simtime.Duration {
+	if w.active {
+		return 0
+	}
+	return now.Sub(w.lastTrue)
+}

@@ -1,0 +1,237 @@
+// Package sim implements the discrete-event simulation engine that every
+// other component runs on.
+//
+// The engine is single-threaded and fully deterministic: events fire in
+// timestamp order, and events scheduled for the same instant fire in the
+// order they were scheduled (a monotone sequence number breaks ties).
+// Randomness comes only from named, seeded streams handed out by the
+// Kernel, so a run is reproducible from its seed alone.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"rocesim/internal/simtime"
+)
+
+// Event is a callback scheduled to run at a simulated instant.
+type Event func()
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	item *item
+}
+
+// Cancel removes the event from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// actually pending.
+func (h Handle) Cancel() bool {
+	if h.item == nil || h.item.fn == nil {
+		return false
+	}
+	h.item.fn = nil // lazily deleted when popped
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool { return h.item != nil && h.item.fn != nil }
+
+type item struct {
+	at  simtime.Time
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Kernel is the simulation executive: a clock, an event queue, and a
+// factory for deterministic random streams.
+type Kernel struct {
+	now    simtime.Time
+	seq    uint64
+	queue  eventHeap
+	seed   int64
+	fired  uint64
+	halted bool
+}
+
+// NewKernel returns a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{seed: seed}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() simtime.Time { return k.now }
+
+// Seed returns the root seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// EventsFired returns how many events have executed so far.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled-but-not-yet-reaped ones).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// panics: that is always a logic bug in a discrete-event model.
+func (k *Kernel) At(at simtime.Time, fn Event) Handle {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	it := &item{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, it)
+	return Handle{item: it}
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d simtime.Duration, fn Event) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		it := heap.Pop(&k.queue).(*item)
+		if it.fn == nil {
+			continue // cancelled
+		}
+		k.now = it.at
+		fn := it.fn
+		it.fn = nil
+		k.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the queue drains, the deadline passes, or
+// Halt is called. The clock is advanced to the deadline if the queue
+// drains early, so a subsequent RunUntil continues from there.
+func (k *Kernel) RunUntil(deadline simtime.Time) {
+	k.halted = false
+	for !k.halted {
+		// Peek for the next live event.
+		var next *item
+		for len(k.queue) > 0 {
+			top := k.queue[0]
+			if top.fn == nil {
+				heap.Pop(&k.queue)
+				continue
+			}
+			next = top
+			break
+		}
+		if next == nil || next.at > deadline {
+			if k.now < deadline && deadline != simtime.Forever {
+				k.now = deadline
+			}
+			return
+		}
+		k.Step()
+	}
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (k *Kernel) Run() { k.RunUntil(simtime.Forever) }
+
+// Rand returns a deterministic random stream unique to name. Two kernels
+// with the same seed hand out identical streams for identical names, and
+// streams for different names are independent, so adding a consumer never
+// perturbs existing ones.
+func (k *Kernel) Rand(name string) *rand.Rand {
+	h := fnv64(name)
+	return rand.New(rand.NewSource(k.seed ^ int64(h)))
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Ticker invokes fn every period until cancelled. It is the building block
+// for rate timers (DCQCN increase timers, watchdog polls, monitors).
+type Ticker struct {
+	k      *Kernel
+	period simtime.Duration
+	fn     Event
+	h      Handle
+	live   bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+func (k *Kernel) NewTicker(period simtime.Duration, fn Event) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{k: k, period: period, fn: fn, live: true}
+	t.h = k.After(period, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if !t.live {
+		return
+	}
+	t.fn()
+	if t.live { // fn may have stopped us
+		t.h = t.k.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.live = false
+	t.h.Cancel()
+}
+
+// Reset changes the period and restarts the ticker from now.
+func (t *Ticker) Reset(period simtime.Duration) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t.h.Cancel()
+	t.period = period
+	t.live = true
+	t.h = t.k.After(period, t.tick)
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocesim/internal/simtime"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(30*simtime.Time(simtime.Nanosecond), func() { got = append(got, 3) })
+	k.At(10*simtime.Time(simtime.Nanosecond), func() { got = append(got, 1) })
+	k.At(20*simtime.Time(simtime.Nanosecond), func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order: %v", got)
+	}
+	if k.Now() != 30*simtime.Time(simtime.Nanosecond) {
+		t.Fatalf("clock: %v", k.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	at := simtime.Time(5 * simtime.Microsecond)
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(at, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", got[:i+1])
+		}
+	}
+}
+
+func TestSchedulingInsideEvent(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			k.After(simtime.Nanosecond, chain)
+		}
+	}
+	k.After(simtime.Nanosecond, chain)
+	k.Run()
+	if count != 5 {
+		t.Fatalf("chain fired %d times", count)
+	}
+	if k.Now() != simtime.Time(5*simtime.Nanosecond) {
+		t.Fatalf("clock %v", k.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	h := k.After(simtime.Microsecond, func() { fired = true })
+	if !h.Pending() {
+		t.Fatal("should be pending")
+	}
+	if !h.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if h.Cancel() {
+		t.Fatal("second cancel should be a no-op")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(simtime.Time(simtime.Microsecond), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	k.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		k.At(simtime.Time(i)*simtime.Time(simtime.Microsecond), func() { fired++ })
+	}
+	k.RunUntil(simtime.Time(5 * simtime.Microsecond))
+	if fired != 5 {
+		t.Fatalf("fired %d, want 5", fired)
+	}
+	if k.Now() != simtime.Time(5*simtime.Microsecond) {
+		t.Fatalf("clock %v", k.Now())
+	}
+	// Continue.
+	k.RunUntil(simtime.Time(20 * simtime.Microsecond))
+	if fired != 10 {
+		t.Fatalf("fired %d, want 10", fired)
+	}
+	// Clock advances to deadline even with empty queue.
+	if k.Now() != simtime.Time(20*simtime.Microsecond) {
+		t.Fatalf("clock %v", k.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.After(simtime.Nanosecond, func() { fired++; k.Halt() })
+	k.After(2*simtime.Nanosecond, func() { fired++ })
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("halt did not stop the loop: fired=%d", fired)
+	}
+	k.Run()
+	if fired != 2 {
+		t.Fatalf("resume after halt: fired=%d", fired)
+	}
+}
+
+func TestDeterministicRandStreams(t *testing.T) {
+	a := NewKernel(42).Rand("nic0")
+	b := NewKernel(42).Rand("nic0")
+	c := NewKernel(42).Rand("nic1")
+	same, diff := true, false
+	for i := 0; i < 100; i++ {
+		x, y, z := a.Int63(), b.Int63(), c.Int63()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same name+seed must give identical streams")
+	}
+	if !diff {
+		t.Fatal("different names must give independent streams")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	tk := k.NewTicker(simtime.Microsecond, func() {
+		n++
+		if n == 3 {
+			// Stop from inside the callback.
+		}
+	})
+	k.RunUntil(simtime.Time(3*simtime.Microsecond) + 1)
+	tk.Stop()
+	k.RunUntil(simtime.Time(10 * simtime.Microsecond))
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	k := NewKernel(1)
+	n := 0
+	var tk *Ticker
+	tk = k.NewTicker(simtime.Microsecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	k.Run()
+	if n != 2 {
+		t.Fatalf("fired %d, want 2", n)
+	}
+}
+
+func TestTickerReset(t *testing.T) {
+	k := NewKernel(1)
+	var times []simtime.Time
+	tk := k.NewTicker(simtime.Microsecond, func() {
+		times = append(times, k.Now())
+	})
+	k.RunUntil(simtime.Time(simtime.Microsecond))
+	tk.Reset(2 * simtime.Microsecond)
+	k.RunUntil(simtime.Time(5 * simtime.Microsecond))
+	tk.Stop()
+	if len(times) != 3 {
+		t.Fatalf("ticks: %v", times)
+	}
+	if times[1] != simtime.Time(3*simtime.Microsecond) {
+		t.Fatalf("reset tick at %v", times[1])
+	}
+}
+
+func TestEventsFiredCount(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 7; i++ {
+		k.After(simtime.Nanosecond, func() {})
+	}
+	k.Run()
+	if k.EventsFired() != 7 {
+		t.Fatalf("fired %d", k.EventsFired())
+	}
+}
+
+// Property: any set of scheduled times is fired in sorted order.
+func TestOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel(7)
+		var fired []simtime.Time
+		for _, d := range delays {
+			at := simtime.Time(d) * simtime.Time(simtime.Nanosecond)
+			k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransmission40G(t *testing.T) {
+	// At 40 Gb/s a byte takes 200 ps; the paper's 1086-byte RoCE frame
+	// takes 217.2 ns on the wire.
+	d := (40 * Gbps).Transmission(1086)
+	if d != 217200*Picosecond {
+		t.Fatalf("1086B at 40G = %v, want 217.2ns", d)
+	}
+	if got := (40 * Gbps).Transmission(1); got != 200*Picosecond {
+		t.Fatalf("1B at 40G = %v, want 200ps", got)
+	}
+}
+
+func TestTransmissionRoundsUp(t *testing.T) {
+	// 3 bits... actually 1 byte at 3 bps: 8/3 s => ceil.
+	d := Rate(3).Transmission(1)
+	want := Duration((8*int64(Second) + 2) / 3)
+	if d != want {
+		t.Fatalf("got %v want %v", d, want)
+	}
+}
+
+func TestTransmissionPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rate")
+		}
+	}()
+	Rate(0).Transmission(10)
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (40 * Gbps).BytesIn(Second); got != 5_000_000_000 {
+		t.Fatalf("40Gbps over 1s = %d bytes, want 5e9", got)
+	}
+	if got := (40 * Gbps).BytesIn(0); got != 0 {
+		t.Fatalf("zero duration: %d", got)
+	}
+	if got := (40 * Gbps).BytesIn(-Second); got != 0 {
+		t.Fatalf("negative duration: %d", got)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// The paper: Leaf-Spine cables up to 300m.
+	if got := PropagationDelay(300); got != 1500*Nanosecond {
+		t.Fatalf("300m = %v, want 1.5us", got)
+	}
+	if got := PropagationDelay(2); got != 10*Nanosecond {
+		t.Fatalf("2m = %v, want 10ns", got)
+	}
+}
+
+func TestQuantum(t *testing.T) {
+	// One pause quantum is 512 bit-times: 12.8ns at 40G.
+	if got := Quantum(40 * Gbps); got != 12800*Picosecond {
+		t.Fatalf("quantum at 40G = %v, want 12.8ns", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time
+	t1 := t0.Add(5 * Microsecond)
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatal("ordering broken")
+	}
+	if t1.Sub(t0) != 5*Microsecond {
+		t.Fatalf("sub: %v", t1.Sub(t0))
+	}
+}
+
+func TestStdConversion(t *testing.T) {
+	if (3 * Microsecond).Std() != 3*time.Microsecond {
+		t.Fatal("Std conversion")
+	}
+	if FromStd(2*time.Millisecond) != 2*Millisecond {
+		t.Fatal("FromStd conversion")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{3 * Microsecond, "3us"},
+		{4 * Millisecond, "4ms"},
+		{5 * Second, "5s"},
+		{-2 * Microsecond, "-2us"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d ps => %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if (40 * Gbps).String() != "40Gbps" {
+		t.Fatalf("got %s", (40 * Gbps).String())
+	}
+	if (350 * Mbps).String() != "350Mbps" {
+		t.Fatalf("got %s", (350 * Mbps).String())
+	}
+}
+
+func TestRateScale(t *testing.T) {
+	r := (40 * Gbps).Scale(0.5)
+	if r != 20*Gbps {
+		t.Fatalf("scale 0.5: %v", r)
+	}
+	if (1 * BitPerSecond).Scale(0.0001) != 1 {
+		t.Fatal("positive scale must not reach zero")
+	}
+}
+
+// Property: transmission time is monotone in size and additive within
+// rounding (ceil) error.
+func TestTransmissionMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		r := 40 * Gbps
+		da, db := r.Transmission(int(a)), r.Transmission(int(b))
+		dsum := r.Transmission(int(a) + int(b))
+		if int(a) <= int(b) && da > db {
+			return false
+		}
+		// ceil(a)+ceil(b) >= ceil(a+b) >= ceil(a)+ceil(b)-1ps
+		return dsum <= da+db && dsum >= da+db-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BytesIn and Transmission are approximate inverses.
+func TestBytesInInverseProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		r := 100 * Gbps
+		d := r.Transmission(int(n))
+		got := r.BytesIn(d)
+		return got >= int64(n)-1 && got <= int64(n)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

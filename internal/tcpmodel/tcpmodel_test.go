@@ -1,0 +1,227 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+
+	"rocesim/internal/fabric"
+	"rocesim/internal/link"
+	"rocesim/internal/nic"
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+)
+
+const g40 = 40 * simtime.Gbps
+
+// tcpRig: n hosts with TCP stacks on one ToR.
+type tcpRig struct {
+	k      *sim.Kernel
+	sw     *fabric.Switch
+	stacks []*Stack
+}
+
+func newTCPRig(t *testing.T, k *sim.Kernel, n int) *tcpRig {
+	t.Helper()
+	cfg := fabric.DefaultConfig("tor", 8)
+	sw, err := fabric.NewSwitch(k, cfg, packet.MAC{0x02, 0xff, 0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &tcpRig{k: k, sw: sw}
+	for i := 0; i < n; i++ {
+		mac := packet.MAC{0x02, 0, 0, 0, 2, byte(i + 1)}
+		ip := packet.IPv4Addr(10, 0, 0, byte(i+1))
+		nc := nic.New(k, nic.DefaultConfig("h", mac, ip))
+		l := link.New(k, g40, 10*simtime.Nanosecond)
+		sw.AttachLink(i, l, 0, mac, true)
+		nc.Attach(l, 1)
+		sw.SetARP(ip, mac)
+		sw.LearnMAC(mac, i)
+		kd := KernelDelayModel{MedianUS: 5, Sigma: 0.3} // quiet kernel for unit tests
+		r.stacks = append(r.stacks, NewStack(k, nc, kd))
+	}
+	sw.AddRoute(fabric.Route{Prefix: packet.IPv4Addr(10, 0, 0, 0), Bits: 24, Local: true})
+	return r
+}
+
+func (r *tcpRig) dial(a, b int, port uint16) *Conn {
+	return r.stacks[a].Dial(r.stacks[b], port, 80, r.sw.MAC(), r.sw.MAC(), DefaultConnConfig())
+}
+
+func TestTCPMessageDelivery(t *testing.T) {
+	k := sim.NewKernel(1)
+	r := newTCPRig(t, k, 2)
+	c := r.dial(0, 1, 1000)
+	var lat []simtime.Duration
+	for i := 0; i < 10; i++ {
+		c.Send(64<<10, func(p, d simtime.Time) { lat = append(lat, d.Sub(p)) })
+	}
+	k.RunUntil(simtime.Time(500 * simtime.Millisecond))
+	if len(lat) != 10 {
+		t.Fatalf("delivered %d/10 messages", len(lat))
+	}
+	for _, d := range lat {
+		if d <= 0 {
+			t.Fatal("non-positive latency")
+		}
+	}
+	if c.S.RTOs != 0 {
+		t.Fatalf("RTOs on a clean network: %d", c.S.RTOs)
+	}
+}
+
+func TestTCPSlowStartGrowsCwnd(t *testing.T) {
+	k := sim.NewKernel(2)
+	r := newTCPRig(t, k, 2)
+	c := r.dial(0, 1, 1000)
+	if c.Cwnd() != 10 {
+		t.Fatalf("initial cwnd %v", c.Cwnd())
+	}
+	done := false
+	c.Send(2<<20, func(_, _ simtime.Time) { done = true })
+	k.RunUntil(simtime.Time(200 * simtime.Millisecond))
+	if !done {
+		t.Fatal("2MB transfer incomplete")
+	}
+	if c.Cwnd() <= 10 {
+		t.Fatalf("cwnd never grew: %v", c.Cwnd())
+	}
+}
+
+func TestTCPRecoversFromLoss(t *testing.T) {
+	k := sim.NewKernel(3)
+	r := newTCPRig(t, k, 2)
+	dropped := 0
+	r.sw.DropFn = func(p *packet.Packet) bool {
+		if p.IP != nil && p.IP.Protocol == packet.ProtoTCP && p.PayloadLen > 0 && dropped < 5 && p.IP.Src == packet.IPv4Addr(10, 0, 0, 1) {
+			// Drop five data segments early on.
+			if k.Now() > simtime.Time(100*simtime.Microsecond) {
+				dropped++
+				return true
+			}
+		}
+		return false
+	}
+	c := r.dial(0, 1, 1000)
+	done := 0
+	for i := 0; i < 20; i++ {
+		c.Send(256<<10, func(_, _ simtime.Time) { done++ })
+	}
+	k.RunUntil(simtime.Time(2 * simtime.Second))
+	if done != 20 {
+		t.Fatalf("delivered %d/20 after losses (retx=%d rto=%d)", done, c.S.SegsRetx, c.S.RTOs)
+	}
+	if dropped == 0 {
+		t.Fatal("drop hook never fired")
+	}
+	if c.S.FastRetx == 0 && c.S.RTOs == 0 {
+		t.Fatal("no recovery mechanism engaged")
+	}
+}
+
+func TestTCPIncastCausesDropsAndSpikes(t *testing.T) {
+	// Many-to-one burst on a lossy class: drops happen (unlike RDMA
+	// under PFC) and some responses take an RTO — the paper's
+	// "spikes as high as several milliseconds".
+	k := sim.NewKernel(4)
+	r := newTCPRig(t, k, 7)
+	var lat []simtime.Duration
+	conns := make([]*Conn, 6)
+	for i := 0; i < 6; i++ {
+		conns[i] = r.dial(i+1, 0, uint16(2000+i))
+	}
+	// Synchronized incast bursts (a query fan-in), every 10 ms.
+	for burst := 0; burst < 10; burst++ {
+		at := simtime.Time(burst) * simtime.Time(10*simtime.Millisecond)
+		k.At(at, func() {
+			for _, c := range conns {
+				c.Send(4<<20, func(p, d simtime.Time) { lat = append(lat, d.Sub(p)) })
+			}
+		})
+	}
+	k.RunUntil(simtime.Time(3 * simtime.Second))
+	if len(lat) != 60 {
+		t.Fatalf("delivered %d/60", len(lat))
+	}
+	drops := r.sw.C.IngressDrops
+	if drops == 0 {
+		t.Fatal("synchronized incast on a lossy class should drop")
+	}
+	var worst simtime.Duration
+	for _, d := range lat {
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst < 5*simtime.Millisecond {
+		t.Fatalf("worst latency %v; RTO-driven spikes expected", worst)
+	}
+}
+
+func TestKernelDelayModelShape(t *testing.T) {
+	m := DefaultKernelDelay()
+	rng := sim.NewKernel(5).Rand("kd")
+	n := 200000
+	var sum float64
+	over := 0
+	for i := 0; i < n; i++ {
+		d := m.Sample(rng)
+		if d <= 0 {
+			t.Fatal("non-positive delay")
+		}
+		us := float64(d) / float64(simtime.Microsecond)
+		sum += us
+		if us > 500 {
+			over++
+		}
+	}
+	mean := sum / float64(n)
+	if mean < 20 || mean > 60 {
+		t.Fatalf("mean kernel delay %.1fus out of band", mean)
+	}
+	frac := float64(over) / float64(n)
+	if frac < 0.001 || frac > 0.03 {
+		t.Fatalf("tail fraction beyond 500us: %.4f", frac)
+	}
+}
+
+func TestCPUModelMatchesPaper(t *testing.T) {
+	// Section 1: 40 Gb/s for one second = 5 GB. Send ≈ 6%, receive
+	// ≈ 12% of 32 cores.
+	m := DefaultCPUModel()
+	tx := &Stack{BytesSent: 5_000_000_000}
+	rx := &Stack{BytesRecv: 5_000_000_000}
+	uTx := m.Utilization(tx, simtime.Second)
+	uRx := m.Utilization(rx, simtime.Second)
+	if math.Abs(uTx-0.06) > 0.005 {
+		t.Fatalf("send CPU %.3f, want ~0.06", uTx)
+	}
+	if math.Abs(uRx-0.12) > 0.01 {
+		t.Fatalf("receive CPU %.3f, want ~0.12", uRx)
+	}
+	if m.RDMAUtilization() != 0 {
+		t.Fatal("RDMA CPU must be ~0")
+	}
+}
+
+func TestTCPAndRDMAClassIsolation(t *testing.T) {
+	// TCP rides priority 1 (lossy); it must never generate or react to
+	// PFC.
+	k := sim.NewKernel(6)
+	r := newTCPRig(t, k, 3)
+	c1 := r.dial(0, 2, 1000)
+	c2 := r.dial(1, 2, 1001)
+	done := 0
+	for i := 0; i < 10; i++ {
+		c1.Send(1<<20, func(_, _ simtime.Time) { done++ })
+		c2.Send(1<<20, func(_, _ simtime.Time) { done++ })
+	}
+	k.RunUntil(simtime.Time(2 * simtime.Second))
+	if done != 20 {
+		t.Fatalf("delivered %d/20", done)
+	}
+	if r.sw.C.PauseTx != 0 {
+		t.Fatal("TCP traffic generated PFC pause frames")
+	}
+}

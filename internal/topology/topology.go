@@ -1,0 +1,307 @@
+// Package topology builds the paper's data-center fabrics: multi-layer
+// Clos networks of ToR, Leaf and Spine switches with up-down routing and
+// ECMP, including the exact configurations evaluated in Section 5 — the
+// two-podset production fabric of Figure 7 (4 Leafs, 24 ToRs and 576
+// servers per podset, 64 Spines) and the two-ToR testbed of Figure 8
+// (6:1 oversubscription through 4 Leafs).
+package topology
+
+import (
+	"fmt"
+
+	"rocesim/internal/fabric"
+	"rocesim/internal/link"
+	"rocesim/internal/nic"
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+// Spec describes a Clos fabric. Spines may be zero for two-tier
+// (ToR-Leaf) topologies.
+type Spec struct {
+	Name          string
+	Podsets       int
+	LeafsPerPod   int
+	TorsPerPod    int
+	ServersPerTor int
+	// Spines is the total spine count; it must be divisible by
+	// LeafsPerPod (each leaf owns Spines/LeafsPerPod uplinks — the
+	// standard plane-aligned Clos wiring).
+	Spines   int
+	LinkRate simtime.Rate
+	// Cable lengths drive propagation delay (the paper: ~2 m server
+	// cables, 10–20 m ToR–Leaf, 200–300 m Leaf–Spine).
+	ServerCableM float64
+	LeafCableM   float64
+	SpineCableM  float64
+	// SwitchConfig customizes per-switch configuration; level is
+	// "tor"/"leaf"/"spine". Nil uses fabric.DefaultConfig.
+	SwitchConfig func(level, name string, ports int) fabric.Config
+	// NICConfig customizes per-server NIC configuration. Nil uses
+	// nic.DefaultConfig.
+	NICConfig func(name string, mac packet.MAC, ip packet.Addr) nic.Config
+}
+
+// Fig7Spec returns the Section 5.4 throughput fabric: two podsets of
+// 4 Leafs × 24 ToRs × 24 servers plus 64 Spines, all 40GbE.
+// serversPerTor may be reduced to scale the experiment down; the paper
+// uses only 8 servers per ToR in the experiment anyway.
+func Fig7Spec(serversPerTor int) Spec {
+	return Spec{
+		Name:          "fig7",
+		Podsets:       2,
+		LeafsPerPod:   4,
+		TorsPerPod:    24,
+		ServersPerTor: serversPerTor,
+		Spines:        64,
+		LinkRate:      40 * simtime.Gbps,
+		ServerCableM:  2,
+		LeafCableM:    20,
+		SpineCableM:   300,
+	}
+}
+
+// Fig8Spec returns the Section 5.4 latency testbed: two ToRs with 24
+// servers each, 4 uplinks per ToR to 4 Leafs (6:1 oversubscription), no
+// spine layer.
+func Fig8Spec() Spec {
+	return Spec{
+		Name:          "fig8",
+		Podsets:       1,
+		LeafsPerPod:   4,
+		TorsPerPod:    2,
+		ServersPerTor: 24,
+		LinkRate:      40 * simtime.Gbps,
+		ServerCableM:  2,
+		LeafCableM:    20,
+	}
+}
+
+// RackSpec returns a single ToR with n servers — the lab-bench topology
+// of Section 4.1.
+func RackSpec(n int) Spec {
+	return Spec{
+		Name:          "rack",
+		Podsets:       1,
+		LeafsPerPod:   0,
+		TorsPerPod:    1,
+		ServersPerTor: n,
+		LinkRate:      40 * simtime.Gbps,
+		ServerCableM:  2,
+	}
+}
+
+// Server is one end host.
+type Server struct {
+	NIC     *nic.NIC
+	Tor     *fabric.Switch
+	TorPort int
+	Podset  int
+	TorIdx  int
+	Idx     int
+}
+
+// IP returns the server's address.
+func (s *Server) IP() packet.Addr { return s.NIC.IP() }
+
+// GwMAC returns the first-hop (ToR) MAC.
+func (s *Server) GwMAC() packet.MAC { return s.Tor.MAC() }
+
+// Network is a built fabric.
+type Network struct {
+	K       *sim.Kernel
+	Spec    Spec
+	Tors    []*fabric.Switch // podset-major order
+	Leafs   []*fabric.Switch // podset-major order
+	Spines  []*fabric.Switch
+	Servers []*Server
+
+	// LeafSpineLinks are the bottleneck links of Figure 7, for
+	// utilization measurement: one entry per (leaf, spine) pair.
+	LeafSpineLinks []*link.Link
+
+	qpn uint32
+}
+
+// Switches returns every switch (for monitoring and deadlock scans).
+func (n *Network) Switches() []*fabric.Switch {
+	out := append([]*fabric.Switch(nil), n.Tors...)
+	out = append(out, n.Leafs...)
+	return append(out, n.Spines...)
+}
+
+// Tor returns the ToR t of podset p.
+func (n *Network) Tor(p, t int) *fabric.Switch { return n.Tors[p*n.Spec.TorsPerPod+t] }
+
+// Server returns server s of ToR t in podset p.
+func (n *Network) Server(p, t, s int) *Server {
+	idx := (p*n.Spec.TorsPerPod+t)*n.Spec.ServersPerTor + s
+	return n.Servers[idx]
+}
+
+func serverIP(p, t, s int) packet.Addr { return packet.IPv4Addr(10, byte(p), byte(t), byte(s+1)) }
+func torSubnet(p, t int) packet.Addr   { return packet.IPv4Addr(10, byte(p), byte(t), 0) }
+
+// Build wires the fabric.
+func Build(k *sim.Kernel, spec Spec) (*Network, error) {
+	if spec.Podsets <= 0 || spec.TorsPerPod <= 0 || spec.ServersPerTor <= 0 {
+		return nil, fmt.Errorf("topology: empty spec")
+	}
+	if spec.Spines > 0 && (spec.LeafsPerPod == 0 || spec.Spines%spec.LeafsPerPod != 0) {
+		return nil, fmt.Errorf("topology: %d spines not divisible by %d leafs", spec.Spines, spec.LeafsPerPod)
+	}
+	if spec.LinkRate <= 0 {
+		spec.LinkRate = 40 * simtime.Gbps
+	}
+	swCfg := spec.SwitchConfig
+	if swCfg == nil {
+		swCfg = func(level, name string, ports int) fabric.Config {
+			return fabric.DefaultConfig(name, ports)
+		}
+	}
+	nicCfg := spec.NICConfig
+	if nicCfg == nil {
+		nicCfg = func(name string, mac packet.MAC, ip packet.Addr) nic.Config {
+			return nic.DefaultConfig(name, mac, ip)
+		}
+	}
+	n := &Network{K: k, Spec: spec}
+
+	newSwitch := func(level, name string, ports int, mac packet.MAC) (*fabric.Switch, error) {
+		return fabric.NewSwitch(k, swCfg(level, name, ports), mac)
+	}
+
+	// Create switches.
+	for p := 0; p < spec.Podsets; p++ {
+		for t := 0; t < spec.TorsPerPod; t++ {
+			ports := spec.ServersPerTor + spec.LeafsPerPod
+			sw, err := newSwitch("tor", fmt.Sprintf("tor-%d-%d", p, t), ports,
+				packet.MAC{0x02, 0xF0, byte(p), byte(t), 0, 0})
+			if err != nil {
+				return nil, err
+			}
+			n.Tors = append(n.Tors, sw)
+		}
+		for l := 0; l < spec.LeafsPerPod; l++ {
+			ports := spec.TorsPerPod
+			if spec.Spines > 0 {
+				ports += spec.Spines / spec.LeafsPerPod
+			}
+			sw, err := newSwitch("leaf", fmt.Sprintf("leaf-%d-%d", p, l), ports,
+				packet.MAC{0x02, 0xF1, byte(p), byte(l), 0, 0})
+			if err != nil {
+				return nil, err
+			}
+			n.Leafs = append(n.Leafs, sw)
+		}
+	}
+	for sp := 0; sp < spec.Spines; sp++ {
+		sw, err := newSwitch("spine", fmt.Sprintf("spine-%d", sp), spec.Podsets,
+			packet.MAC{0x02, 0xF2, byte(sp >> 8), byte(sp), 0, 0})
+		if err != nil {
+			return nil, err
+		}
+		n.Spines = append(n.Spines, sw)
+	}
+
+	// Servers + server links.
+	for p := 0; p < spec.Podsets; p++ {
+		for t := 0; t < spec.TorsPerPod; t++ {
+			tor := n.Tor(p, t)
+			for s := 0; s < spec.ServersPerTor; s++ {
+				mac := packet.MAC{0x02, 0x00, byte(p), byte(t), 0x01, byte(s + 1)}
+				ip := serverIP(p, t, s)
+				name := fmt.Sprintf("srv-%d-%d-%d", p, t, s)
+				nc := nic.New(k, nicCfg(name, mac, ip))
+				l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.ServerCableM))
+				tor.AttachLink(s, l, 0, mac, true)
+				nc.Attach(l, 1)
+				tor.SetARP(ip, mac)
+				tor.LearnMAC(mac, s)
+				n.Servers = append(n.Servers, &Server{
+					NIC: nc, Tor: tor, TorPort: s, Podset: p, TorIdx: t, Idx: s,
+				})
+			}
+			tor.AddRoute(fabric.Route{Prefix: torSubnet(p, t), Bits: 24, Local: true})
+		}
+	}
+
+	// ToR–Leaf wiring and intra-podset routing.
+	for p := 0; p < spec.Podsets; p++ {
+		var uplinks []int
+		for t := 0; t < spec.TorsPerPod; t++ {
+			tor := n.Tor(p, t)
+			uplinks = uplinks[:0]
+			for lf := 0; lf < spec.LeafsPerPod; lf++ {
+				leaf := n.Leafs[p*spec.LeafsPerPod+lf]
+				torPort := spec.ServersPerTor + lf
+				leafPort := t
+				l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.LeafCableM))
+				tor.AttachLink(torPort, l, 0, leaf.MAC(), false)
+				leaf.AttachLink(leafPort, l, 1, tor.MAC(), false)
+				uplinks = append(uplinks, torPort)
+				// Leaf routes down to this ToR's subnet.
+				leaf.AddRoute(fabric.Route{Prefix: torSubnet(p, t), Bits: 24, Ports: []int{leafPort}})
+			}
+			// ToR default route: ECMP over all its leafs (absent on a
+			// single-rack topology).
+			if len(uplinks) > 0 {
+				tor.AddRoute(fabric.Route{Prefix: packet.Addr{}, Bits: 0, Ports: append([]int(nil), uplinks...)})
+			}
+		}
+	}
+
+	// Leaf–Spine wiring and inter-podset routing.
+	if spec.Spines > 0 {
+		perLeaf := spec.Spines / spec.LeafsPerPod
+		for p := 0; p < spec.Podsets; p++ {
+			for lf := 0; lf < spec.LeafsPerPod; lf++ {
+				leaf := n.Leafs[p*spec.LeafsPerPod+lf]
+				var spinePorts []int
+				for u := 0; u < perLeaf; u++ {
+					spIdx := lf*perLeaf + u
+					spine := n.Spines[spIdx]
+					leafPort := spec.TorsPerPod + u
+					spinePort := p
+					l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.SpineCableM))
+					leaf.AttachLink(leafPort, l, 0, spine.MAC(), false)
+					spine.AttachLink(spinePort, l, 1, leaf.MAC(), false)
+					spinePorts = append(spinePorts, leafPort)
+					n.LeafSpineLinks = append(n.LeafSpineLinks, l)
+					// Spine routes each podset's /16 down to its leaf.
+					spine.AddRoute(fabric.Route{
+						Prefix: packet.IPv4Addr(10, byte(p), 0, 0), Bits: 16,
+						Ports: []int{spinePort},
+					})
+				}
+				// Leaf default route: ECMP over its spines.
+				leaf.AddRoute(fabric.Route{Prefix: packet.Addr{}, Bits: 0, Ports: spinePorts})
+			}
+		}
+	}
+	return n, nil
+}
+
+// QPPair creates a connected queue pair between two servers; mod (may be
+// nil) adjusts both configurations before creation. The returned QPs are
+// a requester on each side (RC QPs are bidirectional).
+func (n *Network) QPPair(a, b *Server, mod func(c *transport.Config)) (qa, qb *transport.QP) {
+	n.qpn += 2
+	qpnA, qpnB := n.qpn, n.qpn+1
+	cfgA := transport.Config{
+		QPN: qpnA, PeerQPN: qpnB,
+		DstIP: b.IP(), GwMAC: a.GwMAC(),
+		Priority: 3, MTU: 1024, Recovery: transport.GoBackN,
+	}
+	cfgB := cfgA
+	cfgB.QPN, cfgB.PeerQPN = qpnB, qpnA
+	cfgB.DstIP = a.IP()
+	cfgB.GwMAC = b.GwMAC()
+	if mod != nil {
+		mod(&cfgA)
+		mod(&cfgB)
+	}
+	return a.NIC.CreateQP(cfgA), b.NIC.CreateQP(cfgB)
+}

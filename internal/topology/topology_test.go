@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"testing"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+func TestRackBuild(t *testing.T) {
+	k := sim.NewKernel(1)
+	n, err := Build(k, RackSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Tors) != 1 || len(n.Leafs) != 0 || len(n.Spines) != 0 || len(n.Servers) != 4 {
+		t.Fatalf("rack shape: %d/%d/%d/%d", len(n.Tors), len(n.Leafs), len(n.Spines), len(n.Servers))
+	}
+	qa, _ := n.QPPair(n.Server(0, 0, 0), n.Server(0, 0, 1), nil)
+	done := false
+	qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { done = true })
+	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	if !done {
+		t.Fatal("intra-rack transfer failed")
+	}
+}
+
+func TestFig8Build(t *testing.T) {
+	k := sim.NewKernel(2)
+	n, err := Build(k, Fig8Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Tors) != 2 || len(n.Leafs) != 4 || len(n.Servers) != 48 {
+		t.Fatalf("fig8 shape: %d tors %d leafs %d servers", len(n.Tors), len(n.Leafs), len(n.Servers))
+	}
+	// Cross-ToR transfer through a leaf.
+	a, b := n.Server(0, 0, 0), n.Server(0, 1, 0)
+	qa, _ := n.QPPair(a, b, nil)
+	done := false
+	qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { done = true })
+	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	if !done {
+		t.Fatal("cross-ToR transfer failed")
+	}
+	for _, sw := range n.Switches() {
+		if sw.C.NoRouteDrops != 0 || sw.C.ARPMissDrops != 0 {
+			t.Fatalf("%s: route/arp drops %d/%d", sw.Name(), sw.C.NoRouteDrops, sw.C.ARPMissDrops)
+		}
+	}
+}
+
+func TestFig7ScaledBuild(t *testing.T) {
+	// A scaled-down Figure 7 fabric: full switching structure, 2
+	// servers per ToR.
+	k := sim.NewKernel(3)
+	n, err := Build(k, Fig7Spec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Tors) != 48 || len(n.Leafs) != 8 || len(n.Spines) != 64 {
+		t.Fatalf("fig7 shape: %d/%d/%d", len(n.Tors), len(n.Leafs), len(n.Spines))
+	}
+	// 2 podsets × 4 leafs × 16 spine uplinks = 128 bottleneck links.
+	if len(n.LeafSpineLinks) != 128 {
+		t.Fatalf("leaf-spine links %d, want 128", len(n.LeafSpineLinks))
+	}
+	// Cross-podset transfer: ToR 3 podset 0 → ToR 3 podset 1.
+	a, b := n.Server(0, 3, 0), n.Server(1, 3, 1)
+	qa, _ := n.QPPair(a, b, nil)
+	done := false
+	qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { done = true })
+	k.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	if !done {
+		t.Fatal("cross-podset transfer failed")
+	}
+	// Path TTL: server(64) -tor-> 63 -leaf-> 62 -spine-> 61 -leaf-> 60 -tor-> 59.
+	// Verified indirectly: no TTL drops.
+	for _, sw := range n.Switches() {
+		if sw.C.TTLDrops != 0 || sw.C.NoRouteDrops != 0 {
+			t.Fatalf("%s: ttl/route drops", sw.Name())
+		}
+	}
+}
+
+func TestECMPSpreadsQPsAcrossSpinePaths(t *testing.T) {
+	k := sim.NewKernel(4)
+	n, err := Build(k, Fig7Spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := n.Server(0, 0, 0), n.Server(1, 0, 0)
+	// Many QPs between one server pair: different source ports must
+	// spread over multiple leaf-spine links.
+	for i := 0; i < 32; i++ {
+		qa, _ := n.QPPair(a, b, nil)
+		qa.Post(transport.OpSend, 64<<10, nil)
+	}
+	k.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	used := 0
+	for _, l := range n.LeafSpineLinks {
+		if l.Delivered[0] > 0 || l.Delivered[1] > 0 {
+			used++
+		}
+	}
+	if used < 8 {
+		t.Fatalf("32 QPs used only %d leaf-spine links; ECMP not spreading", used)
+	}
+}
+
+func TestInvalidSpecs(t *testing.T) {
+	k := sim.NewKernel(5)
+	if _, err := Build(k, Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	bad := Fig7Spec(1)
+	bad.Spines = 63 // not divisible by 4 leafs
+	if _, err := Build(k, bad); err == nil {
+		t.Fatal("indivisible spine count accepted")
+	}
+}
+
+func TestServerAddressing(t *testing.T) {
+	k := sim.NewKernel(6)
+	n, err := Build(k, Fig7Spec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range n.Servers {
+		ip := s.IP().String()
+		if seen[ip] {
+			t.Fatalf("duplicate IP %s", ip)
+		}
+		seen[ip] = true
+	}
+	s := n.Server(1, 3, 1)
+	if s.IP() != serverIP(1, 3, 1) {
+		t.Fatalf("addressing: %v", s.IP())
+	}
+	if s.GwMAC() != n.Tor(1, 3).MAC() {
+		t.Fatal("gateway MAC mismatch")
+	}
+}
+
+func TestPropagationDelaysApplied(t *testing.T) {
+	// Spine cables are 300m: one-way 1.5us. A cross-podset RTT must be
+	// at least 2*(2 spine hops)*1.5us = 6us.
+	k := sim.NewKernel(7)
+	n, err := Build(k, Fig7Spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := n.Server(0, 0, 0), n.Server(1, 0, 0)
+	qa, _ := n.QPPair(a, b, nil)
+	var rtt simtime.Duration
+	start := k.Now()
+	qa.Post(transport.OpSend, 64, func(_, done simtime.Time) { rtt = done.Sub(start) })
+	k.RunUntil(simtime.Time(1 * simtime.Millisecond))
+	if rtt == 0 {
+		t.Fatal("no completion")
+	}
+	if rtt < 6*simtime.Microsecond {
+		t.Fatalf("RTT %v too small for 300m spine cables", rtt)
+	}
+}

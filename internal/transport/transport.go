@@ -1,0 +1,763 @@
+// Package transport implements the RoCEv2 reliable-connection transport
+// the paper's NICs run: queue pairs with 24-bit PSN sequencing, SEND /
+// WRITE / READ verbs segmented to the path MTU, ACK/NAK (AETH)
+// generation, and — centrally for Section 4.1 — both loss-recovery
+// schemes: the vendor's original go-back-0 (restart the whole message on
+// NAK) and the go-back-N replacement (restart from the first dropped
+// packet).
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rocesim/internal/dcqcn"
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+)
+
+// Recovery selects the loss-recovery scheme.
+type Recovery int
+
+// Recovery schemes (Section 4.1).
+const (
+	// GoBack0 restarts the entire message from its first packet on NAK
+	// or timeout — the behaviour that livelocked.
+	GoBack0 Recovery = iota
+	// GoBackN restarts from the first dropped packet.
+	GoBackN
+)
+
+// String names the scheme.
+func (r Recovery) String() string {
+	if r == GoBack0 {
+		return "go-back-0"
+	}
+	return "go-back-N"
+}
+
+// OpKind is the verb of a work request.
+type OpKind int
+
+// RDMA verbs used in the paper's experiments.
+const (
+	OpSend OpKind = iota
+	OpWrite
+	OpRead
+)
+
+// String names the verb.
+func (k OpKind) String() string {
+	switch k {
+	case OpSend:
+		return "SEND"
+	case OpWrite:
+		return "WRITE"
+	default:
+		return "READ"
+	}
+}
+
+// Endpoint is what the NIC provides a QP: time, timers, a scheduler kick,
+// and a deterministic random stream.
+type Endpoint interface {
+	Now() simtime.Time
+	After(d simtime.Duration, fn func()) sim.Handle
+	// Kick tells the NIC's transmit scheduler this QP may have become
+	// ready.
+	Kick()
+	Rand() *rand.Rand
+	// NextIPID returns the NIC-scoped sequential IP identification value
+	// (the livelock experiment's drop rule keys on it).
+	NextIPID() uint16
+}
+
+// Config parameterizes a QP.
+type Config struct {
+	QPN     uint32
+	PeerQPN uint32
+	SrcIP   packet.Addr
+	DstIP   packet.Addr
+	SrcMAC  packet.MAC
+	// GwMAC is the first-hop router (ToR) MAC.
+	GwMAC packet.MAC
+	// SrcPort is the random-per-QP UDP source port that spreads QPs
+	// over ECMP paths.
+	SrcPort  uint16
+	Priority int
+	// MTU is the payload bytes per packet (1024 in the paper's
+	// experiments: 1086-byte frames).
+	MTU      int
+	Recovery Recovery
+	// Window caps outstanding request packets (PSNs) in flight.
+	Window int
+	// AckEvery makes the responder coalesce ACKs (1 = ack every
+	// packet).
+	AckEvery int
+	// RetxTimeout rearms whenever progress is made; on expiry the
+	// requester retransmits per the recovery scheme.
+	RetxTimeout simtime.Duration
+	// DCQCN enables rate control with the given parameters.
+	DCQCN *dcqcn.Params
+	// VLAN, when non-nil, tags all data packets (the original
+	// VLAN-based PFC deployment). Priority then rides in PCP.
+	VLAN *packet.VLANTag
+}
+
+// Stats counts transport events for monitoring and the experiment
+// harnesses.
+type Stats struct {
+	PacketsSent    uint64
+	PacketsRetx    uint64
+	BytesSent      uint64
+	AcksSent       uint64
+	NaksSent       uint64
+	NaksReceived   uint64
+	Timeouts       uint64
+	MessagesSent   uint64 // completed (acked) requester messages
+	MessagesRecv   uint64 // fully received responder messages
+	BytesDelivered uint64 // application bytes delivered in order
+	CNPsSent       uint64
+	CNPsReceived   uint64
+}
+
+// op is one posted work request.
+type op struct {
+	kind     OpKind
+	length   int
+	firstPSN uint32
+	npkts    uint32
+	posted   simtime.Time
+	onDone   func(posted, completed simtime.Time)
+	// Read progress (requester side): next expected response PSN within
+	// the current range, and application bytes already delivered in
+	// order (kept across go-back-N restarts, zeroed by go-back-0).
+	readNext uint32
+	readDone int
+}
+
+// readServer is responder-side state streaming READ responses.
+type readServer struct {
+	first   uint32 // first PSN of the response stream
+	nextPSN uint32 // next response PSN to emit
+	endPSN  uint32 // one past the last PSN of the read
+}
+
+// QP is one reliable-connection queue pair.
+type QP struct {
+	ep  Endpoint
+	cfg Config
+
+	// Requester state.
+	ops     []*op
+	nextPSN uint32 // next PSN to assign to a new op
+	sndNxt  uint32 // next PSN to transmit
+	sndUna  uint32 // oldest unacknowledged PSN
+	pacerAt simtime.Time
+	rp      *dcqcn.RP
+	retx    sim.Handle
+
+	// Responder state.
+	ePSN     uint32 // expected request PSN
+	rMSN     uint32
+	nakArmed bool // a NAK has been sent for the current gap
+	oosSince int  // out-of-sequence arrivals since that NAK
+	curMsg   int  // bytes accumulated for the in-progress message
+	reads    []*readServer
+	np       *dcqcn.NP
+
+	ctl []*packet.Packet // ACK/NAK/CNP awaiting emission
+
+	// OnMessage fires when a complete message arrives in order
+	// (responder side). kind distinguishes SENDs (which consume receive
+	// WQEs in the verbs layer) from WRITEs (which do not).
+	OnMessage func(kind OpKind, size int)
+
+	curKind OpKind // kind of the in-progress inbound message
+
+	S Stats
+}
+
+// New creates a QP.
+func New(ep Endpoint, cfg Config) *QP {
+	if cfg.MTU <= 0 {
+		panic("transport: MTU must be positive")
+	}
+	if cfg.Window <= 0 {
+		// RoCE NICs do not run a congestion window: they blast at the
+		// (DCQCN-paced) line rate and rely on PFC for losslessness. The
+		// default window exists only to bound requester state.
+		cfg.Window = 4096
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = 1
+	}
+	if cfg.RetxTimeout <= 0 {
+		cfg.RetxTimeout = 500 * simtime.Microsecond
+	}
+	q := &QP{ep: ep, cfg: cfg}
+	if cfg.DCQCN != nil {
+		q.rp = dcqcn.NewRP(*cfg.DCQCN, ep.Now())
+		q.np = dcqcn.NewNP(*cfg.DCQCN)
+	}
+	return q
+}
+
+// Config returns the QP's configuration.
+func (q *QP) Config() Config { return q.cfg }
+
+// Rate returns the current DCQCN rate, or 0 when rate control is off.
+func (q *QP) Rate() simtime.Rate {
+	if q.rp == nil {
+		return 0
+	}
+	q.rp.Poll(q.ep.Now())
+	return q.rp.Rate()
+}
+
+// psnAdd advances a PSN in the 24-bit space.
+func psnAdd(p, n uint32) uint32 { return (p + n) & packet.PSNMask }
+
+// psnDiff returns the serial difference a-b in the 24-bit space.
+func psnDiff(a, b uint32) int32 {
+	d := int32((a - b) & packet.PSNMask)
+	if d > 1<<23 {
+		d -= 1 << 24
+	}
+	return d
+}
+
+// Post queues a work request. onDone (optional) fires when the op
+// completes at the requester (last PSN acknowledged, or last READ
+// response received).
+func (q *QP) Post(kind OpKind, length int, onDone func(posted, completed simtime.Time)) {
+	if length <= 0 {
+		panic("transport: non-positive op length")
+	}
+	n := uint32((length + q.cfg.MTU - 1) / q.cfg.MTU)
+	o := &op{
+		kind:     kind,
+		length:   length,
+		firstPSN: q.nextPSN,
+		npkts:    n,
+		posted:   q.ep.Now(),
+		onDone:   onDone,
+		readNext: q.nextPSN,
+	}
+	q.nextPSN = psnAdd(q.nextPSN, n)
+	q.ops = append(q.ops, o)
+	q.ep.Kick()
+}
+
+// Pending returns the number of incomplete posted ops.
+func (q *QP) Pending() int { return len(q.ops) }
+
+// opForPSN locates the op covering a PSN.
+func (q *QP) opForPSN(psn uint32) *op {
+	for _, o := range q.ops {
+		if psnDiff(psn, o.firstPSN) >= 0 && psnDiff(psn, psnAdd(o.firstPSN, o.npkts)) < 0 {
+			return o
+		}
+	}
+	return nil
+}
+
+// NextReady returns when the QP can next emit a packet (Forever when it
+// has nothing to say).
+func (q *QP) NextReady(now simtime.Time) simtime.Time {
+	if len(q.ctl) > 0 || q.readResponsePending() {
+		if q.pacerAt.After(now) && q.readResponsePending() && len(q.ctl) == 0 {
+			return q.pacerAt // read responses are paced like data
+		}
+		return now
+	}
+	if !q.hasDataToSend() {
+		return simtime.Forever
+	}
+	if q.pacerAt.After(now) {
+		return q.pacerAt
+	}
+	return now
+}
+
+func (q *QP) readResponsePending() bool { return len(q.reads) > 0 }
+
+// hasDataToSend reports whether a request packet is transmittable within
+// the window.
+func (q *QP) hasDataToSend() bool {
+	if len(q.ops) == 0 {
+		return false
+	}
+	if psnDiff(q.sndNxt, q.nextPSN) >= 0 {
+		return false // everything assigned has been transmitted
+	}
+	return psnDiff(q.sndNxt, q.sndUna) < int32(q.cfg.Window)
+}
+
+// Pop emits the next packet. It must only be called when
+// NextReady(now) <= now. Returns nil when there is nothing to send
+// (racing conditions resolve to nil, never panic).
+func (q *QP) Pop(now simtime.Time) *packet.Packet {
+	// Control first: ACK/NAK/CNP are never paced.
+	if len(q.ctl) > 0 {
+		p := q.ctl[0]
+		q.ctl = q.ctl[1:]
+		return p
+	}
+	// Read responses next (responder duty), paced.
+	if len(q.reads) > 0 && !q.pacerAt.After(now) {
+		return q.popReadResponse(now)
+	}
+	if !q.hasDataToSend() || q.pacerAt.After(now) {
+		return nil
+	}
+	return q.popRequest(now)
+}
+
+// pace charges one packet of the given wire size against the DCQCN rate.
+func (q *QP) pace(now simtime.Time, wireBytes int) {
+	rate := simtime.Rate(0)
+	if q.rp != nil {
+		q.rp.Poll(now)
+		rate = q.rp.Rate()
+		q.rp.OnSend(now, wireBytes)
+	}
+	if rate <= 0 {
+		q.pacerAt = now // uncontrolled: line-rate, the egress serializes
+		return
+	}
+	base := q.pacerAt
+	if now.After(base) {
+		base = now
+	}
+	q.pacerAt = base.Add(rate.Transmission(wireBytes))
+}
+
+// popRequest emits the next requester packet.
+func (q *QP) popRequest(now simtime.Time) *packet.Packet {
+	o := q.opForPSN(q.sndNxt)
+	if o == nil {
+		return nil
+	}
+	// READs are serialized behind all earlier ops, mirroring the small
+	// max_rd_atomic budget of real NICs; this keeps response-stream
+	// recovery unambiguous.
+	if o.kind == OpRead && o != q.ops[0] {
+		return nil
+	}
+	idx := uint32(psnDiff(q.sndNxt, o.firstPSN))
+	p := q.newDataPacket()
+	bth := p.BTH
+	bth.PSN = q.sndNxt
+
+	// Note: sndNxt may legitimately trail sndUna during go-back-0
+	// recovery — the sender re-walks packets the responder has already
+	// acknowledged as duplicates.
+
+	switch o.kind {
+	case OpRead:
+		// A read request names the first PSN of its response range and
+		// consumes npkts PSNs. After recovery, the op carries a fresh
+		// range covering only the remaining bytes (go-back-N) or the
+		// whole message (go-back-0).
+		bth.Opcode = packet.OpReadRequest
+		bth.PSN = o.firstPSN
+		p.RETH = &packet.RETH{DMALen: uint32(o.length - o.readDone)}
+		p.PayloadLen = 0
+		q.sndNxt = psnAdd(o.firstPSN, o.npkts)
+	default:
+		last := idx == o.npkts-1
+		seg := q.cfg.MTU
+		if last {
+			seg = o.length - int(idx)*q.cfg.MTU
+		}
+		p.PayloadLen = seg
+		bth.AckReq = last || (int(idx+1)%q.cfg.AckEvery == 0)
+		switch {
+		case o.kind == OpSend && o.npkts == 1:
+			bth.Opcode = packet.OpSendOnly
+		case o.kind == OpSend && idx == 0:
+			bth.Opcode = packet.OpSendFirst
+		case o.kind == OpSend && last:
+			bth.Opcode = packet.OpSendLast
+		case o.kind == OpSend:
+			bth.Opcode = packet.OpSendMiddle
+		case o.kind == OpWrite && o.npkts == 1:
+			bth.Opcode = packet.OpWriteOnly
+			p.RETH = &packet.RETH{DMALen: uint32(o.length)}
+		case o.kind == OpWrite && idx == 0:
+			bth.Opcode = packet.OpWriteFirst
+			p.RETH = &packet.RETH{DMALen: uint32(o.length)}
+		case o.kind == OpWrite && last:
+			bth.Opcode = packet.OpWriteLast
+		default:
+			bth.Opcode = packet.OpWriteMiddle
+		}
+		q.sndNxt = psnAdd(q.sndNxt, 1)
+	}
+
+	q.S.PacketsSent++
+	q.S.BytesSent += uint64(p.WireLen())
+	q.pace(now, p.WireLen())
+	q.armRetx()
+	return p
+}
+
+// popReadResponse emits the next responder-side READ response packet.
+func (q *QP) popReadResponse(now simtime.Time) *packet.Packet {
+	rs := q.reads[0]
+	n := uint32(psnDiff(rs.endPSN, rs.nextPSN))
+	p := q.newDataPacket()
+	p.BTH.PSN = rs.nextPSN
+	first := rs.nextPSN == rs.first
+	last := n == 1
+	switch {
+	case first && last:
+		p.BTH.Opcode = packet.OpReadResponseOnly
+		p.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+	case first:
+		p.BTH.Opcode = packet.OpReadResponseFirst
+		p.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+	case last:
+		p.BTH.Opcode = packet.OpReadResponseLast
+		p.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+	default:
+		p.BTH.Opcode = packet.OpReadResponseMiddle
+	}
+	p.PayloadLen = q.cfg.MTU
+	rs.nextPSN = psnAdd(rs.nextPSN, 1)
+	if rs.nextPSN == rs.endPSN {
+		q.reads = q.reads[1:]
+	}
+	q.S.PacketsSent++
+	q.S.BytesSent += uint64(p.WireLen())
+	q.pace(now, p.WireLen())
+	return p
+}
+
+// newDataPacket builds the common header stack.
+func (q *QP) newDataPacket() *packet.Packet {
+	p := &packet.Packet{
+		Eth: packet.Ethernet{Dst: q.cfg.GwMAC, Src: q.cfg.SrcMAC, EtherType: packet.EtherTypeIPv4},
+		IP: &packet.IPv4{
+			DSCP:     uint8(q.cfg.Priority),
+			ECN:      packet.ECNECT0,
+			ID:       q.ep.NextIPID(),
+			TTL:      64,
+			Protocol: packet.ProtoUDP,
+			Src:      q.cfg.SrcIP,
+			Dst:      q.cfg.DstIP,
+		},
+		UDPH: &packet.UDP{SrcPort: q.cfg.SrcPort, DstPort: packet.RoCEv2Port},
+		BTH:  &packet.BTH{DestQP: q.cfg.PeerQPN, PKey: 0xffff},
+	}
+	if q.cfg.VLAN != nil {
+		v := *q.cfg.VLAN
+		v.PCP = uint8(q.cfg.Priority)
+		p.VLAN = &v
+	}
+	return p
+}
+
+// newCtl builds a header stack for ACK/NAK/CNP.
+func (q *QP) newCtl(op packet.Opcode) *packet.Packet {
+	p := q.newDataPacket()
+	p.BTH.Opcode = op
+	p.PayloadLen = 0
+	return p
+}
+
+// armRetx (re)arms the retransmission timer.
+func (q *QP) armRetx() {
+	if q.retx.Pending() {
+		q.retx.Cancel()
+	}
+	q.retx = q.ep.After(q.cfg.RetxTimeout, q.onRetxTimeout)
+}
+
+// onRetxTimeout fires when no progress has been made for RetxTimeout.
+func (q *QP) onRetxTimeout() {
+	if len(q.ops) == 0 {
+		return
+	}
+	q.S.Timeouts++
+	q.recoverFrom(q.sndUna, false)
+	q.ep.Kick()
+	q.armRetx()
+}
+
+// reflow reassigns contiguous PSN ranges to ops[from:] starting at psn —
+// needed after a go-back-0 or READ restart invalidates the old mapping.
+func (q *QP) reflow(from int, psn uint32) {
+	for i := from; i < len(q.ops); i++ {
+		o := q.ops[i]
+		o.firstPSN = psn
+		if o.kind == OpRead {
+			o.readNext = psn
+		}
+		psn = psnAdd(psn, o.npkts)
+	}
+	q.nextPSN = psn
+}
+
+// recoverFrom restarts transmission per the recovery scheme. missing is
+// the first PSN known lost: the responder's expected PSN when fromNak,
+// otherwise the oldest unacknowledged PSN. PSNs never rewind for
+// go-back-0: the message restarts on a fresh range, which is why a
+// deterministic drop inside every window of 256 packets starves it
+// forever (Section 4.1).
+func (q *QP) recoverFrom(missing uint32, fromNak bool) {
+	if len(q.ops) == 0 {
+		return
+	}
+	o := q.ops[0]
+
+	if o.kind == OpRead {
+		// Re-issue the read request on a fresh PSN range positioned at
+		// the responder's expected PSN: the end of the previous range
+		// if the responder consumed the request, or the NAK'd PSN if
+		// the request itself was lost.
+		start := psnAdd(o.firstPSN, o.npkts)
+		if fromNak {
+			start = missing
+		}
+		if q.cfg.Recovery == GoBack0 {
+			o.readDone = 0
+		}
+		remaining := o.length - o.readDone
+		o.npkts = uint32((remaining + q.cfg.MTU - 1) / q.cfg.MTU)
+		o.firstPSN = start
+		o.readNext = start
+		q.sndNxt = start
+		q.sndUna = start
+		q.S.PacketsRetx++
+		q.reflow(1, psnAdd(start, o.npkts))
+		return
+	}
+
+	switch q.cfg.Recovery {
+	case GoBack0:
+		// Restart the whole message from byte 0 on fresh PSNs aligned
+		// with the responder's expected PSN.
+		start := missing
+		q.S.PacketsRetx += uint64(psnDiff(q.sndNxt, start))
+		o.firstPSN = start
+		q.sndNxt = start
+		q.sndUna = start
+		q.reflow(1, psnAdd(start, o.npkts))
+	default:
+		// Go-back-N: resume the same mapping from the missing PSN.
+		if psnDiff(missing, q.sndNxt) < 0 {
+			q.S.PacketsRetx += uint64(psnDiff(q.sndNxt, missing))
+			q.sndNxt = missing
+		}
+		if psnDiff(q.sndUna, missing) > 0 {
+			q.sndUna = missing
+		}
+	}
+}
+
+// HandlePacket processes a RoCE packet addressed to this QP (after the
+// NIC's receive pipeline).
+func (q *QP) HandlePacket(p *packet.Packet) {
+	bth := p.BTH
+	if bth == nil {
+		return
+	}
+	switch {
+	case bth.Opcode == packet.OpCNP:
+		q.S.CNPsReceived++
+		if q.rp != nil {
+			q.rp.OnCNP(q.ep.Now())
+		}
+		return
+	case bth.Opcode == packet.OpAcknowledge:
+		q.handleAck(p)
+	case bth.Opcode.IsReadResponse():
+		q.handleReadResponse(p)
+	case bth.Opcode.IsRequest():
+		q.handleRequest(p)
+	}
+	q.ep.Kick()
+}
+
+// maybeCNP emits a CNP if the packet was CE-marked (NP side of DCQCN).
+func (q *QP) maybeCNP(p *packet.Packet) {
+	if q.np == nil || p.IP == nil || p.IP.ECN != packet.ECNCE {
+		return
+	}
+	if q.np.OnCE(q.ep.Now()) {
+		cnp := q.newCtl(packet.OpCNP)
+		cnp.IP.ECN = packet.ECNNotECT
+		q.ctl = append(q.ctl, cnp)
+		q.S.CNPsSent++
+	}
+}
+
+// handleRequest is the responder path for SEND/WRITE segments and READ
+// requests.
+func (q *QP) handleRequest(p *packet.Packet) {
+	q.maybeCNP(p)
+	bth := p.BTH
+	d := psnDiff(bth.PSN, q.ePSN)
+	switch {
+	case d > 0:
+		// Gap: a packet was dropped. NAK once per episode, but repeat
+		// (rate-limited) if out-of-sequence packets keep arriving —
+		// the first NAK may itself have been lost.
+		q.oosSince++
+		if !q.nakArmed || q.oosSince >= 256 {
+			q.nakArmed = true
+			q.oosSince = 0
+			nak := q.newCtl(packet.OpAcknowledge)
+			nak.AETH = &packet.AETH{
+				Syndrome: packet.AETHNak | packet.NakPSNSequenceError,
+				MSN:      q.rMSN,
+			}
+			nak.BTH.PSN = q.ePSN
+			q.ctl = append(q.ctl, nak)
+			q.S.NaksSent++
+		}
+		return
+	case d < 0:
+		// Duplicate (resent after a lost ACK): re-acknowledge.
+		ack := q.newCtl(packet.OpAcknowledge)
+		ack.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+		ack.BTH.PSN = psnAdd(q.ePSN, ^uint32(0)&packet.PSNMask) // ePSN-1
+		q.ctl = append(q.ctl, ack)
+		q.S.AcksSent++
+		return
+	}
+	// In order.
+	q.nakArmed = false
+	if bth.Opcode == packet.OpReadRequest {
+		// A new request supersedes any stream still draining: the
+		// requester re-issues reads on recovery and ignores the old
+		// range, so serving it further only wastes the wire.
+		q.reads = q.reads[:0]
+		n := (int(p.RETH.DMALen) + q.cfg.MTU - 1) / q.cfg.MTU
+		q.reads = append(q.reads, &readServer{
+			first:   bth.PSN,
+			nextPSN: bth.PSN,
+			endPSN:  psnAdd(bth.PSN, uint32(n)),
+		})
+		q.ePSN = psnAdd(bth.PSN, uint32(n))
+		q.rMSN = (q.rMSN + 1) & packet.PSNMask
+		return
+	}
+
+	q.ePSN = psnAdd(q.ePSN, 1)
+	if bth.Opcode.IsFirst() || bth.Opcode == packet.OpSendOnly || bth.Opcode == packet.OpWriteOnly {
+		q.curMsg = 0 // a restarted message (go-back-0) discards partial state
+		q.curKind = OpWrite
+		switch bth.Opcode {
+		case packet.OpSendFirst, packet.OpSendOnly:
+			q.curKind = OpSend
+		}
+	}
+	q.curMsg += p.PayloadLen
+	q.S.BytesDelivered += uint64(p.PayloadLen)
+	if bth.Opcode.IsLast() {
+		q.rMSN = (q.rMSN + 1) & packet.PSNMask
+		q.S.MessagesRecv++
+		if q.OnMessage != nil {
+			q.OnMessage(q.curKind, q.curMsg)
+		}
+		q.curMsg = 0
+	}
+	if bth.AckReq {
+		ack := q.newCtl(packet.OpAcknowledge)
+		ack.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+		ack.BTH.PSN = bth.PSN
+		q.ctl = append(q.ctl, ack)
+		q.S.AcksSent++
+	}
+}
+
+// handleAck is the requester path for ACK and NAK.
+func (q *QP) handleAck(p *packet.Packet) {
+	a := p.AETH
+	if a == nil {
+		return
+	}
+	if a.IsNak() {
+		q.S.NaksReceived++
+		q.recoverFrom(p.BTH.PSN, true)
+		q.armRetx()
+		q.ep.Kick()
+		return
+	}
+	acked := psnAdd(p.BTH.PSN, 1)
+	if psnDiff(acked, q.sndUna) <= 0 {
+		return // stale
+	}
+	q.sndUna = acked
+	q.completeOps()
+	if len(q.ops) > 0 {
+		q.armRetx()
+	} else if q.retx.Pending() {
+		q.retx.Cancel()
+	}
+}
+
+// handleReadResponse is the requester path for READ response streams.
+func (q *QP) handleReadResponse(p *packet.Packet) {
+	q.maybeCNP(p)
+	if len(q.ops) == 0 {
+		return
+	}
+	o := q.ops[0]
+	if o.kind != OpRead {
+		return
+	}
+	d := psnDiff(p.BTH.PSN, o.readNext)
+	if d != 0 {
+		if d > 0 && psnDiff(p.BTH.PSN, psnAdd(o.firstPSN, o.npkts)) < 0 {
+			// Gap within the current response stream: re-issue the
+			// request for what is missing.
+			q.recoverFrom(o.readNext, false)
+			q.armRetx()
+			q.ep.Kick()
+		}
+		return
+	}
+	o.readNext = psnAdd(o.readNext, 1)
+	o.readDone += p.PayloadLen
+	q.S.BytesDelivered += uint64(p.PayloadLen)
+	end := psnAdd(o.firstPSN, o.npkts)
+	if o.readNext == end {
+		q.sndUna = end
+		q.completeOps()
+	} else {
+		q.armRetx()
+	}
+}
+
+// completeOps retires ops fully covered by sndUna.
+func (q *QP) completeOps() {
+	now := q.ep.Now()
+	for len(q.ops) > 0 {
+		o := q.ops[0]
+		if o.kind == OpRead && o.readDone < o.length {
+			break // reads complete only via their response stream
+		}
+		end := psnAdd(o.firstPSN, o.npkts)
+		if psnDiff(q.sndUna, end) < 0 {
+			break
+		}
+		q.ops = q.ops[1:]
+		q.S.MessagesSent++
+		if o.onDone != nil {
+			o.onDone(o.posted, now)
+		}
+	}
+	if len(q.ops) == 0 && q.retx.Pending() {
+		q.retx.Cancel()
+	}
+}
+
+// String summarizes the QP.
+func (q *QP) String() string {
+	return fmt.Sprintf("QP%d->%d %s pri=%d", q.cfg.QPN, q.cfg.PeerQPN, q.cfg.Recovery, q.cfg.Priority)
+}

@@ -1,0 +1,308 @@
+// Package verbs provides an ibverbs-flavored programming interface over
+// the simulated RNIC — protection domains, registered memory regions,
+// completion queues with polling, and work-request posting — so code
+// written against the familiar RDMA object model ports naturally onto
+// the simulator. It is the "RDMA verbs" layer the paper says the NIC
+// implements (Section 6.3: "the NIC implements the most complicated
+// parts of the RDMA functionalities, including the RDMA verbs and the
+// RDMA transport protocol").
+package verbs
+
+import (
+	"fmt"
+
+	"rocesim/internal/nic"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+// Device is the verbs view of one RNIC.
+type Device struct {
+	nic  *nic.NIC
+	pds  int
+	qpns uint32
+}
+
+// Open wraps a NIC as a verbs device.
+func Open(n *nic.NIC) *Device { return &Device{nic: n, qpns: 1000} }
+
+// NIC returns the underlying device.
+func (d *Device) NIC() *nic.NIC { return d.nic }
+
+// PD is a protection domain: the container that scopes memory regions
+// and queue pairs.
+type PD struct {
+	dev *Device
+	id  int
+	mrs []*MR
+}
+
+// AllocPD allocates a protection domain.
+func (d *Device) AllocPD() *PD {
+	d.pds++
+	return &PD{dev: d, id: d.pds}
+}
+
+// Access flags for memory registration.
+type Access int
+
+// Memory access permissions.
+const (
+	LocalWrite Access = 1 << iota
+	RemoteRead
+	RemoteWrite
+)
+
+// MR is a registered memory region. The simulator does not hold real
+// buffers; a region is an address range whose size feeds the NIC's MTT
+// behaviour and whose keys gate remote access.
+type MR struct {
+	pd     *PD
+	Addr   int64
+	Len    int64
+	LKey   uint32
+	RKey   uint32
+	access Access
+}
+
+// RegMR registers length bytes at addr.
+func (p *PD) RegMR(addr, length int64, access Access) (*MR, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("verbs: non-positive MR length")
+	}
+	mr := &MR{
+		pd: p, Addr: addr, Len: length,
+		LKey:   uint32(p.id)<<16 | uint32(len(p.mrs)+1),
+		RKey:   uint32(p.id)<<16 | uint32(len(p.mrs)+1) | 0x8000_0000>>16,
+		access: access,
+	}
+	p.mrs = append(p.mrs, mr)
+	return mr, nil
+}
+
+// Allows reports whether the region grants the access.
+func (m *MR) Allows(a Access) bool { return m.access&a != 0 }
+
+// WCStatus is a work-completion status.
+type WCStatus int
+
+// Completion statuses.
+const (
+	Success WCStatus = iota
+	// RNRRetryExceeded: the responder had no receive posted.
+	RNRRetryExceeded
+	// RemoteAccessError: the remote key did not permit the operation.
+	RemoteAccessError
+)
+
+// WCOpcode identifies what completed.
+type WCOpcode int
+
+// Completion opcodes.
+const (
+	WCSend WCOpcode = iota
+	WCWrite
+	WCRead
+	WCRecv
+)
+
+// WC is a work completion.
+type WC struct {
+	WRID   uint64
+	Op     WCOpcode
+	Status WCStatus
+	Bytes  int
+	Posted simtime.Time
+	Done   simtime.Time
+}
+
+// Latency is the posting-to-completion span.
+func (w WC) Latency() simtime.Duration { return w.Done.Sub(w.Posted) }
+
+// CQ is a completion queue. Completions accumulate until polled.
+type CQ struct {
+	queue []WC
+	// Overflows counts completions dropped beyond Cap (0 = unbounded).
+	Cap       int
+	Overflows uint64
+}
+
+// CreateCQ makes a completion queue with the given capacity (0 =
+// unbounded).
+func (d *Device) CreateCQ(capacity int) *CQ { return &CQ{Cap: capacity} }
+
+func (c *CQ) push(wc WC) {
+	if c.Cap > 0 && len(c.queue) >= c.Cap {
+		c.Overflows++
+		return
+	}
+	c.queue = append(c.queue, wc)
+}
+
+// Poll drains up to max completions (max <= 0 drains all).
+func (c *CQ) Poll(max int) []WC {
+	n := len(c.queue)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]WC, n)
+	copy(out, c.queue[:n])
+	c.queue = c.queue[n:]
+	return out
+}
+
+// Depth returns the number of pending completions.
+func (c *CQ) Depth() int { return len(c.queue) }
+
+// QPConfig shapes a verbs queue pair.
+type QPConfig struct {
+	// SendCQ and RecvCQ receive completions (they may be the same CQ).
+	SendCQ *CQ
+	RecvCQ *CQ
+	// Transport carries the lower-layer settings (addressing, class,
+	// recovery, DCQCN). QPN/PeerQPN are assigned by Connect.
+	Transport transport.Config
+}
+
+// QP is a verbs queue pair bound to a device and CQs.
+type QP struct {
+	dev   *Device
+	cfg   QPConfig
+	tq    *transport.QP
+	recvs []recvWR
+	// RNRDrops counts messages that arrived with no receive posted.
+	RNRDrops uint64
+}
+
+type recvWR struct {
+	wrid uint64
+	mr   *MR
+}
+
+// CreateQP creates the local half of a queue pair. Wire the two halves
+// with Connect.
+func (d *Device) CreateQP(cfg QPConfig) *QP {
+	if cfg.SendCQ == nil || cfg.RecvCQ == nil {
+		panic("verbs: QP needs send and recv CQs")
+	}
+	return &QP{dev: d, cfg: cfg}
+}
+
+// Connect pairs two QPs (one per device) and brings them to RTS.
+func Connect(a, b *QP) error {
+	if a.tq != nil || b.tq != nil {
+		return fmt.Errorf("verbs: QP already connected")
+	}
+	a.dev.qpns++
+	qa := a.dev.qpns
+	b.dev.qpns++
+	qb := b.dev.qpns
+
+	ca := a.cfg.Transport
+	ca.QPN, ca.PeerQPN = qa, qb
+	ca.DstIP = b.dev.nic.IP()
+	cb := b.cfg.Transport
+	cb.QPN, cb.PeerQPN = qb, qa
+	cb.DstIP = a.dev.nic.IP()
+
+	a.tq = a.dev.nic.CreateQP(ca)
+	b.tq = b.dev.nic.CreateQP(cb)
+	// Only SENDs consume receive WQEs; RDMA WRITEs land directly in the
+	// registered region with no responder-side completion.
+	a.tq.OnMessage = func(kind transport.OpKind, size int) {
+		if kind == transport.OpSend {
+			a.deliver(size)
+		}
+	}
+	b.tq.OnMessage = func(kind transport.OpKind, size int) {
+		if kind == transport.OpSend {
+			b.deliver(size)
+		}
+	}
+	return nil
+}
+
+// Transport exposes the lower-layer QP (stats).
+func (q *QP) Transport() *transport.QP { return q.tq }
+
+// deliver consumes a posted receive for an inbound SEND.
+func (q *QP) deliver(size int) {
+	if len(q.recvs) == 0 {
+		q.RNRDrops++
+		return
+	}
+	r := q.recvs[0]
+	q.recvs = q.recvs[1:]
+	status := Success
+	if r.mr != nil && int64(size) > r.mr.Len {
+		status = RemoteAccessError // buffer too small
+	}
+	now := q.nowTime()
+	q.cfg.RecvCQ.push(WC{WRID: r.wrid, Op: WCRecv, Status: status, Bytes: size, Posted: now, Done: now})
+}
+
+func (q *QP) nowTime() simtime.Time {
+	// The device clock: completions are stamped when they occur.
+	return q.dev.nic.Now()
+}
+
+// PostRecv posts a receive buffer (mr may be nil for "any size").
+func (q *QP) PostRecv(wrid uint64, mr *MR) {
+	q.recvs = append(q.recvs, recvWR{wrid: wrid, mr: mr})
+}
+
+// PostSend posts a SEND of length bytes from mr.
+func (q *QP) PostSend(wrid uint64, mr *MR, length int) error {
+	if err := q.checkLocal(mr, length); err != nil {
+		return err
+	}
+	q.post(wrid, WCSend, transport.OpSend, length)
+	return nil
+}
+
+// PostWrite posts an RDMA WRITE of length bytes into the remote region
+// named by rkey. The remote MR must allow RemoteWrite.
+func (q *QP) PostWrite(wrid uint64, mr *MR, length int, remote *MR) error {
+	if err := q.checkLocal(mr, length); err != nil {
+		return err
+	}
+	if remote != nil && !remote.Allows(RemoteWrite) {
+		return fmt.Errorf("verbs: remote MR lacks RemoteWrite")
+	}
+	q.post(wrid, WCWrite, transport.OpWrite, length)
+	return nil
+}
+
+// PostRead posts an RDMA READ of length bytes from the remote region.
+func (q *QP) PostRead(wrid uint64, mr *MR, length int, remote *MR) error {
+	if err := q.checkLocal(mr, length); err != nil {
+		return err
+	}
+	if remote != nil && !remote.Allows(RemoteRead) {
+		return fmt.Errorf("verbs: remote MR lacks RemoteRead")
+	}
+	q.post(wrid, WCRead, transport.OpRead, length)
+	return nil
+}
+
+func (q *QP) checkLocal(mr *MR, length int) error {
+	if q.tq == nil {
+		return fmt.Errorf("verbs: QP not connected")
+	}
+	if length <= 0 {
+		return fmt.Errorf("verbs: non-positive length")
+	}
+	if mr != nil && int64(length) > mr.Len {
+		return fmt.Errorf("verbs: length %d exceeds MR size %d", length, mr.Len)
+	}
+	return nil
+}
+
+func (q *QP) post(wrid uint64, op WCOpcode, kind transport.OpKind, length int) {
+	q.tq.Post(kind, length, func(posted, done simtime.Time) {
+		q.cfg.SendCQ.push(WC{
+			WRID: wrid, Op: op, Status: Success, Bytes: length,
+			Posted: posted, Done: done,
+		})
+	})
+}

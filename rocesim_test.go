@@ -1,0 +1,156 @@
+package rocesim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rocesim/internal/pcap"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cl, err := NewCluster(1, Rack(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := cl.ConnectRC(cl.Server(0, 0, 0), cl.Server(0, 0, 1), ClassBulk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat time.Duration
+	var got int
+	qp.OnReceive(func(size int) { got = size })
+	qp.Send(4<<20, func(l time.Duration) { lat = l })
+	cl.Run(10 * time.Millisecond)
+	if lat == 0 {
+		t.Fatal("send never completed")
+	}
+	if got != 4<<20 {
+		t.Fatalf("received %d bytes", got)
+	}
+	// 4MB at 40G is ~0.9ms including ACK turnaround.
+	if lat > 3*time.Millisecond {
+		t.Fatalf("latency %v implausible", lat)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (time.Duration, uint64) {
+		cl, err := NewCluster(42, Rack(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last time.Duration
+		for i := 1; i <= 4; i++ {
+			q, _ := cl.ConnectRC(cl.Server(0, 0, i), cl.Server(0, 0, 0), ClassBulk)
+			for j := 0; j < 4; j++ {
+				q.Send(1<<20, func(l time.Duration) { last = l })
+			}
+		}
+		cl.Run(20 * time.Millisecond)
+		return last, cl.Kernel().EventsFired()
+	}
+	l1, e1 := run()
+	l2, e2 := run()
+	if l1 != l2 || e1 != e2 {
+		t.Fatalf("non-deterministic: %v/%d vs %v/%d", l1, e1, l2, e2)
+	}
+}
+
+func TestReadAndWriteVerbs(t *testing.T) {
+	cl, err := NewCluster(2, Rack(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, _ := cl.ConnectRC(cl.Server(0, 0, 0), cl.Server(0, 0, 1), ClassBulk)
+	var wl, rl time.Duration
+	qp.Write(1<<20, func(l time.Duration) { wl = l })
+	cl.Run(5 * time.Millisecond)
+	qp.Read(1<<20, func(l time.Duration) { rl = l })
+	cl.Run(5 * time.Millisecond)
+	if wl == 0 || rl == 0 {
+		t.Fatalf("write=%v read=%v", wl, rl)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	legacy := Safety{}
+	cl, err := NewCluster(3, Rack(2), WithSafety(legacy), WithAlpha(1.0/64), WithMode(VLANBased))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Deployment().Cfg.Alpha != 1.0/64 {
+		t.Fatal("alpha option ignored")
+	}
+	if cl.Deployment().Cfg.Mode != VLANBased {
+		t.Fatal("mode option ignored")
+	}
+	if cl.Deployment().Cfg.Safety.GoBackN {
+		t.Fatal("safety option ignored")
+	}
+}
+
+func TestClusterPingmesh(t *testing.T) {
+	cl, err := NewCluster(4, Rack(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := cl.NewPingmesh()
+	pm.AddPair(cl.Deployment().Net, cl.Server(0, 0, 0), cl.Server(0, 0, 1))
+	pm.Start()
+	cl.Run(300 * time.Millisecond)
+	if pm.Probes == 0 {
+		t.Fatal("no probes")
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	cl, _ := NewCluster(5, Rack(2))
+	cl.Run(7 * time.Millisecond)
+	if cl.Now() != 7*time.Millisecond {
+		t.Fatalf("Now = %v", cl.Now())
+	}
+}
+
+func TestClusterCapture(t *testing.T) {
+	cl, err := NewCluster(6, Rack(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	pw, err := cl.Capture(cl.Server(0, 0, 0), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, _ := cl.ConnectRC(cl.Server(0, 0, 1), cl.Server(0, 0, 0), ClassBulk)
+	qp.Send(1<<20, nil)
+	cl.Run(5 * time.Millisecond)
+	if pw.Frames() == 0 {
+		t.Fatal("capture saw no frames")
+	}
+	recs, err := pcap.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pcap.Analyze(recs)
+	if a.RoCEData == 0 || a.Acks == 0 {
+		t.Fatalf("analysis: %+v", a)
+	}
+}
+
+func TestStagedClusterKeepsRDMAInRack(t *testing.T) {
+	// At StageToR, cross-ToR lossless traffic crosses lossy Leafs: the
+	// fabric still works, but losslessness holds only inside the rack.
+	cl, err := NewCluster(7, Fig8(), WithStage(StageToR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := cl.Deployment().Net.Leafs[0]
+	if leaf.Config().Buffer.LosslessPGs[ClassBulk] {
+		t.Fatal("leaf lossless at ToR stage")
+	}
+	tor := cl.Deployment().Net.Tors[0]
+	if !tor.Config().Buffer.LosslessPGs[ClassBulk] {
+		t.Fatal("tor must be lossless at ToR stage")
+	}
+}
