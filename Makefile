@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench report examples clean
+.PHONY: all build test test-race vet bench bench-json report examples clean
 
 all: build vet test
 
@@ -13,10 +13,21 @@ vet:
 test:
 	$(GO) test ./...
 
+# The simulator is single-threaded by design; the race detector guards
+# against accidental goroutine use creeping into the kernel.
+test-race:
+	$(GO) test -race ./...
+
 # Regenerates every paper figure at scaled size with metrics in the
 # benchmark output (see EXPERIMENTS.md for the mapping).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark output for regression tracking.
+bench-json:
+	$(GO) test -bench=. -benchmem -json ./... > bench_output.json
+
+
 
 # Consolidated reproduction report (fast experiments; add FLAGS=-all for
 # the heavyweight figures too).
@@ -31,4 +42,4 @@ examples:
 	$(GO) run ./examples/verbsapi
 
 clean:
-	rm -f capture.pcap test_output.txt bench_output.txt
+	rm -f capture.pcap test_output.txt bench_output.txt bench_output.json

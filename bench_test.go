@@ -239,7 +239,7 @@ func BenchmarkDCQCNPauseReduction(b *testing.B) {
 				pump(0)
 			}
 			cl.Run(20 * time.Millisecond)
-			return float64(cl.Deployment().Net.Tors[0].C.PauseTx)
+			return float64(cl.Deployment().Net.Tors[0].C.PauseTx.Value())
 		}
 		b.ReportMetric(run(false), "pauses-plain")
 		b.ReportMetric(run(true), "pauses-dcqcn")

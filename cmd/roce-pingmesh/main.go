@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"rocesim/internal/core"
 	"rocesim/internal/monitor"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 	"rocesim/internal/topology"
 )
 
@@ -46,4 +48,24 @@ func main() {
 	k.RunUntil(simtime.Time(simtime.FromStd(*duration)))
 	fmt.Print(pm.Report())
 	fmt.Println("paper: Pingmesh RTTs are the health signal; probe failures localize incidents")
+
+	// Registry snapshot at exit: the pause/drop counters the paper's
+	// monitoring stack collects, plus the published RTT histograms.
+	fmt.Println()
+	fmt.Println("registry snapshot (pingmesh series and nonzero pause/drop counters):")
+	snap := k.Metrics().Snapshot()
+	fmt.Print(snap.Filter(func(e telemetry.Entry) bool {
+		if strings.HasPrefix(e.Key, "pingmesh/") {
+			return true
+		}
+		if e.Value == 0 {
+			return false
+		}
+		for _, sfx := range []string{"/pause_rx", "/pause_tx", "/drops", "/lossless_drops"} {
+			if strings.HasSuffix(e.Key, sfx) {
+				return true
+			}
+		}
+		return false
+	}).Text())
 }

@@ -12,10 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"rocesim/internal/experiments"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +27,21 @@ func main() {
 	for _, wd := range []bool{false, true} {
 		cfg := experiments.DefaultStorm(wd)
 		cfg.Duration = simtime.FromStd(*duration)
-		fmt.Print(experiments.StormIncident(experiments.RunStorm(cfg)))
+		res := experiments.RunStorm(cfg)
+		fmt.Print(experiments.StormIncident(res))
+		fmt.Printf("registry snapshot (watchdogs=%v, nonzero pause/drop/watchdog counters):\n", wd)
+		fmt.Print(res.Snapshot.Filter(func(e telemetry.Entry) bool {
+			if e.Value == 0 {
+				return false
+			}
+			for _, sfx := range []string{"/pause_rx", "/pause_tx", "/drops",
+				"/lossless_drops", "/watchdog_trips"} {
+				if strings.HasSuffix(e.Key, sfx) {
+					return true
+				}
+			}
+			return false
+		}).Text())
+		fmt.Println()
 	}
 }

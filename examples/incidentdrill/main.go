@@ -59,7 +59,7 @@ func main() {
 	}
 	trips := 0
 	for _, sw := range dep.Net.Switches() {
-		trips += int(sw.C.WatchdogTrips)
+		trips += int(sw.C.WatchdogTrips.Value())
 	}
 	fmt.Printf("t=350ms   switch watchdogs tripped %d time(s): lossless mode cut for the rogue port\n", trips)
 

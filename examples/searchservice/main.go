@@ -52,7 +52,7 @@ func main() {
 	// The lossless guarantee under all that incast:
 	drops := uint64(0)
 	for _, sw := range cl.Deployment().Net.Switches() {
-		drops += sw.C.LosslessDrops
+		drops += sw.C.LosslessDrops.Value()
 	}
 	fmt.Printf("lossless drops across the fabric: %d (PFC absorbed every burst)\n", drops)
 }

@@ -174,8 +174,8 @@ func TestEndToEndDSCPLosslessUnderIncast(t *testing.T) {
 	}
 	k.RunUntil(simtime.Time(50 * simtime.Millisecond))
 	for _, sw := range d.Net.Switches() {
-		if sw.C.LosslessDrops != 0 {
-			t.Fatalf("%s dropped %d lossless packets", sw.Name(), sw.C.LosslessDrops)
+		if sw.C.LosslessDrops.Value() != 0 {
+			t.Fatalf("%s dropped %d lossless packets", sw.Name(), sw.C.LosslessDrops.Value())
 		}
 	}
 }

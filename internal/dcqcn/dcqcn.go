@@ -9,7 +9,32 @@ package dcqcn
 
 import (
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 )
+
+// Metrics aggregates DCQCN rate events across all flows of one device
+// (NIC). All fields are nil-tolerant, so unregistered state machines
+// (tests, standalone use) cost one nil check per event.
+type Metrics struct {
+	// RateCuts counts RP rate reductions (one per processed CNP).
+	RateCuts *telemetry.Counter
+	// CNPsReceived counts CNPs processed by RPs.
+	CNPsReceived *telemetry.Counter
+	// CEArrivals counts CE-marked packets seen by NPs.
+	CEArrivals *telemetry.Counter
+	// CNPsGenerated counts CNPs the NPs decided to send.
+	CNPsGenerated *telemetry.Counter
+}
+
+// RegisterMetrics registers the per-device DCQCN rate-event counters.
+func RegisterMetrics(r *telemetry.Registry, device string) *Metrics {
+	return &Metrics{
+		RateCuts:      r.Counter(device + "/dcqcn_rate_cuts"),
+		CNPsReceived:  r.Counter(device + "/dcqcn_cnps_rx"),
+		CEArrivals:    r.Counter(device + "/dcqcn_ce_arrivals"),
+		CNPsGenerated: r.Counter(device + "/dcqcn_cnps_generated"),
+	}
+}
 
 // Params are the RP/NP constants. Defaults follow the DCQCN paper scaled
 // for 40GbE.
@@ -36,6 +61,9 @@ type Params struct {
 	// CNPInterval is the NP-side minimum gap between CNPs per flow
 	// (50 us).
 	CNPInterval simtime.Duration
+	// Metrics, when non-nil, receives aggregated rate events (shared by
+	// every flow of one device).
+	Metrics *Metrics
 }
 
 // DefaultParams returns the paper's constants for a given line rate.
@@ -101,6 +129,10 @@ func (r *RP) OnCNP(now simtime.Time) {
 	r.decayAlphaTo(now)
 	r.CNPs++
 	r.RateCuts++
+	if m := r.p.Metrics; m != nil {
+		m.CNPsReceived.Inc()
+		m.RateCuts.Inc()
+	}
 	r.rt = r.rc
 	r.rc = r.rc.Scale(1 - r.a/2)
 	if r.rc < r.p.MinRate {
@@ -187,10 +219,16 @@ func NewNP(p Params) *NP { return &NP{p: p} }
 // should be sent now.
 func (n *NP) OnCE(now simtime.Time) bool {
 	n.CEs++
+	if m := n.p.Metrics; m != nil {
+		m.CEArrivals.Inc()
+	}
 	if !n.armed || now.Sub(n.lastCNP) >= n.p.CNPInterval {
 		n.armed = true
 		n.lastCNP = now
 		n.CNPsSent++
+		if m := n.p.Metrics; m != nil {
+			m.CNPsGenerated.Inc()
+		}
 		return true
 	}
 	return false

@@ -206,8 +206,8 @@ func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 		CycleObserved:  observed,
 		Cycle:          cycle,
 		Permanent:      permanent,
-		Floods:         t0.C.Floods + t1.C.Floods,
-		ARPDrops:       t0.C.ARPIncompleteDrops + t1.C.ARPIncompleteDrops,
+		Floods:         t0.C.Floods.Value() + t1.C.Floods.Value(),
+		ARPDrops:       t0.C.ARPIncompleteDrops.Value() + t1.C.ARPIncompleteDrops.Value(),
 		LiveFlowStalls: s5.QP(1003).S.BytesDelivered == liveBefore && liveBefore < 1<<20,
 		LiveFlowMB:     float64(s5.QP(1003).S.BytesDelivered) / (1 << 20),
 	}

@@ -135,7 +135,7 @@ func RunLivelock(cfg LivelockConfig) LivelockResult {
 		GoodputGbps:       gbps(goodBits, cfg.Duration),
 		WireGbps:          gbps(wireBits, cfg.Duration),
 		LinkUtilization:   gbps(wireBits, cfg.Duration) / 40,
-		Drops:             sw.C.InjectedDrops,
+		Drops:             sw.C.InjectedDrops.Value(),
 		Naks:              qa.S.NaksReceived + qb.S.NaksReceived,
 		Timeouts:          qa.S.Timeouts + qb.S.Timeouts,
 	}

@@ -94,7 +94,7 @@ func RunSlowReceiver(cfg SlowReceiverConfig) SlowReceiverResult {
 	}
 	return SlowReceiverResult{
 		Cfg:              cfg,
-		NICPauses:        rx.S.TxPause,
+		NICPauses:        rx.S.TxPause.Value(),
 		PropagatedPauses: upstream,
 		MTTMissRate:      miss,
 		GoodputGbps:      gbps(float64(st.Done)*float64(1<<20)*8, cfg.Duration),

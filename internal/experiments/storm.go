@@ -8,6 +8,7 @@ import (
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
 	"rocesim/internal/stats"
+	"rocesim/internal/telemetry"
 	"rocesim/internal/topology"
 	"rocesim/internal/workload"
 )
@@ -40,6 +41,9 @@ type StormResult struct {
 	PauseRxPeak float64
 	// StormPauseSeries is the aggregate pause-frame time series.
 	StormPauseSeries *stats.Series
+	// Snapshot is the full registry snapshot at run end (pause/drop
+	// counters for every device).
+	Snapshot *telemetry.Snapshot
 	// ThroughputBefore/During/After are aggregate Gb/s across the
 	// victim flows.
 	ThroughputBefore float64
@@ -158,12 +162,10 @@ func RunStorm(cfg StormConfig) StormResult {
 		}
 	}
 
-	tripped := bad.S.WatchdogTrips > 0
-	for _, sw := range net.Switches() {
-		if sw.C.WatchdogTrips > 0 {
-			tripped = true
-		}
-	}
+	// The registry snapshot is the single source of truth at run end:
+	// the watchdog verdict and the exported counters both come from it.
+	snap := k.Metrics().Snapshot()
+	tripped := snap.SumSuffix("/watchdog_trips") > 0
 
 	return StormResult{
 		Cfg:              cfg,
@@ -171,6 +173,7 @@ func RunStorm(cfg StormConfig) StormResult {
 		ServersTotal:     pairs,
 		PauseRxPeak:      peak,
 		StormPauseSeries: agg,
+		Snapshot:         snap,
 		ThroughputBefore: before,
 		ThroughputDuring: during,
 		ThroughputAfter:  after,

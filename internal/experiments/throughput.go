@@ -143,11 +143,11 @@ func RunFig7(cfg Fig7Config) Fig7Result {
 	framesPerSec := msgs * float64(cfg.MessageSize) / 1024 / cfg.Measure.Seconds()
 
 	capacity := float64(len(net.LeafSpineLinks)) * 40
-	var lossless, drops uint64
-	for _, sw := range net.Switches() {
-		lossless += sw.C.LosslessDrops
-		drops += sw.C.IngressDrops
-	}
+	// Read drop totals from the telemetry registry snapshot instead of
+	// poking switch internals.
+	snap := k.Metrics().Snapshot()
+	lossless := uint64(snap.SumSuffix("/lossless_drops"))
+	drops := uint64(snap.SumSuffix("/drops"))
 	return Fig7Result{
 		Cfg:             cfg,
 		Connections:     conns,

@@ -168,11 +168,11 @@ func TestFig4FixPreventsDeadlock(t *testing.T) {
 		t.Fatalf("deadlock formed despite the ARP-drop fix: %v", cycle)
 	}
 	// The fix drops the doomed packets at the ToRs...
-	if n.t1.C.ARPIncompleteDrops == 0 || n.t0.C.ARPIncompleteDrops == 0 {
+	if n.t1.C.ARPIncompleteDrops.Value() == 0 || n.t0.C.ARPIncompleteDrops.Value() == 0 {
 		t.Fatal("fix not exercised")
 	}
 	// ...no flooding of lossless packets...
-	if n.t0.C.Floods != 0 || n.t1.C.Floods != 0 {
+	if n.t0.C.Floods.Value() != 0 || n.t1.C.Floods.Value() != 0 {
 		t.Fatal("lossless packets still flooded")
 	}
 	// ...and the live flow S1→S5 keeps making progress.

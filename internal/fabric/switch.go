@@ -17,6 +17,7 @@ import (
 	"rocesim/internal/pfc"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 )
 
 // ECNConfig is the WRED-style marking profile applied to lossless egress
@@ -140,43 +141,74 @@ type portState struct {
 	lastPauseRx simtime.Time
 	lastTxCount uint64
 
-	RxFrames uint64
+	// Per-port counters, registered with a port label at AttachLink.
+	RxFrames *telemetry.Counter
+	RxPause  *telemetry.Counter
+	TxPause  *telemetry.Counter
 	RxBytes  uint64
-	RxPause  uint64
-	TxPause  uint64
 	RxByPri  [8]uint64
 }
 
 // Counters aggregates a switch's drop and pause statistics, mirroring the
-// counters the paper's monitoring system collects per device.
+// counters the paper's monitoring system collects per device. They are
+// registry-backed: each field is registered under "<switch>/<metric>" at
+// construction, so monitors and experiment harnesses read them from
+// registry snapshots instead of poking the struct.
 type Counters struct {
-	RxFrames           uint64
-	TxFrames           uint64
-	IngressDrops       uint64 // buffer admission failures
-	LosslessDrops      uint64 // admission failures in lossless classes
-	TTLDrops           uint64
-	NoRouteDrops       uint64
-	MACMismatchDrops   uint64 // stray flooded frames not addressed to us
-	ARPIncompleteDrops uint64 // the deadlock fix in action
-	ARPMissDrops       uint64
-	WatchdogDrops      uint64 // lossless frames discarded while tripped
-	InjectedDrops      uint64 // DropFn hook (livelock experiment)
-	ECNMarked          uint64
-	Floods             uint64
-	PauseRx            uint64
-	PauseTx            uint64
-	WatchdogTrips      uint64
-	WatchdogReenables  uint64
+	RxFrames           *telemetry.Counter
+	TxFrames           *telemetry.Counter
+	IngressDrops       *telemetry.Counter // buffer admission failures
+	LosslessDrops      *telemetry.Counter // admission failures in lossless classes
+	TTLDrops           *telemetry.Counter
+	NoRouteDrops       *telemetry.Counter
+	MACMismatchDrops   *telemetry.Counter // stray flooded frames not addressed to us
+	ARPIncompleteDrops *telemetry.Counter // the deadlock fix in action
+	ARPMissDrops       *telemetry.Counter
+	WatchdogDrops      *telemetry.Counter // lossless frames discarded while tripped
+	InjectedDrops      *telemetry.Counter // DropFn hook (livelock experiment)
+	ECNMarked          *telemetry.Counter
+	Floods             *telemetry.Counter
+	PauseRx            *telemetry.Counter
+	PauseTx            *telemetry.Counter
+	WatchdogTrips      *telemetry.Counter
+	WatchdogReenables  *telemetry.Counter
+}
+
+// newCounters registers the switch-level counters. The metric names
+// deliberately match the collector's historical series names
+// ("<device>/pause_rx", "<device>/lossless_drops", ...), so suffix-based
+// aggregation keeps working across the registry migration.
+func newCounters(r *telemetry.Registry, name string) Counters {
+	return Counters{
+		RxFrames:           r.Counter(name + "/rx_frames"),
+		TxFrames:           r.Counter(name + "/tx_frames"),
+		IngressDrops:       r.Counter(name + "/drops"),
+		LosslessDrops:      r.Counter(name + "/lossless_drops"),
+		TTLDrops:           r.Counter(name + "/ttl_drops"),
+		NoRouteDrops:       r.Counter(name + "/no_route_drops"),
+		MACMismatchDrops:   r.Counter(name + "/mac_mismatch_drops"),
+		ARPIncompleteDrops: r.Counter(name + "/arp_incomplete_drops"),
+		ARPMissDrops:       r.Counter(name + "/arp_miss_drops"),
+		WatchdogDrops:      r.Counter(name + "/watchdog_drops"),
+		InjectedDrops:      r.Counter(name + "/injected_drops"),
+		ECNMarked:          r.Counter(name + "/ecn_marked"),
+		Floods:             r.Counter(name + "/floods"),
+		PauseRx:            r.Counter(name + "/pause_rx"),
+		PauseTx:            r.Counter(name + "/pause_tx"),
+		WatchdogTrips:      r.Counter(name + "/watchdog_trips"),
+		WatchdogReenables:  r.Counter(name + "/watchdog_reenables"),
+	}
 }
 
 // Switch is one shared-buffer switch.
 type Switch struct {
-	k    *sim.Kernel
-	cfg  Config
-	mac  packet.MAC
-	mmu  *buffer.MMU
-	rng  *rand.Rand
-	port []*portState
+	k     *sim.Kernel
+	cfg   Config
+	mac   packet.MAC
+	mmu   *buffer.MMU
+	rng   *rand.Rand
+	trace *telemetry.TraceBus
+	port  []*portState
 
 	routes routeTable
 	arp    map[packet.Addr]arpEntry
@@ -210,9 +242,11 @@ func NewSwitch(k *sim.Kernel, cfg Config, mac packet.MAC) (*Switch, error) {
 		mac:    mac,
 		mmu:    mmu,
 		rng:    k.Rand("switch/" + cfg.Name),
+		trace:  k.Trace(),
 		port:   make([]*portState, cfg.Ports),
 		arp:    make(map[packet.Addr]arpEntry),
 		macTab: make(map[packet.MAC]macEntry),
+		C:      newCounters(k.Metrics(), cfg.Name),
 	}
 	for i := range sw.port {
 		sw.port[i] = &portState{}
@@ -245,16 +279,25 @@ func (s *Switch) AttachLink(n int, l *link.Link, side int, peerMAC packet.MAC, s
 	ps.peerMAC = peerMAC
 	ps.serverFacing = serverFacing
 	ps.egress = link.NewEgress(s.k, l, side)
-	ps.egress.OnTransmit = func(it link.Item) { s.onTransmit(it) }
+	ps.egress.OnTransmit = func(it link.Item) { s.onTransmit(n, it) }
 	ps.pauser = pfc.NewRefresher(s.mac, l.Rate(),
 		func(p *packet.Packet) {
 			ps.egress.EnqueueControl(p)
-			ps.TxPause++
-			s.C.PauseTx++
+			ps.TxPause.Inc()
+			s.C.PauseTx.Inc()
 		},
 		s.k.Now,
 		func(d simtime.Duration, fn func()) func() bool { return s.k.After(d, fn).Cancel })
 	ps.wdTrip = pfc.NewWatchdog(s.cfg.Watchdog.TripWindow)
+	reg := s.k.Metrics()
+	port := telemetry.L("port", n)
+	ps.RxFrames = reg.Counter(s.cfg.Name+"/rx_frames", port)
+	ps.RxPause = reg.Counter(s.cfg.Name+"/pause_rx", port)
+	ps.TxPause = reg.Counter(s.cfg.Name+"/pause_tx", port)
+	// The watchdog replaces the egress PauseState when it trips, so the
+	// pause-time gauges read through a getter rather than a pointer.
+	pfc.RegisterMetrics(reg, s.cfg.Name, func() *pfc.PauseState { return ps.egress.Pause },
+		ps.pauser, s.losslessMask(), port)
 	l.Attach(side, s, n)
 }
 
@@ -268,7 +311,7 @@ func (s *Switch) Pauser(port int) *pfc.Refresher { return s.port[port].pauser }
 // PortCounters returns (rxFrames, rxPause, txPause) for a port.
 func (s *Switch) PortCounters(port int) (rx, rxPause, txPause uint64) {
 	ps := s.port[port]
-	return ps.RxFrames, ps.RxPause, ps.TxPause
+	return ps.RxFrames.Value(), ps.RxPause.Value(), ps.TxPause.Value()
 }
 
 // LosslessDisabled reports whether the watchdog has disabled lossless
@@ -325,13 +368,13 @@ func (s *Switch) losslessMask() uint8 {
 // Receive implements link.Endpoint: a frame has arrived on port n.
 func (s *Switch) Receive(n int, p *packet.Packet) {
 	ps := s.port[n]
-	s.C.RxFrames++
-	ps.RxFrames++
+	s.C.RxFrames.Inc()
+	ps.RxFrames.Inc()
 	ps.RxBytes += uint64(p.WireLen())
 
 	if p.IsPause() {
-		s.C.PauseRx++
-		ps.RxPause++
+		s.C.PauseRx.Inc()
+		ps.RxPause.Inc()
 		ps.lastPauseRx = s.k.Now()
 		if ps.losslessDisabled {
 			return // watchdog: ignore pauses from the broken NIC
@@ -352,11 +395,13 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 	lossless := s.cfg.Buffer.LosslessPGs[pri]
 
 	if ps.losslessDisabled && lossless {
-		s.C.WatchdogDrops++
+		s.C.WatchdogDrops.Inc()
+		s.drop(n, pri, p, "watchdog-lossless-disabled")
 		return
 	}
 	if s.DropFn != nil && s.DropFn(p) {
-		s.C.InjectedDrops++
+		s.C.InjectedDrops.Inc()
+		s.drop(n, pri, p, "injected")
 		return
 	}
 
@@ -366,7 +411,8 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 	// destination MAC does not match".
 	if p.IP != nil && !p.Eth.Dst.IsMulticast() && p.Eth.Dst != s.mac {
 		if _, isLocal := s.localDst(p.IP.Dst); !isLocal {
-			s.C.MACMismatchDrops++
+			s.C.MACMismatchDrops.Inc()
+			s.drop(n, pri, p, "mac-mismatch")
 			return
 		}
 		// Frame for one of our servers (possibly flooded from
@@ -375,7 +421,8 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 
 	if p.IP != nil {
 		if p.IP.TTL <= 1 {
-			s.C.TTLDrops++
+			s.C.TTLDrops.Inc()
+			s.drop(n, pri, p, "ttl-expired")
 			return
 		}
 	}
@@ -395,13 +442,24 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 		outcome, tr := s.mmu.Admit(n, pri, q.WireLen())
 		s.applyPause(n, pri, tr)
 		if outcome == buffer.Drop {
-			s.C.IngressDrops++
+			s.C.IngressDrops.Inc()
 			if lossless {
-				s.C.LosslessDrops++
+				s.C.LosslessDrops.Inc()
 			}
+			s.drop(n, pri, q, "buffer-admission")
 			continue
 		}
 		s.finishForward(n, out, q, pri)
+	}
+}
+
+// drop emits a trace event for a discarded frame.
+func (s *Switch) drop(port, pri int, p *packet.Packet, reason string) {
+	if s.trace.Active() {
+		s.trace.Emit(telemetry.Event{
+			Type: telemetry.EvDrop, Node: s.cfg.Name, Port: port, Pri: pri,
+			Pkt: p, Reason: reason,
+		})
 	}
 }
 
@@ -425,18 +483,20 @@ func (s *Switch) forward(in int, p *packet.Packet, pri int, lossless bool) ([]in
 		if port, ok := s.lookupMAC(p.Eth.Dst); ok {
 			return []int{port}, true
 		}
-		s.C.Floods++
+		s.C.Floods.Inc()
 		return s.floodPorts(in), true
 	}
 
 	r := s.routes.lookup(p.IP.Dst)
 	if r == nil {
-		s.C.NoRouteDrops++
+		s.C.NoRouteDrops.Inc()
+		s.drop(in, pri, p, "no-route")
 		return nil, false
 	}
 	if !r.Local {
 		if len(r.Ports) == 0 {
-			s.C.NoRouteDrops++
+			s.C.NoRouteDrops.Inc()
+			s.drop(in, pri, p, "no-route")
 			return nil, false
 		}
 		var out int
@@ -453,7 +513,8 @@ func (s *Switch) forward(in int, p *packet.Packet, pri int, lossless bool) ([]in
 	// Local delivery: ARP then MAC table.
 	mac, ok := s.lookupARP(p.IP.Dst)
 	if !ok {
-		s.C.ARPMissDrops++
+		s.C.ARPMissDrops.Inc()
+		s.drop(in, pri, p, "arp-miss")
 		return nil, false
 	}
 	if port, ok := s.lookupMAC(mac); ok {
@@ -464,10 +525,11 @@ func (s *Switch) forward(in int, p *packet.Packet, pri int, lossless bool) ([]in
 	// Incomplete ARP entry: the MAC is known at L3 but not in the L2
 	// table. Standard switches flood — the paper's deadlock trigger.
 	if s.cfg.DropLosslessOnIncompleteARP && lossless {
-		s.C.ARPIncompleteDrops++
+		s.C.ARPIncompleteDrops.Inc()
+		s.drop(in, pri, p, "arp-incomplete")
 		return nil, false
 	}
-	s.C.Floods++
+	s.C.Floods.Inc()
 	p.Eth.Dst = mac
 	p.Eth.Src = s.mac
 	return s.floodPorts(in), true
@@ -498,10 +560,18 @@ func (s *Switch) finishForward(in, out int, p *packet.Packet, pri int) {
 	}
 	s.maybeMarkECN(out, p, pri)
 	it := link.Item{P: p, Pri: pri, IngressPort: in, PG: pri}
-	if s.cfg.ForwardingLatency > 0 {
-		s.k.After(s.cfg.ForwardingLatency, func() { s.port[out].egress.Enqueue(it) })
-	} else {
+	enq := func() {
+		if s.trace.Active() {
+			s.trace.Emit(telemetry.Event{
+				Type: telemetry.EvEnqueue, Node: s.cfg.Name, Port: out, Pri: pri, Pkt: p,
+			})
+		}
 		s.port[out].egress.Enqueue(it)
+	}
+	if s.cfg.ForwardingLatency > 0 {
+		s.k.After(s.cfg.ForwardingLatency, enq)
+	} else {
+		enq()
 	}
 }
 
@@ -526,24 +596,45 @@ func (s *Switch) maybeMarkECN(out int, p *packet.Packet, pri int) {
 	}
 	if s.rng.Float64() < prob {
 		p.IP.ECN = packet.ECNCE
-		s.C.ECNMarked++
+		s.C.ECNMarked.Inc()
+		if s.trace.Active() {
+			s.trace.Emit(telemetry.Event{
+				Type: telemetry.EvECNMark, Node: s.cfg.Name, Port: out, Pri: pri, Pkt: p,
+			})
+		}
 	}
 }
 
 // applyPause translates an MMU transition into PFC signaling on the
 // ingress port.
 func (s *Switch) applyPause(port, pri int, tr buffer.Transition) {
+	ps := s.port[port]
 	switch tr {
 	case buffer.XOFF:
-		s.port[port].pauser.Pause(pri)
+		if s.trace.Active() && ps.pauser.Engaged()&(1<<uint(pri)) == 0 {
+			s.trace.Emit(telemetry.Event{
+				Type: telemetry.EvPauseXOFF, Node: s.cfg.Name, Port: port, Pri: pri,
+			})
+		}
+		ps.pauser.Pause(pri)
 	case buffer.XON:
-		s.port[port].pauser.Resume(pri)
+		if s.trace.Active() && ps.pauser.Engaged()&(1<<uint(pri)) != 0 {
+			s.trace.Emit(telemetry.Event{
+				Type: telemetry.EvPauseXON, Node: s.cfg.Name, Port: port, Pri: pri,
+			})
+		}
+		ps.pauser.Resume(pri)
 	}
 }
 
 // onTransmit releases buffer accounting when a frame leaves the switch.
-func (s *Switch) onTransmit(it link.Item) {
-	s.C.TxFrames++
+func (s *Switch) onTransmit(port int, it link.Item) {
+	s.C.TxFrames.Inc()
+	if s.trace.Active() {
+		s.trace.Emit(telemetry.Event{
+			Type: telemetry.EvDequeue, Node: s.cfg.Name, Port: port, Pri: it.Pri, Pkt: it.P,
+		})
+	}
 	if it.IngressPort < 0 {
 		return // locally generated (pause frames)
 	}
@@ -561,7 +652,7 @@ func (s *Switch) onTransmit(it link.Item) {
 func (s *Switch) pollWatchdogs() {
 	now := s.k.Now()
 	cfg := s.cfg.Watchdog
-	for _, ps := range s.port {
+	for i, ps := range s.port {
 		if ps.lk == nil || !ps.serverFacing {
 			continue
 		}
@@ -579,15 +670,15 @@ func (s *Switch) pollWatchdogs() {
 				dataTx += ps.egress.TxByPri[pri]
 			}
 			stuck := queued > 0 && dataTx == ps.lastTxCount
-			pausing := now.Sub(ps.lastPauseRx) < 2*cfg.Poll && ps.RxPause > 0
+			pausing := now.Sub(ps.lastPauseRx) < 2*cfg.Poll && ps.RxPause.Value() > 0
 			ps.lastTxCount = dataTx
 			if ps.wdTrip.Observe(now, stuck && pausing) {
-				s.tripWatchdog(ps)
+				s.tripWatchdog(i, ps)
 			}
 		} else if now.Sub(ps.lastPauseRx) >= cfg.ReenableAfter {
 			// Pauses gone: re-enable lossless mode.
 			ps.losslessDisabled = false
-			s.C.WatchdogReenables++
+			s.C.WatchdogReenables.Inc()
 			ps.wdTrip = pfc.NewWatchdog(cfg.TripWindow)
 		}
 	}
@@ -596,9 +687,9 @@ func (s *Switch) pollWatchdogs() {
 // tripWatchdog disables lossless mode on a port: queued lossless frames
 // are purged (releasing their buffer accounting) and future lossless
 // frames to/from the port are discarded until pauses disappear.
-func (s *Switch) tripWatchdog(ps *portState) {
+func (s *Switch) tripWatchdog(port int, ps *portState) {
 	ps.losslessDisabled = true
-	s.C.WatchdogTrips++
+	s.C.WatchdogTrips.Inc()
 	// Ignore the NIC's pause state so the egress drains again.
 	ps.egress.Pause = pfc.NewPauseState(ps.lk.Rate())
 	for pri := 0; pri < 8; pri++ {
@@ -606,7 +697,8 @@ func (s *Switch) tripWatchdog(ps *portState) {
 			continue
 		}
 		for _, it := range ps.egress.Purge(pri) {
-			s.C.WatchdogDrops++
+			s.C.WatchdogDrops.Inc()
+			s.drop(port, pri, it.P, "watchdog-purge")
 			if it.IngressPort >= 0 {
 				tr := s.mmu.Release(it.IngressPort, it.PG, it.P.WireLen())
 				s.applyPause(it.IngressPort, it.PG, tr)

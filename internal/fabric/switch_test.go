@@ -145,8 +145,8 @@ func TestLocalDelivery(t *testing.T) {
 	if p.IP.TTL != 63 {
 		t.Fatalf("TTL %d, want 63", p.IP.TTL)
 	}
-	if sw.C.IngressDrops != 0 {
-		t.Fatalf("drops on an uncongested path: %d", sw.C.IngressDrops)
+	if sw.C.IngressDrops.Value() != 0 {
+		t.Fatalf("drops on an uncongested path: %d", sw.C.IngressDrops.Value())
 	}
 }
 
@@ -164,14 +164,14 @@ func TestIncastGeneratesPFC(t *testing.T) {
 	hosts[0].start()
 	hosts[1].start()
 	k.RunUntil(simtime.Time(20 * simtime.Millisecond))
-	if sw.C.PauseTx == 0 {
+	if sw.C.PauseTx.Value() == 0 {
 		t.Fatal("sustained 2:1 incast must generate PFC")
 	}
 	if hosts[0].pauseRx == 0 && hosts[1].pauseRx == 0 {
 		t.Fatal("no sender ever received a pause")
 	}
-	if sw.C.LosslessDrops != 0 {
-		t.Fatalf("lossless drops under PFC: %d", sw.C.LosslessDrops)
+	if sw.C.LosslessDrops.Value() != 0 {
+		t.Fatalf("lossless drops under PFC: %d", sw.C.LosslessDrops.Value())
 	}
 	// Receiver keeps receiving at ~line rate.
 	if len(hosts[2].got) < 50000 {
@@ -196,10 +196,10 @@ func TestLossyClassDropsInsteadOfPausing(t *testing.T) {
 	hosts[0].start()
 	hosts[1].start()
 	k.RunUntil(simtime.Time(20 * simtime.Millisecond))
-	if sw.C.PauseTx != 0 {
+	if sw.C.PauseTx.Value() != 0 {
 		t.Fatal("lossy class generated PFC")
 	}
-	if sw.C.IngressDrops == 0 {
+	if sw.C.IngressDrops.Value() == 0 {
 		t.Fatal("2:1 incast on a lossy class must drop")
 	}
 }
@@ -214,7 +214,7 @@ func TestECNMarkingUnderCongestion(t *testing.T) {
 	hosts[0].start()
 	hosts[1].start()
 	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
-	if sw.C.ECNMarked == 0 {
+	if sw.C.ECNMarked.Value() == 0 {
 		t.Fatal("no CE marks under sustained congestion")
 	}
 	var ce int
@@ -277,11 +277,11 @@ func TestDropFnInjectsLoss(t *testing.T) {
 	k.RunUntil(simtime.Time(2 * simtime.Millisecond))
 	hosts[0].stop()
 	k.RunUntil(simtime.Time(3 * simtime.Millisecond))
-	if sw.C.InjectedDrops == 0 {
+	if sw.C.InjectedDrops.Value() == 0 {
 		t.Fatal("DropFn never fired")
 	}
-	total := sw.C.InjectedDrops + uint64(len(hosts[1].got))
-	ratio := float64(sw.C.InjectedDrops) / float64(total)
+	total := sw.C.InjectedDrops.Value() + uint64(len(hosts[1].got))
+	ratio := float64(sw.C.InjectedDrops.Value()) / float64(total)
 	if ratio < 0.5/256 || ratio > 2.0/256 {
 		t.Fatalf("drop ratio %.5f, want ~1/256", ratio)
 	}
@@ -348,7 +348,7 @@ func TestIncompleteARPFloods(t *testing.T) {
 	k.RunUntil(simtime.Time(50 * simtime.Microsecond))
 	hosts[0].stop()
 	k.RunUntil(simtime.Time(100 * simtime.Microsecond))
-	if sw.C.Floods == 0 {
+	if sw.C.Floods.Value() == 0 {
 		t.Fatal("incomplete ARP must flood")
 	}
 	// The innocent host 1 received stray copies (dst MAC mismatch).
@@ -369,10 +369,10 @@ func TestIncompleteARPDropFix(t *testing.T) {
 	k.RunUntil(simtime.Time(50 * simtime.Microsecond))
 	hosts[0].stop()
 	k.RunUntil(simtime.Time(100 * simtime.Microsecond))
-	if sw.C.Floods != 0 {
+	if sw.C.Floods.Value() != 0 {
 		t.Fatal("fix enabled but still flooding")
 	}
-	if sw.C.ARPIncompleteDrops == 0 {
+	if sw.C.ARPIncompleteDrops.Value() == 0 {
 		t.Fatal("fix should count drops")
 	}
 	if hosts[1].mismatches != 0 {
@@ -383,7 +383,7 @@ func TestIncompleteARPDropFix(t *testing.T) {
 	hosts[0].flows = []flow{{dst: hosts[2].ip, pri: 1}}
 	hosts[0].start()
 	k.RunUntil(simtime.Time(150 * simtime.Microsecond))
-	if sw.C.Floods == 0 {
+	if sw.C.Floods.Value() == 0 {
 		t.Fatal("lossy traffic should still flood")
 	}
 }
@@ -395,7 +395,7 @@ func TestARPMissDrops(t *testing.T) {
 	hosts[0].flows = []flow{{dst: hostIP(0, 99), pri: 3}} // no such host
 	hosts[0].start()
 	k.RunUntil(simtime.Time(20 * simtime.Microsecond))
-	if sw.C.ARPMissDrops == 0 {
+	if sw.C.ARPMissDrops.Value() == 0 {
 		t.Fatal("unknown local IP must count ARP-miss drops")
 	}
 }
@@ -407,7 +407,7 @@ func TestNoRouteDrops(t *testing.T) {
 	hosts[0].flows = []flow{{dst: packet.IPv4Addr(192, 168, 1, 1), pri: 3}}
 	hosts[0].start()
 	k.RunUntil(simtime.Time(20 * simtime.Microsecond))
-	if sw.C.NoRouteDrops == 0 {
+	if sw.C.NoRouteDrops.Value() == 0 {
 		t.Fatal("unroutable destination must count")
 	}
 }
@@ -501,13 +501,13 @@ func TestECNMarkingBoundaries(t *testing.T) {
 	for i := 0; i < 10; i++ { // queue stays below KMin while these land
 		send()
 	}
-	if sw.C.ECNMarked != 0 {
-		t.Fatalf("marked %d below KMin", sw.C.ECNMarked)
+	if sw.C.ECNMarked.Value() != 0 {
+		t.Fatalf("marked %d below KMin", sw.C.ECNMarked.Value())
 	}
 	for i := 0; i < 30; i++ { // push well past KMax
 		send()
 	}
-	if sw.C.ECNMarked == 0 {
+	if sw.C.ECNMarked.Value() == 0 {
 		t.Fatal("never marked above KMax")
 	}
 }
@@ -525,8 +525,8 @@ func TestTTLExpiryDrops(t *testing.T) {
 	}
 	sw.Receive(0, p)
 	k.Run()
-	if sw.C.TTLDrops != 1 {
-		t.Fatalf("TTL drops %d", sw.C.TTLDrops)
+	if sw.C.TTLDrops.Value() != 1 {
+		t.Fatalf("TTL drops %d", sw.C.TTLDrops.Value())
 	}
 	if len(hosts[1].got) != 0 {
 		t.Fatal("expired packet delivered")

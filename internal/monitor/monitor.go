@@ -16,6 +16,7 @@ import (
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
 	"rocesim/internal/stats"
+	"rocesim/internal/telemetry"
 	"rocesim/internal/topology"
 	"rocesim/internal/workload"
 )
@@ -82,7 +83,10 @@ type meshPair struct {
 	outstanding bool
 }
 
-// NewPingmesh builds an empty mesh.
+// NewPingmesh builds an empty mesh. Its per-scope RTT histograms are
+// published in the kernel's telemetry registry as
+// "pingmesh/<scope>/rtt_ps"; when several meshes share one kernel only
+// the first owns the registered series, later ones record privately.
 func NewPingmesh(k *sim.Kernel, cfg PingmeshConfig) *Pingmesh {
 	pm := &Pingmesh{
 		k: k, cfg: cfg,
@@ -90,7 +94,12 @@ func NewPingmesh(k *sim.Kernel, cfg PingmeshConfig) *Pingmesh {
 		Failures: make(map[ProbeScope]uint64),
 	}
 	for _, s := range []ProbeScope{ScopeToR, ScopePodset, ScopeDC} {
-		pm.RTT[s] = stats.NewHistogram()
+		name := "pingmesh/" + s.String() + "/rtt_ps"
+		if k.Metrics().Has(name) {
+			pm.RTT[s] = stats.NewHistogram()
+		} else {
+			pm.RTT[s] = k.Metrics().Histogram(name)
+		}
 	}
 	return pm
 }
@@ -159,40 +168,51 @@ func (pm *Pingmesh) Report() string {
 	return out
 }
 
-// Collector samples device counters into fixed-interval time series —
-// the "pause frames received in every five minutes" plots of the
-// incident figures.
+// Collector samples device counters from the kernel's telemetry
+// registry into fixed-interval time series — the "pause frames received
+// in every five minutes" plots of the incident figures. It reads only
+// published snapshots: it has no access to component internals.
 type Collector struct {
 	k        *sim.Kernel
+	reg      *telemetry.Registry
 	interval simtime.Duration
 
-	switches []*fabric.Switch
-	nics     []*nic.NIC
+	// devices are the names whose registry counters are sampled.
+	devices []string
 
 	// Series keyed by device name + metric.
 	Series map[string]*stats.Series
 
-	lastSwitch map[*fabric.Switch]fabric.Counters
-	lastNIC    map[*nic.NIC]nic.Stats
+	last map[string]float64
+}
+
+// sampledSuffixes are the per-device registry counters the collector
+// turns into delta series (a device lacking one is skipped).
+var sampledSuffixes = []string{
+	"/pause_rx", "/pause_tx", "/drops", "/lossless_drops",
+	"/tx_frames", "/rx_frames",
 }
 
 // NewCollector samples every interval.
 func NewCollector(k *sim.Kernel, interval simtime.Duration) *Collector {
 	c := &Collector{
-		k: k, interval: interval,
-		Series:     make(map[string]*stats.Series),
-		lastSwitch: make(map[*fabric.Switch]fabric.Counters),
-		lastNIC:    make(map[*nic.NIC]nic.Stats),
+		k: k, reg: k.Metrics(), interval: interval,
+		Series: make(map[string]*stats.Series),
+		last:   make(map[string]float64),
 	}
 	k.NewTicker(interval, c.sample)
 	return c
 }
 
+// Watch registers a device name for collection; its counters are read
+// from the telemetry registry.
+func (c *Collector) Watch(device string) { c.devices = append(c.devices, device) }
+
 // WatchSwitch registers a switch for collection.
-func (c *Collector) WatchSwitch(sw *fabric.Switch) { c.switches = append(c.switches, sw) }
+func (c *Collector) WatchSwitch(sw *fabric.Switch) { c.Watch(sw.Name()) }
 
 // WatchNIC registers a NIC for collection.
-func (c *Collector) WatchNIC(n *nic.NIC) { c.nics = append(c.nics, n) }
+func (c *Collector) WatchNIC(n *nic.NIC) { c.Watch(n.Name()) }
 
 func (c *Collector) series(name string) *stats.Series {
 	s, ok := c.Series[name]
@@ -204,23 +224,17 @@ func (c *Collector) series(name string) *stats.Series {
 }
 
 func (c *Collector) sample() {
-	for _, sw := range c.switches {
-		prev := c.lastSwitch[sw]
-		cur := sw.C
-		c.series(sw.Name() + "/pause_rx").Record(float64(cur.PauseRx - prev.PauseRx))
-		c.series(sw.Name() + "/pause_tx").Record(float64(cur.PauseTx - prev.PauseTx))
-		c.series(sw.Name() + "/drops").Record(float64(cur.IngressDrops - prev.IngressDrops))
-		c.series(sw.Name() + "/lossless_drops").Record(float64(cur.LosslessDrops - prev.LosslessDrops))
-		c.series(sw.Name() + "/tx_frames").Record(float64(cur.TxFrames - prev.TxFrames))
-		c.lastSwitch[sw] = cur
-	}
-	for _, n := range c.nics {
-		prev := c.lastNIC[n]
-		cur := n.S
-		c.series(n.Name() + "/pause_rx").Record(float64(cur.RxPause - prev.RxPause))
-		c.series(n.Name() + "/pause_tx").Record(float64(cur.TxPause - prev.TxPause))
-		c.series(n.Name() + "/rx_frames").Record(float64(cur.RxFrames - prev.RxFrames))
-		c.lastNIC[n] = cur
+	snap := c.reg.Snapshot()
+	for _, dev := range c.devices {
+		for _, suffix := range sampledSuffixes {
+			key := dev + suffix
+			e, ok := snap.Get(key)
+			if !ok {
+				continue
+			}
+			c.series(key).Record(e.Value - c.last[key])
+			c.last[key] = e.Value
+		}
 	}
 }
 

@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"math/rand"
 
+	"rocesim/internal/dcqcn"
 	"rocesim/internal/link"
 	"rocesim/internal/packet"
 	"rocesim/internal/pfc"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 	"rocesim/internal/transport"
 )
 
@@ -73,17 +75,37 @@ func DefaultConfig(name string, mac packet.MAC, ip packet.Addr) Config {
 	}
 }
 
-// Stats counts NIC-level events.
+// Stats exposes the NIC-level counters, registered in the kernel's
+// telemetry registry under "<name>/<metric>". Read with .Value().
 type Stats struct {
-	RxFrames      uint64
-	RxBytes       uint64
-	TxFrames      uint64
-	RxPause       uint64
-	TxPause       uint64
-	MACMismatch   uint64
-	RxOverflow    uint64 // receive buffer exhausted (lossless violation)
-	UnknownQP     uint64
-	WatchdogTrips uint64
+	RxFrames       *telemetry.Counter
+	RxBytes        *telemetry.Counter
+	TxFrames       *telemetry.Counter
+	RxPause        *telemetry.Counter
+	TxPause        *telemetry.Counter
+	MACMismatch    *telemetry.Counter
+	RxOverflow     *telemetry.Counter // receive buffer exhausted (lossless violation)
+	UnknownQP      *telemetry.Counter
+	WatchdogTrips  *telemetry.Counter
+	MTTMisses      *telemetry.Counter // translation-cache misses (slow receiver)
+	PipelineStalls *telemetry.Counter // receive-pipeline stalls (all causes)
+}
+
+// newStats registers the NIC counter set for one device.
+func newStats(r *telemetry.Registry, name string) Stats {
+	return Stats{
+		RxFrames:       r.Counter(name + "/rx_frames"),
+		RxBytes:        r.Counter(name + "/rx_bytes"),
+		TxFrames:       r.Counter(name + "/tx_frames"),
+		RxPause:        r.Counter(name + "/pause_rx"),
+		TxPause:        r.Counter(name + "/pause_tx"),
+		MACMismatch:    r.Counter(name + "/mac_mismatch_drops"),
+		RxOverflow:     r.Counter(name + "/rx_overflow_drops"),
+		UnknownQP:      r.Counter(name + "/unknown_qp_drops"),
+		WatchdogTrips:  r.Counter(name + "/watchdog_trips"),
+		MTTMisses:      r.Counter(name + "/mtt_misses"),
+		PipelineStalls: r.Counter(name + "/pipeline_stalls"),
+	}
 }
 
 // NIC is one RDMA-capable network interface.
@@ -96,6 +118,9 @@ type NIC struct {
 	pauser *pfc.Refresher
 	rng    *rand.Rand
 	ipid   uint16
+	trace  *telemetry.TraceBus
+	tm     *transport.Metrics // lazily registered device-level transport metrics
+	dm     *dcqcn.Metrics     // lazily registered device-level DCQCN metrics
 
 	qps     map[uint32]*transport.QP
 	order   []uint32
@@ -129,11 +154,13 @@ func New(k *sim.Kernel, cfg Config) *NIC {
 		panic(fmt.Sprintf("nic %s: inconsistent rx thresholds", cfg.Name))
 	}
 	n := &NIC{
-		k:   k,
-		cfg: cfg,
-		rng: k.Rand("nic/" + cfg.Name),
-		qps: make(map[uint32]*transport.QP),
-		wd:  pfc.NewWatchdog(cfg.Watchdog.Window),
+		k:     k,
+		cfg:   cfg,
+		rng:   k.Rand("nic/" + cfg.Name),
+		qps:   make(map[uint32]*transport.QP),
+		wd:    pfc.NewWatchdog(cfg.Watchdog.Window),
+		trace: k.Trace(),
+		S:     newStats(k.Metrics(), cfg.Name),
 	}
 	if cfg.MTT != nil {
 		n.mtt = NewMTT(*cfg.MTT)
@@ -149,16 +176,24 @@ func (n *NIC) Attach(l *link.Link, side int) {
 	n.lk = l
 	n.eg = link.NewEgress(n.k, l, side)
 	n.eg.OnTransmit = func(it link.Item) {
-		n.S.TxFrames++
+		n.S.TxFrames.Inc()
+		if n.trace.Active() {
+			n.trace.Emit(telemetry.Event{
+				Type: telemetry.EvDequeue, Node: n.cfg.Name, Port: 0,
+				Pri: it.Pri, Pkt: it.P,
+			})
+		}
 		n.txKick()
 	}
 	n.pauser = pfc.NewRefresher(n.cfg.MAC, l.Rate(),
 		func(p *packet.Packet) {
-			n.S.TxPause++
+			n.S.TxPause.Inc()
 			n.eg.EnqueueControl(p)
 		},
 		n.k.Now,
 		func(d simtime.Duration, fn func()) func() bool { return n.k.After(d, fn).Cancel })
+	pfc.RegisterMetrics(n.k.Metrics(), n.cfg.Name,
+		func() *pfc.PauseState { return n.eg.Pause }, n.pauser, n.cfg.LosslessMask)
 	l.Attach(side, n, 0)
 }
 
@@ -211,17 +246,29 @@ func (n *NIC) PauseDisabled() bool { return n.pauser.Disabled }
 
 func (n *NIC) pauseAll() {
 	for pri := 0; pri < 8; pri++ {
-		if n.cfg.LosslessMask&(1<<uint(pri)) != 0 {
-			n.pauser.Pause(pri)
+		if n.cfg.LosslessMask&(1<<uint(pri)) == 0 {
+			continue
 		}
+		if n.trace.Active() && n.pauser.Engaged()&(1<<uint(pri)) == 0 {
+			n.trace.Emit(telemetry.Event{
+				Type: telemetry.EvPauseXOFF, Node: n.cfg.Name, Port: 0, Pri: pri,
+			})
+		}
+		n.pauser.Pause(pri)
 	}
 }
 
 func (n *NIC) resumeAll() {
 	for pri := 0; pri < 8; pri++ {
-		if n.cfg.LosslessMask&(1<<uint(pri)) != 0 {
-			n.pauser.Resume(pri)
+		if n.cfg.LosslessMask&(1<<uint(pri)) == 0 {
+			continue
 		}
+		if n.trace.Active() && n.pauser.Engaged()&(1<<uint(pri)) != 0 {
+			n.trace.Emit(telemetry.Event{
+				Type: telemetry.EvPauseXON, Node: n.cfg.Name, Port: 0, Pri: pri,
+			})
+		}
+		n.pauser.Resume(pri)
 	}
 }
 
@@ -232,6 +279,22 @@ func (n *NIC) CreateQP(cfg transport.Config) *transport.QP {
 	cfg.SrcIP = n.cfg.IP
 	if cfg.SrcPort == 0 {
 		cfg.SrcPort = uint16(49152 + n.rng.Intn(16384))
+	}
+	// All QPs of one NIC share the device-level transport and DCQCN
+	// aggregates, registered on first use.
+	if n.tm == nil {
+		n.tm = transport.RegisterMetrics(n.k.Metrics(), n.cfg.Name)
+	}
+	cfg.Metrics = n.tm
+	cfg.Trace = n.k.Trace()
+	cfg.Node = n.cfg.Name
+	if cfg.DCQCN != nil {
+		if n.dm == nil {
+			n.dm = dcqcn.RegisterMetrics(n.k.Metrics(), n.cfg.Name)
+		}
+		p := *cfg.DCQCN
+		p.Metrics = n.dm
+		cfg.DCQCN = &p
 	}
 	q := transport.New(qpEndpoint{n}, cfg)
 	if _, dup := n.qps[cfg.QPN]; dup {
@@ -310,17 +373,18 @@ func (n *NIC) txKick() {
 
 // Receive implements link.Endpoint.
 func (n *NIC) Receive(_ int, p *packet.Packet) {
-	n.S.RxFrames++
-	n.S.RxBytes += uint64(p.WireLen())
+	n.S.RxFrames.Inc()
+	n.S.RxBytes.Add(uint64(p.WireLen()))
 
 	if p.IsPause() {
-		n.S.RxPause++
+		n.S.RxPause.Inc()
 		n.eg.Pause.Handle(n.k.Now(), p.Pause)
 		n.eg.Kick()
 		return
 	}
 	if p.Eth.Dst != n.cfg.MAC && !p.Eth.Dst.IsMulticast() {
-		n.S.MACMismatch++
+		n.S.MACMismatch.Inc()
+		n.drop(p, "mac-mismatch")
 		return
 	}
 	// CNPs are handled by a dedicated fast path in hardware, bypassing
@@ -343,7 +407,8 @@ func (n *NIC) Receive(_ int, p *packet.Packet) {
 	// Receive buffer admission.
 	size := p.WireLen()
 	if n.rxBytes+size > n.cfg.RxBufBytes {
-		n.S.RxOverflow++
+		n.S.RxOverflow.Inc()
+		n.drop(p, "rx-overflow")
 		return
 	}
 	n.rxBytes += size
@@ -368,6 +433,8 @@ func (n *NIC) startPipeline() {
 		va := n.rng.Int63n(n.cfg.MTT.RegionBytes)
 		if !n.mtt.Lookup(va) {
 			d += n.cfg.MissPenalty
+			n.S.MTTMisses.Inc()
+			n.S.PipelineStalls.Inc()
 		}
 	}
 	n.k.After(d, func() {
@@ -397,10 +464,25 @@ func (n *NIC) dispatch(p *packet.Packet) {
 	}
 	q := n.qps[p.BTH.DestQP]
 	if q == nil {
-		n.S.UnknownQP++
+		n.S.UnknownQP.Inc()
+		n.drop(p, "unknown-qp")
 		return
 	}
 	q.HandlePacket(p)
+}
+
+// drop emits a drop lifecycle event for a frame discarded by the NIC.
+func (n *NIC) drop(p *packet.Packet, reason string) {
+	if n.trace.Active() {
+		pri := 0
+		if p.IP != nil {
+			pri = int(p.IP.DSCP)
+		}
+		n.trace.Emit(telemetry.Event{
+			Type: telemetry.EvDrop, Node: n.cfg.Name, Port: 0,
+			Pri: pri, Pkt: p, Reason: reason,
+		})
+	}
 }
 
 // pollWatchdog is the micro-controller: if the receive pipeline has been
@@ -415,7 +497,7 @@ func (n *NIC) pollWatchdog() {
 	stopped := (n.malfunction || len(n.rxQueue) > 0) && now.Sub(n.lastProc) >= n.cfg.Watchdog.Poll
 	pausing := n.pauser.Engaged() != 0 && !n.pauser.Disabled
 	if n.wd.Observe(now, stopped && pausing) {
-		n.S.WatchdogTrips++
+		n.S.WatchdogTrips.Inc()
 		n.pauser.Disabled = true
 	}
 }

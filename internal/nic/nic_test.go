@@ -1,6 +1,7 @@
 package nic
 
 import (
+	"fmt"
 	"testing"
 
 	"rocesim/internal/dcqcn"
@@ -31,7 +32,7 @@ func newRig(t *testing.T, k *sim.Kernel, n int, swCfg fabric.Config, nicCfg func
 	for i := 0; i < n; i++ {
 		mac := packet.MAC{0x02, 0, 0, 0, 1, byte(i + 1)}
 		ip := packet.IPv4Addr(10, 0, 0, byte(i+1))
-		cfg := DefaultConfig("nic", mac, ip)
+		cfg := DefaultConfig(fmt.Sprintf("nic%d", i), mac, ip)
 		if nicCfg != nil {
 			nicCfg(i, &cfg)
 		}
@@ -252,7 +253,7 @@ func TestDCQCNReducesPauses(t *testing.T) {
 		post(qa)()
 		post(qc)()
 		k.RunUntil(simtime.Time(20 * simtime.Millisecond))
-		return r.sw.C.PauseTx, qa.S.BytesSent + qc.S.BytesSent
+		return r.sw.C.PauseTx.Value(), qa.S.BytesSent + qc.S.BytesSent
 	}
 	pausesOff, _ := run(false)
 	pausesOn, _ := run(true)
@@ -300,7 +301,7 @@ func TestNICStormWatchdogDisablesPauses(t *testing.T) {
 	bad := r.nics[0]
 	bad.SetMalfunction(true)
 	k.RunUntil(simtime.Time(50 * simtime.Millisecond))
-	if bad.S.TxPause == 0 {
+	if bad.S.TxPause.Value() == 0 {
 		t.Fatal("malfunctioning NIC should storm pauses")
 	}
 	if bad.PauseDisabled() {
@@ -310,13 +311,13 @@ func TestNICStormWatchdogDisablesPauses(t *testing.T) {
 	if !bad.PauseDisabled() {
 		t.Fatal("watchdog never tripped")
 	}
-	if bad.S.WatchdogTrips != 1 {
-		t.Fatalf("trips %d", bad.S.WatchdogTrips)
+	if bad.S.WatchdogTrips.Value() != 1 {
+		t.Fatalf("trips %d", bad.S.WatchdogTrips.Value())
 	}
 	// After the trip, the storm stops: pause count plateaus.
-	n0 := bad.S.TxPause
+	n0 := bad.S.TxPause.Value()
 	k.RunUntil(simtime.Time(400 * simtime.Millisecond))
-	if bad.S.TxPause != n0 {
+	if bad.S.TxPause.Value() != n0 {
 		t.Fatal("pauses kept flowing after watchdog trip")
 	}
 	// And the ToR's egress toward the NIC recovers once quanta expire.
@@ -336,7 +337,7 @@ func TestHealthyNICWatchdogStaysQuiet(t *testing.T) {
 	f()
 	k.RunUntil(simtime.Time(300 * simtime.Millisecond))
 	for _, nc := range r.nics {
-		if nc.PauseDisabled() || nc.S.WatchdogTrips != 0 {
+		if nc.PauseDisabled() || nc.S.WatchdogTrips.Value() != 0 {
 			t.Fatal("watchdog tripped on a healthy NIC")
 		}
 	}
@@ -361,7 +362,7 @@ func TestSlowReceiverSymptom(t *testing.T) {
 		f = func() { qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { f() }) }
 		f()
 		k.RunUntil(simtime.Time(20 * simtime.Millisecond))
-		return r.nics[1].S.TxPause, r.nics[1].MTT().Misses
+		return r.nics[1].S.TxPause.Value(), r.nics[1].MTT().Misses
 	}
 	pauses4K, misses4K := run(4 << 10)
 	pauses2M, misses2M := run(2 << 20)
@@ -400,10 +401,10 @@ func TestRxOverflowOnlyWhenPauseDisabled(t *testing.T) {
 	mk(qa)
 	mk(qb)
 	k.RunUntil(simtime.Time(20 * simtime.Millisecond))
-	if r.nics[2].S.RxOverflow != 0 {
-		t.Fatalf("receive buffer overflowed %d times despite PFC", r.nics[2].S.RxOverflow)
+	if r.nics[2].S.RxOverflow.Value() != 0 {
+		t.Fatalf("receive buffer overflowed %d times despite PFC", r.nics[2].S.RxOverflow.Value())
 	}
-	if r.nics[2].S.TxPause == 0 {
+	if r.nics[2].S.TxPause.Value() == 0 {
 		t.Fatal("slow receiver should have paused")
 	}
 }
@@ -489,11 +490,11 @@ func TestWatchdogInteraction(t *testing.T) {
 	if !bad.PauseDisabled() {
 		t.Fatal("NIC watchdog never tripped")
 	}
-	if r.sw.C.WatchdogTrips == 0 {
+	if r.sw.C.WatchdogTrips.Value() == 0 {
 		t.Fatal("switch watchdog never tripped")
 	}
 	// After the NIC stops pausing, the switch re-enables lossless mode.
-	if r.sw.C.WatchdogReenables == 0 {
+	if r.sw.C.WatchdogReenables.Value() == 0 {
 		t.Fatal("switch watchdog never re-enabled lossless mode")
 	}
 	if r.sw.LosslessDisabled(2) {
@@ -501,7 +502,7 @@ func TestWatchdogInteraction(t *testing.T) {
 	}
 	// The doomed traffic dies at the switch (watchdog drops) or at the
 	// NIC (receive overflow) — not in anyone else's queues.
-	if r.sw.C.WatchdogDrops == 0 && bad.S.RxOverflow == 0 {
+	if r.sw.C.WatchdogDrops.Value() == 0 && bad.S.RxOverflow.Value() == 0 {
 		t.Fatal("storm traffic neither dropped at switch nor at NIC")
 	}
 	// An innocent flow through the same ToR still moves.

@@ -13,6 +13,7 @@ import (
 
 	"rocesim/internal/packet"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 )
 
 // Magic numbers for the classic pcap format (microsecond resolution uses
@@ -128,10 +129,29 @@ type Tap struct {
 
 // Capture records one packet if it passes the filter.
 func (t *Tap) Capture(p *packet.Packet) {
+	t.CaptureAt(t.Now(), p)
+}
+
+// CaptureAt records one packet at an explicit timestamp if it passes the
+// filter — the entry point for trace-bus subscriptions, whose events
+// carry their own time so the tap needs no clock.
+func (t *Tap) CaptureAt(at simtime.Time, p *packet.Packet) {
 	if t.Filter != nil && !t.Filter(p) {
 		return
 	}
-	if err := t.W.WritePacket(t.Now(), p); err != nil {
+	if err := t.W.WritePacket(at, p); err != nil {
 		t.Errs++
 	}
+}
+
+// SubscribeTrace attaches the tap to a telemetry trace bus: every
+// dequeue (wire transmission) event carrying a packet and accepted by
+// the event filter is captured. Close the returned subscription to stop.
+func (t *Tap) SubscribeTrace(bus *telemetry.TraceBus, filter func(*telemetry.Event) bool) *telemetry.Subscription {
+	return bus.Subscribe(telemetry.EvDequeue.Mask(), func(ev *telemetry.Event) bool {
+		if ev.Pkt == nil {
+			return false
+		}
+		return filter == nil || filter(ev)
+	}, func(ev telemetry.Event) { t.CaptureAt(ev.At, ev.Pkt) })
 }

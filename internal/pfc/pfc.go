@@ -9,7 +9,37 @@ package pfc
 import (
 	"rocesim/internal/packet"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 )
+
+// RegisterMetrics publishes one port's PFC state into the registry:
+// accumulated pause wall time per lossless priority (the paper argues
+// pause duration is a better congestion signal than frame counts) and
+// the currently engaged pause mask of the generator. The pause state is
+// read through a getter because watchdogs replace the PauseState object
+// when they trip; a captured pointer would go stale.
+func RegisterMetrics(r *telemetry.Registry, device string, state func() *PauseState,
+	gen *Refresher, losslessMask uint8, labels ...telemetry.Label) {
+	if r == nil {
+		return
+	}
+	for pri := 0; pri < 8; pri++ {
+		if losslessMask&(1<<uint(pri)) == 0 {
+			continue
+		}
+		pri := pri
+		ls := append(append([]telemetry.Label(nil), labels...), telemetry.L("pri", pri))
+		r.Gauge(device+"/pause_time_ps", func() float64 {
+			if s := state(); s != nil {
+				return float64(s.TotalPaused[pri])
+			}
+			return 0
+		}, ls...)
+	}
+	if gen != nil {
+		r.Gauge(device+"/pause_engaged", func() float64 { return float64(gen.Engaged()) }, labels...)
+	}
+}
 
 // PauseState tracks, per priority, until when a received PFC frame forbids
 // this egress from transmitting.

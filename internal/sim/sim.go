@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 )
 
 // Event is a callback scheduled to run at a simulated instant.
@@ -22,16 +23,24 @@ type Event func()
 // Handle identifies a scheduled event so it can be cancelled.
 type Handle struct {
 	item *item
+	k    *Kernel
 }
 
 // Cancel removes the event from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op. It reports whether the event was
-// actually pending.
+// already-cancelled event is a no-op (including from inside the event's
+// own callback: the event counts as fired once it starts). It reports
+// whether the event was actually pending.
 func (h Handle) Cancel() bool {
 	if h.item == nil || h.item.fn == nil {
 		return false
 	}
 	h.item.fn = nil // lazily deleted when popped
+	if h.k != nil {
+		h.k.cancelled++
+		if h.k.cancelled > len(h.k.queue)/2 {
+			h.k.reap()
+		}
+	}
 	return true
 }
 
@@ -64,21 +73,36 @@ func (h *eventHeap) Pop() interface{} {
 	return it
 }
 
-// Kernel is the simulation executive: a clock, an event queue, and a
-// factory for deterministic random streams.
+// Kernel is the simulation executive: a clock, an event queue, a factory
+// for deterministic random streams, and the root of the telemetry layer
+// (one metric registry and one trace bus per simulation).
 type Kernel struct {
-	now    simtime.Time
-	seq    uint64
-	queue  eventHeap
-	seed   int64
-	fired  uint64
-	halted bool
+	now       simtime.Time
+	seq       uint64
+	queue     eventHeap
+	cancelled int // items in queue with fn == nil (lazily deleted)
+	seed      int64
+	fired     uint64
+	halted    bool
+	metrics   *telemetry.Registry
+	trace     *telemetry.TraceBus
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{seed: seed}
+	k := &Kernel{seed: seed, metrics: telemetry.NewRegistry()}
+	k.trace = telemetry.NewTraceBus(func() simtime.Time { return k.now })
+	return k
 }
+
+// Metrics returns the simulation's metric registry. Components register
+// counters/gauges/histograms here at construction; monitors and
+// experiment harnesses read them back via Snapshot.
+func (k *Kernel) Metrics() *telemetry.Registry { return k.metrics }
+
+// Trace returns the simulation's packet-lifecycle trace bus. With no
+// subscribers, emission sites pay a single Active() check.
+func (k *Kernel) Trace() *telemetry.TraceBus { return k.trace }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() simtime.Time { return k.now }
@@ -89,9 +113,28 @@ func (k *Kernel) Seed() int64 { return k.seed }
 // EventsFired returns how many events have executed so far.
 func (k *Kernel) EventsFired() uint64 { return k.fired }
 
-// Pending returns the number of events currently queued (including
-// cancelled-but-not-yet-reaped ones).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of live (non-cancelled) events currently
+// queued.
+func (k *Kernel) Pending() int { return len(k.queue) - k.cancelled }
+
+// reap rebuilds the heap with live events only. Called once cancelled
+// items outnumber live ones, so the amortised cost per Cancel is O(1)
+// and a cancel-heavy workload (retransmit timers that almost always get
+// cancelled) cannot hold the queue at its high-water mark.
+func (k *Kernel) reap() {
+	live := k.queue[:0]
+	for _, it := range k.queue {
+		if it.fn != nil {
+			live = append(live, it)
+		}
+	}
+	for i := len(live); i < len(k.queue); i++ {
+		k.queue[i] = nil // release reaped items to the collector
+	}
+	k.queue = live
+	heap.Init(&k.queue)
+	k.cancelled = 0
+}
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: that is always a logic bug in a discrete-event model.
@@ -105,7 +148,7 @@ func (k *Kernel) At(at simtime.Time, fn Event) Handle {
 	it := &item{at: at, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.queue, it)
-	return Handle{item: it}
+	return Handle{item: it, k: k}
 }
 
 // After schedules fn to run d after the current time.
@@ -125,7 +168,8 @@ func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		it := heap.Pop(&k.queue).(*item)
 		if it.fn == nil {
-			continue // cancelled
+			k.cancelled-- // cancelled; lazily deleted here
+			continue
 		}
 		k.now = it.at
 		fn := it.fn
@@ -149,6 +193,7 @@ func (k *Kernel) RunUntil(deadline simtime.Time) {
 			top := k.queue[0]
 			if top.fn == nil {
 				heap.Pop(&k.queue)
+				k.cancelled--
 				continue
 			}
 			next = top
@@ -214,7 +259,9 @@ func (t *Ticker) tick() {
 		return
 	}
 	t.fn()
-	if t.live { // fn may have stopped us
+	// fn may have stopped us (Stop) or already rescheduled us (Reset);
+	// rescheduling on top of a Reset would double the tick rate.
+	if t.live && !t.h.Pending() {
 		t.h = t.k.After(t.period, t.tick)
 	}
 }

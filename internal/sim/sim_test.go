@@ -234,3 +234,148 @@ func TestOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPendingCountsOnlyLiveEvents(t *testing.T) {
+	k := NewKernel(1)
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, k.After(simtime.Microsecond, func() {}))
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", k.Pending())
+	}
+	hs[0].Cancel()
+	hs[1].Cancel()
+	if k.Pending() != 8 {
+		t.Fatalf("pending after 2 cancels = %d, want 8", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", k.Pending())
+	}
+}
+
+func TestCancelledEventsAreReaped(t *testing.T) {
+	// A workload that schedules and cancels timers (the retransmit-timer
+	// pattern) must not accumulate dead items in the heap.
+	k := NewKernel(1)
+	keep := k.After(simtime.Second, func() {})
+	for i := 0; i < 10000; i++ {
+		h := k.After(simtime.Millisecond, func() {})
+		h.Cancel()
+	}
+	if !keep.Pending() {
+		t.Fatal("reap dropped a live event")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	// The heap itself must have been compacted, not just the count.
+	if len(k.queue) > 2 {
+		t.Fatalf("heap holds %d items after cancelling 10000, want <=2", len(k.queue))
+	}
+	k.Run()
+	if k.EventsFired() != 1 {
+		t.Fatalf("fired %d, want 1", k.EventsFired())
+	}
+}
+
+func TestReapPreservesOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	var cancels []Handle
+	// Interleave live and to-be-cancelled events at mixed times.
+	for i := 0; i < 50; i++ {
+		i := i
+		k.At(simtime.Time(i+1)*simtime.Time(simtime.Microsecond), func() { got = append(got, i) })
+		cancels = append(cancels, k.At(simtime.Time(i+1)*simtime.Time(simtime.Microsecond), func() { t.Error("cancelled event fired") }))
+	}
+	for _, h := range cancels {
+		h.Cancel() // crosses the reap threshold repeatedly
+	}
+	k.Run()
+	if len(got) != 50 {
+		t.Fatalf("fired %d live events, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reap broke ordering: %v", got[:i+1])
+		}
+	}
+}
+
+func TestCancelFromInsideOwnEvent(t *testing.T) {
+	// An event cancelling itself while running: by then it counts as
+	// fired, so Cancel must report false and must not corrupt the
+	// cancelled-item accounting.
+	k := NewKernel(1)
+	var h Handle
+	ran := false
+	h = k.After(simtime.Microsecond, func() {
+		ran = true
+		if h.Cancel() {
+			t.Error("self-cancel from inside the event reported true")
+		}
+		if h.Pending() {
+			t.Error("event still pending while running")
+		}
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d after self-cancel, want 0", k.Pending())
+	}
+	// Accounting must survive further scheduling.
+	k.After(simtime.Microsecond, func() {})
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestTickerResetInsideCallback(t *testing.T) {
+	// Reset called from inside the tick must not double-schedule: the
+	// tick epilogue used to reschedule on top of Reset's new handle,
+	// doubling the tick rate.
+	k := NewKernel(1)
+	var times []simtime.Time
+	var tk *Ticker
+	tk = k.NewTicker(simtime.Microsecond, func() {
+		times = append(times, k.Now())
+		if len(times) == 1 {
+			tk.Reset(3 * simtime.Microsecond)
+		}
+	})
+	k.RunUntil(simtime.Time(10 * simtime.Microsecond))
+	tk.Stop()
+	want := []simtime.Time{
+		simtime.Time(1 * simtime.Microsecond),
+		simtime.Time(4 * simtime.Microsecond),
+		simtime.Time(7 * simtime.Microsecond),
+		simtime.Time(10 * simtime.Microsecond),
+	}
+	if len(times) != len(want) {
+		t.Fatalf("ticks at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v (full: %v)", i, times[i], want[i], times)
+		}
+	}
+}
+
+func TestKernelTelemetryWired(t *testing.T) {
+	k := NewKernel(1)
+	if k.Metrics() == nil || k.Trace() == nil {
+		t.Fatal("kernel must own a registry and a trace bus")
+	}
+	if k.Trace().Active() {
+		t.Fatal("fresh trace bus must be inactive")
+	}
+	c := k.Metrics().Counter("kernel_test/x")
+	c.Inc()
+	if k.Metrics().Snapshot().Counter("kernel_test/x") != 1 {
+		t.Fatal("registry round-trip failed")
+	}
+}

@@ -12,9 +12,9 @@ import (
 )
 
 // Histogram is a streaming histogram with logarithmic buckets, suitable
-// for latency distributions spanning nanoseconds to seconds. Quantile
-// error is bounded by the bucket growth factor (~5% with the default 64
-// buckets per decade... we use a fixed gamma of 1.02 => <2%).
+// for latency distributions spanning nanoseconds to seconds. Buckets
+// grow by a fixed factor gamma = 1.02, so any reported quantile is
+// within one bucket of the true value: relative error < 2%.
 type Histogram struct {
 	gamma   float64
 	logG    float64
@@ -26,8 +26,8 @@ type Histogram struct {
 	hasData bool
 }
 
-// NewHistogram returns an empty histogram with ~2% relative quantile
-// error.
+// NewHistogram returns an empty histogram with gamma = 1.02 buckets
+// (< 2% relative quantile error).
 func NewHistogram() *Histogram {
 	g := 1.02
 	return &Histogram{gamma: g, logG: math.Log(g), counts: make(map[int]uint64)}

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -221,5 +222,43 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHistogramQuantileErrorBound checks the documented contract: with
+// gamma = 1.02 buckets, any reported quantile is within one bucket of
+// the true sample quantile, i.e. relative error < 2% — across
+// distributions spanning many decades, not just uniform ones.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	const gamma = 1.02
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		// Log-uniform over 6 decades: nanoseconds to milliseconds.
+		"loguniform": func() float64 { return math.Pow(10, rng.Float64()*6) },
+		// Exponential with a heavy tail.
+		"exponential": func() float64 { return rng.ExpFloat64() * 1e4 },
+	}
+	for name, draw := range dists {
+		h := NewHistogram()
+		samples := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := draw()
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+			rank := int(math.Ceil(q*float64(len(samples)))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			truth := samples[rank]
+			got := h.Quantile(q)
+			ratio := got / truth
+			if ratio < 1/gamma-1e-9 || ratio > gamma+1e-9 {
+				t.Errorf("%s q%.3f: got %.4g, true %.4g (ratio %.4f outside [1/%.2f, %.2f])",
+					name, q, got, truth, ratio, gamma, gamma)
+			}
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package tcpmodel
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func newTCPRig(t *testing.T, k *sim.Kernel, n int) *tcpRig {
 	for i := 0; i < n; i++ {
 		mac := packet.MAC{0x02, 0, 0, 0, 2, byte(i + 1)}
 		ip := packet.IPv4Addr(10, 0, 0, byte(i+1))
-		nc := nic.New(k, nic.DefaultConfig("h", mac, ip))
+		nc := nic.New(k, nic.DefaultConfig(fmt.Sprintf("h%d", i), mac, ip))
 		l := link.New(k, g40, 10*simtime.Nanosecond)
 		sw.AttachLink(i, l, 0, mac, true)
 		nc.Attach(l, 1)
@@ -144,7 +145,7 @@ func TestTCPIncastCausesDropsAndSpikes(t *testing.T) {
 	if len(lat) != 60 {
 		t.Fatalf("delivered %d/60", len(lat))
 	}
-	drops := r.sw.C.IngressDrops
+	drops := r.sw.C.IngressDrops.Value()
 	if drops == 0 {
 		t.Fatal("synchronized incast on a lossy class should drop")
 	}
@@ -221,7 +222,7 @@ func TestTCPAndRDMAClassIsolation(t *testing.T) {
 	if done != 20 {
 		t.Fatalf("delivered %d/20", done)
 	}
-	if r.sw.C.PauseTx != 0 {
+	if r.sw.C.PauseTx.Value() != 0 {
 		t.Fatal("TCP traffic generated PFC pause frames")
 	}
 }

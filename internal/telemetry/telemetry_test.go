@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rocesim/internal/simtime"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tor-0/drops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := 7.5
+	r.Gauge("tor-0/depth", func() float64 { return g })
+	h := r.Histogram("pingmesh/rtt_ps")
+	h.Observe(100)
+	h.Observe(200)
+
+	s := r.Snapshot()
+	if got := s.Counter("tor-0/drops"); got != 5 {
+		t.Fatalf("snapshot counter = %d, want 5", got)
+	}
+	if got := s.Value("tor-0/depth"); got != 7.5 {
+		t.Fatalf("snapshot gauge = %g, want 7.5", got)
+	}
+	e, ok := s.Get("pingmesh/rtt_ps")
+	if !ok || e.Kind != KindHistogram || e.Hist == nil || e.Hist.Count != 2 {
+		t.Fatalf("histogram entry = %+v ok=%v", e, ok)
+	}
+	if e.Hist.Mean != 150 {
+		t.Fatalf("histogram mean = %g, want 150", e.Hist.Mean)
+	}
+}
+
+func TestLabelKeysCanonical(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tor-0/pause_tx", L("pri", 3), L("port", 1))
+	want := "tor-0/pause_tx{port=1,pri=3}" // labels sorted by key
+	if c.Key() != want {
+		t.Fatalf("key = %q, want %q", c.Key(), want)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("ignored")
+	c.Inc() // no-op, no panic
+	c.Add(3)
+	if c.Value() != 0 || c.Key() != "" {
+		t.Fatalf("nil counter leaked state: %d %q", c.Value(), c.Key())
+	}
+	r.Gauge("ignored", func() float64 { return 1 })
+	if h := r.Histogram("ignored"); h == nil {
+		t.Fatal("nil registry must still hand out a working histogram")
+	}
+	if s := r.Snapshot(); len(s.Entries) != 0 {
+		t.Fatalf("nil registry snapshot has %d entries", len(s.Entries))
+	}
+
+	var b *TraceBus
+	if b.Active() {
+		t.Fatal("nil bus reports active")
+	}
+}
+
+func TestSnapshotDeterministicAcrossOrder(t *testing.T) {
+	// Two registries populated in different orders must render the same
+	// bytes: snapshots sort by key.
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("b/x").Add(2)
+	a.Counter("a/x").Add(1)
+	b.Counter("a/x").Add(1)
+	b.Counter("b/x").Add(2)
+	if at, bt := a.Snapshot().Text(), b.Snapshot().Text(); at != bt {
+		t.Fatalf("order-dependent snapshots:\n%s\nvs\n%s", at, bt)
+	}
+	aj, _ := a.Snapshot().JSON()
+	bj, _ := b.Snapshot().JSON()
+	if string(aj) != string(bj) {
+		t.Fatal("order-dependent JSON snapshots")
+	}
+}
+
+func TestSnapshotAggregation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tor-0/pause_tx").Add(3)
+	r.Counter("tor-1/pause_tx").Add(4)
+	r.Counter("tor-0/drops").Add(9)
+	s := r.Snapshot()
+	if got := s.SumSuffix("/pause_tx"); got != 7 {
+		t.Fatalf("SumSuffix = %g, want 7", got)
+	}
+	f := s.Filter(func(e Entry) bool { return strings.HasSuffix(e.Key, "/drops") })
+	if len(f.Entries) != 1 || f.Entries[0].Value != 9 {
+		t.Fatalf("Filter = %+v", f.Entries)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get found a missing key")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Histogram("h").Observe(5)
+	raw, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("round-trip lost entries: %d", len(entries))
+	}
+}
+
+func TestTraceBusMaskFilterClose(t *testing.T) {
+	clock := simtime.Time(0)
+	b := NewTraceBus(func() simtime.Time { return clock })
+	if b.Active() {
+		t.Fatal("empty bus reports active")
+	}
+
+	var drops, all int
+	sd := b.Subscribe(EvDrop.Mask(), nil, func(Event) { drops++ })
+	sa := b.Subscribe(EvAll, nil, func(ev Event) {
+		all++
+		if ev.At != clock {
+			t.Fatalf("event not stamped: %v vs %v", ev.At, clock)
+		}
+	})
+	if !b.Active() {
+		t.Fatal("bus with subscribers reports inactive")
+	}
+
+	clock = 42
+	b.Emit(Event{Type: EvDrop, Node: "tor-0"})
+	b.Emit(Event{Type: EvEnqueue, Node: "tor-0"})
+	if drops != 1 || all != 2 {
+		t.Fatalf("drops=%d all=%d, want 1/2", drops, all)
+	}
+
+	// Filtered subscription only sees its node.
+	var filtered int
+	sf := b.Subscribe(EvAll, func(ev *Event) bool { return ev.Node == "tor-1" },
+		func(Event) { filtered++ })
+	b.Emit(Event{Type: EvDrop, Node: "tor-0"})
+	b.Emit(Event{Type: EvDrop, Node: "tor-1"})
+	if filtered != 1 {
+		t.Fatalf("filtered=%d, want 1", filtered)
+	}
+
+	sd.Close()
+	sd.Close() // double close is a no-op
+	sf.Close()
+	b.Emit(Event{Type: EvDrop})
+	if drops != 3 {
+		// sd saw the two pre-close drops plus none after.
+		t.Fatalf("closed subscription still firing: drops=%d", drops)
+	}
+	sa.Close()
+	if b.Active() {
+		t.Fatal("fully unsubscribed bus reports active")
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for ty := EventType(0); ty < numEventTypes; ty++ {
+		if ty.String() == "unknown" {
+			t.Fatalf("event type %d has no name", ty)
+		}
+	}
+}
+
+// BenchmarkEmitDisabled measures the cost a trace emission site pays
+// when nobody is listening — the acceptance bar is "one nil check".
+func BenchmarkEmitDisabled(b *testing.B) {
+	var bus *TraceBus // components hold nil until the kernel wires one
+	n := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if bus.Active() {
+			bus.Emit(Event{Type: EvDrop})
+		} else {
+			n++
+		}
+	}
+	_ = n
+}
+
+// BenchmarkEmitNoSubscribers is the same bar for a wired bus with zero
+// subscribers (the common simulation configuration).
+func BenchmarkEmitNoSubscribers(b *testing.B) {
+	bus := NewTraceBus(func() simtime.Time { return 0 })
+	n := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if bus.Active() {
+			bus.Emit(Event{Type: EvDrop})
+		} else {
+			n++
+		}
+	}
+	_ = n
+}
+
+// BenchmarkCounterInc keeps registry counters honest against the plain
+// uint64 fields they replaced.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench/ctr")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

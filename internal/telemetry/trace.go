@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"rocesim/internal/packet"
+	"rocesim/internal/simtime"
+)
+
+// EventType classifies one step of a packet's lifecycle through the
+// fabric — the per-hop visibility the paper's authors wished their
+// switches exposed when debugging PFC storms and victim flows.
+type EventType uint8
+
+// Packet-lifecycle event types.
+const (
+	// EvEnqueue: a frame was accepted into a switch egress queue.
+	EvEnqueue EventType = iota
+	// EvDequeue: a frame finished serialising onto a link.
+	EvDequeue
+	// EvDrop: a frame was discarded; Event.Reason says why.
+	EvDrop
+	// EvPauseXOFF: a PFC pause asserted on a priority.
+	EvPauseXOFF
+	// EvPauseXON: a PFC pause released on a priority.
+	EvPauseXON
+	// EvECNMark: WRED/ECN set CE on a frame.
+	EvECNMark
+	// EvCNP: a congestion notification packet was generated.
+	EvCNP
+	// EvRetransmit: a transport retransmitted; Reason is "nak" or "timeout".
+	EvRetransmit
+
+	numEventTypes
+)
+
+// String names the event type for trace rendering.
+func (t EventType) String() string {
+	switch t {
+	case EvEnqueue:
+		return "enqueue"
+	case EvDequeue:
+		return "dequeue"
+	case EvDrop:
+		return "drop"
+	case EvPauseXOFF:
+		return "pause-xoff"
+	case EvPauseXON:
+		return "pause-xon"
+	case EvECNMark:
+		return "ecn-mark"
+	case EvCNP:
+		return "cnp"
+	case EvRetransmit:
+		return "retransmit"
+	}
+	return "unknown"
+}
+
+// EventMask selects a set of event types for a subscription.
+type EventMask uint16
+
+// Mask returns the single-type mask for t.
+func (t EventType) Mask() EventMask { return 1 << t }
+
+// EvAll selects every event type.
+const EvAll EventMask = 1<<numEventTypes - 1
+
+// Event is one packet-lifecycle occurrence. Pkt aliases the live packet
+// (simulations are single-threaded; subscribers must not mutate or
+// retain it past the callback).
+type Event struct {
+	At     simtime.Time
+	Type   EventType
+	Node   string // device name (switch or NIC)
+	Port   int    // egress/ingress port on Node, -1 when not applicable
+	Pri    int    // 802.1p priority / PFC class, -1 when not applicable
+	Pkt    *packet.Packet
+	Reason string // drop cause, retransmit trigger, etc.
+}
+
+// Subscription is one registered trace consumer.
+type Subscription struct {
+	bus    *TraceBus
+	mask   EventMask
+	filter func(*Event) bool
+	fn     func(Event)
+}
+
+// Close unsubscribes. Closing twice is a no-op.
+func (s *Subscription) Close() {
+	if s.bus == nil {
+		return
+	}
+	subs := s.bus.subs
+	for i, o := range subs {
+		if o == s {
+			s.bus.subs = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+	s.bus = nil
+}
+
+// TraceBus fans packet-lifecycle events out to subscribers. The
+// no-subscriber fast path is a single branch: emission sites guard with
+// Active(), which is false for a nil bus or an empty subscriber list,
+// so an uninstrumented simulation pays one nil/len check per would-be
+// event and never allocates.
+type TraceBus struct {
+	now  func() simtime.Time
+	subs []*Subscription
+}
+
+// NewTraceBus returns a bus stamping events from the given clock.
+func NewTraceBus(now func() simtime.Time) *TraceBus {
+	return &TraceBus{now: now}
+}
+
+// Active reports whether anyone is listening. Safe on a nil bus; this
+// is the one check emission sites pay when tracing is disabled.
+func (b *TraceBus) Active() bool { return b != nil && len(b.subs) > 0 }
+
+// Subscribe registers fn for every event matching mask and, when filter
+// is non-nil, accepted by filter. The filter runs before fn and sees
+// the event by pointer to avoid a copy on rejection.
+func (b *TraceBus) Subscribe(mask EventMask, filter func(*Event) bool, fn func(Event)) *Subscription {
+	s := &Subscription{bus: b, mask: mask, filter: filter, fn: fn}
+	b.subs = append(b.subs, s)
+	return s
+}
+
+// Emit stamps ev with the current simulated time and delivers it to
+// every matching subscriber, in subscription order (deterministic).
+// Callers must guard with Active(); Emit assumes a non-nil bus.
+func (b *TraceBus) Emit(ev Event) {
+	ev.At = b.now()
+	for _, s := range b.subs {
+		if s.mask&ev.Type.Mask() == 0 {
+			continue
+		}
+		if s.filter != nil && !s.filter(&ev) {
+			continue
+		}
+		s.fn(ev)
+	}
+}

@@ -45,8 +45,8 @@ func TestFig8Build(t *testing.T) {
 		t.Fatal("cross-ToR transfer failed")
 	}
 	for _, sw := range n.Switches() {
-		if sw.C.NoRouteDrops != 0 || sw.C.ARPMissDrops != 0 {
-			t.Fatalf("%s: route/arp drops %d/%d", sw.Name(), sw.C.NoRouteDrops, sw.C.ARPMissDrops)
+		if sw.C.NoRouteDrops.Value() != 0 || sw.C.ARPMissDrops.Value() != 0 {
+			t.Fatalf("%s: route/arp drops %d/%d", sw.Name(), sw.C.NoRouteDrops.Value(), sw.C.ARPMissDrops.Value())
 		}
 	}
 }
@@ -78,7 +78,7 @@ func TestFig7ScaledBuild(t *testing.T) {
 	// Path TTL: server(64) -tor-> 63 -leaf-> 62 -spine-> 61 -leaf-> 60 -tor-> 59.
 	// Verified indirectly: no TTL drops.
 	for _, sw := range n.Switches() {
-		if sw.C.TTLDrops != 0 || sw.C.NoRouteDrops != 0 {
+		if sw.C.TTLDrops.Value() != 0 || sw.C.NoRouteDrops.Value() != 0 {
 			t.Fatalf("%s: ttl/route drops", sw.Name())
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"rocesim/internal/packet"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 )
 
 // Recovery selects the loss-recovery scheme.
@@ -103,6 +104,43 @@ type Config struct {
 	// VLAN, when non-nil, tags all data packets (the original
 	// VLAN-based PFC deployment). Priority then rides in PCP.
 	VLAN *packet.VLANTag
+	// Metrics, when non-nil, receives device-level aggregates alongside
+	// the per-QP Stats (the NIC shares one Metrics across its QPs).
+	Metrics *Metrics
+	// Trace, when non-nil, receives CNP and retransmit lifecycle events.
+	Trace *telemetry.TraceBus
+	// Node names the owning device in trace events and metrics.
+	Node string
+}
+
+// Metrics aggregates transport events across every QP of one device,
+// registered under "<device>/<metric>". Per-QP Stats stay available for
+// fine-grained assertions; these are what the monitoring stack reads.
+type Metrics struct {
+	PacketsSent  *telemetry.Counter
+	PacketsRetx  *telemetry.Counter
+	BytesSent    *telemetry.Counter
+	AcksSent     *telemetry.Counter
+	NaksSent     *telemetry.Counter
+	NaksReceived *telemetry.Counter
+	Timeouts     *telemetry.Counter
+	CNPsSent     *telemetry.Counter
+	CNPsReceived *telemetry.Counter
+}
+
+// RegisterMetrics registers the device-level transport counters.
+func RegisterMetrics(r *telemetry.Registry, device string) *Metrics {
+	return &Metrics{
+		PacketsSent:  r.Counter(device + "/qp_tx_packets"),
+		PacketsRetx:  r.Counter(device + "/qp_retx_packets"),
+		BytesSent:    r.Counter(device + "/qp_tx_bytes"),
+		AcksSent:     r.Counter(device + "/acks_tx"),
+		NaksSent:     r.Counter(device + "/naks_tx"),
+		NaksReceived: r.Counter(device + "/naks_rx"),
+		Timeouts:     r.Counter(device + "/qp_timeouts"),
+		CNPsSent:     r.Counter(device + "/cnps_tx"),
+		CNPsReceived: r.Counter(device + "/cnps_rx"),
+	}
 }
 
 // Stats counts transport events for monitoring and the experiment
@@ -195,6 +233,9 @@ func New(ep Endpoint, cfg Config) *QP {
 	}
 	if cfg.RetxTimeout <= 0 {
 		cfg.RetxTimeout = 500 * simtime.Microsecond
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &Metrics{} // nil counters: metrics become no-ops
 	}
 	q := &QP{ep: ep, cfg: cfg}
 	if cfg.DCQCN != nil {
@@ -399,6 +440,8 @@ func (q *QP) popRequest(now simtime.Time) *packet.Packet {
 
 	q.S.PacketsSent++
 	q.S.BytesSent += uint64(p.WireLen())
+	q.cfg.Metrics.PacketsSent.Inc()
+	q.cfg.Metrics.BytesSent.Add(uint64(p.WireLen()))
 	q.pace(now, p.WireLen())
 	q.armRetx()
 	return p
@@ -432,6 +475,8 @@ func (q *QP) popReadResponse(now simtime.Time) *packet.Packet {
 	}
 	q.S.PacketsSent++
 	q.S.BytesSent += uint64(p.WireLen())
+	q.cfg.Metrics.PacketsSent.Inc()
+	q.cfg.Metrics.BytesSent.Add(uint64(p.WireLen()))
 	q.pace(now, p.WireLen())
 	return p
 }
@@ -482,9 +527,21 @@ func (q *QP) onRetxTimeout() {
 		return
 	}
 	q.S.Timeouts++
+	q.cfg.Metrics.Timeouts.Inc()
+	q.traceRetx("timeout")
 	q.recoverFrom(q.sndUna, false)
 	q.ep.Kick()
 	q.armRetx()
+}
+
+// traceRetx emits a retransmission lifecycle event.
+func (q *QP) traceRetx(reason string) {
+	if q.cfg.Trace.Active() {
+		q.cfg.Trace.Emit(telemetry.Event{
+			Type: telemetry.EvRetransmit, Node: q.cfg.Node, Port: -1,
+			Pri: q.cfg.Priority, Reason: reason,
+		})
+	}
 }
 
 // reflow reassigns contiguous PSN ranges to ops[from:] starting at psn —
@@ -532,6 +589,7 @@ func (q *QP) recoverFrom(missing uint32, fromNak bool) {
 		q.sndNxt = start
 		q.sndUna = start
 		q.S.PacketsRetx++
+		q.cfg.Metrics.PacketsRetx.Inc()
 		q.reflow(1, psnAdd(start, o.npkts))
 		return
 	}
@@ -542,6 +600,7 @@ func (q *QP) recoverFrom(missing uint32, fromNak bool) {
 		// with the responder's expected PSN.
 		start := missing
 		q.S.PacketsRetx += uint64(psnDiff(q.sndNxt, start))
+		q.cfg.Metrics.PacketsRetx.Add(uint64(psnDiff(q.sndNxt, start)))
 		o.firstPSN = start
 		q.sndNxt = start
 		q.sndUna = start
@@ -550,6 +609,7 @@ func (q *QP) recoverFrom(missing uint32, fromNak bool) {
 		// Go-back-N: resume the same mapping from the missing PSN.
 		if psnDiff(missing, q.sndNxt) < 0 {
 			q.S.PacketsRetx += uint64(psnDiff(q.sndNxt, missing))
+			q.cfg.Metrics.PacketsRetx.Add(uint64(psnDiff(q.sndNxt, missing)))
 			q.sndNxt = missing
 		}
 		if psnDiff(q.sndUna, missing) > 0 {
@@ -568,6 +628,7 @@ func (q *QP) HandlePacket(p *packet.Packet) {
 	switch {
 	case bth.Opcode == packet.OpCNP:
 		q.S.CNPsReceived++
+		q.cfg.Metrics.CNPsReceived.Inc()
 		if q.rp != nil {
 			q.rp.OnCNP(q.ep.Now())
 		}
@@ -592,6 +653,13 @@ func (q *QP) maybeCNP(p *packet.Packet) {
 		cnp.IP.ECN = packet.ECNNotECT
 		q.ctl = append(q.ctl, cnp)
 		q.S.CNPsSent++
+		q.cfg.Metrics.CNPsSent.Inc()
+		if q.cfg.Trace.Active() {
+			q.cfg.Trace.Emit(telemetry.Event{
+				Type: telemetry.EvCNP, Node: q.cfg.Node, Port: -1,
+				Pri: q.cfg.Priority, Pkt: cnp,
+			})
+		}
 	}
 }
 
@@ -618,6 +686,7 @@ func (q *QP) handleRequest(p *packet.Packet) {
 			nak.BTH.PSN = q.ePSN
 			q.ctl = append(q.ctl, nak)
 			q.S.NaksSent++
+			q.cfg.Metrics.NaksSent.Inc()
 		}
 		return
 	case d < 0:
@@ -627,6 +696,7 @@ func (q *QP) handleRequest(p *packet.Packet) {
 		ack.BTH.PSN = psnAdd(q.ePSN, ^uint32(0)&packet.PSNMask) // ePSN-1
 		q.ctl = append(q.ctl, ack)
 		q.S.AcksSent++
+		q.cfg.Metrics.AcksSent.Inc()
 		return
 	}
 	// In order.
@@ -672,6 +742,7 @@ func (q *QP) handleRequest(p *packet.Packet) {
 		ack.BTH.PSN = bth.PSN
 		q.ctl = append(q.ctl, ack)
 		q.S.AcksSent++
+		q.cfg.Metrics.AcksSent.Inc()
 	}
 }
 
@@ -683,6 +754,8 @@ func (q *QP) handleAck(p *packet.Packet) {
 	}
 	if a.IsNak() {
 		q.S.NaksReceived++
+		q.cfg.Metrics.NaksReceived.Inc()
+		q.traceRetx("nak")
 		q.recoverFrom(p.BTH.PSN, true)
 		q.armRetx()
 		q.ep.Kick()
@@ -716,6 +789,7 @@ func (q *QP) handleReadResponse(p *packet.Packet) {
 		if d > 0 && psnDiff(p.BTH.PSN, psnAdd(o.firstPSN, o.npkts)) < 0 {
 			// Gap within the current response stream: re-issue the
 			// request for what is missing.
+			q.traceRetx("read-gap")
 			q.recoverFrom(o.readNext, false)
 			q.armRetx()
 			q.ep.Kick()

@@ -24,10 +24,10 @@ import (
 
 	"rocesim/internal/core"
 	"rocesim/internal/monitor"
-	"rocesim/internal/packet"
 	"rocesim/internal/pcap"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 	"rocesim/internal/topology"
 	"rocesim/internal/transport"
 	"rocesim/internal/workload"
@@ -214,15 +214,27 @@ func (c *Cluster) CheckDrift() []monitor.Drift { return c.dep.CheckDrift() }
 // along it (nil when none).
 func (c *Cluster) FindDeadlock() []string { return c.dep.FindDeadlock() }
 
+// Metrics exposes the cluster's telemetry registry; Snapshot() it for a
+// deterministic view of every device counter.
+func (c *Cluster) Metrics() *telemetry.Registry { return c.kernel.Metrics() }
+
+// Trace exposes the packet-lifecycle trace bus for custom subscribers.
+func (c *Cluster) Trace() *telemetry.TraceBus { return c.kernel.Trace() }
+
 // Capture streams every frame on a server's cable into w as a standard
 // pcap (Wireshark-readable): the full Ethernet/IPv4/UDP/BTH stack plus
-// PFC pause frames. It returns the writer for frame counts.
+// PFC pause frames. It subscribes to the trace bus for the two dequeue
+// points of the cable (ToR egress port and NIC egress) and returns the
+// writer for frame counts.
 func (c *Cluster) Capture(s *Server, w io.Writer) (*pcap.Writer, error) {
 	pw, err := pcap.NewWriter(w)
 	if err != nil {
 		return nil, err
 	}
 	tap := &pcap.Tap{W: pw, Now: c.kernel.Now}
-	s.Tor.Egress(s.TorPort).Link().Tap = func(p *packet.Packet) { tap.Capture(p) }
+	torName, torPort, nicName := s.Tor.Name(), s.TorPort, s.NIC.Name()
+	tap.SubscribeTrace(c.kernel.Trace(), func(ev *telemetry.Event) bool {
+		return (ev.Node == torName && ev.Port == torPort) || ev.Node == nicName
+	})
 	return pw, nil
 }

@@ -2,6 +2,7 @@ package rocesim
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 
@@ -54,6 +55,42 @@ func TestDeterminism(t *testing.T) {
 	l2, e2 := run()
 	if l1 != l2 || e1 != e2 {
 		t.Fatalf("non-deterministic: %v/%d vs %v/%d", l1, e1, l2, e2)
+	}
+}
+
+// TestSnapshotDeterminism is the telemetry determinism contract: two
+// clusters built from the same seed running the same workload must
+// render byte-identical metric snapshots (text and JSON alike).
+func TestSnapshotDeterminism(t *testing.T) {
+	run := func() (string, string) {
+		cl, err := NewCluster(42, Rack(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 4; i++ {
+			q, _ := cl.ConnectRC(cl.Server(0, 0, i), cl.Server(0, 0, 0), ClassBulk)
+			for j := 0; j < 4; j++ {
+				q.Send(1<<20, nil)
+			}
+		}
+		cl.Run(20 * time.Millisecond)
+		snap := cl.Metrics().Snapshot()
+		js, err := snap.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap.Text(), string(js)
+	}
+	t1, j1 := run()
+	t2, j2 := run()
+	if t1 != t2 {
+		t.Fatal("same seed rendered different snapshot text")
+	}
+	if j1 != j2 {
+		t.Fatal("same seed rendered different snapshot JSON")
+	}
+	if t1 == "" || !strings.Contains(t1, "tor-0-0/") {
+		t.Fatalf("snapshot missing switch series:\n%.400s", t1)
 	}
 }
 
