@@ -1,8 +1,16 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-json report examples clean
+.PHONY: all check build test test-race vet bench bench-json report examples clean
 
 all: build vet test
+
+# Tier-1 gate: every PR must keep this green (see README). Order
+# matters — vet catches mistakes the compiler accepts, build catches
+# packages tests don't import, then the full test suite.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
 
 build:
 	$(GO) build ./...
@@ -23,9 +31,12 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable benchmark output for regression tracking.
+# Machine-readable benchmark output for regression tracking. Narrow the
+# scope with PKG, e.g. `make bench-json PKG=./internal/telemetry` to
+# re-record the trace-bus emission-site cost (docs/results/bench-trace.json).
+PKG ?= ./...
 bench-json:
-	$(GO) test -bench=. -benchmem -json ./... > bench_output.json
+	$(GO) test -bench=. -benchmem -json $(PKG) > bench_output.json
 
 
 

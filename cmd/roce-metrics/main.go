@@ -3,7 +3,8 @@
 // switch, NIC, transport, DCQCN and PFC series the monitoring stack of
 // Section 5 reads — as deterministic text (default) or JSON. The same
 // seed always renders the byte-identical snapshot, which makes the
-// output diffable across code changes.
+// output diffable across code changes (a golden copy is kept under
+// testdata/ and checked by the package test).
 //
 // Usage:
 //
@@ -21,17 +22,13 @@ import (
 	"rocesim/internal/telemetry"
 )
 
-func main() {
-	jsonOut := flag.Bool("json", false, "emit the snapshot as JSON")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	duration := flag.Duration("duration", 20*time.Millisecond, "simulated run time")
-	grep := flag.String("grep", "", "only metrics whose key contains this substring")
-	flag.Parse()
-
-	cl, err := rocesim.NewCluster(*seed, rocesim.Rack(4))
+// snapshot runs the canonical workload and returns the filtered
+// registry snapshot. Factored out of main so the golden test renders
+// exactly what the command prints.
+func snapshot(seed int64, duration time.Duration, grep string) (*telemetry.Snapshot, error) {
+	cl, err := rocesim.NewCluster(seed, rocesim.Rack(4))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "roce-metrics:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	// Two crossing bulk flows into one receiver: enough contention to
 	// populate pause/ECN/DCQCN counters, small enough to run instantly.
@@ -41,13 +38,28 @@ func main() {
 		qa.Send(1<<20, nil)
 		qb.Write(1<<20, nil)
 	}
-	cl.Run(*duration)
+	cl.Run(duration)
 
 	snap := cl.Metrics().Snapshot()
-	if *grep != "" {
+	if grep != "" {
 		snap = snap.Filter(func(e telemetry.Entry) bool {
-			return strings.Contains(e.Key, *grep)
+			return strings.Contains(e.Key, grep)
 		})
+	}
+	return snap, nil
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the snapshot as JSON")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	duration := flag.Duration("duration", 20*time.Millisecond, "simulated run time")
+	grep := flag.String("grep", "", "only metrics whose key contains this substring")
+	flag.Parse()
+
+	snap, err := snapshot(*seed, *duration, *grep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roce-metrics:", err)
+		os.Exit(1)
 	}
 	if *jsonOut {
 		b, err := snap.JSON()

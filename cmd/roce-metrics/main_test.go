@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot")
+
+// render produces exactly the bytes `roce-metrics -json` prints for the
+// default seed and duration.
+func render(t *testing.T) []byte {
+	t.Helper()
+	snap, err := snapshot(1, 20*time.Millisecond, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestGoldenJSON pins the complete -json output for seed 1: the
+// simulation is deterministic, so any diff against the golden copy is a
+// real behavior change. Regenerate with `go test ./cmd/roce-metrics
+// -run TestGoldenJSON -update` and review the diff.
+func TestGoldenJSON(t *testing.T) {
+	got := render(t)
+	golden := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("JSON snapshot drifted from %s (%d vs %d bytes); rerun with -update if intentional",
+			golden, len(got), len(want))
+	}
+}
+
+// TestJSONDeterministic runs the workload twice in one process and
+// requires byte-identical output — same seed, same bytes.
+func TestJSONDeterministic(t *testing.T) {
+	if !bytes.Equal(render(t), render(t)) {
+		t.Fatal("same-seed runs produced different JSON")
+	}
+}

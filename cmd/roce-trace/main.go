@@ -1,0 +1,107 @@
+// Command roce-trace replays one of the paper's incident scenarios
+// with the full observability stack attached — flow tracer, PFC
+// pause-propagation analyzer, and flight recorder — and exports the
+// result: a Chrome trace-event JSON (load in chrome://tracing or
+// Perfetto), a plain-text event timeline, or an analysis report with
+// per-flow hop latency attribution and the pause root-cause ranking.
+//
+// Output is deterministic: the same scenario and duration produce
+// byte-identical traces.
+//
+// Usage:
+//
+//	roce-trace [-scenario storm|incident|deadlock] [-format chrome|text|report]
+//	           [-duration 0] [-events 4096] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rocesim/internal/experiments"
+	"rocesim/internal/flighttrace"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
+)
+
+func main() {
+	scenario := flag.String("scenario", "storm", "storm | incident | deadlock")
+	format := flag.String("format", "report", "chrome | text | report")
+	duration := flag.Duration("duration", 0, "override scenario duration (0 = scenario default)")
+	events := flag.Int("events", 4096, "flight-recorder ring size per device")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := runScenario(*scenario, simtime.FromStd(*duration), *events, *format, w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runScenario replays the named scenario with tracing attached and
+// writes the requested export to w.
+func runScenario(scenario string, dur simtime.Duration, ring int, format string, w io.Writer) error {
+	var rec *flighttrace.Recorder
+	var tracer *flighttrace.FlowTracer
+	observe := func(k *sim.Kernel) {
+		rec = flighttrace.NewRecorder(ring).Attach(k.Trace(), telemetry.EvAll)
+		tracer = flighttrace.NewFlowTracer(0).Attach(k.Trace())
+	}
+
+	var pfc *flighttrace.PFCReport
+	switch scenario {
+	case "storm":
+		cfg := experiments.DefaultStorm(false)
+		if dur > 0 {
+			cfg.Duration = dur
+		}
+		cfg.Observe = observe
+		pfc = experiments.RunStorm(cfg).PFC
+	case "incident":
+		cfg := experiments.DefaultAlpha(1.0 / 64)
+		if dur > 0 {
+			cfg.Duration = dur
+		}
+		cfg.Observe = observe
+		pfc = experiments.RunAlpha(cfg).PFC
+	case "deadlock":
+		cfg := experiments.DefaultDeadlock(false)
+		if dur > 0 {
+			cfg.Duration = dur
+		}
+		cfg.Observe = observe
+		pfc = experiments.RunDeadlock(cfg).PFC
+	default:
+		return fmt.Errorf("unknown scenario %q (want storm, incident, or deadlock)", scenario)
+	}
+
+	switch format {
+	case "chrome":
+		return rec.WriteChromeTrace(w)
+	case "text":
+		return rec.WriteText(w)
+	case "report":
+		fmt.Fprintf(w, "== %s: per-flow spans and hop delay attribution ==\n", scenario)
+		if err := tracer.WriteReport(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s: pause-propagation analysis ==\n", scenario)
+		_, err := io.WriteString(w, pfc.Table())
+		return err
+	default:
+		return fmt.Errorf("unknown format %q (want chrome, text, or report)", format)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rocesim/internal/simtime"
+)
+
+// TestChromeTraceByteIdentical runs the same scenario twice and
+// requires byte-identical Chrome trace JSON — the determinism the
+// golden-trace workflow depends on.
+func TestChromeTraceByteIdentical(t *testing.T) {
+	run := func() string {
+		var b bytes.Buffer
+		if err := runScenario("deadlock", 20*simtime.Millisecond, 2048, "chrome", &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatal("chrome trace differs across identical same-seed runs")
+	}
+	for _, want := range []string{`"traceEvents"`, `"process_name"`, `"ph": "X"`} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("chrome trace missing %q", want)
+		}
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	var b bytes.Buffer
+	if err := runScenario("deadlock", 20*simtime.Millisecond, 2048, "report", &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"root-cause ranking", "pause time per", "hop delay attribution"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var b bytes.Buffer
+	if err := runScenario("nope", 0, 16, "chrome", &b); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	if err := runScenario("deadlock", 20*simtime.Millisecond, 16, "nope", &b); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}

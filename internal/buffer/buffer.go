@@ -5,7 +5,10 @@
 // group reserves headroom to absorb in-flight packets after XOFF.
 package buffer
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Config sizes and parameterizes an MMU.
 type Config struct {
@@ -282,10 +285,25 @@ func (m *MMU) updatePause(k key, thr int) Transition {
 func (m *MMU) Reevaluate() []PGRef {
 	var resumed []PGRef
 	thr := m.threshold()
+	// The threshold is fixed for the whole sweep and resuming one PG
+	// does not change another's verdict, so the XON set is iteration-
+	// order independent — but callers act on the returned order (pause
+	// frames, trace events), so it must not inherit Go's randomized
+	// map order. Sort to keep same-seed runs byte-identical.
 	for k := range m.paused {
 		if m.updatePause(k, thr) == XON {
 			resumed = append(resumed, PGRef{Port: k.port, PG: k.pg})
 		}
+	}
+	// Reevaluate runs on every transmit and almost always resumes zero
+	// or one bucket; don't pay sort.Slice's setup for those.
+	if len(resumed) > 1 {
+		sort.Slice(resumed, func(i, j int) bool {
+			if resumed[i].Port != resumed[j].Port {
+				return resumed[i].Port < resumed[j].Port
+			}
+			return resumed[i].PG < resumed[j].PG
+		})
 	}
 	return resumed
 }

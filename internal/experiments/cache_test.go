@@ -1,0 +1,54 @@
+package experiments
+
+// Several tests assert different properties of the same default-config
+// incident replay — the experiment behavior in exp_test.go, the
+// pause-propagation analysis in trace_test.go — and each storm or alpha
+// replay costs minutes of wall time. Share one run per configuration
+// instead of replaying it per test; results are read-only after the
+// run, and this package's tests never use t.Parallel, so plain maps
+// are safe. This keeps the whole package comfortably inside go test's
+// default 10-minute per-package timeout.
+
+var stormCache = map[bool]*StormResult{}
+
+func stormResult(watchdogs bool) *StormResult {
+	if r, ok := stormCache[watchdogs]; ok {
+		return r
+	}
+	r := RunStorm(DefaultStorm(watchdogs))
+	stormCache[watchdogs] = &r
+	return &r
+}
+
+var alphaCache = map[float64]*AlphaResult{}
+
+func alphaResult(alpha float64) *AlphaResult {
+	if r, ok := alphaCache[alpha]; ok {
+		return r
+	}
+	r := RunAlpha(DefaultAlpha(alpha))
+	alphaCache[alpha] = &r
+	return &r
+}
+
+var sprayCache = map[bool]*SprayResult{}
+
+func sprayResult(spray bool) *SprayResult {
+	if r, ok := sprayCache[spray]; ok {
+		return r
+	}
+	r := RunSpray(DefaultSpray(spray))
+	sprayCache[spray] = &r
+	return &r
+}
+
+var deadlockCache = map[bool]*DeadlockResult{}
+
+func deadlockResult(fix bool) *DeadlockResult {
+	if r, ok := deadlockCache[fix]; ok {
+		return r
+	}
+	r := RunDeadlock(DefaultDeadlock(fix))
+	deadlockCache[fix] = &r
+	return &r
+}

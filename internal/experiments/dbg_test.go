@@ -3,8 +3,8 @@ package experiments
 import "testing"
 
 func TestDbgSpray(t *testing.T) {
-	e := RunSpray(DefaultSpray(false))
-	s := RunSpray(DefaultSpray(true))
+	e := sprayResult(false)
+	s := sprayResult(true)
 	t.Logf("ecmp : %+v", e)
 	t.Logf("spray: %+v", s)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rocesim/internal/fabric"
+	"rocesim/internal/flighttrace"
 	"rocesim/internal/link"
 	"rocesim/internal/nic"
 	"rocesim/internal/packet"
@@ -24,6 +25,9 @@ type DeadlockConfig struct {
 	// QuietAfter is how long after stopping the senders the deadlock
 	// must persist to be called permanent.
 	QuietAfter simtime.Duration
+	// Observe, when set, runs after the fabric is built and before
+	// traffic starts (external tracer/recorder attachment point).
+	Observe func(*sim.Kernel)
 }
 
 // DefaultDeadlock returns the scenario parameters.
@@ -41,6 +45,9 @@ type DeadlockResult struct {
 	ARPDrops       uint64
 	LiveFlowStalls bool // did the healthy S1→S5 flow stall?
 	LiveFlowMB     float64
+	// PFC is the pause-propagation analysis; in the deadlocked run it
+	// must report a pause dependency cycle.
+	PFC *flighttrace.PFCReport
 }
 
 // Table renders the result.
@@ -52,13 +59,17 @@ func (r DeadlockResult) Table() string {
 			state += " (PERMANENT)"
 		}
 	}
-	return row(
+	out := row(
 		fmt.Sprintf("fix=%-5v", r.Cfg.FixEnabled),
 		fmt.Sprintf("%-44s", state),
 		fmt.Sprintf("floods=%-6d", r.Floods),
 		fmt.Sprintf("arpDrops=%-6d", r.ARPDrops),
 		fmt.Sprintf("liveFlow=%.0fMB stalled=%v", r.LiveFlowMB, r.LiveFlowStalls),
 	)
+	if r.CycleObserved {
+		out += pfcSection(r.PFC)
+	}
+	return out
 }
 
 // RunDeadlock builds the Figure 4 fabric — two ToRs (T0, T1), two Leafs
@@ -69,6 +80,7 @@ func (r DeadlockResult) Table() string {
 // the cyclic buffer dependency T0→La→T1→Lb→T0.
 func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 	k := sim.NewKernel(cfg.Seed)
+	pfc := flighttrace.NewAnalyzer().Attach(k.Trace())
 	mkSwitch := func(name string, ports int, m byte) *fabric.Switch {
 		c := fabric.DefaultConfig(name, ports)
 		c.ECN.Enabled = false
@@ -106,6 +118,7 @@ func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 		n.Attach(l, 1)
 		sw.SetARP(n.IP(), n.MAC())
 		sw.LearnMAC(n.MAC(), port)
+		pfc.AddLink(sw.Name(), port, n.Name(), 0)
 	}
 	attach(t0, 0, s1, g40)
 	attach(t0, 1, s2, g40)
@@ -117,11 +130,15 @@ func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 		l := link.New(k, g40, 1500*simtime.Nanosecond) // 300 m
 		a.AttachLink(pa, l, 0, b.MAC(), false)
 		b.AttachLink(pb, l, 1, a.MAC(), false)
+		pfc.AddLink(a.Name(), pa, b.Name(), pb)
 	}
 	wire(t0, 2, la, 0)
 	wire(t0, 3, lb, 0)
 	wire(t1, 3, la, 1)
 	wire(t1, 4, lb, 1)
+	if cfg.Observe != nil {
+		cfg.Observe(k)
+	}
 
 	sub0, sub1 := packet.IPv4Addr(10, 0, 0, 0), packet.IPv4Addr(10, 0, 1, 0)
 	t0.AddRoute(fabric.Route{Prefix: sub0, Bits: 24, Local: true})
@@ -201,11 +218,13 @@ func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 		cycle = fabric.FindPauseCycle(switches)
 	}
 
+	pfc.Finish(k.Now())
 	return DeadlockResult{
 		Cfg:            cfg,
 		CycleObserved:  observed,
 		Cycle:          cycle,
 		Permanent:      permanent,
+		PFC:            pfc.Report(),
 		Floods:         t0.C.Floods.Value() + t1.C.Floods.Value(),
 		ARPDrops:       t0.C.ARPIncompleteDrops.Value() + t1.C.ARPIncompleteDrops.Value(),
 		LiveFlowStalls: s5.QP(1003).S.BytesDelivered == liveBefore && liveBefore < 1<<20,

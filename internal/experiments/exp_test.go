@@ -25,7 +25,7 @@ func TestLivelockExperiment(t *testing.T) {
 }
 
 func TestDeadlockExperiment(t *testing.T) {
-	r := RunDeadlock(DefaultDeadlock(false))
+	r := deadlockResult(false)
 	t.Log(r.Table())
 	if !r.CycleObserved {
 		t.Fatal("no cycle without the fix")
@@ -33,7 +33,7 @@ func TestDeadlockExperiment(t *testing.T) {
 	if !r.Permanent {
 		t.Fatal("deadlock should persist after server restart")
 	}
-	f := RunDeadlock(DefaultDeadlock(true))
+	f := deadlockResult(true)
 	t.Log(f.Table())
 	if f.CycleObserved {
 		t.Fatal("cycle despite the fix")
@@ -45,7 +45,7 @@ func TestDeadlockExperiment(t *testing.T) {
 }
 
 func TestStormExperiment(t *testing.T) {
-	raw := RunStorm(DefaultStorm(false))
+	raw := stormResult(false)
 	t.Log(raw.Table())
 	if raw.ServersAffected == 0 {
 		t.Fatal("storm without watchdogs must strangle victim flows")
@@ -61,7 +61,7 @@ func TestStormExperiment(t *testing.T) {
 			raw.ThroughputBefore, raw.ThroughputDuring, raw.ThroughputAfter)
 	}
 
-	wd := RunStorm(DefaultStorm(true))
+	wd := stormResult(true)
 	t.Log(wd.Table())
 	if !wd.WatchdogTripped {
 		t.Fatal("watchdogs never tripped")
@@ -139,8 +139,8 @@ func TestFig7ExperimentScaled(t *testing.T) {
 }
 
 func TestAlphaIncidentExperiment(t *testing.T) {
-	good := RunAlpha(DefaultAlpha(1.0 / 16))
-	bad := RunAlpha(DefaultAlpha(1.0 / 64))
+	good := alphaResult(1.0 / 16)
+	bad := alphaResult(1.0 / 64)
 	t.Log("\n" + good.Table() + bad.Table())
 	if bad.PauseTx < 2*good.PauseTx {
 		t.Fatalf("alpha=1/64 pauses (%d) should far exceed 1/16 (%d)", bad.PauseTx, good.PauseTx)
@@ -193,8 +193,8 @@ func TestSlowReceiverExperiment(t *testing.T) {
 }
 
 func TestSprayAblation(t *testing.T) {
-	ecmp := RunSpray(DefaultSpray(false))
-	spray := RunSpray(DefaultSpray(true))
+	ecmp := sprayResult(false)
+	spray := sprayResult(true)
 	t.Log("\n" + ecmp.Table() + spray.Table())
 	if spray.Naks <= ecmp.Naks {
 		t.Fatal("per-packet spraying must trigger reordering NAKs")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rocesim/internal/core"
+	"rocesim/internal/flighttrace"
 	"rocesim/internal/monitor"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
@@ -21,6 +22,11 @@ type StormConfig struct {
 	Watchdogs bool
 	// Duration of the whole run; the malfunction starts at 1/4 of it.
 	Duration simtime.Duration
+	// Observe, when set, runs right after the fabric is built and before
+	// traffic starts — the hook external tooling (cmd/roce-trace) uses
+	// to attach flow tracers and flight recorders to the experiment's
+	// internal kernel.
+	Observe func(*sim.Kernel)
 }
 
 // DefaultStorm returns the scenario parameters.
@@ -50,6 +56,9 @@ type StormResult struct {
 	ThroughputDuring float64
 	ThroughputAfter  float64
 	WatchdogTripped  bool
+	// PFC is the pause-propagation analysis: cascade depth and the
+	// root-cause ranking (the storming NIC must rank first).
+	PFC *flighttrace.PFCReport
 }
 
 // Table renders the result.
@@ -87,6 +96,10 @@ func RunStorm(cfg StormConfig) StormResult {
 		panic(err)
 	}
 	net := d.Net
+	pfc := tracePFC(k, net)
+	if cfg.Observe != nil {
+		cfg.Observe(k)
+	}
 
 	// Victim traffic: pair server i of ToR 0 with server i of ToR 1.
 	const pairs = 4
@@ -166,6 +179,7 @@ func RunStorm(cfg StormConfig) StormResult {
 	// the watchdog verdict and the exported counters both come from it.
 	snap := k.Metrics().Snapshot()
 	tripped := snap.SumSuffix("/watchdog_trips") > 0
+	pfc.Finish(k.Now())
 
 	return StormResult{
 		Cfg:              cfg,
@@ -178,6 +192,7 @@ func RunStorm(cfg StormConfig) StormResult {
 		ThroughputDuring: during,
 		ThroughputAfter:  after,
 		WatchdogTripped:  tripped,
+		PFC:              pfc.Report(),
 	}
 }
 
@@ -189,6 +204,7 @@ func StormIncident(r StormResult) string {
 	if r.StormPauseSeries != nil {
 		out += "pause frames/interval: " + r.StormPauseSeries.Sparkline(60) + "\n"
 	}
+	out += pfcSection(r.PFC)
 	return out
 }
 

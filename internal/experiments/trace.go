@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"rocesim/internal/flighttrace"
+	"rocesim/internal/sim"
+	"rocesim/internal/topology"
+)
+
+// tracePFC attaches a pause-propagation analyzer to the kernel's trace
+// bus, wired with the network's cabling so received pauses can be
+// matched to the ports they arrived on.
+func tracePFC(k *sim.Kernel, net *topology.Network) *flighttrace.Analyzer {
+	an := flighttrace.NewAnalyzer()
+	for _, lr := range net.Links {
+		an.AddLink(lr.A, lr.APort, lr.B, lr.BPort)
+	}
+	return an.Attach(k.Trace())
+}
+
+// pfcSection renders the analyzer's root-cause table for an incident
+// report, or nothing when the run produced no pause intervals.
+func pfcSection(r *flighttrace.PFCReport) string {
+	if r == nil || len(r.Roots) == 0 {
+		return ""
+	}
+	return "pause-propagation analysis:\n" + r.Table()
+}

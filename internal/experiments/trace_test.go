@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+
+	"rocesim/internal/flighttrace"
+	"rocesim/internal/sim"
+	"rocesim/internal/telemetry"
+)
+
+// TestStormRootCause replays the §6.1 NIC pause storm and checks the
+// pause-propagation analyzer pins the blame: the malfunctioning NIC
+// (srv-0-0-6 in this fabric) must be the top-ranked root cause, with a
+// cascade at least NIC → ToR → Leaf deep and no dependency cycle.
+func TestStormRootCause(t *testing.T) {
+	r := stormResult(false)
+	if r.PFC == nil {
+		t.Fatal("storm result missing PFC analysis")
+	}
+	if got := r.PFC.TopRoot(); got != "srv-0-0-6" {
+		t.Fatalf("top root cause = %q, want the storming NIC srv-0-0-6\n%s",
+			got, r.PFC.Table())
+	}
+	if r.PFC.CascadeDepth < 3 {
+		t.Fatalf("cascade depth = %d, want >= 3 (NIC -> ToR -> Leaf)", r.PFC.CascadeDepth)
+	}
+	if r.PFC.HasCycle {
+		t.Fatalf("storm must not report a deadlock cycle: %v", r.PFC.Cycle)
+	}
+	// The rogue's pause time must dwarf every other spontaneous source.
+	if len(r.PFC.Roots) > 1 && r.PFC.Roots[0].Unexplained < 2*r.PFC.Roots[1].Unexplained {
+		t.Fatalf("rogue NIC should dominate the ranking:\n%s", r.PFC.Table())
+	}
+}
+
+// TestAlphaIncidentRootCause replays the §6.2 buffer misconfiguration:
+// with α silently 1/64 the over-pausing ToR hosting the chatty front
+// ends (tor-0-0) must rank as the top root cause.
+func TestAlphaIncidentRootCause(t *testing.T) {
+	r := alphaResult(1.0 / 64)
+	if r.PFC == nil {
+		t.Fatal("alpha result missing PFC analysis")
+	}
+	if got := r.PFC.TopRoot(); got != "tor-0-0" {
+		t.Fatalf("top root cause = %q, want the misconfigured switch tor-0-0\n%s",
+			got, r.PFC.Table())
+	}
+	if r.PFC.HasCycle {
+		t.Fatalf("incident must not report a deadlock cycle: %v", r.PFC.Cycle)
+	}
+}
+
+// TestDeadlockPauseCycle replays the Figure 4 deadlock and checks the
+// analyzer independently rediscovers the cyclic pause dependency that
+// fabric.FindPauseCycle sees in the live pause state.
+func TestDeadlockPauseCycle(t *testing.T) {
+	r := deadlockResult(false)
+	if !r.CycleObserved {
+		t.Skip("scenario did not deadlock; nothing to analyze")
+	}
+	if r.PFC == nil || !r.PFC.HasCycle {
+		t.Fatalf("analyzer missed the pause dependency cycle\n%s", r.PFC.Table())
+	}
+	// The cycle must run through the four switches, not the dead NICs.
+	onCycle := map[string]bool{}
+	for _, n := range r.PFC.Cycle {
+		onCycle[n] = true
+	}
+	for _, want := range []string{"T0", "T1"} {
+		if !onCycle[want] {
+			t.Fatalf("cycle %v missing %s", r.PFC.Cycle, want)
+		}
+	}
+	// With the ARP fix the cycle must not form.
+	fixed := deadlockResult(true)
+	if fixed.PFC != nil && fixed.PFC.HasCycle {
+		t.Fatalf("fix enabled but analyzer still sees a cycle: %v", fixed.PFC.Cycle)
+	}
+}
+
+// TestExperimentObserveHook checks external tooling can attach trace
+// subscribers (flight recorder, flow tracer) to an experiment's
+// internal kernel via the Observe hook.
+func TestExperimentObserveHook(t *testing.T) {
+	var rec *flighttrace.Recorder
+	cfg := DefaultDeadlock(true) // the cheapest scenario: the hook is what's under test
+	cfg.Observe = func(k *sim.Kernel) {
+		rec = flighttrace.NewRecorder(256).Attach(k.Trace(), telemetry.EvAll)
+	}
+	RunDeadlock(cfg)
+	if rec == nil || len(rec.Snapshot()) == 0 {
+		t.Fatal("Observe hook recorder captured nothing")
+	}
+}

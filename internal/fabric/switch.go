@@ -455,7 +455,7 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 
 // drop emits a trace event for a discarded frame.
 func (s *Switch) drop(port, pri int, p *packet.Packet, reason string) {
-	if s.trace.Active() {
+	if s.trace.Wants(telemetry.EvDrop.Mask()) {
 		s.trace.Emit(telemetry.Event{
 			Type: telemetry.EvDrop, Node: s.cfg.Name, Port: port, Pri: pri,
 			Pkt: p, Reason: reason,
@@ -561,7 +561,7 @@ func (s *Switch) finishForward(in, out int, p *packet.Packet, pri int) {
 	s.maybeMarkECN(out, p, pri)
 	it := link.Item{P: p, Pri: pri, IngressPort: in, PG: pri}
 	enq := func() {
-		if s.trace.Active() {
+		if s.trace.Wants(telemetry.EvEnqueue.Mask()) {
 			s.trace.Emit(telemetry.Event{
 				Type: telemetry.EvEnqueue, Node: s.cfg.Name, Port: out, Pri: pri, Pkt: p,
 			})
@@ -597,7 +597,7 @@ func (s *Switch) maybeMarkECN(out int, p *packet.Packet, pri int) {
 	if s.rng.Float64() < prob {
 		p.IP.ECN = packet.ECNCE
 		s.C.ECNMarked.Inc()
-		if s.trace.Active() {
+		if s.trace.Wants(telemetry.EvECNMark.Mask()) {
 			s.trace.Emit(telemetry.Event{
 				Type: telemetry.EvECNMark, Node: s.cfg.Name, Port: out, Pri: pri, Pkt: p,
 			})
@@ -611,14 +611,14 @@ func (s *Switch) applyPause(port, pri int, tr buffer.Transition) {
 	ps := s.port[port]
 	switch tr {
 	case buffer.XOFF:
-		if s.trace.Active() && ps.pauser.Engaged()&(1<<uint(pri)) == 0 {
+		if s.trace.Wants(telemetry.EvPauseXOFF.Mask()) && ps.pauser.Engaged()&(1<<uint(pri)) == 0 {
 			s.trace.Emit(telemetry.Event{
 				Type: telemetry.EvPauseXOFF, Node: s.cfg.Name, Port: port, Pri: pri,
 			})
 		}
 		ps.pauser.Pause(pri)
 	case buffer.XON:
-		if s.trace.Active() && ps.pauser.Engaged()&(1<<uint(pri)) != 0 {
+		if s.trace.Wants(telemetry.EvPauseXON.Mask()) && ps.pauser.Engaged()&(1<<uint(pri)) != 0 {
 			s.trace.Emit(telemetry.Event{
 				Type: telemetry.EvPauseXON, Node: s.cfg.Name, Port: port, Pri: pri,
 			})
@@ -630,7 +630,7 @@ func (s *Switch) applyPause(port, pri int, tr buffer.Transition) {
 // onTransmit releases buffer accounting when a frame leaves the switch.
 func (s *Switch) onTransmit(port int, it link.Item) {
 	s.C.TxFrames.Inc()
-	if s.trace.Active() {
+	if s.trace.Wants(telemetry.EvDequeue.Mask()) {
 		s.trace.Emit(telemetry.Event{
 			Type: telemetry.EvDequeue, Node: s.cfg.Name, Port: port, Pri: it.Pri, Pkt: it.P,
 		})
@@ -641,9 +641,11 @@ func (s *Switch) onTransmit(port int, it link.Item) {
 	tr := s.mmu.Release(it.IngressPort, it.PG, it.P.WireLen())
 	s.applyPause(it.IngressPort, it.PG, tr)
 	// A release grows the shared pool: buckets paused under a shrunken
-	// threshold may now resume.
+	// threshold may now resume. Route through applyPause so the trace bus
+	// sees the XON edge — the pause-propagation analyzer needs every
+	// interval closed, not just the ones the admitting port observed.
 	for _, ref := range s.mmu.Reevaluate() {
-		s.port[ref.Port].pauser.Resume(ref.PG)
+		s.applyPause(ref.Port, ref.PG, buffer.XON)
 	}
 }
 
@@ -706,7 +708,7 @@ func (s *Switch) tripWatchdog(port int, ps *portState) {
 		}
 	}
 	for _, ref := range s.mmu.Reevaluate() {
-		s.port[ref.Port].pauser.Resume(ref.PG)
+		s.applyPause(ref.Port, ref.PG, buffer.XON)
 	}
 	ps.egress.Kick()
 }

@@ -1,0 +1,278 @@
+package flighttrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rocesim/internal/packet"
+	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
+)
+
+// testBus returns a bus driven by a settable clock.
+func testBus() (*telemetry.TraceBus, *simtime.Time) {
+	now := new(simtime.Time)
+	return telemetry.NewTraceBus(func() simtime.Time { return *now }), now
+}
+
+func roce(src, dst packet.Addr, psn uint32, uid uint64) *packet.Packet {
+	return &packet.Packet{
+		IP:         &packet.IPv4{Src: src, Dst: dst, Protocol: packet.ProtoUDP},
+		UDPH:       &packet.UDP{SrcPort: 1000, DstPort: packet.RoCEv2Port},
+		BTH:        &packet.BTH{Opcode: packet.OpSendOnly, PSN: psn},
+		PayloadLen: 1024,
+		UID:        uid,
+	}
+}
+
+var (
+	ipA = packet.IPv4Addr(10, 0, 0, 1)
+	ipB = packet.IPv4Addr(10, 0, 0, 2)
+)
+
+func TestFlowTracerSpanAssembly(t *testing.T) {
+	bus, now := testBus()
+	tr := NewFlowTracer(16).Attach(bus)
+
+	p := roce(ipA, ipB, 7, 1)
+	at := func(us int64, ev telemetry.Event) {
+		*now = simtime.Time(us) * simtime.Time(simtime.Microsecond)
+		bus.Emit(ev)
+	}
+	at(0, telemetry.Event{Type: telemetry.EvInject, Node: "nic-a", Port: 0, Pri: 3, Pkt: p})
+	at(2, telemetry.Event{Type: telemetry.EvDequeue, Node: "nic-a", Port: 0, Pri: 3, Pkt: p})
+	at(3, telemetry.Event{Type: telemetry.EvEnqueue, Node: "tor", Port: 4, Pri: 3, Pkt: p})
+	at(8, telemetry.Event{Type: telemetry.EvDequeue, Node: "tor", Port: 4, Pri: 3, Pkt: p})
+	at(10, telemetry.Event{Type: telemetry.EvDeliver, Node: "nic-b", Port: 0, Pri: 3, Pkt: p})
+
+	if got := tr.InFlight(); got != 0 {
+		t.Fatalf("in-flight spans = %d, want 0", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Delivered || s.Dropped {
+		t.Fatalf("span end state: delivered=%v dropped=%v", s.Delivered, s.Dropped)
+	}
+	if got, want := s.Latency(), 10*simtime.Microsecond; got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+	if len(s.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2 (nic-a, tor)", len(s.Hops))
+	}
+	if got, want := s.Hops[1].Delay(), 5*simtime.Microsecond; got != want {
+		t.Fatalf("tor hop delay = %v, want %v", got, want)
+	}
+	if s.PSN != 7 || s.UID != 1 {
+		t.Fatalf("span identity psn=%d uid=%d", s.PSN, s.UID)
+	}
+
+	flows := tr.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(flows))
+	}
+	f := flows[0]
+	if f.Injected != 1 || f.Delivered != 1 || f.Dropped != 0 {
+		t.Fatalf("flow counters: %+v", f)
+	}
+	hs := f.Hops["tor"]
+	if hs == nil || hs.Mean() != 5*simtime.Microsecond {
+		t.Fatalf("tor hop stat = %+v", hs)
+	}
+	if !strings.Contains(tr.Report(), "tor") {
+		t.Fatalf("report missing hop:\n%s", tr.Report())
+	}
+}
+
+func TestFlowTracerDropAndRetransmit(t *testing.T) {
+	bus, now := testBus()
+	tr := NewFlowTracer(4).Attach(bus)
+
+	p := roce(ipA, ipB, 1, 9)
+	flow := p.Flow()
+	bus.Emit(telemetry.Event{Type: telemetry.EvInject, Node: "nic-a", Pri: 3, Pkt: p})
+	*now = simtime.Time(simtime.Microsecond)
+	bus.Emit(telemetry.Event{Type: telemetry.EvDrop, Node: "tor", Port: 2, Pri: 3, Pkt: p, Reason: "wred"})
+	bus.Emit(telemetry.Event{Type: telemetry.EvRetransmit, Node: "nic-a", Flow: flow, Reason: "timeout"})
+
+	f := tr.Flows()[0]
+	if f.Dropped != 1 || f.Retransmits != 1 {
+		t.Fatalf("flow counters: dropped=%d retx=%d", f.Dropped, f.Retransmits)
+	}
+	s := tr.Spans()[0]
+	if !s.Dropped || s.DropNode != "tor" || s.DropReason != "wred" {
+		t.Fatalf("drop span: %+v", s)
+	}
+}
+
+func TestFlowTracerSpanBound(t *testing.T) {
+	bus, _ := testBus()
+	tr := NewFlowTracer(2).Attach(bus)
+	for uid := uint64(1); uid <= 5; uid++ {
+		p := roce(ipA, ipB, uint32(uid), uid)
+		bus.Emit(telemetry.Event{Type: telemetry.EvInject, Node: "nic-a", Pri: 3, Pkt: p})
+		bus.Emit(telemetry.Event{Type: telemetry.EvDeliver, Node: "nic-b", Pri: 3, Pkt: p})
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("retained spans = %d, want 2", len(spans))
+	}
+	if spans[0].UID != 4 || spans[1].UID != 5 {
+		t.Fatalf("retained UIDs = %d,%d, want 4,5 (oldest evicted)", spans[0].UID, spans[1].UID)
+	}
+	if got := tr.Flows()[0].Delivered; got != 5 {
+		t.Fatalf("aggregates must survive eviction: delivered=%d, want 5", got)
+	}
+}
+
+// TestAnalyzerRootCause builds a three-device cascade by hand: the NIC
+// pauses the ToR spontaneously, the ToR then pauses the leaf. The NIC
+// must rank first and the ToR's interval must be explained.
+func TestAnalyzerRootCause(t *testing.T) {
+	bus, now := testBus()
+	an := NewAnalyzer().Attach(bus)
+	an.AddLink("tor", 0, "nic", 0)  // tor port 0 <-> nic
+	an.AddLink("tor", 4, "leaf", 1) // tor port 4 <-> leaf port 1
+
+	us := func(n int64) simtime.Time { return simtime.Time(n) * simtime.Time(simtime.Microsecond) }
+	// NIC storms: pauses tor from 10us to 100us.
+	*now = us(10)
+	bus.Emit(telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "nic", Port: 0, Pri: 3})
+	// ToR backs up and pauses the leaf from 20us to 90us.
+	*now = us(20)
+	bus.Emit(telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "tor", Port: 4, Pri: 3})
+	*now = us(90)
+	bus.Emit(telemetry.Event{Type: telemetry.EvPauseXON, Node: "tor", Port: 4, Pri: 3})
+	*now = us(100)
+	bus.Emit(telemetry.Event{Type: telemetry.EvPauseXON, Node: "nic", Port: 0, Pri: 3})
+
+	an.Finish(us(200))
+	r := an.Report()
+
+	if got := r.TopRoot(); got != "nic" {
+		t.Fatalf("top root cause = %q, want nic\n%s", got, r.Table())
+	}
+	if r.Roots[0].Unexplained != 90*simtime.Microsecond {
+		t.Fatalf("nic unexplained = %v, want 90us", r.Roots[0].Unexplained)
+	}
+	var tor *RootCause
+	for i := range r.Roots {
+		if r.Roots[i].Node == "tor" {
+			tor = &r.Roots[i]
+		}
+	}
+	if tor == nil || tor.Unexplained != 0 || tor.Total != 70*simtime.Microsecond {
+		t.Fatalf("tor root-cause entry = %+v, want explained 70us", tor)
+	}
+	if r.CascadeDepth != 2 {
+		t.Fatalf("cascade depth = %d, want 2", r.CascadeDepth)
+	}
+	if r.HasCycle {
+		t.Fatalf("unexpected cycle in a linear cascade")
+	}
+	// Paused-time accounting per (port, pri).
+	if len(r.Paused) != 2 {
+		t.Fatalf("paused entries = %d, want 2", len(r.Paused))
+	}
+}
+
+// TestAnalyzerCycle wires two switches pausing each other — the PFC
+// deadlock signature — and expects cycle detection.
+func TestAnalyzerCycle(t *testing.T) {
+	bus, now := testBus()
+	an := NewAnalyzer().Attach(bus)
+	an.AddLink("sw-a", 0, "sw-b", 0)
+
+	us := func(n int64) simtime.Time { return simtime.Time(n) * simtime.Time(simtime.Microsecond) }
+	*now = us(10)
+	bus.Emit(telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "sw-a", Port: 0, Pri: 3})
+	*now = us(10)
+	bus.Emit(telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "sw-b", Port: 0, Pri: 3})
+	an.Finish(us(1000))
+	r := an.Report()
+	if !r.HasCycle {
+		t.Fatalf("expected pause dependency cycle\n%s", r.Table())
+	}
+	if len(r.Cycle) == 0 {
+		t.Fatalf("cycle nodes empty")
+	}
+	if !strings.Contains(r.Table(), "CYCLE") {
+		t.Fatalf("table missing cycle line:\n%s", r.Table())
+	}
+}
+
+// TestAnalyzerOpenIntervalFinish: an XOFF with no XON (storm cut short)
+// must still be accounted, closed at Finish time.
+func TestAnalyzerOpenIntervalFinish(t *testing.T) {
+	bus, now := testBus()
+	an := NewAnalyzer().Attach(bus)
+	*now = simtime.Time(5 * simtime.Microsecond)
+	bus.Emit(telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "nic", Port: 0, Pri: 3})
+	an.Finish(simtime.Time(15 * simtime.Microsecond))
+	ivs := an.Intervals()
+	if len(ivs) != 1 || ivs[0].Duration() != 10*simtime.Microsecond || ivs[0].Reason != "open-at-finish" {
+		t.Fatalf("intervals = %+v", ivs)
+	}
+}
+
+func TestRecorderRingBound(t *testing.T) {
+	bus, now := testBus()
+	rec := NewRecorder(3).Attach(bus, telemetry.EvAll)
+	for i := 0; i < 10; i++ {
+		*now = simtime.Time(i) * simtime.Time(simtime.Microsecond)
+		p := roce(ipA, ipB, uint32(i), uint64(i))
+		bus.Emit(telemetry.Event{Type: telemetry.EvEnqueue, Node: "tor", Port: 1, Pri: 3, Pkt: p})
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained = %d, want 3 (bounded ring)", len(snap))
+	}
+	if snap[0].UID != 7 || snap[2].UID != 9 {
+		t.Fatalf("ring kept UIDs %d..%d, want 7..9", snap[0].UID, snap[2].UID)
+	}
+	// Rings are per device: a second device does not evict the first.
+	bus.Emit(telemetry.Event{Type: telemetry.EvDrop, Node: "leaf", Port: 0, Pri: 3, Reason: "wred"})
+	if got := len(rec.Snapshot()); got != 4 {
+		t.Fatalf("after second device: %d records, want 4", got)
+	}
+	var text bytes.Buffer
+	if err := rec.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "reason=wred") {
+		t.Fatalf("text dump missing drop reason:\n%s", text.String())
+	}
+}
+
+func TestRecorderChromeTraceDeterministic(t *testing.T) {
+	run := func() string {
+		bus, now := testBus()
+		rec := NewRecorder(64).Attach(bus, telemetry.EvAll)
+		p := roce(ipA, ipB, 3, 1)
+		*now = simtime.Time(1 * simtime.Microsecond)
+		bus.Emit(telemetry.Event{Type: telemetry.EvEnqueue, Node: "tor", Port: 2, Pri: 3, Pkt: p})
+		*now = simtime.Time(4 * simtime.Microsecond)
+		bus.Emit(telemetry.Event{Type: telemetry.EvDequeue, Node: "tor", Port: 2, Pri: 3, Pkt: p})
+		bus.Emit(telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "tor", Port: 0, Pri: 3})
+		*now = simtime.Time(9 * simtime.Microsecond)
+		bus.Emit(telemetry.Event{Type: telemetry.EvPauseXON, Node: "tor", Port: 0, Pri: 3})
+		bus.Emit(telemetry.Event{Type: telemetry.EvDrop, Node: "tor", Port: 2, Pri: 3, Pkt: p, Reason: "wred"})
+		var b bytes.Buffer
+		if err := rec.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("chrome trace not byte-identical across identical runs")
+	}
+	for _, want := range []string{`"traceEvents"`, `"ph": "X"`, `"process_name"`, "pause port=0 pri=3", "drop: wred"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("chrome trace missing %q:\n%s", want, a)
+		}
+	}
+}

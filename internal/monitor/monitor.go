@@ -9,9 +9,11 @@ package monitor
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"rocesim/internal/fabric"
+	"rocesim/internal/flighttrace"
 	"rocesim/internal/nic"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
@@ -137,18 +139,24 @@ func (pm *Pingmesh) probe(p *meshPair) {
 	}
 	p.outstanding = true
 	pm.Probes++
-	answered := false
+	// settled flips exactly once, on whichever of answer/timeout comes
+	// first; the loser is a no-op. In particular an answer arriving
+	// after the timeout already counted the probe failed must not also
+	// record its (pathological) RTT.
+	settled := false
 	timeout := pm.k.After(pm.cfg.Timeout, func() {
-		if !answered {
-			p.outstanding = false
-			pm.Failures[p.scope]++
-		}
-	})
-	p.pp.Query(pm.cfg.ProbeSize, pm.cfg.ProbeSize, func(rtt simtime.Duration) {
-		if answered {
+		if settled {
 			return
 		}
-		answered = true
+		settled = true
+		p.outstanding = false
+		pm.Failures[p.scope]++
+	})
+	p.pp.Query(pm.cfg.ProbeSize, pm.cfg.ProbeSize, func(rtt simtime.Duration) {
+		if settled {
+			return
+		}
+		settled = true
 		p.outstanding = false
 		timeout.Cancel()
 		pm.RTT[p.scope].Observe(float64(rtt))
@@ -183,7 +191,8 @@ type Collector struct {
 	// Series keyed by device name + metric.
 	Series map[string]*stats.Series
 
-	last map[string]float64
+	last     map[string]float64
+	onSample []func(now simtime.Time)
 }
 
 // sampledSuffixes are the per-device registry counters the collector
@@ -223,6 +232,15 @@ func (c *Collector) series(name string) *stats.Series {
 	return s
 }
 
+// AfterSample registers fn to run after every sampling tick, once the
+// interval's deltas are recorded. Hooks run in registration order —
+// this is how the incident detector (and anything reacting to it, like
+// a flight-recorder dump) keys off the collector without its own
+// ticker, keeping event ordering deterministic.
+func (c *Collector) AfterSample(fn func(now simtime.Time)) {
+	c.onSample = append(c.onSample, fn)
+}
+
 func (c *Collector) sample() {
 	snap := c.reg.Snapshot()
 	for _, dev := range c.devices {
@@ -235,6 +253,10 @@ func (c *Collector) sample() {
 			c.series(key).Record(e.Value - c.last[key])
 			c.last[key] = e.Value
 		}
+	}
+	now := c.k.Now()
+	for _, fn := range c.onSample {
+		fn(now)
 	}
 }
 
@@ -341,19 +363,134 @@ type Alert struct {
 }
 
 // IncidentDetector watches collected series and raises alerts on
-// pause-frame storms or sustained lossless drops.
+// pause-frame storms or sustained lossless drops. It has two modes:
+// Scan is a one-shot, after-the-fact sweep over whole series; Arm runs
+// it live off the collector's sampling tick with trigger/clear
+// hysteresis, firing OnTrigger (e.g. dump the flight recorder) when an
+// incident starts and OnClear when it subsides.
 type IncidentDetector struct {
 	c *Collector
 	// PauseRxPerInterval is the per-device alert threshold.
 	PauseRxPerInterval float64
 
+	// TriggerAfter is how many consecutive over-threshold samples open
+	// an incident (default 1). Requiring more than one filters
+	// single-interval blips.
+	TriggerAfter int
+	// ClearAfter is how many consecutive calm samples close it
+	// (default 1).
+	ClearAfter int
+	// ClearBelow is the calm level; a sample counts toward clearing
+	// only below it. Defaults to PauseRxPerInterval; set lower for a
+	// wider hysteresis band so a storm hovering at the threshold
+	// doesn't flap the detector.
+	ClearBelow float64
+
+	// OnTrigger runs when an incident opens (after the Alert is
+	// recorded); OnClear when it closes.
+	OnTrigger func(Alert)
+	OnClear   func(simtime.Time)
+
 	Alerts []Alert
+
+	armed     bool
+	triggered bool
+	hot, calm int
 }
 
-// NewIncidentDetector attaches to a collector; scan it after (or during)
-// a run.
+// NewIncidentDetector attaches to a collector; Scan it after a run, or
+// Arm it for live detection.
 func NewIncidentDetector(c *Collector, pauseThreshold float64) *IncidentDetector {
 	return &IncidentDetector{c: c, PauseRxPerInterval: pauseThreshold}
+}
+
+// Arm hooks the detector to the collector's sampling tick. Returns the
+// detector for chaining. Arming twice is a no-op.
+func (d *IncidentDetector) Arm() *IncidentDetector {
+	if d.armed {
+		return d
+	}
+	d.armed = true
+	if d.TriggerAfter <= 0 {
+		d.TriggerAfter = 1
+	}
+	if d.ClearAfter <= 0 {
+		d.ClearAfter = 1
+	}
+	if d.ClearBelow <= 0 {
+		d.ClearBelow = d.PauseRxPerInterval
+	}
+	d.c.AfterSample(d.step)
+	return d
+}
+
+// Triggered reports whether an incident is currently open.
+func (d *IncidentDetector) Triggered() bool { return d.triggered }
+
+// DumpOnIncident wires a flight recorder to the detector: the moment an
+// incident opens, the recorder's bounded ring — the last events on
+// every device — is dumped to w as a text timeline headed by the alert.
+// This is the paper's missing forensic view: by the time a human reads
+// the pause counters the interesting events are long gone, so the dump
+// has to be taken at trigger time. Composes with any OnTrigger already
+// installed (that one runs first). Returns the detector for chaining.
+func (d *IncidentDetector) DumpOnIncident(rec *flighttrace.Recorder, w io.Writer) *IncidentDetector {
+	prev := d.OnTrigger
+	d.OnTrigger = func(a Alert) {
+		if prev != nil {
+			prev(a)
+		}
+		fmt.Fprintf(w, "=== incident @ %v on %s: %s — flight recorder dump ===\n",
+			a.At, a.Device, a.Reason)
+		if err := rec.WriteText(w); err != nil {
+			fmt.Fprintf(w, "(dump failed: %v)\n", err)
+		}
+	}
+	return d
+}
+
+// step advances the hysteresis state machine on one collector sample.
+func (d *IncidentDetector) step(now simtime.Time) {
+	worstDev, worst := "", 0.0
+	for _, dev := range d.c.devices {
+		s := d.c.Series[dev+"/pause_rx"]
+		if s == nil || len(s.Samples) == 0 {
+			continue
+		}
+		if v := s.Samples[len(s.Samples)-1]; worstDev == "" || v > worst {
+			worst, worstDev = v, dev
+		}
+	}
+	if !d.triggered {
+		if worst >= d.PauseRxPerInterval {
+			d.hot++
+		} else {
+			d.hot = 0
+		}
+		if d.hot >= d.TriggerAfter {
+			d.triggered, d.hot, d.calm = true, 0, 0
+			a := Alert{
+				At: now, Device: worstDev,
+				Reason: fmt.Sprintf("pause storm: %g pause frames in one interval", worst),
+			}
+			d.Alerts = append(d.Alerts, a)
+			if d.OnTrigger != nil {
+				d.OnTrigger(a)
+			}
+		}
+		return
+	}
+	if worst < d.ClearBelow {
+		d.calm++
+	} else {
+		d.calm = 0
+	}
+	if d.calm >= d.ClearAfter {
+		d.triggered, d.calm = false, 0
+		if d.OnClear != nil {
+			d.OnClear(now)
+		}
+	}
 }
 
 // Scan inspects all series and records alerts for threshold crossings.

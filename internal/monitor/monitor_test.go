@@ -1,11 +1,14 @@
 package monitor
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
+	"rocesim/internal/flighttrace"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 	"rocesim/internal/topology"
 	"rocesim/internal/workload"
 )
@@ -166,5 +169,156 @@ func TestIncidentDetectorFlagsStorm(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no storm alert in %v", alerts)
+	}
+}
+
+// slowPingPong answers every query after a fixed delay — long enough to
+// outlive the probe timeout when the test wants a late answer.
+type slowPingPong struct {
+	k     *sim.Kernel
+	delay simtime.Duration
+}
+
+func (f *slowPingPong) Query(qsize, rsize int, done func(simtime.Duration)) {
+	d := f.delay
+	f.k.After(d, func() { done(d) })
+}
+
+// TestPingmeshTimeoutSettlesProbe covers the probe-timeout path: a
+// probe that times out counts exactly one failure, and the answer
+// arriving *after* the timeout must neither record an RTT sample nor
+// disturb the next probe.
+func TestPingmeshTimeoutSettlesProbe(t *testing.T) {
+	k := sim.NewKernel(9)
+	pm := NewPingmesh(k, PingmeshConfig{
+		ProbeSize: 512,
+		Interval:  50 * simtime.Millisecond,
+		Timeout:   simtime.Millisecond,
+	})
+	// Answers arrive at 10ms — well past the 1ms timeout.
+	pm.pairs = append(pm.pairs, &meshPair{
+		pp:    &slowPingPong{k: k, delay: 10 * simtime.Millisecond},
+		scope: ScopeToR,
+	})
+	pm.Start()
+
+	// First probe at t=0, timeout at 1ms, late answer at 10ms.
+	k.RunUntil(simtime.Time(40 * simtime.Millisecond))
+	if pm.Failures[ScopeToR] != 1 {
+		t.Fatalf("failures = %d, want 1", pm.Failures[ScopeToR])
+	}
+	if n := pm.RTT[ScopeToR].Count(); n != 0 {
+		t.Fatalf("late answer recorded %d RTT samples, want 0", n)
+	}
+	if pm.pairs[0].outstanding {
+		t.Fatal("probe not settled")
+	}
+	// Second probe at 50ms must go out (outstanding was cleared by the
+	// timeout, not wedged by the late answer).
+	k.RunUntil(simtime.Time(90 * simtime.Millisecond))
+	if pm.Probes != 2 {
+		t.Fatalf("probes = %d, want 2", pm.Probes)
+	}
+	if pm.Failures[ScopeToR] != 2 {
+		t.Fatalf("failures = %d, want 2", pm.Failures[ScopeToR])
+	}
+}
+
+// TestIncidentDetectorHysteresis drives the armed detector through a
+// blip (no trigger), a sustained storm (trigger), and a calm stretch
+// (clear), checking the TriggerAfter/ClearAfter state machine.
+func TestIncidentDetectorHysteresis(t *testing.T) {
+	k := sim.NewKernel(10)
+	col := NewCollector(k, 10*simtime.Millisecond)
+	col.Watch("dev")
+	ctr := k.Metrics().Counter("dev/pause_rx")
+
+	det := NewIncidentDetector(col, 100)
+	det.TriggerAfter = 2
+	det.ClearAfter = 2
+	det.ClearBelow = 50
+	var triggered []Alert
+	var cleared []simtime.Time
+	det.OnTrigger = func(a Alert) { triggered = append(triggered, a) }
+	det.OnClear = func(at simtime.Time) { cleared = append(cleared, at) }
+	det.Arm().Arm() // double-arm must be a no-op
+
+	// Interval deltas seen at samples (every 10ms):
+	//   10ms: 150 (blip)   20ms: 0     → hot count must reset
+	//   30ms: 150          40ms: 150   → trigger at 40ms
+	//   50ms: 0            60ms: 0     → clear at 60ms
+	add := func(at simtime.Duration, n uint64) { k.After(at, func() { ctr.Add(n) }) }
+	add(1*simtime.Millisecond, 150)
+	add(21*simtime.Millisecond, 150)
+	add(31*simtime.Millisecond, 150)
+
+	k.RunUntil(simtime.Time(35 * simtime.Millisecond))
+	if len(triggered) != 0 {
+		t.Fatalf("blip must not trigger (TriggerAfter=2): %v", triggered)
+	}
+	k.RunUntil(simtime.Time(45 * simtime.Millisecond))
+	if len(triggered) != 1 || !det.Triggered() {
+		t.Fatalf("sustained storm must trigger once: %v", triggered)
+	}
+	if triggered[0].Device != "dev" || triggered[0].At != simtime.Time(40*simtime.Millisecond) {
+		t.Fatalf("trigger alert = %+v", triggered[0])
+	}
+	k.RunUntil(simtime.Time(55 * simtime.Millisecond))
+	if !det.Triggered() {
+		t.Fatal("one calm sample must not clear (ClearAfter=2)")
+	}
+	k.RunUntil(simtime.Time(65 * simtime.Millisecond))
+	if det.Triggered() || len(cleared) != 1 {
+		t.Fatalf("storm must clear after 2 calm samples: triggered=%v cleared=%v",
+			det.Triggered(), cleared)
+	}
+	if cleared[0] != simtime.Time(60*simtime.Millisecond) {
+		t.Fatalf("clear at %v, want 60ms", cleared[0])
+	}
+	if len(det.Alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(det.Alerts))
+	}
+}
+
+// TestDumpOnIncident wires a flight recorder to the armed detector and
+// checks the ring is dumped at trigger time — with the events that were
+// in flight when the incident opened, not whatever happens later.
+func TestDumpOnIncident(t *testing.T) {
+	k := sim.NewKernel(11)
+	col := NewCollector(k, 10*simtime.Millisecond)
+	col.Watch("dev")
+	ctr := k.Metrics().Counter("dev/pause_rx")
+
+	rec := flighttrace.NewRecorder(64).Attach(k.Trace(), telemetry.EvAll)
+	var dump bytes.Buffer
+	var order []string
+	det := NewIncidentDetector(col, 100)
+	det.OnTrigger = func(Alert) { order = append(order, "first") }
+	det.DumpOnIncident(rec, &dump)
+	det.Arm()
+
+	// Trace activity before the storm, then the storm itself.
+	k.After(1*simtime.Millisecond, func() {
+		k.Trace().Emit(telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "dev", Port: 2, Pri: 3})
+		ctr.Add(500)
+	})
+	k.RunUntil(simtime.Time(15 * simtime.Millisecond))
+
+	if !det.Triggered() {
+		t.Fatal("storm did not trigger")
+	}
+	out := dump.String()
+	if !strings.Contains(out, "flight recorder dump") {
+		t.Fatalf("dump header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "pause storm: 500 pause frames") {
+		t.Fatalf("dump not headed by the alert:\n%s", out)
+	}
+	if !strings.Contains(out, "pause-xoff") || !strings.Contains(out, "dev") {
+		t.Fatalf("dump missing the recorded trace event:\n%s", out)
+	}
+	// A pre-installed OnTrigger must still run, before the dump.
+	if len(order) != 1 || order[0] != "first" {
+		t.Fatalf("existing OnTrigger not preserved: %v", order)
 	}
 }

@@ -118,6 +118,7 @@ type NIC struct {
 	pauser *pfc.Refresher
 	rng    *rand.Rand
 	ipid   uint16
+	uid    uint64 // sender-scoped packet UID counter, for tracing
 	trace  *telemetry.TraceBus
 	tm     *transport.Metrics // lazily registered device-level transport metrics
 	dm     *dcqcn.Metrics     // lazily registered device-level DCQCN metrics
@@ -177,7 +178,7 @@ func (n *NIC) Attach(l *link.Link, side int) {
 	n.eg = link.NewEgress(n.k, l, side)
 	n.eg.OnTransmit = func(it link.Item) {
 		n.S.TxFrames.Inc()
-		if n.trace.Active() {
+		if n.trace.Wants(telemetry.EvDequeue.Mask()) {
 			n.trace.Emit(telemetry.Event{
 				Type: telemetry.EvDequeue, Node: n.cfg.Name, Port: 0,
 				Pri: it.Pri, Pkt: it.P,
@@ -249,7 +250,7 @@ func (n *NIC) pauseAll() {
 		if n.cfg.LosslessMask&(1<<uint(pri)) == 0 {
 			continue
 		}
-		if n.trace.Active() && n.pauser.Engaged()&(1<<uint(pri)) == 0 {
+		if n.trace.Wants(telemetry.EvPauseXOFF.Mask()) && n.pauser.Engaged()&(1<<uint(pri)) == 0 {
 			n.trace.Emit(telemetry.Event{
 				Type: telemetry.EvPauseXOFF, Node: n.cfg.Name, Port: 0, Pri: pri,
 			})
@@ -263,7 +264,7 @@ func (n *NIC) resumeAll() {
 		if n.cfg.LosslessMask&(1<<uint(pri)) == 0 {
 			continue
 		}
-		if n.trace.Active() && n.pauser.Engaged()&(1<<uint(pri)) != 0 {
+		if n.trace.Wants(telemetry.EvPauseXON.Mask()) && n.pauser.Engaged()&(1<<uint(pri)) != 0 {
 			n.trace.Emit(telemetry.Event{
 				Type: telemetry.EvPauseXON, Node: n.cfg.Name, Port: 0, Pri: pri,
 			})
@@ -312,6 +313,21 @@ func (n *NIC) QP(qpn uint32) *transport.QP { return n.qps[qpn] }
 // priority. The NIC stamps its source MAC.
 func (n *NIC) SendHostPacket(p *packet.Packet, pri int) {
 	p.Eth.Src = n.cfg.MAC
+	n.inject(p, pri)
+}
+
+// inject stamps the sender-scoped UID on an outbound frame, emits the
+// injection lifecycle event, and enqueues it on the egress. The UID plus
+// the five-tuple identify the packet at every later hop, which is what
+// lets the flow tracer attribute per-hop queueing delay.
+func (n *NIC) inject(p *packet.Packet, pri int) {
+	n.uid++
+	p.UID = n.uid
+	if n.trace.Wants(telemetry.EvInject.Mask()) {
+		n.trace.Emit(telemetry.Event{
+			Type: telemetry.EvInject, Node: n.cfg.Name, Port: 0, Pri: pri, Pkt: p,
+		})
+	}
 	n.eg.Enqueue(link.Item{P: p, Pri: pri, IngressPort: -1, PG: -1})
 }
 
@@ -354,8 +370,7 @@ func (n *NIC) txKick() {
 				continue
 			}
 			n.rrIdx = (n.rrIdx + i + 1) % len(n.order)
-			pri := q.Config().Priority
-			n.eg.Enqueue(link.Item{P: p, Pri: pri, IngressPort: -1, PG: -1})
+			n.inject(p, q.Config().Priority)
 			sent = true
 			break
 		}
@@ -391,6 +406,7 @@ func (n *NIC) Receive(_ int, p *packet.Packet) {
 	// the data pipeline.
 	if p.IsCNP() {
 		if q := n.qps[p.BTH.DestQP]; q != nil {
+			n.deliver(p)
 			q.HandlePacket(p)
 		}
 		return
@@ -468,19 +484,27 @@ func (n *NIC) dispatch(p *packet.Packet) {
 		n.drop(p, "unknown-qp")
 		return
 	}
+	n.deliver(p)
 	q.HandlePacket(p)
+}
+
+// deliver emits the delivery lifecycle event: the frame survived the
+// fabric and reached its queue pair.
+func (n *NIC) deliver(p *packet.Packet) {
+	if n.trace.Wants(telemetry.EvDeliver.Mask()) {
+		n.trace.Emit(telemetry.Event{
+			Type: telemetry.EvDeliver, Node: n.cfg.Name, Port: 0,
+			Pri: p.Priority(nil), Pkt: p,
+		})
+	}
 }
 
 // drop emits a drop lifecycle event for a frame discarded by the NIC.
 func (n *NIC) drop(p *packet.Packet, reason string) {
-	if n.trace.Active() {
-		pri := 0
-		if p.IP != nil {
-			pri = int(p.IP.DSCP)
-		}
+	if n.trace.Wants(telemetry.EvDrop.Mask()) {
 		n.trace.Emit(telemetry.Event{
 			Type: telemetry.EvDrop, Node: n.cfg.Name, Port: 0,
-			Pri: pri, Pkt: p, Reason: reason,
+			Pri: p.Priority(nil), Pkt: p, Reason: reason,
 		})
 	}
 }
@@ -499,5 +523,19 @@ func (n *NIC) pollWatchdog() {
 	if n.wd.Observe(now, stopped && pausing) {
 		n.S.WatchdogTrips.Inc()
 		n.pauser.Disabled = true
+		// Pause generation is cut off: the peer's pause expires by quanta
+		// with no explicit XON frame, so close the trace-level pause
+		// intervals here — otherwise the propagation analyzer would see
+		// the contained storm as pausing forever.
+		if n.trace.Wants(telemetry.EvPauseXON.Mask()) {
+			for pri := 0; pri < 8; pri++ {
+				if n.pauser.Engaged()&(1<<uint(pri)) != 0 {
+					n.trace.Emit(telemetry.Event{
+						Type: telemetry.EvPauseXON, Node: n.cfg.Name, Port: 0, Pri: pri,
+						Reason: "watchdog-disabled",
+					})
+				}
+			}
+		}
 	}
 }

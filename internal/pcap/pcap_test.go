@@ -8,6 +8,7 @@ import (
 
 	"rocesim/internal/packet"
 	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
 )
 
 func roce(psn uint32) *packet.Packet {
@@ -123,6 +124,63 @@ func TestTapFilter(t *testing.T) {
 	tap.Capture(roce(2))
 	if w.Frames() != 1 {
 		t.Fatalf("filter leaked: %d frames", w.Frames())
+	}
+}
+
+// TestSubscribeTraceFiltersEventTypes is the negative counterpart of
+// the trace-bus tap: only dequeue (wire transmission) events may reach
+// the writer. Enqueues, drops, deliveries, pause edges and packet-less
+// events must all be excluded — first by the subscription mask, then by
+// the packet guard — and a user event filter must be honored before
+// anything is written.
+func TestSubscribeTraceFiltersEventTypes(t *testing.T) {
+	bus := telemetry.NewTraceBus(func() simtime.Time { return 0 })
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	tap := &Tap{W: w}
+	sub := tap.SubscribeTrace(bus, nil)
+
+	pkt := roce(7)
+	// None of these are wire transmissions; the writer must see zero.
+	for _, ty := range []telemetry.EventType{
+		telemetry.EvEnqueue, telemetry.EvDrop, telemetry.EvDeliver,
+		telemetry.EvInject, telemetry.EvECNMark, telemetry.EvRetransmit,
+	} {
+		bus.Emit(telemetry.Event{Type: ty, Node: "sw", Pkt: pkt})
+	}
+	bus.Emit(telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "sw", Pri: 3})
+	if w.Frames() != 0 {
+		t.Fatalf("non-dequeue events leaked %d frames into the capture", w.Frames())
+	}
+
+	// A dequeue without a packet (e.g. synthetic events) must be skipped.
+	bus.Emit(telemetry.Event{Type: telemetry.EvDequeue, Node: "sw"})
+	if w.Frames() != 0 {
+		t.Fatal("packet-less dequeue event reached the writer")
+	}
+
+	// A dequeue with a packet is the one thing that must be captured.
+	bus.Emit(telemetry.Event{Type: telemetry.EvDequeue, Node: "sw", Pkt: pkt})
+	if w.Frames() != 1 {
+		t.Fatalf("dequeue event not captured: %d frames", w.Frames())
+	}
+	sub.Close()
+
+	// An event filter must be able to reject dequeues too.
+	var buf2 bytes.Buffer
+	w2, _ := NewWriter(&buf2)
+	tap2 := &Tap{W: w2}
+	sub2 := tap2.SubscribeTrace(bus, func(ev *telemetry.Event) bool {
+		return ev.Node == "wanted"
+	})
+	defer sub2.Close()
+	bus.Emit(telemetry.Event{Type: telemetry.EvDequeue, Node: "other", Pkt: pkt})
+	if w2.Frames() != 0 {
+		t.Fatal("event filter did not exclude a rejected dequeue")
+	}
+	bus.Emit(telemetry.Event{Type: telemetry.EvDequeue, Node: "wanted", Pkt: pkt})
+	if w2.Frames() != 1 {
+		t.Fatalf("event filter over-excluded: %d frames", w2.Frames())
 	}
 }
 

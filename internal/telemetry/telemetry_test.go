@@ -191,6 +191,94 @@ func TestEventTypeStrings(t *testing.T) {
 	}
 }
 
+// TestEmitSiteNoSubscriberCost asserts — not just measures — that the
+// guarded emission pattern every hot path uses costs nothing when
+// tracing is off: no allocations with a nil bus, none with a wired bus
+// that has no subscribers, and Active() itself must stay false so the
+// Event literal is never even constructed. BenchmarkEmitDisabled and
+// BenchmarkEmitNoSubscribers put numbers on the same bar (recorded via
+// `make bench-json PKG=./internal/telemetry`).
+func TestEmitSiteNoSubscriberCost(t *testing.T) {
+	var nilBus *TraceBus
+	if n := testing.AllocsPerRun(1000, func() {
+		if nilBus.Active() {
+			nilBus.Emit(Event{Type: EvDrop})
+		}
+	}); n != 0 {
+		t.Fatalf("nil-bus emission site allocates %v per run, want 0", n)
+	}
+
+	bus := NewTraceBus(func() simtime.Time { return 0 })
+	if bus.Active() {
+		t.Fatal("bus with no subscribers reports active")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if bus.Active() {
+			bus.Emit(Event{Type: EvDrop})
+		}
+	}); n != 0 {
+		t.Fatalf("no-subscriber emission site allocates %v per run, want 0", n)
+	}
+
+	// Subscribing must flip the gate; dropping the subscription must
+	// restore the free path.
+	sub := bus.Subscribe(EvDrop.Mask(), nil, func(Event) {})
+	if !bus.Active() {
+		t.Fatal("subscribed bus reports inactive")
+	}
+	sub.Close()
+	if n := testing.AllocsPerRun(1000, func() {
+		if bus.Wants(EvEnqueue.Mask()) {
+			bus.Emit(Event{Type: EvEnqueue})
+		}
+	}); n != 0 {
+		t.Fatalf("masked-out emission site allocates %v per run, want 0", n)
+	}
+}
+
+// TestWantsMaskGating checks the per-type gate hot emission sites use:
+// a narrow subscription (the PFC analyzer listening only to pause
+// edges) must not open the gate for unrelated high-frequency types.
+func TestWantsMaskGating(t *testing.T) {
+	var nilBus *TraceBus
+	if nilBus.Wants(EvAll) {
+		t.Fatal("nil bus wants events")
+	}
+	bus := NewTraceBus(func() simtime.Time { return 0 })
+	if bus.Wants(EvAll) {
+		t.Fatal("unsubscribed bus wants events")
+	}
+	pause := bus.Subscribe(EvPauseXOFF.Mask()|EvPauseXON.Mask(), nil, func(Event) {})
+	if !bus.Wants(EvPauseXOFF.Mask()) || !bus.Wants(EvPauseXON.Mask()) {
+		t.Fatal("subscribed types not wanted")
+	}
+	if bus.Wants(EvEnqueue.Mask()) || bus.Wants(EvDequeue.Mask()) {
+		t.Fatal("pause-only subscription opens the enqueue/dequeue gate")
+	}
+	all := bus.Subscribe(EvAll, nil, func(Event) {})
+	if !bus.Wants(EvEnqueue.Mask()) {
+		t.Fatal("EvAll subscriber not reflected in the union")
+	}
+	all.Close()
+	if bus.Wants(EvEnqueue.Mask()) {
+		t.Fatal("union mask not rebuilt after unsubscribe")
+	}
+	if !bus.Wants(EvPauseXOFF.Mask()) {
+		t.Fatal("remaining subscription lost from the union")
+	}
+	pause.Close()
+	if bus.Wants(EvAll) || bus.Active() {
+		t.Fatal("fully unsubscribed bus still wants events")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if bus.Active() {
+			bus.Emit(Event{Type: EvDrop})
+		}
+	}); n != 0 {
+		t.Fatalf("post-unsubscribe emission site allocates %v per run, want 0", n)
+	}
+}
+
 // BenchmarkEmitDisabled measures the cost a trace emission site pays
 // when nobody is listening — the acceptance bar is "one nil check".
 func BenchmarkEmitDisabled(b *testing.B) {

@@ -28,6 +28,12 @@ const (
 	EvCNP
 	// EvRetransmit: a transport retransmitted; Reason is "nak" or "timeout".
 	EvRetransmit
+	// EvInject: a sender NIC accepted a frame into its egress queue —
+	// the start of the packet's life on the network.
+	EvInject
+	// EvDeliver: a destination NIC handed a frame to its queue pair —
+	// the end of the packet's life on the network.
+	EvDeliver
 
 	numEventTypes
 )
@@ -51,6 +57,10 @@ func (t EventType) String() string {
 		return "cnp"
 	case EvRetransmit:
 		return "retransmit"
+	case EvInject:
+		return "inject"
+	case EvDeliver:
+		return "deliver"
 	}
 	return "unknown"
 }
@@ -68,13 +78,26 @@ const EvAll EventMask = 1<<numEventTypes - 1
 // (simulations are single-threaded; subscribers must not mutate or
 // retain it past the callback).
 type Event struct {
-	At     simtime.Time
-	Type   EventType
-	Node   string // device name (switch or NIC)
-	Port   int    // egress/ingress port on Node, -1 when not applicable
-	Pri    int    // 802.1p priority / PFC class, -1 when not applicable
-	Pkt    *packet.Packet
+	At   simtime.Time
+	Type EventType
+	Node string // device name (switch or NIC)
+	Port int    // egress/ingress port on Node, -1 when not applicable
+	Pri  int    // 802.1p priority / PFC class, -1 when not applicable
+	Pkt  *packet.Packet
+	// Flow identifies the five-tuple for events that carry no packet
+	// (retransmits); when Pkt is non-nil consumers should prefer
+	// Pkt.Flow(). Zero when unknown.
+	Flow   packet.FlowKey
 	Reason string // drop cause, retransmit trigger, etc.
+}
+
+// FlowKey returns the event's flow identity: the explicit Flow field when
+// set, otherwise the five-tuple of the attached packet.
+func (e *Event) FlowKey() packet.FlowKey {
+	if e.Flow != (packet.FlowKey{}) || e.Pkt == nil {
+		return e.Flow
+	}
+	return e.Pkt.Flow()
 }
 
 // Subscription is one registered trace consumer.
@@ -97,6 +120,7 @@ func (s *Subscription) Close() {
 			break
 		}
 	}
+	s.bus.recompute()
 	s.bus = nil
 }
 
@@ -108,6 +132,9 @@ func (s *Subscription) Close() {
 type TraceBus struct {
 	now  func() simtime.Time
 	subs []*Subscription
+	// union caches the OR of all subscriber masks so per-type emission
+	// sites (Wants) stay one load+AND even with subscribers attached.
+	union EventMask
 }
 
 // NewTraceBus returns a bus stamping events from the given clock.
@@ -119,12 +146,29 @@ func NewTraceBus(now func() simtime.Time) *TraceBus {
 // is the one check emission sites pay when tracing is disabled.
 func (b *TraceBus) Active() bool { return b != nil && len(b.subs) > 0 }
 
+// Wants reports whether any subscriber listens for event types in mask.
+// Safe on a nil bus. High-frequency emission sites (enqueue/dequeue,
+// inject/deliver) guard with Wants so that a narrow subscription — say
+// the PFC analyzer listening only for pause edges across a minutes-long
+// storm replay — does not force every hot path to construct events the
+// bus would immediately discard.
+func (b *TraceBus) Wants(mask EventMask) bool { return b != nil && b.union&mask != 0 }
+
+// recompute rebuilds the cached mask union after an unsubscribe.
+func (b *TraceBus) recompute() {
+	b.union = 0
+	for _, s := range b.subs {
+		b.union |= s.mask
+	}
+}
+
 // Subscribe registers fn for every event matching mask and, when filter
 // is non-nil, accepted by filter. The filter runs before fn and sees
 // the event by pointer to avoid a copy on rejection.
 func (b *TraceBus) Subscribe(mask EventMask, filter func(*Event) bool, fn func(Event)) *Subscription {
 	s := &Subscription{bus: b, mask: mask, filter: filter, fn: fn}
 	b.subs = append(b.subs, s)
+	b.union |= mask
 	return s
 }
 

@@ -122,7 +122,21 @@ type Network struct {
 	// utilization measurement: one entry per (leaf, spine) pair.
 	LeafSpineLinks []*link.Link
 
+	// Links records every cable as (device, port) ↔ (device, port) — the
+	// wiring map observability tools (the PFC pause-propagation analyzer)
+	// need to resolve which neighbour a pause emitted on a port lands on.
+	Links []LinkRec
+
 	qpn uint32
+}
+
+// LinkRec is one cable: port APort of device A connects to port BPort of
+// device B. NICs are single-ported (port 0).
+type LinkRec struct {
+	A     string
+	APort int
+	B     string
+	BPort int
 }
 
 // Switches returns every switch (for monitoring and deadlock scans).
@@ -220,6 +234,7 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 				nc.Attach(l, 1)
 				tor.SetARP(ip, mac)
 				tor.LearnMAC(mac, s)
+				n.Links = append(n.Links, LinkRec{A: tor.Name(), APort: s, B: name, BPort: 0})
 				n.Servers = append(n.Servers, &Server{
 					NIC: nc, Tor: tor, TorPort: s, Podset: p, TorIdx: t, Idx: s,
 				})
@@ -241,6 +256,7 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 				l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.LeafCableM))
 				tor.AttachLink(torPort, l, 0, leaf.MAC(), false)
 				leaf.AttachLink(leafPort, l, 1, tor.MAC(), false)
+				n.Links = append(n.Links, LinkRec{A: tor.Name(), APort: torPort, B: leaf.Name(), BPort: leafPort})
 				uplinks = append(uplinks, torPort)
 				// Leaf routes down to this ToR's subnet.
 				leaf.AddRoute(fabric.Route{Prefix: torSubnet(p, t), Bits: 24, Ports: []int{leafPort}})
@@ -268,6 +284,7 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 					l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.SpineCableM))
 					leaf.AttachLink(leafPort, l, 0, spine.MAC(), false)
 					spine.AttachLink(spinePort, l, 1, leaf.MAC(), false)
+					n.Links = append(n.Links, LinkRec{A: leaf.Name(), APort: leafPort, B: spine.Name(), BPort: spinePort})
 					spinePorts = append(spinePorts, leafPort)
 					n.LeafSpineLinks = append(n.LeafSpineLinks, l)
 					// Spine routes each podset's /16 down to its leaf.

@@ -534,12 +534,18 @@ func (q *QP) onRetxTimeout() {
 	q.armRetx()
 }
 
-// traceRetx emits a retransmission lifecycle event.
+// traceRetx emits a retransmission lifecycle event. Retransmissions carry
+// no packet (the resends materialize later from the scheduler), so the
+// event names the flow explicitly for the tracer's victim attribution.
 func (q *QP) traceRetx(reason string) {
-	if q.cfg.Trace.Active() {
+	if q.cfg.Trace.Wants(telemetry.EvRetransmit.Mask()) {
 		q.cfg.Trace.Emit(telemetry.Event{
 			Type: telemetry.EvRetransmit, Node: q.cfg.Node, Port: -1,
 			Pri: q.cfg.Priority, Reason: reason,
+			Flow: packet.FlowKey{
+				Src: q.cfg.SrcIP, Dst: q.cfg.DstIP, Proto: packet.ProtoUDP,
+				SrcPort: q.cfg.SrcPort, DstPort: packet.RoCEv2Port,
+			},
 		})
 	}
 }
@@ -654,7 +660,7 @@ func (q *QP) maybeCNP(p *packet.Packet) {
 		q.ctl = append(q.ctl, cnp)
 		q.S.CNPsSent++
 		q.cfg.Metrics.CNPsSent.Inc()
-		if q.cfg.Trace.Active() {
+		if q.cfg.Trace.Wants(telemetry.EvCNP.Mask()) {
 			q.cfg.Trace.Emit(telemetry.Event{
 				Type: telemetry.EvCNP, Node: q.cfg.Node, Port: -1,
 				Pri: q.cfg.Priority, Pkt: cnp,
