@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test test-race vet bench bench-json report examples clean
+.PHONY: all check build test test-race vet bench bench-json bench-kernel bench-compare report examples clean
 
 all: build vet test
 
@@ -22,9 +22,11 @@ test:
 	$(GO) test ./...
 
 # The simulator is single-threaded by design; the race detector guards
-# against accidental goroutine use creeping into the kernel.
+# against accidental goroutine use creeping into the kernel. The race
+# detector slows the experiment replays 5-10x, so the per-package
+# timeout is raised above `go test`'s 10m default.
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Regenerates every paper figure at scaled size with metrics in the
 # benchmark output (see EXPERIMENTS.md for the mapping).
@@ -36,8 +38,19 @@ bench:
 # re-record the trace-bus emission-site cost (docs/results/bench-trace.json).
 PKG ?= ./...
 bench-json:
-	$(GO) test -bench=. -benchmem -json $(PKG) > bench_output.json
+	@mkdir -p docs/results
+	$(GO) test -bench=. -benchmem -json $(PKG) > docs/results/bench_output.json
 
+# Event-kernel micro benchmarks only (fast; the scheduler hot path).
+bench-kernel:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem ./internal/sim/
+
+# Regression gate for the event kernel: re-runs the kernel micro
+# benchmarks and compares events/sec against the recorded baseline in
+# docs/results/bench-kernel.json, failing on a >10% regression.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchtime 1s -count 3 ./internal/sim/ > /tmp/bench-kernel-current.txt
+	$(GO) run ./cmd/roce-benchdiff -baseline docs/results/bench-kernel.json -current /tmp/bench-kernel-current.txt -tolerance 10
 
 
 # Consolidated reproduction report (fast experiments; add FLAGS=-all for
@@ -54,3 +67,4 @@ examples:
 
 clean:
 	rm -f capture.pcap test_output.txt bench_output.txt bench_output.json
+	rm -f *.pprof cpu.prof mem.prof

@@ -1,0 +1,152 @@
+// Command roce-benchdiff gates event-kernel performance: it parses a
+// fresh `go test -bench` run, compares the events/s metric of each
+// kernel benchmark against the recorded baseline in
+// docs/results/bench-kernel.json, and exits nonzero when any benchmark
+// regressed by more than the tolerance. Wired as `make bench-compare`.
+//
+// Usage:
+//
+//	roce-benchdiff -baseline docs/results/bench-kernel.json \
+//	               -current bench.txt [-tolerance 10]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchRecord is one benchmark's recorded numbers.
+type BenchRecord struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the schema of docs/results/bench-kernel.json. The gate
+// compares against Optimized; BaselineContainerHeap documents the
+// pre-rewrite numbers the 2x target was measured from.
+type Baseline struct {
+	Recorded              string                 `json:"recorded"`
+	CPU                   string                 `json:"cpu"`
+	Note                  string                 `json:"note"`
+	BaselineContainerHeap map[string]BenchRecord `json:"baseline_container_heap"`
+	Optimized             map[string]BenchRecord `json:"optimized"`
+	Macro                 map[string]any         `json:"macro,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkKernelHotQueue-16  27593662  77.25 ns/op  12944794 events/s  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseCurrent extracts per-benchmark events/s (and ns/op) from bench
+// output text. When a benchmark appears multiple times (`-count=N`),
+// the fastest run wins: scheduler noise on a shared host only ever
+// slows a run down, so best-of-N is the stable estimate to gate on.
+func parseCurrent(path string) (map[string]BenchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]BenchRecord)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		rec := BenchRecord{}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				rec.NsPerOp = v
+			case "events/s":
+				rec.EventsPerSec = v
+			case "allocs/op":
+				rec.AllocsPerOp = v
+			}
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		if prev, ok := out[name]; !ok || rec.EventsPerSec > prev.EventsPerSec {
+			out[name] = rec
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "docs/results/bench-kernel.json", "recorded baseline JSON")
+	currentPath := flag.String("current", "", "fresh `go test -bench` output to compare")
+	tolerance := flag.Float64("tolerance", 10, "max allowed events/s regression in percent")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "roce-benchdiff: -current is required")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roce-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "roce-benchdiff: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	cur, err := parseCurrent(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "roce-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base.Optimized))
+	for name := range base.Optimized {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	compared := 0
+	fmt.Printf("%-24s %16s %16s %9s\n", "benchmark", "baseline ev/s", "current ev/s", "delta")
+	for _, name := range names {
+		want := base.Optimized[name]
+		got, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-24s %16.0f %16s %9s\n", name, want.EventsPerSec, "MISSING", "-")
+			failed = true
+			continue
+		}
+		compared++
+		delta := 100 * (got.EventsPerSec - want.EventsPerSec) / want.EventsPerSec
+		status := ""
+		if delta < -*tolerance {
+			status = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-24s %16.0f %16.0f %+8.1f%%%s\n",
+			name, want.EventsPerSec, got.EventsPerSec, delta, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "roce-benchdiff: no benchmarks in common — wrong -current file?")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "roce-benchdiff: events/s regression beyond %.0f%% tolerance\n", *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", compared, *tolerance)
+}

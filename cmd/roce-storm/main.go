@@ -6,23 +6,33 @@
 //
 // Usage:
 //
-//	roce-storm [-duration 300ms]
+//	roce-storm [-duration 300ms] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
 	"rocesim/internal/experiments"
+	"rocesim/internal/profiling"
 	"rocesim/internal/simtime"
 	"rocesim/internal/telemetry"
 )
 
 func main() {
 	duration := flag.Duration("duration", 300*time.Millisecond, "total simulated time")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	for _, wd := range []bool{false, true} {
 		cfg := experiments.DefaultStorm(wd)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	roce-throughput [-tors 24] [-servers 8] [-qps 8] [-measure 5ms]
+//	                [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // The defaults are the paper's full scale (3072 connections over 128
 // Leaf–Spine links); scale -tors down for a quicker run.
@@ -14,9 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"rocesim/internal/experiments"
+	"rocesim/internal/profiling"
 	"rocesim/internal/simtime"
 )
 
@@ -26,7 +29,15 @@ func main() {
 	qps := flag.Int("qps", 8, "QPs per server pair")
 	measure := flag.Duration("measure", 5*time.Millisecond, "measurement window")
 	warmup := flag.Duration("warmup", 20*time.Millisecond, "warmup before measuring (DCQCN convergence)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	cfg := experiments.DefaultFig7()
 	cfg.TorPairs = *tors

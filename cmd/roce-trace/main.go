@@ -12,6 +12,7 @@
 //
 //	roce-trace [-scenario storm|incident|deadlock] [-format chrome|text|report]
 //	           [-duration 0] [-events 4096] [-o file]
+//	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"rocesim/internal/experiments"
 	"rocesim/internal/flighttrace"
+	"rocesim/internal/profiling"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
 	"rocesim/internal/telemetry"
@@ -33,7 +35,15 @@ func main() {
 	duration := flag.Duration("duration", 0, "override scenario duration (0 = scenario default)")
 	events := flag.Int("events", 4096, "flight-recorder ring size per device")
 	out := flag.String("o", "", "output file (default stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {

@@ -124,6 +124,13 @@ type macEntry struct {
 	expires simtime.Time
 }
 
+// fwdEntry is one frame traversing the forwarding pipeline (between
+// ingress processing and egress enqueue).
+type fwdEntry struct {
+	out int
+	it  link.Item
+}
+
 type portState struct {
 	lk      *link.Link
 	side    int
@@ -214,6 +221,12 @@ type Switch struct {
 	arp    map[packet.Addr]arpEntry
 	macTab map[packet.MAC]macEntry
 
+	// fwd is the forwarding-pipeline ring: frames in flight between
+	// ingress and egress enqueue, drained FIFO by the resident fwdEv.
+	fwd     []fwdEntry
+	fwdHead int
+	fwdEv   sim.Event
+
 	// DropFn, when set, silently discards matching data packets at
 	// ingress — the hook the livelock experiment uses ("drop any packet
 	// with the least significant byte of IP ID equal to 0xff").
@@ -248,6 +261,7 @@ func NewSwitch(k *sim.Kernel, cfg Config, mac packet.MAC) (*Switch, error) {
 		macTab: make(map[packet.MAC]macEntry),
 		C:      newCounters(k.Metrics(), cfg.Name),
 	}
+	sw.fwdEv = sw.fireForward
 	for i := range sw.port {
 		sw.port[i] = &portState{}
 	}
@@ -288,6 +302,7 @@ func (s *Switch) AttachLink(n int, l *link.Link, side int, peerMAC packet.MAC, s
 		},
 		s.k.Now,
 		func(d simtime.Duration, fn func()) func() bool { return s.k.After(d, fn).Cancel })
+	ps.pauser.Pool = s.k.PacketPool()
 	ps.wdTrip = pfc.NewWatchdog(s.cfg.Watchdog.TripWindow)
 	reg := s.k.Metrics()
 	port := telemetry.L("port", n)
@@ -376,11 +391,11 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 		s.C.PauseRx.Inc()
 		ps.RxPause.Inc()
 		ps.lastPauseRx = s.k.Now()
-		if ps.losslessDisabled {
-			return // watchdog: ignore pauses from the broken NIC
+		if !ps.losslessDisabled { // watchdog: ignore pauses from the broken NIC
+			ps.egress.Pause.Handle(s.k.Now(), p.Pause)
+			ps.egress.Kick()
 		}
-		ps.egress.Pause.Handle(s.k.Now(), p.Pause)
-		ps.egress.Kick()
+		s.k.PacketPool().Put(p) // pause state absorbed; the frame is dead
 		return
 	}
 
@@ -437,7 +452,7 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 		if len(outs) > 1 {
 			// Flooding: every copy is independent so per-hop mutation
 			// (TTL, ECN) stays per-copy.
-			q = clonePacket(p)
+			q = p.Clone()
 		}
 		outcome, tr := s.mmu.Admit(n, pri, q.WireLen())
 		s.applyPause(n, pri, tr)
@@ -451,9 +466,13 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 		}
 		s.finishForward(n, out, q, pri)
 	}
+	if len(outs) > 1 {
+		s.k.PacketPool().Put(p) // only box-less clones went downstream
+	}
 }
 
-// drop emits a trace event for a discarded frame.
+// drop emits a trace event for a discarded frame and recycles it: every
+// call site is a death point, so the packet returns to the pool here.
 func (s *Switch) drop(port, pri int, p *packet.Packet, reason string) {
 	if s.trace.Wants(telemetry.EvDrop.Mask()) {
 		s.trace.Emit(telemetry.Event{
@@ -461,6 +480,7 @@ func (s *Switch) drop(port, pri int, p *packet.Packet, reason string) {
 			Pkt: p, Reason: reason,
 		})
 	}
+	s.k.PacketPool().Put(p)
 }
 
 // localDst reports whether dst falls in a Local route (our own server
@@ -560,19 +580,42 @@ func (s *Switch) finishForward(in, out int, p *packet.Packet, pri int) {
 	}
 	s.maybeMarkECN(out, p, pri)
 	it := link.Item{P: p, Pri: pri, IngressPort: in, PG: pri}
-	enq := func() {
-		if s.trace.Wants(telemetry.EvEnqueue.Mask()) {
-			s.trace.Emit(telemetry.Event{
-				Type: telemetry.EvEnqueue, Node: s.cfg.Name, Port: out, Pri: pri, Pkt: p,
-			})
-		}
-		s.port[out].egress.Enqueue(it)
-	}
 	if s.cfg.ForwardingLatency > 0 {
-		s.k.After(s.cfg.ForwardingLatency, enq)
+		// Constant latency means pipeline events fire in FIFO order, so a
+		// head-indexed ring plus one resident callback replaces a closure
+		// per packet.
+		s.fwd = append(s.fwd, fwdEntry{out: out, it: it})
+		s.k.After(s.cfg.ForwardingLatency, s.fwdEv)
 	} else {
-		enq()
+		s.enqueueOut(out, it)
 	}
+}
+
+// fireForward completes one forwarding-pipeline traversal (the resident
+// callback armed by finishForward).
+func (s *Switch) fireForward() {
+	e := s.fwd[s.fwdHead]
+	s.fwd[s.fwdHead] = fwdEntry{}
+	s.fwdHead++
+	if s.fwdHead > len(s.fwd)/2 && s.fwdHead >= 32 {
+		n := copy(s.fwd, s.fwd[s.fwdHead:])
+		for i := n; i < len(s.fwd); i++ {
+			s.fwd[i] = fwdEntry{}
+		}
+		s.fwd = s.fwd[:n]
+		s.fwdHead = 0
+	}
+	s.enqueueOut(e.out, e.it)
+}
+
+// enqueueOut hands a forwarded frame to its egress queue.
+func (s *Switch) enqueueOut(out int, it link.Item) {
+	if s.trace.Wants(telemetry.EvEnqueue.Mask()) {
+		s.trace.Emit(telemetry.Event{
+			Type: telemetry.EvEnqueue, Node: s.cfg.Name, Port: out, Pri: it.Pri, Pkt: it.P,
+		})
+	}
+	s.port[out].egress.Enqueue(it)
 }
 
 // maybeMarkECN applies the WRED marking profile at the egress queue.
@@ -700,9 +743,10 @@ func (s *Switch) tripWatchdog(port int, ps *portState) {
 		}
 		for _, it := range ps.egress.Purge(pri) {
 			s.C.WatchdogDrops.Inc()
+			wire := it.P.WireLen() // before drop: the pool may recycle it.P
 			s.drop(port, pri, it.P, "watchdog-purge")
 			if it.IngressPort >= 0 {
-				tr := s.mmu.Release(it.IngressPort, it.PG, it.P.WireLen())
+				tr := s.mmu.Release(it.IngressPort, it.PG, wire)
 				s.applyPause(it.IngressPort, it.PG, tr)
 			}
 		}
@@ -711,34 +755,4 @@ func (s *Switch) tripWatchdog(port int, ps *portState) {
 		s.applyPause(ref.Port, ref.PG, buffer.XON)
 	}
 	ps.egress.Kick()
-}
-
-// clonePacket deep-copies the mutable layers for flooding replication.
-func clonePacket(p *packet.Packet) *packet.Packet {
-	q := *p
-	if p.IP != nil {
-		ip := *p.IP
-		q.IP = &ip
-	}
-	if p.UDPH != nil {
-		u := *p.UDPH
-		q.UDPH = &u
-	}
-	if p.BTH != nil {
-		b := *p.BTH
-		q.BTH = &b
-	}
-	if p.RETH != nil {
-		r := *p.RETH
-		q.RETH = &r
-	}
-	if p.AETH != nil {
-		a := *p.AETH
-		q.AETH = &a
-	}
-	if p.Pause != nil {
-		pa := *p.Pause
-		q.Pause = &pa
-	}
-	return &q
 }

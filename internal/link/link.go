@@ -2,6 +2,13 @@
 // both switches and NICs share: per-priority queues, deficit-round-robin
 // scheduling, PFC-aware pacing, and a control path that lets pause frames
 // bypass data queues (PFC frames are never themselves subject to PFC).
+//
+// The transmit path is a batched self-scheduling drain loop: one resident
+// completion event per egress re-arms itself across a burst, so a busy
+// queue holds exactly one pending kernel event and one in-flight frame
+// slot no matter how deep its backlog — draining N frames performs zero
+// allocations. Queues are head-indexed rings, so dequeue is O(1) instead
+// of the O(n) slice shuffle a naive FIFO pays.
 package link
 
 import (
@@ -38,6 +45,9 @@ type Link struct {
 		ep   Endpoint
 		port int
 	}
+	// deliver[side] is the resident arrival callback for frames sent BY
+	// side: scheduling it with the packet as arg allocates nothing.
+	deliver [2]sim.ArgEvent
 	// FCSErrorRate is the probability a frame is corrupted on the wire
 	// and discarded by the receiver's CRC check — the paper's "packet
 	// losses can still happen for various other reasons, including FCS
@@ -63,7 +73,14 @@ func New(k *sim.Kernel, rate simtime.Rate, delay simtime.Duration) *Link {
 	// Each link gets its own deterministic stream; construction order is
 	// deterministic in a simulation, so runs reproduce exactly.
 	id := atomic.AddUint64(&linkSeq, 1)
-	return &Link{k: k, rate: rate, delay: delay, rng: k.Rand(fmt.Sprintf("link/%d", id))}
+	l := &Link{k: k, rate: rate, delay: delay, rng: k.Rand(fmt.Sprintf("link/%d", id))}
+	for side := 0; side < 2; side++ {
+		peer := &l.ends[1-side]
+		l.deliver[side] = func(arg any) {
+			peer.ep.Receive(peer.port, arg.(*packet.Packet))
+		}
+	}
+	return l
 }
 
 // linkSeq disambiguates per-link random streams.
@@ -94,18 +111,19 @@ func (l *Link) Deliver(side int, p *packet.Packet) {
 		l.Tap(p)
 	}
 	if l.Down {
+		l.k.PacketPool().Put(p) // lost on the dead wire
 		return
 	}
 	if l.FCSErrorRate > 0 && l.rng.Float64() < l.FCSErrorRate {
 		l.FCSErrors++
-		return // corrupted on the wire; receiver CRC discards it
+		l.k.PacketPool().Put(p) // corrupted on the wire; receiver CRC discards it
+		return
 	}
-	peer := l.ends[1-side]
-	if peer.ep == nil {
+	if l.ends[1-side].ep == nil {
 		panic(fmt.Sprintf("link: side %d has no peer attached", 1-side))
 	}
 	l.Delivered[side]++
-	l.k.After(l.delay, func() { peer.ep.Receive(peer.port, p) })
+	l.k.AfterArg(l.delay, l.deliver[side], p)
 }
 
 // Item is one frame queued at an egress, with the bookkeeping needed to
@@ -121,6 +139,47 @@ type Item struct {
 	Enq         simtime.Time
 }
 
+// fifo is a head-indexed queue of Items: push appends, pop advances the
+// head, and the dead prefix is compacted once it dominates the backing
+// array, keeping both operations amortized O(1) without unbounded
+// memory growth.
+type fifo struct {
+	items []Item
+	head  int
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+func (f *fifo) push(it Item) { f.items = append(f.items, it) }
+
+func (f *fifo) front() *Item { return &f.items[f.head] }
+
+func (f *fifo) pop() Item {
+	it := f.items[f.head]
+	f.items[f.head] = Item{} // release the packet reference
+	f.head++
+	if f.head > len(f.items)/2 && f.head >= 32 {
+		n := copy(f.items, f.items[f.head:])
+		for i := n; i < len(f.items); i++ {
+			f.items[i] = Item{}
+		}
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return it
+}
+
+// live returns the queued items (shared backing array).
+func (f *fifo) live() []Item { return f.items[f.head:] }
+
+// purge empties the queue and returns the removed items.
+func (f *fifo) purge() []Item {
+	out := f.live()
+	f.items = nil
+	f.head = 0
+	return out
+}
+
 // Egress is one transmit direction of a device port: eight per-priority
 // FIFO queues drained by deficit round robin, gated per priority by
 // received PFC state, plus an absolute-priority control queue for pause
@@ -130,9 +189,9 @@ type Egress struct {
 	link *Link
 	side int
 
-	queues  [8][]Item
+	queues  [8]fifo
 	bytes   [8]int
-	control []Item // pause frames; never PFC-gated
+	control fifo // pause frames; never PFC-gated
 
 	weights [8]int
 	deficit [8]int
@@ -152,6 +211,9 @@ type Egress struct {
 	Blocked bool
 
 	busy     bool
+	inflight Item      // the frame currently serializing (valid while busy)
+	txDone   sim.Event // resident completion callback, re-armed per frame
+	kickEv   sim.Event // resident retry callback for pause expiry
 	retry    sim.Handle
 	TxFrames uint64
 	TxBytes  uint64
@@ -163,6 +225,8 @@ type Egress struct {
 // weights.
 func NewEgress(k *sim.Kernel, l *Link, side int) *Egress {
 	e := &Egress{k: k, link: l, side: side, Pause: pfc.NewPauseState(l.Rate()), cur: -1}
+	e.txDone = e.finishTx
+	e.kickEv = e.kick
 	for i := range e.weights {
 		e.weights[i] = 1
 	}
@@ -192,19 +256,18 @@ func (e *Egress) TotalQueued() int {
 }
 
 // QueueLen returns the number of frames queued at priority pri.
-func (e *Egress) QueueLen(pri int) int { return len(e.queues[pri]) }
+func (e *Egress) QueueLen(pri int) int { return e.queues[pri].len() }
 
 // Items returns a snapshot of the queued items at priority pri (shared
 // backing array; callers must not mutate). Used by the deadlock detector
 // to trace buffer dependencies.
-func (e *Egress) Items(pri int) []Item { return e.queues[pri] }
+func (e *Egress) Items(pri int) []Item { return e.queues[pri].live() }
 
 // Purge removes and returns every queued frame at priority pri — used by
 // the switch watchdog when it discards lossless traffic for a tripped
 // port.
 func (e *Egress) Purge(pri int) []Item {
-	items := e.queues[pri]
-	e.queues[pri] = nil
+	items := e.queues[pri].purge()
 	e.bytes[pri] = 0
 	return items
 }
@@ -215,7 +278,7 @@ func (e *Egress) Enqueue(it Item) {
 		panic(fmt.Sprintf("link: priority %d", it.Pri))
 	}
 	it.Enq = e.k.Now()
-	e.queues[it.Pri] = append(e.queues[it.Pri], it)
+	e.queues[it.Pri].push(it)
 	e.bytes[it.Pri] += it.P.WireLen()
 	e.kick()
 }
@@ -223,7 +286,7 @@ func (e *Egress) Enqueue(it Item) {
 // EnqueueControl queues a pause frame; control frames preempt all data
 // and ignore PFC state.
 func (e *Egress) EnqueueControl(p *packet.Packet) {
-	e.control = append(e.control, Item{P: p, Pri: -1, IngressPort: -1, PG: -1, Enq: e.k.Now()})
+	e.control.push(Item{P: p, Pri: -1, IngressPort: -1, PG: -1, Enq: e.k.Now()})
 	e.kick()
 }
 
@@ -250,10 +313,8 @@ func (e *Egress) trySend() {
 	now := e.k.Now()
 
 	// Control frames first: pause must get out even when we are paused.
-	if len(e.control) > 0 {
-		it := e.control[0]
-		e.control = e.control[1:]
-		e.transmit(it)
+	if e.control.len() > 0 {
+		e.transmit(e.control.pop())
 		return
 	}
 	if e.Blocked {
@@ -266,10 +327,7 @@ func (e *Egress) trySend() {
 		e.armRetry(now)
 		return
 	}
-	q := e.queues[pri]
-	it := q[0]
-	copy(q, q[1:])
-	e.queues[pri] = q[:len(q)-1]
+	it := e.queues[pri].pop()
 	e.bytes[pri] -= it.P.WireLen()
 	e.transmit(it)
 }
@@ -286,7 +344,7 @@ func (e *Egress) pickDWRR(now simtime.Time) int {
 			found := -1
 			for i := 0; i < 8; i++ {
 				pri := (e.rrNext + i) % 8
-				if len(e.queues[pri]) > 0 && !e.Pause.Paused(now, pri) {
+				if e.queues[pri].len() > 0 && !e.Pause.Paused(now, pri) {
 					found = pri
 					break
 				}
@@ -299,13 +357,13 @@ func (e *Egress) pickDWRR(now simtime.Time) int {
 			e.deficit[found] += quantumPerWeight * e.weights[found]
 		}
 		pri := e.cur
-		if len(e.queues[pri]) > 0 && !e.Pause.Paused(now, pri) {
-			if head := e.queues[pri][0].P.WireLen(); e.deficit[pri] >= head {
+		if e.queues[pri].len() > 0 && !e.Pause.Paused(now, pri) {
+			if head := e.queues[pri].front().P.WireLen(); e.deficit[pri] >= head {
 				e.deficit[pri] -= head
 				return pri
 			}
 		}
-		if len(e.queues[pri]) == 0 {
+		if e.queues[pri].len() == 0 {
 			e.deficit[pri] = 0 // idle classes must not hoard credit
 		}
 		e.cur = -1
@@ -318,7 +376,7 @@ func (e *Egress) pickDWRR(now simtime.Time) int {
 func (e *Egress) armRetry(now simtime.Time) {
 	var earliest simtime.Time = simtime.Forever
 	for pri := 0; pri < 8; pri++ {
-		if len(e.queues[pri]) == 0 {
+		if e.queues[pri].len() == 0 {
 			continue
 		}
 		if at := e.Pause.ResumeAt(pri); at.After(now) && at.Before(earliest) {
@@ -331,24 +389,33 @@ func (e *Egress) armRetry(now simtime.Time) {
 	if e.retry.Pending() {
 		e.retry.Cancel()
 	}
-	e.retry = e.k.At(earliest, e.kick)
+	e.retry = e.k.At(earliest, e.kickEv)
 }
 
-// transmit serializes one frame and delivers it.
+// transmit starts serializing one frame: the resident completion event
+// is armed for the serialization end. While a burst drains, transmit and
+// finishTx alternate on the same heap slot — one live event, zero
+// allocations per frame.
 func (e *Egress) transmit(it Item) {
 	e.busy = true
+	e.inflight = it
 	tx := e.link.Rate().Transmission(it.P.WireLen() + FrameOverhead)
-	e.k.After(tx, func() {
-		e.busy = false
-		e.TxFrames++
-		e.TxBytes += uint64(it.P.WireLen())
-		if it.Pri >= 0 {
-			e.TxByPri[it.Pri]++
-		}
-		if e.OnTransmit != nil {
-			e.OnTransmit(it)
-		}
-		e.link.Deliver(e.side, it.P)
-		e.trySend()
-	})
+	e.k.After(tx, e.txDone)
+}
+
+// finishTx completes the in-flight frame and continues the drain loop.
+func (e *Egress) finishTx() {
+	it := e.inflight
+	e.inflight = Item{} // release the packet reference
+	e.busy = false
+	e.TxFrames++
+	e.TxBytes += uint64(it.P.WireLen())
+	if it.Pri >= 0 {
+		e.TxByPri[it.Pri]++
+	}
+	if e.OnTransmit != nil {
+		e.OnTransmit(it)
+	}
+	e.link.Deliver(e.side, it.P)
+	e.trySend()
 }

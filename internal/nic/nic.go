@@ -129,8 +129,11 @@ type NIC struct {
 	txArmed sim.Handle
 
 	rxQueue  []*packet.Packet
+	rxHead   int
 	rxBytes  int
 	busy     bool
+	pipeDone sim.Event // resident pipeline-completion callback
+	txKickEv sim.Event // resident transmit-scheduler wake-up
 	lastProc simtime.Time
 	mtt      *MTT
 	// Malfunction models the receive-pipeline bug behind the paper's
@@ -163,6 +166,8 @@ func New(k *sim.Kernel, cfg Config) *NIC {
 		trace: k.Trace(),
 		S:     newStats(k.Metrics(), cfg.Name),
 	}
+	n.pipeDone = n.finishPipeline
+	n.txKickEv = n.txKick
 	if cfg.MTT != nil {
 		n.mtt = NewMTT(*cfg.MTT)
 	}
@@ -193,6 +198,7 @@ func (n *NIC) Attach(l *link.Link, side int) {
 		},
 		n.k.Now,
 		func(d simtime.Duration, fn func()) func() bool { return n.k.After(d, fn).Cancel })
+	n.pauser.Pool = n.k.PacketPool()
 	pfc.RegisterMetrics(n.k.Metrics(), n.cfg.Name,
 		func() *pfc.PauseState { return n.eg.Pause }, n.pauser, n.cfg.LosslessMask)
 	l.Attach(side, n, 0)
@@ -289,6 +295,7 @@ func (n *NIC) CreateQP(cfg transport.Config) *transport.QP {
 	cfg.Metrics = n.tm
 	cfg.Trace = n.k.Trace()
 	cfg.Node = n.cfg.Name
+	cfg.Pool = n.k.PacketPool()
 	if cfg.DCQCN != nil {
 		if n.dm == nil {
 			n.dm = dcqcn.RegisterMetrics(n.k.Metrics(), n.cfg.Name)
@@ -379,7 +386,7 @@ func (n *NIC) txKick() {
 				if n.txArmed.Pending() {
 					n.txArmed.Cancel()
 				}
-				n.txArmed = n.k.At(earliest, n.txKick)
+				n.txArmed = n.k.At(earliest, n.txKickEv)
 			}
 			return
 		}
@@ -395,6 +402,7 @@ func (n *NIC) Receive(_ int, p *packet.Packet) {
 		n.S.RxPause.Inc()
 		n.eg.Pause.Handle(n.k.Now(), p.Pause)
 		n.eg.Kick()
+		n.k.PacketPool().Put(p) // pause state absorbed; the frame is dead
 		return
 	}
 	if p.Eth.Dst != n.cfg.MAC && !p.Eth.Dst.IsMulticast() {
@@ -409,6 +417,7 @@ func (n *NIC) Receive(_ int, p *packet.Packet) {
 			n.deliver(p)
 			q.HandlePacket(p)
 		}
+		n.k.PacketPool().Put(p)
 		return
 	}
 	// Host (non-RoCE) traffic is steered to the kernel's own rings and
@@ -435,13 +444,33 @@ func (n *NIC) Receive(_ int, p *packet.Packet) {
 	n.startPipeline()
 }
 
+// rxLen returns the number of frames waiting in the receive queue.
+func (n *NIC) rxLen() int { return len(n.rxQueue) - n.rxHead }
+
+// rxPop dequeues the head of the receive queue (head-indexed ring,
+// compacted once the dead prefix dominates).
+func (n *NIC) rxPop() *packet.Packet {
+	p := n.rxQueue[n.rxHead]
+	n.rxQueue[n.rxHead] = nil
+	n.rxHead++
+	if n.rxHead > len(n.rxQueue)/2 && n.rxHead >= 32 {
+		m := copy(n.rxQueue, n.rxQueue[n.rxHead:])
+		for i := m; i < len(n.rxQueue); i++ {
+			n.rxQueue[i] = nil
+		}
+		n.rxQueue = n.rxQueue[:m]
+		n.rxHead = 0
+	}
+	return p
+}
+
 // startPipeline begins processing the head of the receive queue.
 func (n *NIC) startPipeline() {
-	if n.busy || n.malfunction || len(n.rxQueue) == 0 {
+	if n.busy || n.malfunction || n.rxLen() == 0 {
 		return
 	}
 	n.busy = true
-	p := n.rxQueue[0]
+	p := n.rxQueue[n.rxHead]
 	d := n.cfg.ProcTime
 	if n.mtt != nil && p.BTH != nil && p.PayloadLen > 0 {
 		// Each payload lands at an address within the registered
@@ -453,24 +482,27 @@ func (n *NIC) startPipeline() {
 			n.S.PipelineStalls.Inc()
 		}
 	}
-	n.k.After(d, func() {
-		n.busy = false
-		if n.malfunction {
-			return // pipeline died mid-packet
-		}
-		if len(n.rxQueue) == 0 {
-			return
-		}
-		q := n.rxQueue[0]
-		n.rxQueue = n.rxQueue[1:]
-		n.rxBytes -= q.WireLen()
-		n.lastProc = n.k.Now()
-		if n.rxBytes <= n.cfg.RxXON {
-			n.resumeAll()
-		}
-		n.dispatch(q)
-		n.startPipeline()
-	})
+	n.k.After(d, n.pipeDone)
+}
+
+// finishPipeline completes one receive-pipeline traversal (the resident
+// callback armed by startPipeline).
+func (n *NIC) finishPipeline() {
+	n.busy = false
+	if n.malfunction {
+		return // pipeline died mid-packet
+	}
+	if n.rxLen() == 0 {
+		return
+	}
+	q := n.rxPop()
+	n.rxBytes -= q.WireLen()
+	n.lastProc = n.k.Now()
+	if n.rxBytes <= n.cfg.RxXON {
+		n.resumeAll()
+	}
+	n.dispatch(q)
+	n.startPipeline()
 }
 
 // dispatch hands a processed packet to its QP.
@@ -486,6 +518,7 @@ func (n *NIC) dispatch(p *packet.Packet) {
 	}
 	n.deliver(p)
 	q.HandlePacket(p)
+	n.k.PacketPool().Put(p) // the QP consumed it; end of the line
 }
 
 // deliver emits the delivery lifecycle event: the frame survived the
@@ -499,7 +532,8 @@ func (n *NIC) deliver(p *packet.Packet) {
 	}
 }
 
-// drop emits a drop lifecycle event for a frame discarded by the NIC.
+// drop emits a drop lifecycle event for a frame discarded by the NIC and
+// recycles it (every call site is a death point).
 func (n *NIC) drop(p *packet.Packet, reason string) {
 	if n.trace.Wants(telemetry.EvDrop.Mask()) {
 		n.trace.Emit(telemetry.Event{
@@ -507,6 +541,7 @@ func (n *NIC) drop(p *packet.Packet, reason string) {
 			Pri: p.Priority(nil), Pkt: p, Reason: reason,
 		})
 	}
+	n.k.PacketPool().Put(p)
 }
 
 // pollWatchdog is the micro-controller: if the receive pipeline has been
@@ -518,7 +553,7 @@ func (n *NIC) pollWatchdog() {
 	// "Stopped" means no packet has completed the pipeline since the
 	// last poll while there is work (or the pipeline is dead); the
 	// Watchdog itself enforces the 100 ms persistence window.
-	stopped := (n.malfunction || len(n.rxQueue) > 0) && now.Sub(n.lastProc) >= n.cfg.Watchdog.Poll
+	stopped := (n.malfunction || n.rxLen() > 0) && now.Sub(n.lastProc) >= n.cfg.Watchdog.Poll
 	pausing := n.pauser.Engaged() != 0 && !n.pauser.Disabled
 	if n.wd.Observe(now, stopped && pausing) {
 		n.S.WatchdogTrips.Inc()

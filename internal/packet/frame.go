@@ -30,6 +30,10 @@ type Packet struct {
 
 	// UID is a unique packet id assigned by the sender, for tracing.
 	UID uint64
+
+	// box is the pooled header storage when the packet was drawn from a
+	// Pool; nil for plain allocations and clones.
+	box *box
 }
 
 // IsPause reports whether the packet is a PFC pause frame.

@@ -130,8 +130,13 @@ type Refresher struct {
 	send      func(*packet.Packet)
 	now       func() simtime.Time
 	after     func(simtime.Duration, func()) (cancel func() bool)
-	engaged   uint8 // bitmask of paused priorities
-	scheduled bool  // a refresh timer is outstanding
+	refresh   func() // resident timer callback (one closure per refresher)
+	engaged   uint8  // bitmask of paused priorities
+	scheduled bool   // a refresh timer is outstanding
+
+	// Pool, when set, supplies recycled frames for pause emission so a
+	// sustained pause episode allocates nothing per refresh.
+	Pool *packet.Pool
 
 	// TxPause counts pause frames emitted (XOFF and XON).
 	TxPause uint64
@@ -144,7 +149,20 @@ type Refresher struct {
 // tests).
 func NewRefresher(src packet.MAC, rate simtime.Rate, send func(*packet.Packet),
 	now func() simtime.Time, after func(simtime.Duration, func()) func() bool) *Refresher {
-	return &Refresher{src: src, rate: rate, send: send, now: now, after: after}
+	r := &Refresher{src: src, rate: rate, send: send, now: now, after: after}
+	r.refresh = func() {
+		r.scheduled = false
+		r.emit()
+	}
+	return r
+}
+
+// newPause builds a pause frame, recycling from the pool when wired.
+func (r *Refresher) newPause(classEnable uint8, quanta uint16) *packet.Packet {
+	if r.Pool != nil {
+		return r.Pool.NewPause(r.src, classEnable, quanta)
+	}
+	return packet.NewPause(r.src, classEnable, quanta)
 }
 
 // Engaged returns the currently paused priority mask.
@@ -176,7 +194,7 @@ func (r *Refresher) Resume(pri int) {
 	if r.Disabled {
 		return
 	}
-	xon := packet.NewPause(r.src, bit, 0)
+	xon := r.newPause(bit, 0)
 	r.send(xon)
 	r.TxPause++
 }
@@ -187,15 +205,12 @@ func (r *Refresher) emit() {
 	if r.engaged == 0 || r.Disabled {
 		return
 	}
-	pf := packet.NewPause(r.src, r.engaged, MaxQuanta)
+	pf := r.newPause(r.engaged, MaxQuanta)
 	r.send(pf)
 	r.TxPause++
 	if !r.scheduled {
 		r.scheduled = true
-		r.after(r.refreshInterval(), func() {
-			r.scheduled = false
-			r.emit()
-		})
+		r.after(r.refreshInterval(), r.refresh)
 	}
 }
 

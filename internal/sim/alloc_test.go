@@ -1,0 +1,213 @@
+package sim
+
+// Allocation guards for the kernel hot path. The scheduler's perf win
+// comes from *not* allocating in steady state — item free-list, in-slice
+// heap entries, pointer-shaped ArgEvent payloads, pooled packets — and
+// these tests pin that property with testing.AllocsPerRun so a future
+// refactor that quietly reintroduces a per-event allocation fails CI
+// rather than only showing up in benchmark drift.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rocesim/internal/simtime"
+)
+
+// TestScheduleFireZeroAlloc pins the steady-state schedule→fire cycle
+// at zero allocations once the free-list is warm.
+func TestScheduleFireZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	var fn Event = func() {}
+
+	// Warm up: grow the heap slice and populate the item free-list.
+	for i := 0; i < 64; i++ {
+		k.After(simtime.Nanosecond, fn)
+	}
+	k.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.After(simtime.Nanosecond, fn)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestArgEventZeroAlloc pins AfterArg with a pointer payload at zero
+// allocations: pointers stored in an interface don't box, which is what
+// lets packet delivery reuse one resident ArgEvent instead of a closure
+// per hop.
+func TestArgEventZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	type payload struct{ n int }
+	p := &payload{}
+	var fn ArgEvent = func(arg any) { arg.(*payload).n++ }
+
+	for i := 0; i < 64; i++ {
+		k.AfterArg(simtime.Nanosecond, fn, p)
+	}
+	k.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AfterArg(simtime.Nanosecond, fn, p)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AfterArg allocated %.1f times per run, want 0", allocs)
+	}
+	if p.n == 0 {
+		t.Fatal("ArgEvent never fired")
+	}
+}
+
+// TestCancelRearmZeroAlloc pins the retransmit-timer pattern — cancel a
+// pending event and schedule a replacement — at zero allocations. This
+// is the path transport re-arms on every ack.
+func TestCancelRearmZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	var nop Event = func() {}
+	var timer Handle
+
+	for i := 0; i < 64; i++ {
+		if timer.Pending() {
+			timer.Cancel()
+		}
+		timer = k.After(simtime.Microsecond, nop)
+	}
+	k.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if timer.Pending() {
+			timer.Cancel()
+		}
+		timer = k.After(simtime.Microsecond, nop)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("cancel+re-arm allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestPacketPoolZeroAlloc pins the packet round-trip — Get, attach the
+// full RoCE header stack, Put — at zero allocations once the pool is
+// warm. This is the per-data-packet cost in transport.newDataPacket.
+func TestPacketPoolZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	pool := k.PacketPool()
+
+	// Warm: one cold allocation populates the free list.
+	pool.Put(pool.Get())
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := pool.Get()
+		p.AttachIP()
+		p.AttachUDP()
+		p.AttachBTH()
+		p.AttachRETH()
+		pool.Put(p)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled packet round-trip allocated %.1f times per run, want 0", allocs)
+	}
+	if pool.News != 1 {
+		t.Fatalf("pool cold-allocated %d packets, want exactly 1", pool.News)
+	}
+}
+
+// TestCancelStressFreeList hammers the free-list/reap interaction:
+// thousands of events scheduled at random offsets, a large random
+// subset cancelled (forcing lazy-cancellation reaps mid-run), items
+// recycled and re-scheduled across generations. Exactly the
+// non-cancelled events must fire, in timestamp order.
+func TestCancelStressFreeList(t *testing.T) {
+	const rounds = 20
+	const perRound = 500
+
+	k := NewKernel(42)
+	rng := rand.New(rand.NewSource(7))
+
+	for round := 0; round < rounds; round++ {
+		fired := make(map[int]bool, perRound)
+		handles := make([]Handle, perRound)
+		ids := make([]int, perRound)
+		var lastAt simtime.Time
+		for i := 0; i < perRound; i++ {
+			id := i
+			ids[i] = id
+			at := k.Now().Add(simtime.Duration(1+rng.Intn(1000)) * simtime.Nanosecond)
+			handles[i] = k.At(at, func() {
+				if k.Now() < lastAt {
+					t.Errorf("round %d: event %d fired at %v after %v", round, id, k.Now(), lastAt)
+				}
+				lastAt = k.Now()
+				fired[id] = true
+			})
+		}
+
+		// Cancel ~60% so the cancelled count crosses the reap
+		// threshold (cancelled > len(queue)/2) while events remain.
+		cancelled := make(map[int]bool, perRound)
+		for i := 0; i < perRound; i++ {
+			if rng.Intn(10) < 6 {
+				if !handles[i].Cancel() {
+					t.Fatalf("round %d: cancel of pending event %d failed", round, i)
+				}
+				cancelled[i] = true
+			}
+		}
+
+		k.Run()
+
+		for i := 0; i < perRound; i++ {
+			if cancelled[i] && fired[i] {
+				t.Fatalf("round %d: cancelled event %d fired", round, i)
+			}
+			if !cancelled[i] && !fired[i] {
+				t.Fatalf("round %d: live event %d never fired", round, i)
+			}
+		}
+
+		// Stale handles must be inert: their items have been recycled
+		// to new tenants, and generation counters make Cancel a no-op.
+		for i := 0; i < perRound; i++ {
+			if handles[i].Pending() {
+				t.Fatalf("round %d: handle %d still pending after Run", round, i)
+			}
+			if handles[i].Cancel() {
+				t.Fatalf("round %d: stale handle %d cancel succeeded", round, i)
+			}
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("round %d: %d events pending after Run", round, k.Pending())
+		}
+	}
+}
+
+// TestStaleHandleCannotKillRecycledItem is the targeted version of the
+// generation-counter guarantee: a handle kept past its event's death
+// must not cancel the item's next tenant.
+func TestStaleHandleCannotKillRecycledItem(t *testing.T) {
+	k := NewKernel(1)
+	stale := k.After(simtime.Nanosecond, func() {})
+	k.Run()
+
+	// The free-list now holds the item `stale` pointed at; the next
+	// schedule recycles it for a new event.
+	fired := false
+	fresh := k.After(simtime.Nanosecond, func() { fired = true })
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled a recycled item")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost its pending state")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("recycled item's new tenant never fired")
+	}
+}

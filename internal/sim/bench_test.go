@@ -1,0 +1,128 @@
+package sim
+
+// Kernel micro-benchmarks: the schedule/fire/cancel mixes every paper
+// artifact reduces to. Each benchmark reports events/s, the metric
+// docs/results/bench-kernel.json pins and `make bench-compare` regresses
+// against. The mixes:
+//
+//   - ScheduleFire: a self-rescheduling chain, the pattern of pipeline
+//     completions and pacers (queue depth ~1).
+//   - HotQueue: a wide queue of self-rescheduling events (depth 512),
+//     the steady state of a busy fabric where every egress and link has
+//     work in flight.
+//   - CancelHeavy: the retransmit-timer pattern — schedule, re-arm
+//     (cancel + schedule) on every ack, where almost no timer ever
+//     fires.
+//   - Drain: burst-fill then drain, the incast pattern.
+//   - Mixed: interleaved schedule/fire/cancel at the ratios a DCQCN
+//     storm run exhibits (~6 schedules, 1 cancel per 6 fires).
+
+import (
+	"testing"
+
+	"rocesim/internal/simtime"
+)
+
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	k := NewKernel(1)
+	n := 0
+	var fn Event
+	fn = func() {
+		n++
+		if n < b.N {
+			k.After(simtime.Nanosecond, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(simtime.Nanosecond, fn)
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkKernelHotQueue(b *testing.B) {
+	const width = 512
+	k := NewKernel(1)
+	n := 0
+	var fn Event
+	fn = func() {
+		n++
+		if n < b.N {
+			k.After(simtime.Microsecond, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < width; i++ {
+		// Distinct offsets keep the heap honestly ordered rather than
+		// degenerating into one timestamp bucket.
+		k.After(simtime.Duration(i)*simtime.Nanosecond, fn)
+	}
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkKernelCancelHeavy(b *testing.B) {
+	k := NewKernel(1)
+	nop := func() {}
+	n := 0
+	var fn Event
+	var timer Handle
+	fn = func() {
+		// Progress was made: re-arm the retransmit timer far out.
+		if timer.Pending() {
+			timer.Cancel()
+		}
+		timer = k.After(500*simtime.Microsecond, nop)
+		n++
+		if n < b.N {
+			k.After(simtime.Nanosecond, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(simtime.Nanosecond, fn)
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkKernelDrain(b *testing.B) {
+	const burst = 4096
+	k := NewKernel(1)
+	nop := func() {}
+	rounds := b.N/burst + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for r := 0; r < rounds; r++ {
+		base := k.Now()
+		for i := 0; i < burst; i++ {
+			k.At(base.Add(simtime.Duration(i)*simtime.Nanosecond), nop)
+		}
+		k.Run()
+	}
+	b.ReportMetric(float64(rounds*burst)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkKernelMixed(b *testing.B) {
+	k := NewKernel(1)
+	nop := func() {}
+	n := 0
+	var pending [8]Handle
+	var fn Event
+	fn = func() {
+		n++
+		i := n & 7
+		if pending[i].Pending() {
+			pending[i].Cancel()
+		}
+		pending[i] = k.After(simtime.Millisecond, nop)
+		if n < b.N {
+			k.After(simtime.Nanosecond, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(simtime.Nanosecond, fn)
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

@@ -6,13 +6,20 @@
 // order they were scheduled (a monotone sequence number breaks ties).
 // Randomness comes only from named, seeded streams handed out by the
 // Kernel, so a run is reproducible from its seed alone.
+//
+// The scheduler is built for event rate: a hand-inlined 4-ary heap over a
+// flat slice of *item (no interface boxing, no container/heap), with a
+// free-list that recycles items so steady-state scheduling performs zero
+// allocations. Ordering is the total order (at, seq), so heap shape never
+// leaks into fire order — replacing the heap arity or layout cannot
+// change a simulation's results.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
+	"rocesim/internal/packet"
 	"rocesim/internal/simtime"
 	"rocesim/internal/telemetry"
 )
@@ -20,9 +27,42 @@ import (
 // Event is a callback scheduled to run at a simulated instant.
 type Event func()
 
-// Handle identifies a scheduled event so it can be cancelled.
+// ArgEvent is a callback carrying one argument. Scheduling an ArgEvent
+// with a pointer-typed arg performs no allocation, which lets hot paths
+// (link delivery, pipeline completions) schedule per-packet work without
+// constructing a fresh closure per packet.
+type ArgEvent func(arg any)
+
+// item is one scheduled event. Items are owned by the kernel's free-list:
+// a fired or cancelled item is recycled, and gen is bumped on every
+// recycle so stale Handles can never cancel the item's next occupant.
+type item struct {
+	at  simtime.Time
+	seq uint64
+	fn  Event
+	afn ArgEvent
+	arg any
+	gen uint32
+}
+
+// live reports whether the item still carries a callback (not yet fired
+// or cancelled).
+func (it *item) live() bool { return it.fn != nil || it.afn != nil }
+
+// clear drops the callbacks and invalidates outstanding handles.
+func (it *item) clear() {
+	it.fn = nil
+	it.afn = nil
+	it.arg = nil
+	it.gen++
+}
+
+// Handle identifies a scheduled event so it can be cancelled. The
+// generation check makes handles safe across the free-list: a handle to
+// a fired event can never affect the item's next tenant.
 type Handle struct {
 	item *item
+	gen  uint32
 	k    *Kernel
 }
 
@@ -31,10 +71,10 @@ type Handle struct {
 // own callback: the event counts as fired once it starts). It reports
 // whether the event was actually pending.
 func (h Handle) Cancel() bool {
-	if h.item == nil || h.item.fn == nil {
+	if h.item == nil || h.item.gen != h.gen || !h.item.live() {
 		return false
 	}
-	h.item.fn = nil // lazily deleted when popped
+	h.item.clear() // lazily deleted when popped
 	if h.k != nil {
 		h.k.cancelled++
 		if h.k.cancelled > len(h.k.queue)/2 {
@@ -45,53 +85,39 @@ func (h Handle) Cancel() bool {
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h Handle) Pending() bool { return h.item != nil && h.item.fn != nil }
-
-type item struct {
-	at  simtime.Time
-	seq uint64
-	fn  Event
-}
-
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+func (h Handle) Pending() bool {
+	return h.item != nil && h.item.gen == h.gen && h.item.live()
 }
 
 // Kernel is the simulation executive: a clock, an event queue, a factory
-// for deterministic random streams, and the root of the telemetry layer
-// (one metric registry and one trace bus per simulation).
+// for deterministic random streams, the root of the telemetry layer (one
+// metric registry and one trace bus per simulation), and the frame pool
+// the packet hot path recycles through.
 type Kernel struct {
 	now       simtime.Time
 	seq       uint64
-	queue     eventHeap
-	cancelled int // items in queue with fn == nil (lazily deleted)
+	queue     []heapEnt // 4-ary min-heap ordered by (at, seq)
+	free      []*item   // recycled items; steady-state At/After allocate nothing
+	cancelled int       // items in queue already cleared (lazily deleted)
 	seed      int64
 	fired     uint64
 	halted    bool
 	metrics   *telemetry.Registry
 	trace     *telemetry.TraceBus
+	pool      *packet.Pool
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
 func NewKernel(seed int64) *Kernel {
 	k := &Kernel{seed: seed, metrics: telemetry.NewRegistry()}
 	k.trace = telemetry.NewTraceBus(func() simtime.Time { return k.now })
+	k.pool = packet.NewPool()
+	// Recycling is only legal while nobody retains packet pointers past
+	// the hop: flight recorders and flow tracers subscribe to
+	// packet-carrying trace events and keep the pointers, so their
+	// presence parks the pool (Put becomes a no-op and packets fall to
+	// the collector exactly as they did before pooling existed).
+	k.pool.Retain = func() bool { return k.trace.Wants(telemetry.EvPacketCarrying) }
 	return k
 }
 
@@ -103,6 +129,11 @@ func (k *Kernel) Metrics() *telemetry.Registry { return k.metrics }
 // Trace returns the simulation's packet-lifecycle trace bus. With no
 // subscribers, emission sites pay a single Active() check.
 func (k *Kernel) Trace() *telemetry.TraceBus { return k.trace }
+
+// PacketPool returns the kernel's frame pool. NICs draw data frames and
+// pause frames from it and every death point (delivery, drop, FCS error)
+// returns them, so a steady-state hop allocates no packet memory.
+func (k *Kernel) PacketPool() *packet.Pool { return k.pool }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() simtime.Time { return k.now }
@@ -117,38 +148,157 @@ func (k *Kernel) EventsFired() uint64 { return k.fired }
 // queued.
 func (k *Kernel) Pending() int { return len(k.queue) - k.cancelled }
 
+// ---- 4-ary heap over (at, seq) ----
+//
+// A 4-ary layout halves the tree depth of the binary heap: pops do more
+// comparisons per level but far fewer cache-missing levels, which is the
+// dominant cost at fabric-scale queue depths. Each heap entry carries its
+// ordering key inline so sift operations never dereference the item —
+// comparisons stay within the slice's cache lines. Order is the total
+// order (at, seq), so equal-time events still fire strictly in schedule
+// order and heap shape never leaks into results.
+
+// heapEnt is one heap slot: the (at, seq) ordering key plus the item.
+type heapEnt struct {
+	at  simtime.Time
+	seq uint64
+	it  *item
+}
+
+// before reports whether a must fire before b.
+func before(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends it and restores the heap invariant.
+func (k *Kernel) push(it *item) {
+	q := append(k.queue, heapEnt{at: it.at, seq: it.seq, it: it})
+	// Sift up.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !before(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	k.queue = q
+}
+
+// pop removes and returns the earliest item. Callers check emptiness.
+func (k *Kernel) pop() *item {
+	q := k.queue
+	top := q[0].it
+	n := len(q) - 1
+	last := q[n]
+	q[n] = heapEnt{}
+	q = q[:n]
+	k.queue = q
+	if n > 0 {
+		q[0] = last
+		k.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores the invariant from slot i toward the leaves.
+func (k *Kernel) siftDown(i int) {
+	q := k.queue
+	n := len(q)
+	e := q[i]
+	for {
+		first := i<<2 + 1 // leftmost child
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if before(q[c], q[best]) {
+				best = c
+			}
+		}
+		if !before(q[best], e) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = e
+}
+
+// newItem takes an item from the free-list (or allocates on a cold
+// start) and stamps it.
+func (k *Kernel) newItem(at simtime.Time) *item {
+	var it *item
+	if n := len(k.free); n > 0 {
+		it = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		it = &item{}
+	}
+	it.at = at
+	it.seq = k.seq
+	k.seq++
+	return it
+}
+
+// recycle returns a dead (cleared) item to the free-list.
+func (k *Kernel) recycle(it *item) {
+	k.free = append(k.free, it)
+}
+
 // reap rebuilds the heap with live events only. Called once cancelled
 // items outnumber live ones, so the amortised cost per Cancel is O(1)
 // and a cancel-heavy workload (retransmit timers that almost always get
 // cancelled) cannot hold the queue at its high-water mark.
 func (k *Kernel) reap() {
 	live := k.queue[:0]
-	for _, it := range k.queue {
-		if it.fn != nil {
-			live = append(live, it)
+	for _, e := range k.queue {
+		if e.it.live() {
+			live = append(live, e)
+		} else {
+			k.recycle(e.it)
 		}
 	}
 	for i := len(live); i < len(k.queue); i++ {
-		k.queue[i] = nil // release reaped items to the collector
+		k.queue[i] = heapEnt{}
 	}
 	k.queue = live
-	heap.Init(&k.queue)
+	// Heapify in place: sift down from the last internal node.
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		k.siftDown(i)
+	}
 	k.cancelled = 0
+}
+
+// schedule validates the deadline and enqueues a stamped item.
+func (k *Kernel) schedule(at simtime.Time) *item {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
+	}
+	it := k.newItem(at)
+	k.push(it)
+	return it
 }
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: that is always a logic bug in a discrete-event model.
 func (k *Kernel) At(at simtime.Time, fn Event) Handle {
-	if at < k.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
-	}
 	if fn == nil {
 		panic("sim: nil event")
 	}
-	it := &item{at: at, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, it)
-	return Handle{item: it, k: k}
+	it := k.schedule(at)
+	it.fn = fn
+	return Handle{item: it, gen: it.gen, k: k}
 }
 
 // After schedules fn to run d after the current time.
@@ -159,23 +309,56 @@ func (k *Kernel) After(d simtime.Duration, fn Event) Handle {
 	return k.At(k.now.Add(d), fn)
 }
 
+// AtArg schedules fn(arg) at the absolute time at. With a pointer-typed
+// arg the call performs no allocation: hot paths keep one resident
+// ArgEvent and thread the per-occurrence state through arg instead of
+// closing over it.
+func (k *Kernel) AtArg(at simtime.Time, fn ArgEvent, arg any) Handle {
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	it := k.schedule(at)
+	it.afn = fn
+	it.arg = arg
+	return Handle{item: it, gen: it.gen, k: k}
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (k *Kernel) AfterArg(d simtime.Duration, fn ArgEvent, arg any) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.AtArg(k.now.Add(d), fn, arg)
+}
+
 // Halt stops the run loop after the currently executing event returns.
 func (k *Kernel) Halt() { k.halted = true }
+
+// fire executes a popped live item.
+func (k *Kernel) fire(it *item) {
+	k.now = it.at
+	fn, afn, arg := it.fn, it.afn, it.arg
+	it.clear()
+	k.recycle(it) // safe: everything needed is extracted
+	k.fired++
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+}
 
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty.
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
-		it := heap.Pop(&k.queue).(*item)
-		if it.fn == nil {
+		it := k.pop()
+		if !it.live() {
 			k.cancelled-- // cancelled; lazily deleted here
+			k.recycle(it)
 			continue
 		}
-		k.now = it.at
-		fn := it.fn
-		it.fn = nil
-		k.fired++
-		fn()
+		k.fire(it)
 		return true
 	}
 	return false
@@ -190,9 +373,9 @@ func (k *Kernel) RunUntil(deadline simtime.Time) {
 		// Peek for the next live event.
 		var next *item
 		for len(k.queue) > 0 {
-			top := k.queue[0]
-			if top.fn == nil {
-				heap.Pop(&k.queue)
+			top := k.queue[0].it
+			if !top.live() {
+				k.recycle(k.pop())
 				k.cancelled--
 				continue
 			}
@@ -205,7 +388,7 @@ func (k *Kernel) RunUntil(deadline simtime.Time) {
 			}
 			return
 		}
-		k.Step()
+		k.fire(k.pop())
 	}
 }
 
@@ -240,6 +423,7 @@ type Ticker struct {
 	k      *Kernel
 	period simtime.Duration
 	fn     Event
+	tick   Event // resident self-rescheduling callback
 	h      Handle
 	live   bool
 }
@@ -250,11 +434,12 @@ func (k *Kernel) NewTicker(period simtime.Duration, fn Event) *Ticker {
 		panic("sim: non-positive ticker period")
 	}
 	t := &Ticker{k: k, period: period, fn: fn, live: true}
+	t.tick = t.doTick // bound once; rescheduling allocates nothing
 	t.h = k.After(period, t.tick)
 	return t
 }
 
-func (t *Ticker) tick() {
+func (t *Ticker) doTick() {
 	if !t.live {
 		return
 	}

@@ -74,6 +74,14 @@ func (t EventType) Mask() EventMask { return 1 << t }
 // EvAll selects every event type.
 const EvAll EventMask = 1<<numEventTypes - 1
 
+// EvPacketCarrying selects the event types whose Event.Pkt aliases a live
+// packet. Subscribers listening to any of these may retain the pointer
+// (flight recorders do), so the kernel parks its frame pool while such a
+// subscription is active; pause-edge-only consumers (the PFC propagation
+// analyzer) leave recycling on.
+const EvPacketCarrying EventMask = 1<<EvEnqueue | 1<<EvDequeue | 1<<EvDrop |
+	1<<EvECNMark | 1<<EvCNP | 1<<EvInject | 1<<EvDeliver
+
 // Event is one packet-lifecycle occurrence. Pkt aliases the live packet
 // (simulations are single-threaded; subscribers must not mutate or
 // retain it past the callback).

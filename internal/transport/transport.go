@@ -104,6 +104,9 @@ type Config struct {
 	// VLAN, when non-nil, tags all data packets (the original
 	// VLAN-based PFC deployment). Priority then rides in PCP.
 	VLAN *packet.VLANTag
+	// Pool, when non-nil, supplies recycled packets for the QP's emissions
+	// (data, ACK/NAK, CNP); the receiving NIC returns them after delivery.
+	Pool *packet.Pool
 	// Metrics, when non-nil, receives device-level aggregates alongside
 	// the per-QP Stats (the NIC shares one Metrics across its QPs).
 	Metrics *Metrics
@@ -195,6 +198,7 @@ type QP struct {
 	pacerAt simtime.Time
 	rp      *dcqcn.RP
 	retx    sim.Handle
+	retxEv  func() // resident timeout callback (one closure per QP)
 
 	// Responder state.
 	ePSN     uint32 // expected request PSN
@@ -238,6 +242,7 @@ func New(ep Endpoint, cfg Config) *QP {
 		cfg.Metrics = &Metrics{} // nil counters: metrics become no-ops
 	}
 	q := &QP{ep: ep, cfg: cfg}
+	q.retxEv = q.onRetxTimeout
 	if cfg.DCQCN != nil {
 		q.rp = dcqcn.NewRP(*cfg.DCQCN, ep.Now())
 		q.np = dcqcn.NewNP(*cfg.DCQCN)
@@ -404,7 +409,7 @@ func (q *QP) popRequest(now simtime.Time) *packet.Packet {
 		// whole message (go-back-0).
 		bth.Opcode = packet.OpReadRequest
 		bth.PSN = o.firstPSN
-		p.RETH = &packet.RETH{DMALen: uint32(o.length - o.readDone)}
+		p.AttachRETH().DMALen = uint32(o.length - o.readDone)
 		p.PayloadLen = 0
 		q.sndNxt = psnAdd(o.firstPSN, o.npkts)
 	default:
@@ -426,10 +431,10 @@ func (q *QP) popRequest(now simtime.Time) *packet.Packet {
 			bth.Opcode = packet.OpSendMiddle
 		case o.kind == OpWrite && o.npkts == 1:
 			bth.Opcode = packet.OpWriteOnly
-			p.RETH = &packet.RETH{DMALen: uint32(o.length)}
+			p.AttachRETH().DMALen = uint32(o.length)
 		case o.kind == OpWrite && idx == 0:
 			bth.Opcode = packet.OpWriteFirst
-			p.RETH = &packet.RETH{DMALen: uint32(o.length)}
+			p.AttachRETH().DMALen = uint32(o.length)
 		case o.kind == OpWrite && last:
 			bth.Opcode = packet.OpWriteLast
 		default:
@@ -458,13 +463,13 @@ func (q *QP) popReadResponse(now simtime.Time) *packet.Packet {
 	switch {
 	case first && last:
 		p.BTH.Opcode = packet.OpReadResponseOnly
-		p.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+		*p.AttachAETH() = packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
 	case first:
 		p.BTH.Opcode = packet.OpReadResponseFirst
-		p.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+		*p.AttachAETH() = packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
 	case last:
 		p.BTH.Opcode = packet.OpReadResponseLast
-		p.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+		*p.AttachAETH() = packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
 	default:
 		p.BTH.Opcode = packet.OpReadResponseMiddle
 	}
@@ -481,26 +486,31 @@ func (q *QP) popReadResponse(now simtime.Time) *packet.Packet {
 	return p
 }
 
-// newDataPacket builds the common header stack.
+// newDataPacket builds the common header stack, drawing from the pool
+// when one is wired so a steady-state flow emits without allocating.
 func (q *QP) newDataPacket() *packet.Packet {
-	p := &packet.Packet{
-		Eth: packet.Ethernet{Dst: q.cfg.GwMAC, Src: q.cfg.SrcMAC, EtherType: packet.EtherTypeIPv4},
-		IP: &packet.IPv4{
-			DSCP:     uint8(q.cfg.Priority),
-			ECN:      packet.ECNECT0,
-			ID:       q.ep.NextIPID(),
-			TTL:      64,
-			Protocol: packet.ProtoUDP,
-			Src:      q.cfg.SrcIP,
-			Dst:      q.cfg.DstIP,
-		},
-		UDPH: &packet.UDP{SrcPort: q.cfg.SrcPort, DstPort: packet.RoCEv2Port},
-		BTH:  &packet.BTH{DestQP: q.cfg.PeerQPN, PKey: 0xffff},
+	var p *packet.Packet
+	if q.cfg.Pool != nil {
+		p = q.cfg.Pool.Get()
+	} else {
+		p = &packet.Packet{}
 	}
+	p.Eth = packet.Ethernet{Dst: q.cfg.GwMAC, Src: q.cfg.SrcMAC, EtherType: packet.EtherTypeIPv4}
+	*p.AttachIP() = packet.IPv4{
+		DSCP:     uint8(q.cfg.Priority),
+		ECN:      packet.ECNECT0,
+		ID:       q.ep.NextIPID(),
+		TTL:      64,
+		Protocol: packet.ProtoUDP,
+		Src:      q.cfg.SrcIP,
+		Dst:      q.cfg.DstIP,
+	}
+	*p.AttachUDP() = packet.UDP{SrcPort: q.cfg.SrcPort, DstPort: packet.RoCEv2Port}
+	*p.AttachBTH() = packet.BTH{DestQP: q.cfg.PeerQPN, PKey: 0xffff}
 	if q.cfg.VLAN != nil {
-		v := *q.cfg.VLAN
+		v := p.AttachVLAN()
+		*v = *q.cfg.VLAN
 		v.PCP = uint8(q.cfg.Priority)
-		p.VLAN = &v
 	}
 	return p
 }
@@ -518,7 +528,7 @@ func (q *QP) armRetx() {
 	if q.retx.Pending() {
 		q.retx.Cancel()
 	}
-	q.retx = q.ep.After(q.cfg.RetxTimeout, q.onRetxTimeout)
+	q.retx = q.ep.After(q.cfg.RetxTimeout, q.retxEv)
 }
 
 // onRetxTimeout fires when no progress has been made for RetxTimeout.
@@ -685,7 +695,7 @@ func (q *QP) handleRequest(p *packet.Packet) {
 			q.nakArmed = true
 			q.oosSince = 0
 			nak := q.newCtl(packet.OpAcknowledge)
-			nak.AETH = &packet.AETH{
+			*nak.AttachAETH() = packet.AETH{
 				Syndrome: packet.AETHNak | packet.NakPSNSequenceError,
 				MSN:      q.rMSN,
 			}
@@ -698,7 +708,7 @@ func (q *QP) handleRequest(p *packet.Packet) {
 	case d < 0:
 		// Duplicate (resent after a lost ACK): re-acknowledge.
 		ack := q.newCtl(packet.OpAcknowledge)
-		ack.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+		*ack.AttachAETH() = packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
 		ack.BTH.PSN = psnAdd(q.ePSN, ^uint32(0)&packet.PSNMask) // ePSN-1
 		q.ctl = append(q.ctl, ack)
 		q.S.AcksSent++
@@ -744,7 +754,7 @@ func (q *QP) handleRequest(p *packet.Packet) {
 	}
 	if bth.AckReq {
 		ack := q.newCtl(packet.OpAcknowledge)
-		ack.AETH = &packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
+		*ack.AttachAETH() = packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
 		ack.BTH.PSN = bth.PSN
 		q.ctl = append(q.ctl, ack)
 		q.S.AcksSent++
