@@ -1,16 +1,24 @@
 GO ?= go
 
-.PHONY: all check build test test-race vet bench bench-json bench-kernel bench-compare report examples clean
+.PHONY: all check build test test-race vet audit bench bench-json bench-kernel bench-compare report examples clean
 
 all: build vet test
 
 # Tier-1 gate: every PR must keep this green (see README). Order
 # matters — vet catches mistakes the compiler accepts, build catches
-# packages tests don't import, then the full test suite.
+# packages tests don't import, then the full test suite, then the
+# golden experiments replayed under the runtime invariant auditor.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) run ./cmd/roce-audit
+
+# Runtime invariant audit alone: deadlock, storm, alpha incident and
+# livelock with the lossless/DCQCN auditor attached; exits nonzero on
+# any violation.
+audit:
+	$(GO) run ./cmd/roce-audit
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,90 @@
+// Command roce-audit runs the repository's golden experiments — the PFC
+// deadlock, the NIC pause storm, the α misconfiguration incident, and
+// the transport livelock — with the runtime invariant auditor attached,
+// and reports every violation of the lossless/DCQCN guarantees it
+// observes. A clean fleet prints one PASS line per scenario; any
+// violation is dumped with its flight-recorder context and the exit
+// status is nonzero.
+//
+// Usage:
+//
+//	roce-audit [-storm-duration 40ms] [-alpha-duration 50ms]
+//	           [-livelock-duration 20ms] [-deadlock-duration 60ms] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rocesim/internal/experiments"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+func main() {
+	deadlockDur := flag.Duration("deadlock-duration", 60*time.Millisecond, "deadlock sender runtime")
+	stormDur := flag.Duration("storm-duration", 40*time.Millisecond, "storm simulated time")
+	alphaDur := flag.Duration("alpha-duration", 50*time.Millisecond, "alpha-incident simulated time")
+	livelockDur := flag.Duration("livelock-duration", 20*time.Millisecond, "livelock simulated time per cell")
+	verbose := flag.Bool("v", false, "print the audit summary even for clean runs")
+	flag.Parse()
+
+	failed := 0
+	check := func(name string, run func(aud *experiments.Audit)) {
+		var aud experiments.Audit
+		run(&aud)
+		n := aud.Finish()
+		a := aud.Auditor()
+		if n == 0 {
+			fmt.Printf("PASS %-28s %8d events audited, 0 violations\n", name, a.Events())
+			if *verbose {
+				aud.Report(os.Stdout)
+			}
+			return
+		}
+		failed++
+		fmt.Printf("FAIL %-28s %8d events audited, %d violation(s)\n", name, a.Events(), n)
+		aud.Report(os.Stdout)
+	}
+
+	for _, fix := range []bool{false, true} {
+		check(fmt.Sprintf("deadlock/fix=%v", fix), func(aud *experiments.Audit) {
+			cfg := experiments.DefaultDeadlock(fix)
+			cfg.Duration = simtime.FromStd(*deadlockDur)
+			cfg.Observe = aud.Observe
+			experiments.RunDeadlock(cfg)
+		})
+	}
+	for _, wd := range []bool{false, true} {
+		check(fmt.Sprintf("storm/watchdogs=%v", wd), func(aud *experiments.Audit) {
+			cfg := experiments.DefaultStorm(wd)
+			cfg.Duration = simtime.FromStd(*stormDur)
+			cfg.Observe = aud.Observe
+			experiments.RunStorm(cfg)
+		})
+	}
+	for _, alpha := range []float64{1.0 / 16, 1.0 / 64} {
+		check(fmt.Sprintf("alpha/%v", alpha), func(aud *experiments.Audit) {
+			cfg := experiments.DefaultAlpha(alpha)
+			cfg.Duration = simtime.FromStd(*alphaDur)
+			cfg.Observe = aud.Observe
+			experiments.RunAlpha(cfg)
+		})
+	}
+	for _, rec := range []transport.Recovery{transport.GoBack0, transport.GoBackN} {
+		check(fmt.Sprintf("livelock/%v", rec), func(aud *experiments.Audit) {
+			cfg := experiments.DefaultLivelock(transport.OpWrite, rec)
+			cfg.Duration = simtime.FromStd(*livelockDur)
+			cfg.Observe = aud.Observe
+			experiments.RunLivelock(cfg)
+		})
+	}
+
+	if failed > 0 {
+		fmt.Printf("roce-audit: %d scenario(s) violated invariants\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("roce-audit: all scenarios clean")
+}

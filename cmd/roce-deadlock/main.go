@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	roce-deadlock [-duration 60ms]
+//	roce-deadlock [-duration 60ms] [-audit]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"rocesim/internal/experiments"
@@ -20,14 +21,27 @@ import (
 
 func main() {
 	duration := flag.Duration("duration", 60*time.Millisecond, "sender runtime before inspection")
+	audit := flag.Bool("audit", false, "attach the invariant auditor and fail on violations")
 	flag.Parse()
 
+	var violations uint64
 	fmt.Println("Figure 4 — PFC deadlock from flooding of lossless packets")
 	for _, fix := range []bool{false, true} {
 		cfg := experiments.DefaultDeadlock(fix)
 		cfg.Duration = simtime.FromStd(*duration)
+		var aud experiments.Audit
+		if *audit {
+			cfg.Observe = aud.Observe
+		}
 		fmt.Print(experiments.RunDeadlock(cfg).Table())
+		if *audit {
+			violations += aud.Finish()
+			aud.Report(os.Stdout)
+		}
 	}
 	fmt.Println("paper: the deadlock persists even after all servers restart;")
 	fmt.Println("broadcast/multicast and flooding must stay out of lossless classes")
+	if violations > 0 {
+		os.Exit(1)
+	}
 }

@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	roce-incident
+//	roce-incident [-audit]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"rocesim/internal/core"
 	"rocesim/internal/experiments"
@@ -20,7 +22,25 @@ import (
 )
 
 func main() {
-	fmt.Print(experiments.AlphaIncident())
+	audit := flag.Bool("audit", false, "attach the invariant auditor and fail on violations")
+	flag.Parse()
+
+	var violations uint64
+	if *audit {
+		// Audited variant of AlphaIncident: both α values, one auditor
+		// per run.
+		fmt.Println("Figure 10 — dynamic-buffer misconfiguration (α silently 1/64 instead of 1/16)")
+		for _, alpha := range []float64{1.0 / 16, 1.0 / 64} {
+			cfg := experiments.DefaultAlpha(alpha)
+			var aud experiments.Audit
+			cfg.Observe = aud.Observe
+			fmt.Print(experiments.RunAlpha(cfg).Table())
+			violations += aud.Finish()
+			aud.Report(os.Stdout)
+		}
+	} else {
+		fmt.Print(experiments.AlphaIncident())
+	}
 
 	// And the management-plane view: drift detection.
 	k := sim.NewKernel(1)
@@ -34,5 +54,8 @@ func main() {
 	fmt.Println("\nconfiguration drift check (Section 5.1):")
 	for _, drift := range d.CheckDrift() {
 		fmt.Println("  DRIFT:", drift)
+	}
+	if violations > 0 {
+		os.Exit(1)
 	}
 }

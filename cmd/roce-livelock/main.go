@@ -5,20 +5,44 @@
 //
 // Usage:
 //
-//	roce-livelock [-duration 100ms]
+//	roce-livelock [-duration 100ms] [-audit]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"rocesim/internal/experiments"
 	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
 )
 
 func main() {
 	duration := flag.Duration("duration", 100*time.Millisecond, "simulated duration per cell")
+	audit := flag.Bool("audit", false, "attach the invariant auditor and fail on violations")
 	flag.Parse()
-	fmt.Print(experiments.LivelockMatrix(simtime.FromStd(*duration)))
+	if !*audit {
+		fmt.Print(experiments.LivelockMatrix(simtime.FromStd(*duration)))
+		return
+	}
+
+	// Audited run: same Section 4.1 grid, one auditor per cell.
+	var violations uint64
+	fmt.Println("Section 4.1 — RDMA transport livelock (drop 1/256 by IP ID), audited")
+	for _, rec := range []transport.Recovery{transport.GoBack0, transport.GoBackN} {
+		for _, verb := range []transport.OpKind{transport.OpSend, transport.OpWrite, transport.OpRead} {
+			cfg := experiments.DefaultLivelock(verb, rec)
+			cfg.Duration = simtime.FromStd(*duration)
+			var aud experiments.Audit
+			cfg.Observe = aud.Observe
+			fmt.Print(experiments.RunLivelock(cfg).Table())
+			violations += aud.Finish()
+			aud.Report(os.Stdout)
+		}
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
 }

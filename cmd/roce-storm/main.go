@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	roce-storm [-duration 300ms] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	roce-storm [-duration 300ms] [-audit] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 
 func main() {
 	duration := flag.Duration("duration", 300*time.Millisecond, "total simulated time")
+	audit := flag.Bool("audit", false, "attach the invariant auditor and fail on violations")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -34,9 +35,14 @@ func main() {
 	}
 	defer stop()
 
+	var violations uint64
 	for _, wd := range []bool{false, true} {
 		cfg := experiments.DefaultStorm(wd)
 		cfg.Duration = simtime.FromStd(*duration)
+		var aud experiments.Audit
+		if *audit {
+			cfg.Observe = aud.Observe
+		}
 		res := experiments.RunStorm(cfg)
 		fmt.Print(experiments.StormIncident(res))
 		fmt.Printf("registry snapshot (watchdogs=%v, nonzero pause/drop/watchdog counters):\n", wd)
@@ -52,6 +58,13 @@ func main() {
 			}
 			return false
 		}).Text())
+		if *audit {
+			violations += aud.Finish()
+			aud.Report(os.Stdout)
+		}
 		fmt.Println()
+	}
+	if violations > 0 {
+		os.Exit(1)
 	}
 }

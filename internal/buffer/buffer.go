@@ -278,6 +278,59 @@ func (m *MMU) updatePause(k key, thr int) Transition {
 	}
 }
 
+// CheckConservation audits the MMU's internal accounting and returns the
+// first inconsistency found, or nil. The checks are exactly the
+// conservation laws the accounting relies on: per-bucket usage is
+// strictly positive (zero entries are deleted, negatives are corruption),
+// the shared total equals the sum of the per-bucket counters, headroom is
+// only ever charged to lossless buckets that have claimed a reservation
+// and never beyond it, pause state exists only for lossless buckets, and
+// the reservation ledger matches the claimed set. Deliberately NOT
+// checked: sharedUsed <= sharedPool — a later headroom claim can shrink
+// the pool below existing usage, which is legal and self-corrects as
+// packets drain.
+func (m *MMU) CheckConservation() error {
+	sum := 0
+	for k, v := range m.shared {
+		if v <= 0 {
+			return fmt.Errorf("buffer: shared[%d,%d]=%d (stale or negative entry)", k.port, k.pg, v)
+		}
+		sum += v
+	}
+	if sum != m.sharedUsed {
+		return fmt.Errorf("buffer: sum(shared)=%d but sharedUsed=%d", sum, m.sharedUsed)
+	}
+	if m.sharedUsed < 0 {
+		return fmt.Errorf("buffer: sharedUsed=%d", m.sharedUsed)
+	}
+	if m.PeakShared < m.sharedUsed {
+		return fmt.Errorf("buffer: PeakShared=%d below current usage %d", m.PeakShared, m.sharedUsed)
+	}
+	for k, v := range m.headroom {
+		if v <= 0 {
+			return fmt.Errorf("buffer: headroom[%d,%d]=%d (stale or negative entry)", k.port, k.pg, v)
+		}
+		if v > m.cfg.HeadroomPerPG {
+			return fmt.Errorf("buffer: headroom[%d,%d]=%d exceeds reservation %d", k.port, k.pg, v, m.cfg.HeadroomPerPG)
+		}
+		if !m.cfg.LosslessPGs[k.pg] {
+			return fmt.Errorf("buffer: headroom charged to lossy PG (%d,%d)", k.port, k.pg)
+		}
+		if _, ok := m.reserved[k]; !ok {
+			return fmt.Errorf("buffer: headroom charged to unclaimed bucket (%d,%d)", k.port, k.pg)
+		}
+	}
+	for k := range m.paused {
+		if !m.cfg.LosslessPGs[k.pg] {
+			return fmt.Errorf("buffer: lossy PG (%d,%d) in paused state", k.port, k.pg)
+		}
+	}
+	if want := len(m.reserved) * m.cfg.HeadroomPerPG; m.reservedBytes != want {
+		return fmt.Errorf("buffer: reservedBytes=%d, want %d for %d claims", m.reservedBytes, want, len(m.reserved))
+	}
+	return nil
+}
+
 // Reevaluate rechecks every paused bucket against the current (possibly
 // grown) threshold and returns the buckets that may now resume. Hardware
 // evaluates thresholds continuously; an event-driven model must recheck

@@ -92,6 +92,7 @@ type RP struct {
 	lastCNP       simtime.Time
 	lastAlpha     simtime.Time // last alpha update (decay or CNP)
 	lastTimer     simtime.Time // start of current rate-timer period
+	lastSend      simtime.Time // most recent OnSend (gates timer catch-up)
 	bytesSinceCut int64
 
 	timerEvents int // T: timer expirations since last cut
@@ -100,6 +101,11 @@ type RP struct {
 	// Counters for monitoring.
 	CNPs     uint64
 	RateCuts uint64
+
+	// Audit, when non-nil, is invoked after every rate-state change
+	// (cut or increase) so an invariant checker can assert the DCQCN
+	// bounds at event granularity. Costs one nil check when unset.
+	Audit func(*RP)
 }
 
 // NewRP returns a reaction point starting at line rate with alpha = 1,
@@ -112,11 +118,15 @@ func NewRP(p Params, now simtime.Time) *RP {
 		a:         1,
 		lastAlpha: now,
 		lastTimer: now,
+		lastSend:  now,
 	}
 }
 
 // Rate returns the current sending rate.
 func (r *RP) Rate() simtime.Rate { return r.rc }
+
+// Params returns the RP's configured parameters.
+func (r *RP) Params() Params { return r.p }
 
 // TargetRate returns the target rate (for tests and monitoring).
 func (r *RP) TargetRate() simtime.Rate { return r.rt }
@@ -145,6 +155,9 @@ func (r *RP) OnCNP(now simtime.Time) {
 	r.bytesSinceCut = 0
 	r.timerEvents = 0
 	r.byteEvents = 0
+	if r.Audit != nil {
+		r.Audit(r)
+	}
 }
 
 // decayAlphaTo applies any pending alpha-decay periods up to now.
@@ -165,14 +178,27 @@ func (r *RP) OnSend(now simtime.Time, bytes int) {
 		r.increase(now)
 	}
 	r.Poll(now)
+	r.lastSend = now
 }
 
 // Poll fires any due timer-based events (alpha decay and rate-timer
 // increases). The NIC calls it before computing packet pacing.
+//
+// Timer catch-up is clamped for idle flows: a rate-timer period only
+// counts as an increase event if the flow sent during it, or if it is
+// the most recent complete period (the ordinary single expiry). Without
+// the clamp, the first Poll after a long idle gap replays every elapsed
+// period back-to-back, marching timerEvents past F and jumping an idle
+// flow straight into hyper-increase without it sending a byte.
 func (r *RP) Poll(now simtime.Time) {
 	r.decayAlphaTo(now)
 	for now.Sub(r.lastTimer) >= r.p.RateTimer {
-		r.lastTimer = r.lastTimer.Add(r.p.RateTimer)
+		next := r.lastTimer.Add(r.p.RateTimer)
+		sent := !r.lastSend.Before(r.lastTimer)
+		r.lastTimer = next
+		if !sent && now.Sub(next) >= r.p.RateTimer {
+			continue // idle historical period: advance without an event
+		}
 		r.timerEvents++
 		r.increase(now)
 	}
@@ -197,6 +223,9 @@ func (r *RP) increase(now simtime.Time) {
 	r.rc = (r.rt + r.rc) / 2
 	if r.rc > r.p.LineRate {
 		r.rc = r.p.LineRate
+	}
+	if r.Audit != nil {
+		r.Audit(r)
 	}
 }
 

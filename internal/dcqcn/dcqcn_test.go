@@ -89,8 +89,11 @@ func TestRecoveryConvergesToLine(t *testing.T) {
 	p := DefaultParams(line)
 	r := NewRP(p, 0)
 	r.OnCNP(at(1))
-	// 20 ms without CNPs: should be back at (or near) line rate.
-	r.Poll(at(20001))
+	// 20 ms of an active flow (sending every timer period) without
+	// CNPs: should be back at (or near) line rate.
+	for us := int64(1 + 55); us <= 20001; us += 55 {
+		r.OnSend(at(us), 1500)
+	}
 	if r.Rate() < line*98/100 {
 		t.Fatalf("rate %v did not recover toward line", r.Rate())
 	}
@@ -105,11 +108,16 @@ func TestAdditiveThenHyperIncrease(t *testing.T) {
 	r := NewRP(p, 0)
 	r.OnCNP(at(0))
 	r.OnCNP(at(1)) // second cut pulls the target below line rate
-	// Push past F timer events without byte events: additive increase
-	// raises rt by RateAI per event after stage F.
-	r.Poll(at(1 + 55*int64(p.F)))
+	// Push past F timer events without byte events (polling each
+	// period, as a paced active flow does): additive increase raises rt
+	// by RateAI per event after stage F.
+	for i := int64(1); i <= int64(p.F); i++ {
+		r.Poll(at(1 + 55*i))
+	}
 	rtAtF := r.TargetRate()
-	r.Poll(at(1 + 55*int64(p.F+3)))
+	for i := int64(p.F + 1); i <= int64(p.F+3); i++ {
+		r.Poll(at(1 + 55*i))
+	}
 	gained := r.TargetRate() - rtAtF
 	if gained != 3*p.RateAI {
 		t.Fatalf("AI gained %v, want %v", gained, 3*p.RateAI)
@@ -122,6 +130,30 @@ func TestAdditiveThenHyperIncrease(t *testing.T) {
 	}
 	if r.TargetRate()-rtBefore < p.RateHAI {
 		t.Fatalf("HAI did not engage: rt moved %v", r.TargetRate()-rtBefore)
+	}
+}
+
+// Regression: an idle flow must not accumulate timer increase events.
+// Before the fix, the first Poll after a 1 ms idle gap replayed all ~18
+// elapsed rate-timer periods back-to-back, pushing timerEvents past F
+// and jumping the idle flow into additive/hyper increase without it
+// sending a byte. Post-fix, the catch-up collapses to a single
+// fast-recovery step.
+func TestIdleGapDoesNotEnterHyperIncrease(t *testing.T) {
+	p := DefaultParams(line)
+	p.LineRate = 100 * simtime.Gbps // headroom so rt motion is visible
+	r := NewRP(p, 0)
+	r.OnCNP(at(0))
+	r.OnCNP(at(1)) // pull the target below line rate
+	rcBefore, rtBefore := r.Rate(), r.TargetRate()
+	// 1 ms idle — no OnSend — then the flow is polled once.
+	r.Poll(at(1001))
+	if r.TargetRate() != rtBefore {
+		t.Fatalf("idle catch-up moved target %v -> %v: increase stages advanced without sends",
+			rtBefore, r.TargetRate())
+	}
+	if want := (rcBefore + rtBefore) / 2; r.Rate() != want {
+		t.Fatalf("idle catch-up: rc=%v, want exactly one fast-recovery step to %v", r.Rate(), want)
 	}
 }
 

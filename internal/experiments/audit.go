@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"io"
+
+	"rocesim/internal/invariant"
+	"rocesim/internal/sim"
+)
+
+// Audit adapts the invariant auditor to the experiments' Observe hook:
+// set an experiment config's Observe to (*Audit).Observe, run it, then
+// read the verdict. The zero value is ready to use.
+//
+//	var aud experiments.Audit
+//	cfg.Observe = aud.Observe
+//	res := experiments.RunStorm(cfg)
+//	if n := aud.Finish(); n > 0 { ... }
+type Audit struct {
+	// Opts tunes the auditor; the zero value uses invariant defaults.
+	Opts invariant.Options
+	aud  *invariant.Auditor
+}
+
+// Observe attaches the auditor to the experiment's kernel. It is the
+// function to place in an experiment config's Observe field.
+func (a *Audit) Observe(k *sim.Kernel) { a.aud = invariant.Attach(k, a.Opts) }
+
+// Auditor exposes the attached auditor (nil before Observe runs).
+func (a *Audit) Auditor() *invariant.Auditor { return a.aud }
+
+// Finish closes the audit and returns the total violation count. Safe to
+// call when the experiment never ran Observe (returns 0).
+func (a *Audit) Finish() uint64 {
+	if a.aud == nil {
+		return 0
+	}
+	a.aud.Finish()
+	return a.aud.Total()
+}
+
+// Report writes the audit summary; a no-op without an attached auditor.
+func (a *Audit) Report(w io.Writer) error {
+	if a.aud == nil {
+		return nil
+	}
+	return a.aud.Report(w)
+}

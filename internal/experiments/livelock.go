@@ -23,6 +23,9 @@ type LivelockConfig struct {
 	Duration    simtime.Duration
 	DropLSB     byte // IP-ID low byte that gets dropped (0xff in the paper)
 	DropOff     bool // disable the drop rule (baseline)
+	// Observe, when set, runs after the fabric is built and before
+	// traffic starts, so callers can attach tracers or auditors.
+	Observe func(*sim.Kernel)
 }
 
 // DefaultLivelock returns the paper's parameters.
@@ -90,6 +93,9 @@ func RunLivelock(cfg LivelockConfig) LivelockResult {
 		sw.LearnMAC(mac, i)
 	}
 	sw.AddRoute(fabric.Route{Prefix: packet.IPv4Addr(10, 0, 0, 0), Bits: 24, Local: true})
+	if cfg.Observe != nil {
+		cfg.Observe(k)
+	}
 
 	mk := func(on *nic.NIC, peerIdx int, qpn, pqpn uint32) *transport.QP {
 		return on.CreateQP(transport.Config{

@@ -268,6 +268,7 @@ func NewSwitch(k *sim.Kernel, cfg Config, mac packet.MAC) (*Switch, error) {
 	if cfg.Watchdog.Enabled {
 		k.NewTicker(cfg.Watchdog.Poll, sw.pollWatchdogs)
 	}
+	k.Announce(sw)
 	return sw, nil
 }
 
@@ -627,6 +628,12 @@ func (s *Switch) maybeMarkECN(out int, p *packet.Packet, pri int) {
 	if p.IP.ECN != packet.ECNECT0 && p.IP.ECN != packet.ECNECT1 {
 		return
 	}
+	// Control packets are never marked: CE on an ACK/NAK or CNP would make
+	// the receiver generate CNPs about the control stream itself, and the
+	// DCQCN CP spec marks data packets only.
+	if p.BTH != nil && (p.BTH.Opcode == packet.OpAcknowledge || p.BTH.Opcode == packet.OpCNP) {
+		return
+	}
 	q := s.port[out].egress.QueueBytes(pri)
 	var prob float64
 	switch {
@@ -725,6 +732,7 @@ func (s *Switch) pollWatchdogs() {
 			ps.losslessDisabled = false
 			s.C.WatchdogReenables.Inc()
 			ps.wdTrip = pfc.NewWatchdog(cfg.TripWindow)
+			s.reenablePort(i, ps)
 		}
 	}
 }
@@ -735,6 +743,17 @@ func (s *Switch) pollWatchdogs() {
 func (s *Switch) tripWatchdog(port int, ps *portState) {
 	ps.losslessDisabled = true
 	s.C.WatchdogTrips.Inc()
+	// Lossless mode is off: stop pausing the peer. Close any open XOFF
+	// interval with a real XON frame (and its trace edge) first, then
+	// suppress the refresher so the port emits no PFC while disabled —
+	// pre-fix it kept XOFF-refreshing the tripped port forever, which is
+	// exactly the pause propagation the watchdog exists to stop.
+	for pri := 0; pri < 8; pri++ {
+		if ps.pauser.Engaged()&(1<<uint(pri)) != 0 {
+			s.applyPause(port, pri, buffer.XON)
+		}
+	}
+	ps.pauser.Disabled = true
 	// Ignore the NIC's pause state so the egress drains again.
 	ps.egress.Pause = pfc.NewPauseState(ps.lk.Rate())
 	for pri := 0; pri < 8; pri++ {
@@ -753,6 +772,26 @@ func (s *Switch) tripWatchdog(port int, ps *portState) {
 	}
 	for _, ref := range s.mmu.Reevaluate() {
 		s.applyPause(ref.Port, ref.PG, buffer.XON)
+	}
+	ps.egress.Kick()
+}
+
+// reenablePort restores PFC generation after a watchdog re-enable. The
+// pause state is re-derived from the MMU: a bucket still over threshold
+// must be re-XOFFed here — its Admit transitions already fired long ago,
+// so nothing else will ever pause it again, and the peer would resume
+// into a full buffer and overflow it.
+func (s *Switch) reenablePort(port int, ps *portState) {
+	ps.pauser.Reenable()
+	for pri := 0; pri < 8; pri++ {
+		if !s.cfg.Buffer.LosslessPGs[pri] {
+			continue
+		}
+		if s.mmu.Paused(port, pri) {
+			s.applyPause(port, pri, buffer.XOFF)
+		} else {
+			s.applyPause(port, pri, buffer.XON)
+		}
 	}
 	ps.egress.Kick()
 }

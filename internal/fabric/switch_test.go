@@ -5,6 +5,7 @@ import (
 
 	"rocesim/internal/link"
 	"rocesim/internal/packet"
+	"rocesim/internal/pfc"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
 )
@@ -509,6 +510,126 @@ func TestECNMarkingBoundaries(t *testing.T) {
 	}
 	if sw.C.ECNMarked.Value() == 0 {
 		t.Fatal("never marked above KMax")
+	}
+}
+
+// Regression: ACK/NAK/CNP must never be CE-marked. The transport stamps
+// ACKs ECT0 (they share the data header stack), so before the fix a
+// congested egress marked them like data — and per the DCQCN NP spec a
+// marked ACK makes the ACK's receiver generate CNPs toward the ACK
+// sender (CNPs about control traffic).
+func TestControlPacketsNeverECNMarked(t *testing.T) {
+	k := sim.NewKernel(13)
+	cfg := DefaultConfig("sw", 4)
+	cfg.ECN = ECNConfig{Enabled: true, KMin: 10 * 1086, KMax: 20 * 1086, PMax: 0.5}
+	sw, hosts := oneSwitchNet(t, k, cfg, []simtime.Rate{40 * simtime.Gbps, 40 * simtime.Gbps})
+	// Pause the egress to host 1 so the queue builds past KMax, where
+	// every ECT packet is marked with probability 1.
+	sw.Egress(1).Pause.Handle(0, packet.NewPause(packet.MAC{}, 1<<3, 0xffff).Pause)
+	send := func(op packet.Opcode) {
+		p := &packet.Packet{
+			Eth:        packet.Ethernet{Dst: sw.MAC(), Src: hosts[0].mac, EtherType: packet.EtherTypeIPv4},
+			IP:         &packet.IPv4{DSCP: 3, ECN: packet.ECNECT0, TTL: 64, Protocol: packet.ProtoUDP, Src: hosts[0].ip, Dst: hosts[1].ip},
+			UDPH:       &packet.UDP{SrcPort: 9, DstPort: packet.RoCEv2Port},
+			BTH:        &packet.BTH{Opcode: op},
+			PayloadLen: 1024,
+		}
+		if op == packet.OpAcknowledge || op == packet.OpCNP {
+			p.PayloadLen = 0
+			p.AttachAETH()
+		}
+		sw.Receive(0, p)
+		k.RunUntil(k.Now().Add(2 * simtime.Microsecond))
+	}
+	for i := 0; i < 40; i++ { // saturate well past KMax
+		send(packet.OpSendOnly)
+	}
+	if sw.C.ECNMarked.Value() == 0 {
+		t.Fatal("setup: data packets above KMax must be marked")
+	}
+	marked := sw.C.ECNMarked.Value()
+	for i := 0; i < 10; i++ {
+		send(packet.OpAcknowledge) // ACK and NAK share the opcode
+		send(packet.OpCNP)
+	}
+	if got := sw.C.ECNMarked.Value(); got != marked {
+		t.Fatalf("control packets were CE-marked: %d new marks", got-marked)
+	}
+}
+
+// Watchdog round trip: trip the switch-side storm watchdog, verify PFC
+// generation on the port actually stops while lossless mode is off
+// (pre-fix the refresher kept XOFF-refreshing the tripped port forever),
+// then let the pauses disappear and verify re-enable re-derives pause
+// state from the MMU — a PG whose ingress bucket is still over threshold
+// must be re-XOFFed, or it silently overfills once the sender resumes.
+func TestWatchdogReenableRestoresPauseState(t *testing.T) {
+	k := sim.NewKernel(14)
+	cfg := DefaultConfig("tor", 4)
+	cfg.ECN.Enabled = false
+	cfg.Watchdog = WatchdogConfig{
+		Enabled:       true,
+		TripWindow:    1 * simtime.Millisecond,
+		ReenableAfter: 2 * simtime.Millisecond,
+		Poll:          200 * simtime.Microsecond,
+	}
+	r := 40 * simtime.Gbps
+	sw, hosts := oneSwitchNet(t, k, cfg, []simtime.Rate{r, r, r})
+	// Host 0 -> host 1: traffic that will sit unDrained on egress 1.
+	hosts[0].flows = []flow{{dst: hosts[1].ip, pri: 3}}
+	// Host 1 -> host 2: fills ingress bucket (port 1, PG 3) because
+	// egress 2 is held paused below.
+	hosts[1].flows = []flow{{dst: hosts[2].ip, pri: 3}}
+	// Host 1 storms pause frames at the switch (the malfunctioning-NIC
+	// role); egress 1 stops draining while pauses keep arriving.
+	storm := k.NewTicker(300*simtime.Microsecond, func() {
+		sw.Receive(1, packet.NewPause(hosts[1].mac, 1<<3, pfc.MaxQuanta))
+	})
+	// Hold egress 2 paused so host 1's frames stay buffered.
+	block := k.NewTicker(500*simtime.Microsecond, func() {
+		sw.Egress(2).Pause.Handle(k.Now(), packet.NewPause(hosts[2].mac, 1<<3, pfc.MaxQuanta).Pause)
+	})
+	hosts[0].start()
+	hosts[1].start()
+
+	// Phase 1: the storm persists past the trip window.
+	k.RunUntil(simtime.Time(3 * simtime.Millisecond))
+	if !sw.LosslessDisabled(1) {
+		t.Fatal("watchdog never tripped port 1")
+	}
+	if !sw.MMU().Paused(1, 3) {
+		t.Fatal("setup: ingress bucket (1,3) must still be over threshold at trip")
+	}
+	_, _, txPauseAtTrip := sw.PortCounters(1)
+
+	// Phase 2: still disabled — the port must emit no pause frames.
+	k.RunUntil(simtime.Time(4 * simtime.Millisecond))
+	if _, _, tx := sw.PortCounters(1); tx != txPauseAtTrip {
+		t.Fatalf("port kept generating PFC while lossless-disabled: %d new frames", tx-txPauseAtTrip)
+	}
+	storm.Stop()
+
+	// Phase 3: pauses gone; after ReenableAfter the port re-enables and
+	// must re-assert XOFF for the still-congested PG.
+	k.RunUntil(simtime.Time(7 * simtime.Millisecond))
+	if sw.LosslessDisabled(1) {
+		t.Fatal("port never re-enabled after pauses stopped")
+	}
+	if sw.Pauser(1).Engaged()&(1<<3) == 0 {
+		t.Fatal("re-enable left the congested PG unpaused (XOFF latch lost)")
+	}
+
+	// Phase 4: release the downstream block; everything drains, the
+	// pause lifts, and the lossless guarantee held throughout.
+	block.Stop()
+	hosts[0].stop()
+	hosts[1].stop()
+	k.RunUntil(simtime.Time(12 * simtime.Millisecond))
+	if sw.Pauser(1).Engaged() != 0 {
+		t.Fatalf("still engaged after drain: %08b", sw.Pauser(1).Engaged())
+	}
+	if sw.C.LosslessDrops.Value() != 0 {
+		t.Fatalf("lossless drops across the round trip: %d", sw.C.LosslessDrops.Value())
 	}
 }
 

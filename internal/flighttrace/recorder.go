@@ -111,6 +111,21 @@ func (r *Recorder) record(ev telemetry.Event) {
 	rg.push(rec)
 }
 
+// Tail returns the most recent n records retained for one device,
+// oldest-first. It returns fewer (possibly zero) records when the device
+// has emitted fewer, or is unknown.
+func (r *Recorder) Tail(node string, n int) []Record {
+	rg := r.rings[node]
+	if rg == nil || n <= 0 {
+		return nil
+	}
+	all := rg.snapshot()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
 // Devices returns the recorded device names, sorted.
 func (r *Recorder) Devices() []string {
 	out := make([]string, 0, len(r.rings))

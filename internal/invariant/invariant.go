@@ -1,0 +1,367 @@
+// Package invariant is the runtime auditor for the simulator's lossless
+// and congestion-control guarantees. It rides the telemetry trace bus and
+// the producer-side audit hooks (dcqcn.RP.Audit, transport.Config.Audit)
+// and asserts, at event granularity, the properties the paper's
+// deployment depends on:
+//
+//   - buffer conservation: the MMU's per-(port, PG) shared/headroom
+//     counters always sum to its totals and never go negative;
+//   - lossless guarantee: no congestion drop ever hits a lossless
+//     priority while PFC is in force, and every pause interval opened by
+//     an XOFF is eventually closed by an XON (or flagged at shutdown);
+//   - DCQCN bounds: a reaction point's rate stays within
+//     [MinRate, LineRate], α within [0, 1], and the target rate never
+//     falls below the current rate;
+//   - transport sanity: ACK windows only move forward (modulo the 24-bit
+//     PSN space) and no completion retires without a posted work request.
+//
+// The auditor is pay-for-what-you-use: when it is not attached, producers
+// pay exactly the costs they already paid — one mask check at trace
+// emission sites and one nil check at each audit hook. Attaching it
+// subscribes to the bus (which, as with any packet-retaining subscriber,
+// parks the kernel's frame pool) and records violations with a bounded
+// flight-recorder context around each one.
+package invariant
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rocesim/internal/dcqcn"
+	"rocesim/internal/fabric"
+	"rocesim/internal/flighttrace"
+	"rocesim/internal/nic"
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
+	"rocesim/internal/transport"
+)
+
+// Family classifies a violation by the guarantee it breaks.
+type Family string
+
+// Violation families.
+const (
+	FamilyBuffer    Family = "buffer-conservation"
+	FamilyLossless  Family = "lossless-guarantee"
+	FamilyDCQCN     Family = "dcqcn-bounds"
+	FamilyTransport Family = "transport-sanity"
+)
+
+// Violation is one observed invariant breach, with enough context to
+// debug it after the fact: the moment, the device, a one-line diagnosis,
+// and the tail of that device's flight-recorder ring.
+type Violation struct {
+	At      simtime.Time
+	Family  Family
+	Node    string
+	Detail  string
+	Context []flighttrace.Record
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%-12v %-21s %-14s %s", v.At, v.Family, v.Node, v.Detail)
+}
+
+// Options tunes an Auditor. The zero value is usable.
+type Options struct {
+	// ContextDepth is how many recent flight-recorder records are copied
+	// into each violation (default 8).
+	ContextDepth int
+	// MaxViolations caps how many violations retain full detail; the
+	// total is still counted past the cap (default 64).
+	MaxViolations int
+	// RecorderDepth sizes the per-device context ring (default 256).
+	RecorderDepth int
+}
+
+func (o *Options) fill() {
+	if o.ContextDepth <= 0 {
+		o.ContextDepth = 8
+	}
+	if o.MaxViolations <= 0 {
+		o.MaxViolations = 64
+	}
+	if o.RecorderDepth <= 0 {
+		o.RecorderDepth = 256
+	}
+}
+
+// pauseKey identifies one PFC pause interval.
+type pauseKey struct {
+	node string
+	port int
+	pri  int
+}
+
+// qpCount pairs posted work requests with retired completions for one QP.
+type qpCount struct {
+	wqe uint64
+	cqe uint64
+}
+
+// Auditor watches one kernel's simulation. Create with Attach.
+type Auditor struct {
+	k    *sim.Kernel
+	opts Options
+	rec  *flighttrace.Recorder
+	sub  *telemetry.Subscription
+
+	switches map[string]*fabric.Switch
+	nics     map[string]*nic.NIC
+	qps      map[*transport.QP]*qpCount
+
+	openXOFF map[pauseKey]simtime.Time
+
+	violations []Violation
+	flags      []string
+	total      uint64 // violations including those past MaxViolations
+	events     uint64 // trace events audited
+	finished   bool
+}
+
+// Attach builds an auditor on k, subscribes it to the trace bus, and
+// hooks every component the kernel has announced so far (plus every one
+// announced later). Call before or during topology construction; the
+// kernel replays earlier announcements either way.
+func Attach(k *sim.Kernel, opts Options) *Auditor {
+	opts.fill()
+	a := &Auditor{
+		k:        k,
+		opts:     opts,
+		rec:      flighttrace.NewRecorder(opts.RecorderDepth),
+		switches: make(map[string]*fabric.Switch),
+		nics:     make(map[string]*nic.NIC),
+		qps:      make(map[*transport.QP]*qpCount),
+		openXOFF: make(map[pauseKey]simtime.Time),
+	}
+	a.rec.Attach(k.Trace(), telemetry.EvAll)
+	a.sub = k.Trace().Subscribe(telemetry.EvAll, nil, a.onEvent)
+	k.OnAnnounce(a.onAnnounce)
+	return a
+}
+
+// onAnnounce indexes devices and installs the producer-side hooks.
+func (a *Auditor) onAnnounce(v any) {
+	switch d := v.(type) {
+	case *fabric.Switch:
+		a.switches[d.Name()] = d
+	case *nic.NIC:
+		a.nics[d.Name()] = d
+	case *transport.QP:
+		a.qps[d] = &qpCount{}
+		d.SetAuditor(a)
+		if rp := d.RP(); rp != nil {
+			q := d
+			rp.Audit = func(r *dcqcn.RP) { a.checkRP(q, r) }
+		}
+	}
+}
+
+// violate records one breach with flight-recorder context.
+func (a *Auditor) violate(fam Family, node, detail string) {
+	a.total++
+	if len(a.violations) >= a.opts.MaxViolations {
+		return
+	}
+	a.violations = append(a.violations, Violation{
+		At:      a.k.Now(),
+		Family:  fam,
+		Node:    node,
+		Detail:  detail,
+		Context: a.rec.Tail(node, a.opts.ContextDepth),
+	})
+}
+
+// congestionDrop reports whether reason is a congestion (as opposed to
+// policy) drop. Policy drops — watchdog disables, purges, injected
+// faults, routing misses — are deliberate and exempt from the lossless
+// guarantee.
+func congestionDrop(reason string) bool {
+	return reason == "buffer-admission" || reason == "rx-overflow"
+}
+
+func (a *Auditor) onEvent(ev telemetry.Event) {
+	a.events++
+	switch ev.Type {
+	case telemetry.EvDrop:
+		a.checkDrop(ev)
+	case telemetry.EvPauseXOFF:
+		k := pauseKey{ev.Node, ev.Port, ev.Pri}
+		if since, open := a.openXOFF[k]; open {
+			a.violate(FamilyLossless, ev.Node, fmt.Sprintf(
+				"double XOFF on port %d pri %d (open since %v)", ev.Port, ev.Pri, since))
+		}
+		a.openXOFF[k] = ev.At
+	case telemetry.EvPauseXON:
+		k := pauseKey{ev.Node, ev.Port, ev.Pri}
+		if _, open := a.openXOFF[k]; !open {
+			a.violate(FamilyLossless, ev.Node, fmt.Sprintf(
+				"orphan XON on port %d pri %d (no matching XOFF)", ev.Port, ev.Pri))
+		}
+		delete(a.openXOFF, k)
+	}
+	// Buffer conservation is re-proved after every event a switch emits:
+	// any admission, release, purge, or pause edge that corrupted the
+	// accounting is caught at the event that did it.
+	if sw, ok := a.switches[ev.Node]; ok {
+		if err := sw.MMU().CheckConservation(); err != nil {
+			a.violate(FamilyBuffer, ev.Node, err.Error())
+		}
+	}
+}
+
+// checkDrop enforces the lossless guarantee on one drop event.
+func (a *Auditor) checkDrop(ev telemetry.Event) {
+	if !congestionDrop(ev.Reason) || ev.Pri < 0 || ev.Pri > 7 {
+		return
+	}
+	if sw, ok := a.switches[ev.Node]; ok {
+		if sw.Config().Buffer.LosslessPGs[ev.Pri] {
+			a.violate(FamilyLossless, ev.Node, fmt.Sprintf(
+				"congestion drop (%s) on lossless pri %d, port %d", ev.Reason, ev.Pri, ev.Port))
+		}
+		return
+	}
+	if n, ok := a.nics[ev.Node]; ok {
+		if n.Config().LosslessMask&(1<<uint(ev.Pri)) == 0 {
+			return
+		}
+		// A NIC whose pause generation is off — malfunction mode or a
+		// tripped NIC watchdog — has renounced losslessness on purpose.
+		if n.PauseDisabled() {
+			return
+		}
+		a.violate(FamilyLossless, ev.Node, fmt.Sprintf(
+			"congestion drop (%s) on lossless pri %d with PFC enabled", ev.Reason, ev.Pri))
+	}
+}
+
+// checkRP enforces the DCQCN bounds; it runs from RP.Audit after every
+// rate-changing step (CNP cut, timer/byte increase).
+func (a *Auditor) checkRP(q *transport.QP, r *dcqcn.RP) {
+	p := r.Params()
+	node := fmt.Sprintf("%s/qp%d", q.Config().Node, q.Config().QPN)
+	if rc := r.Rate(); rc < p.MinRate || rc > p.LineRate {
+		a.violate(FamilyDCQCN, node, fmt.Sprintf(
+			"rate %v outside [%v, %v]", rc, p.MinRate, p.LineRate))
+	}
+	if rt := r.TargetRate(); rt < r.Rate() {
+		a.violate(FamilyDCQCN, node, fmt.Sprintf(
+			"target rate %v below current rate %v", rt, r.Rate()))
+	}
+	if al := r.Alpha(); al < 0 || al > 1 {
+		a.violate(FamilyDCQCN, node, fmt.Sprintf("alpha %v outside [0, 1]", al))
+	}
+}
+
+// WQEPosted implements transport.Auditor.
+func (a *Auditor) WQEPosted(q *transport.QP) {
+	if c := a.qps[q]; c != nil {
+		c.wqe++
+	}
+}
+
+// CQECompleted implements transport.Auditor: every completion must
+// retire a previously posted work request.
+func (a *Auditor) CQECompleted(q *transport.QP, kind transport.OpKind) {
+	c := a.qps[q]
+	if c == nil {
+		return
+	}
+	c.cqe++
+	if c.cqe > c.wqe {
+		a.violate(FamilyTransport, q.Config().Node, fmt.Sprintf(
+			"qp%d: CQE #%d (%v) without a matching WQE (%d posted)",
+			q.Config().QPN, c.cqe, kind, c.wqe))
+	}
+}
+
+// AckAdvance implements transport.Auditor: the acknowledged window only
+// moves forward, by less than half the 24-bit PSN space.
+func (a *Auditor) AckAdvance(q *transport.QP, from, to uint32) {
+	d := (to - from) & packet.PSNMask
+	if d == 0 || d >= 1<<23 {
+		a.violate(FamilyTransport, q.Config().Node, fmt.Sprintf(
+			"qp%d: ack point moved %d->%d (non-monotone)", q.Config().QPN, from, to))
+	}
+}
+
+// Violations returns the detailed violations recorded so far, in event
+// order.
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Total returns the violation count including any past the detail cap.
+func (a *Auditor) Total() uint64 { return a.total }
+
+// Flags returns the non-fatal observations from Finish (pause intervals
+// still open at shutdown).
+func (a *Auditor) Flags() []string { return a.flags }
+
+// Events returns how many trace events the auditor has examined.
+func (a *Auditor) Events() uint64 { return a.events }
+
+// Finish closes the audit: pause intervals still open become flags (a
+// simulation may legitimately end mid-pause, so they are not violations),
+// the bus subscription is dropped, and the detailed violations are
+// returned. Finish is idempotent.
+func (a *Auditor) Finish() []Violation {
+	if a.finished {
+		return a.violations
+	}
+	a.finished = true
+	keys := make([]pauseKey, 0, len(a.openXOFF))
+	for k := range a.openXOFF {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		if keys[i].port != keys[j].port {
+			return keys[i].port < keys[j].port
+		}
+		return keys[i].pri < keys[j].pri
+	})
+	for _, k := range keys {
+		a.flags = append(a.flags, fmt.Sprintf(
+			"%s: XOFF on port %d pri %d still open at shutdown (since %v)",
+			k.node, k.port, k.pri, a.openXOFF[k]))
+	}
+	a.sub.Close()
+	a.rec.Close()
+	return a.violations
+}
+
+// Report writes the deterministic human-readable audit summary.
+func (a *Auditor) Report(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "invariant audit: %d violation(s), %d flag(s), %d event(s) audited\n",
+		a.total, len(a.flags), a.events); err != nil {
+		return err
+	}
+	for _, v := range a.violations {
+		if _, err := fmt.Fprintln(w, v.String()); err != nil {
+			return err
+		}
+		for _, rec := range v.Context {
+			if _, err := fmt.Fprintf(w, "    %-12v %-11s port=%-2d pri=%-2d op=%s psn=%d reason=%s\n",
+				rec.At, rec.Type, rec.Port, rec.Pri, rec.Op, rec.PSN, rec.Reason); err != nil {
+				return err
+			}
+		}
+	}
+	if int(a.total) > len(a.violations) {
+		if _, err := fmt.Fprintf(w, "  ... %d more violation(s) past the detail cap\n",
+			a.total-uint64(len(a.violations))); err != nil {
+			return err
+		}
+	}
+	for _, f := range a.flags {
+		if _, err := fmt.Fprintf(w, "  flag: %s\n", f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"rocesim/internal/dcqcn"
+	"rocesim/internal/fabric"
+	"rocesim/internal/nic"
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
+	"rocesim/internal/transport"
+)
+
+func emit(k *sim.Kernel, ev telemetry.Event) { k.Trace().Emit(ev) }
+
+func TestPausePairing(t *testing.T) {
+	k := sim.NewKernel(1)
+	a := Attach(k, Options{})
+
+	emit(k, telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "sw", Port: 2, Pri: 3})
+	emit(k, telemetry.Event{Type: telemetry.EvPauseXON, Node: "sw", Port: 2, Pri: 3})
+	if a.Total() != 0 {
+		t.Fatalf("clean pair flagged: %v", a.Violations())
+	}
+
+	emit(k, telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "sw", Port: 2, Pri: 3})
+	emit(k, telemetry.Event{Type: telemetry.EvPauseXOFF, Node: "sw", Port: 2, Pri: 3})
+	if a.Total() != 1 || !strings.Contains(a.Violations()[0].Detail, "double XOFF") {
+		t.Fatalf("double XOFF not caught: %v", a.Violations())
+	}
+
+	emit(k, telemetry.Event{Type: telemetry.EvPauseXON, Node: "sw", Port: 5, Pri: 3})
+	if a.Total() != 2 || !strings.Contains(a.Violations()[1].Detail, "orphan XON") {
+		t.Fatalf("orphan XON not caught: %v", a.Violations())
+	}
+
+	// The (2,3) interval is still open: Finish flags it, not a violation.
+	a.Finish()
+	if len(a.Flags()) != 1 || !strings.Contains(a.Flags()[0], "still open") {
+		t.Fatalf("open interval not flagged: %v", a.Flags())
+	}
+	if a.Total() != 2 {
+		t.Fatalf("open interval counted as violation")
+	}
+}
+
+func TestLosslessDropTaxonomy(t *testing.T) {
+	k := sim.NewKernel(2)
+	a := Attach(k, Options{})
+	sw, err := fabric.NewSwitch(k, fabric.DefaultConfig("tor", 4), packet.MAC{2, 0, 0, 0, 0, 0xff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sw
+
+	drop := func(pri int, reason string) {
+		emit(k, telemetry.Event{Type: telemetry.EvDrop, Node: "tor", Port: 1, Pri: pri, Reason: reason})
+	}
+	drop(0, "buffer-admission") // lossy: allowed to drop under congestion
+	drop(3, "watchdog-purge")   // policy drop: deliberate
+	drop(3, "ttl-expired")      // policy drop
+	if a.Total() != 0 {
+		t.Fatalf("exempt drops flagged: %v", a.Violations())
+	}
+	drop(3, "buffer-admission") // lossless congestion drop: the violation
+	if a.Total() != 1 || a.Violations()[0].Family != FamilyLossless {
+		t.Fatalf("lossless congestion drop not caught: %v", a.Violations())
+	}
+}
+
+func TestTransportAndDCQCNChecks(t *testing.T) {
+	k := sim.NewKernel(3)
+	a := Attach(k, Options{})
+	n := nic.New(k, nic.DefaultConfig("srv0", packet.MAC{2, 0, 0, 0, 0, 1}, packet.IPv4Addr(10, 0, 0, 1)))
+
+	params := dcqcn.DefaultParams(40 * simtime.Gbps)
+	q := n.CreateQP(transport.Config{QPN: 1, PeerQPN: 2, MTU: 1024, Priority: 3, DCQCN: &params})
+
+	// Announced QPs get the transport hook wired automatically.
+	a.WQEPosted(q)
+	a.CQECompleted(q, transport.OpSend)
+	if a.Total() != 0 {
+		t.Fatalf("balanced WQE/CQE flagged: %v", a.Violations())
+	}
+	a.CQECompleted(q, transport.OpSend)
+	if a.Total() != 1 || a.Violations()[0].Family != FamilyTransport {
+		t.Fatalf("CQE without WQE not caught: %v", a.Violations())
+	}
+
+	a.AckAdvance(q, 10, 14)
+	if a.Total() != 1 {
+		t.Fatalf("forward ack flagged: %v", a.Violations())
+	}
+	a.AckAdvance(q, packet.PSNMask-2, 3) // legal wrap
+	if a.Total() != 1 {
+		t.Fatalf("wrapping ack flagged: %v", a.Violations())
+	}
+	a.AckAdvance(q, 14, 14) // no movement
+	a.AckAdvance(q, 14, 10) // backwards
+	if a.Total() != 3 {
+		t.Fatalf("non-monotone acks not caught: total=%d %v", a.Total(), a.Violations())
+	}
+
+	// A healthy RP keeps its bounds through cut and recovery.
+	rp := q.RP()
+	if rp == nil {
+		t.Fatal("QP has no reaction point")
+	}
+	rp.OnCNP(k.Now())
+	for i := 0; i < 50; i++ {
+		rp.OnSend(simtime.Time(i)*simtime.Time(55*simtime.Microsecond), 1500)
+	}
+	if a.Total() != 3 {
+		t.Fatalf("healthy RP flagged: %v", a.Violations())
+	}
+
+	// A misconfigured RP (floor above line rate) violates on the first cut.
+	bad := dcqcn.DefaultParams(40 * simtime.Gbps)
+	bad.MinRate = 100 * simtime.Gbps
+	qb := n.CreateQP(transport.Config{QPN: 9, PeerQPN: 10, MTU: 1024, Priority: 3, DCQCN: &bad})
+	qb.RP().OnCNP(k.Now())
+	// Two breaches at once: the rate is outside its bounds AND above the
+	// (clamped) target.
+	if a.Total() != 5 || a.Violations()[3].Family != FamilyDCQCN {
+		t.Fatalf("out-of-bounds rate not caught: %v", a.Violations())
+	}
+}
+
+func TestViolationDetailCap(t *testing.T) {
+	k := sim.NewKernel(4)
+	a := Attach(k, Options{MaxViolations: 2})
+	for i := 0; i < 5; i++ {
+		emit(k, telemetry.Event{Type: telemetry.EvPauseXON, Node: "sw", Port: i, Pri: 3})
+	}
+	if a.Total() != 5 || len(a.Violations()) != 2 {
+		t.Fatalf("cap: total=%d detail=%d", a.Total(), len(a.Violations()))
+	}
+	var b strings.Builder
+	if err := a.Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "5 violation(s)") || !strings.Contains(b.String(), "3 more") {
+		t.Fatalf("report: %q", b.String())
+	}
+}
+
+// The producer-side hooks must cost nothing when no auditor is attached:
+// a nil-check on the DCQCN audit hook and the transport audit interface.
+func TestDisabledHooksAllocateNothing(t *testing.T) {
+	params := dcqcn.DefaultParams(40 * simtime.Gbps)
+	rp := dcqcn.NewRP(params, 0)
+	now := simtime.Time(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		now = now.Add(55 * simtime.Microsecond)
+		rp.OnSend(now, 1500)
+		rp.OnCNP(now)
+		rp.Poll(now)
+	}); avg != 0 {
+		t.Fatalf("RP hot path with nil audit hook allocates %v/op", avg)
+	}
+}

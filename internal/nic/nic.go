@@ -174,6 +174,7 @@ func New(k *sim.Kernel, cfg Config) *NIC {
 	if cfg.Watchdog.Enabled {
 		k.NewTicker(cfg.Watchdog.Poll, n.pollWatchdog)
 	}
+	k.Announce(n)
 	return n
 }
 
@@ -252,6 +253,12 @@ func (n *NIC) Malfunctioning() bool { return n.malfunction }
 func (n *NIC) PauseDisabled() bool { return n.pauser.Disabled }
 
 func (n *NIC) pauseAll() {
+	if n.pauser.Disabled {
+		// The watchdog cut pause generation off; re-latching engaged
+		// bits (or emitting XOFF trace edges nothing will ever pair)
+		// would diverge the generator state from the wire.
+		return
+	}
 	for pri := 0; pri < 8; pri++ {
 		if n.cfg.LosslessMask&(1<<uint(pri)) == 0 {
 			continue
@@ -310,6 +317,7 @@ func (n *NIC) CreateQP(cfg transport.Config) *transport.QP {
 	}
 	n.qps[cfg.QPN] = q
 	n.order = append(n.order, cfg.QPN)
+	n.k.Announce(q)
 	return q
 }
 
@@ -561,16 +569,22 @@ func (n *NIC) pollWatchdog() {
 		// Pause generation is cut off: the peer's pause expires by quanta
 		// with no explicit XON frame, so close the trace-level pause
 		// intervals here — otherwise the propagation analyzer would see
-		// the contained storm as pausing forever.
-		if n.trace.Wants(telemetry.EvPauseXON.Mask()) {
-			for pri := 0; pri < 8; pri++ {
-				if n.pauser.Engaged()&(1<<uint(pri)) != 0 {
-					n.trace.Emit(telemetry.Event{
-						Type: telemetry.EvPauseXON, Node: n.cfg.Name, Port: 0, Pri: pri,
-						Reason: "watchdog-disabled",
-					})
-				}
+		// the contained storm as pausing forever. The generator's engaged
+		// bits are cleared with the intervals (Resume while Disabled
+		// sends nothing): a latched bit would make a later resumeAll —
+		// the rx buffer draining post-repair — emit an orphan XON edge
+		// for an interval already closed.
+		for pri := 0; pri < 8; pri++ {
+			if n.pauser.Engaged()&(1<<uint(pri)) == 0 {
+				continue
 			}
+			if n.trace.Wants(telemetry.EvPauseXON.Mask()) {
+				n.trace.Emit(telemetry.Event{
+					Type: telemetry.EvPauseXON, Node: n.cfg.Name, Port: 0, Pri: pri,
+					Reason: "watchdog-disabled",
+				})
+			}
+			n.pauser.Resume(pri)
 		}
 	}
 }

@@ -177,10 +177,28 @@ func (r *Refresher) refreshInterval() simtime.Duration {
 // Pause asserts XOFF for priority pri and keeps it asserted until Resume.
 func (r *Refresher) Pause(pri int) {
 	bit := uint8(1) << uint(pri)
-	if r.engaged&bit != 0 {
+	if r.engaged&bit != 0 && (r.scheduled || r.Disabled) {
+		// Already engaged with a refresh outstanding (steady state), or
+		// emission is suppressed anyway: nothing to do. An engaged bit
+		// with no refresh scheduled while enabled means the pause was
+		// latched during a Disabled episode — fall through and emit, or
+		// the upstream never sees XOFF and no refresher ever runs.
 		return
 	}
 	r.engaged |= bit
+	r.emit()
+}
+
+// Reenable clears Disabled and restarts sustained-pause emission for any
+// priorities that were latched engaged while emission was suppressed.
+// Watchdogs must use this (not a bare Disabled=false) when lossless mode
+// comes back, otherwise a PG left in XOFF state stays engaged with no
+// refresher running.
+func (r *Refresher) Reenable() {
+	if !r.Disabled {
+		return
+	}
+	r.Disabled = false
 	r.emit()
 }
 

@@ -201,6 +201,61 @@ func TestRefresherDisabled(t *testing.T) {
 	}
 }
 
+// Regression: a Pause issued while the refresher is Disabled latches the
+// engaged bit with no frame sent and no refresh timer. Before the fix,
+// re-enabling and pausing again early-returned on the latched bit, so
+// the upstream was never XOFFed and no refresher ran — the "PG stuck
+// engaged after watchdog re-enable" bug.
+func TestRefresherPauseAfterDisabledEpisode(t *testing.T) {
+	k := sim.NewKernel(1)
+	var sent []*packet.Packet
+	r := newTestRefresher(k, &sent)
+	r.Disabled = true
+	r.Pause(3) // latched, suppressed
+	if len(sent) != 0 {
+		t.Fatal("disabled refresher emitted a frame")
+	}
+	r.Disabled = false
+	r.Pause(3) // must notice the dormant latch and emit
+	if len(sent) != 1 {
+		t.Fatalf("pause after disabled episode sent %d frames, want 1", len(sent))
+	}
+	if !sent[0].Pause.Enabled(3) || sent[0].Pause.IsResume() {
+		t.Fatal("expected an XOFF covering priority 3")
+	}
+	// And the refresher must actually be running again.
+	k.RunUntil(simtime.Time(2 * simtime.Millisecond))
+	if len(sent) < 4 {
+		t.Fatalf("only %d frames in 2ms; refresh not rescheduled", len(sent))
+	}
+}
+
+// Reenable is the watchdog-facing recovery path: clearing Disabled must
+// resume emission for priorities latched during the outage.
+func TestRefresherReenable(t *testing.T) {
+	k := sim.NewKernel(1)
+	var sent []*packet.Packet
+	r := newTestRefresher(k, &sent)
+	r.Disabled = true
+	r.Pause(4)
+	r.Reenable()
+	if r.Disabled {
+		t.Fatal("Reenable must clear Disabled")
+	}
+	if len(sent) != 1 || !sent[0].Pause.Enabled(4) {
+		t.Fatalf("Reenable with a latched priority must emit XOFF; sent=%d", len(sent))
+	}
+	// Idempotent when already enabled.
+	r.Reenable()
+	if len(sent) != 1 {
+		t.Fatal("Reenable while enabled must not emit")
+	}
+	r.Resume(4)
+	if r.Engaged() != 0 {
+		t.Fatal("resume after reenable must clear engagement")
+	}
+}
+
 func TestWatchdogFiresAfterWindow(t *testing.T) {
 	w := NewWatchdog(100 * simtime.Millisecond)
 	base := simtime.Time(0)

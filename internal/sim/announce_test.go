@@ -1,0 +1,34 @@
+package sim
+
+import "testing"
+
+type fakeDev struct{ name string }
+
+func TestAnnounceReplayAndLiveDelivery(t *testing.T) {
+	k := NewKernel(1)
+	early := &fakeDev{"early"}
+	k.Announce(early)
+	k.Announce(nil) // ignored
+
+	var seen []string
+	k.OnAnnounce(func(v any) {
+		if d, ok := v.(*fakeDev); ok {
+			seen = append(seen, d.name)
+		}
+	})
+	if len(seen) != 1 || seen[0] != "early" {
+		t.Fatalf("replay: got %v, want [early]", seen)
+	}
+
+	k.Announce(&fakeDev{"late"})
+	if len(seen) != 2 || seen[1] != "late" {
+		t.Fatalf("live delivery: got %v, want [early late]", seen)
+	}
+
+	// A second observer gets the full history in announcement order.
+	var second []string
+	k.OnAnnounce(func(v any) { second = append(second, v.(*fakeDev).name) })
+	if len(second) != 2 || second[0] != "early" || second[1] != "late" {
+		t.Fatalf("second observer replay: got %v", second)
+	}
+}

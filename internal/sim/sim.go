@@ -105,6 +105,9 @@ type Kernel struct {
 	metrics   *telemetry.Registry
 	trace     *telemetry.TraceBus
 	pool      *packet.Pool
+
+	announced  []any       // every device/component announced so far
+	onAnnounce []func(any) // observers; late subscribers get a replay
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
@@ -134,6 +137,31 @@ func (k *Kernel) Trace() *telemetry.TraceBus { return k.trace }
 // pause frames from it and every death point (delivery, drop, FCS error)
 // returns them, so a steady-state hop allocates no packet memory.
 func (k *Kernel) PacketPool() *packet.Pool { return k.pool }
+
+// Announce registers a constructed component (switch, NIC, QP, ...) with
+// the kernel so cross-cutting observers — auditors, debuggers — can
+// discover the device population without the wiring code threading every
+// component through every observer. The kernel deals only in `any`:
+// observers type-switch on what they care about, so sim imports nothing.
+func (k *Kernel) Announce(v any) {
+	if v == nil {
+		return
+	}
+	k.announced = append(k.announced, v)
+	for _, fn := range k.onAnnounce {
+		fn(v)
+	}
+}
+
+// OnAnnounce subscribes fn to component announcements. Components already
+// announced are replayed immediately in announcement order, so observers
+// may attach at any point during setup.
+func (k *Kernel) OnAnnounce(fn func(any)) {
+	k.onAnnounce = append(k.onAnnounce, fn)
+	for _, v := range k.announced {
+		fn(v)
+	}
+}
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() simtime.Time { return k.now }

@@ -114,6 +114,24 @@ type Config struct {
 	Trace *telemetry.TraceBus
 	// Node names the owning device in trace events and metrics.
 	Node string
+	// Audit, when non-nil, receives transport-sanity callbacks for the
+	// invariant layer (WQE/CQE pairing, ACK-window monotonicity). Each
+	// call site costs one nil check when unset.
+	Audit Auditor
+}
+
+// Auditor is the transport-sanity hook the invariant layer implements:
+// every posted work request, every completion, and every cumulative-ack
+// advance (from exclusive of to) flow through it.
+type Auditor interface {
+	// WQEPosted fires when a work request is queued on q.
+	WQEPosted(q *QP)
+	// CQECompleted fires for each op retired at the requester.
+	CQECompleted(q *QP, kind OpKind)
+	// AckAdvance fires when the cumulative ack point moves from from to
+	// to (24-bit PSN space; a sane advance is forward by less than half
+	// the space).
+	AckAdvance(q *QP, from, to uint32)
 }
 
 // Metrics aggregates transport events across every QP of one device,
@@ -253,6 +271,15 @@ func New(ep Endpoint, cfg Config) *QP {
 // Config returns the QP's configuration.
 func (q *QP) Config() Config { return q.cfg }
 
+// RP exposes the DCQCN reaction point (nil when rate control is off) so
+// the invariant layer can attach its bounds check.
+func (q *QP) RP() *dcqcn.RP { return q.rp }
+
+// SetAuditor installs (or clears) the transport-sanity hook after
+// construction — the invariant layer attaches to QPs as they are
+// announced, which happens after New.
+func (q *QP) SetAuditor(a Auditor) { q.cfg.Audit = a }
+
 // Rate returns the current DCQCN rate, or 0 when rate control is off.
 func (q *QP) Rate() simtime.Rate {
 	if q.rp == nil {
@@ -293,6 +320,9 @@ func (q *QP) Post(kind OpKind, length int, onDone func(posted, completed simtime
 	}
 	q.nextPSN = psnAdd(q.nextPSN, n)
 	q.ops = append(q.ops, o)
+	if q.cfg.Audit != nil {
+		q.cfg.Audit.WQEPosted(q)
+	}
 	q.ep.Kick()
 }
 
@@ -613,23 +643,29 @@ func (q *QP) recoverFrom(missing uint32, fromNak bool) {
 	switch q.cfg.Recovery {
 	case GoBack0:
 		// Restart the whole message from byte 0 on fresh PSNs aligned
-		// with the responder's expected PSN.
+		// with the responder's expected PSN. The retransmit count is the
+		// forward distance actually re-walked; during go-back-0 recovery
+		// sndNxt may trail sndUna (duplicate re-walk), making the signed
+		// diff negative — which, unclamped, underflows the uint64
+		// counters by ~2^64.
 		start := missing
-		q.S.PacketsRetx += uint64(psnDiff(q.sndNxt, start))
-		q.cfg.Metrics.PacketsRetx.Add(uint64(psnDiff(q.sndNxt, start)))
+		if n := psnDiff(q.sndNxt, start); n > 0 {
+			q.S.PacketsRetx += uint64(n)
+			q.cfg.Metrics.PacketsRetx.Add(uint64(n))
+		}
 		o.firstPSN = start
 		q.sndNxt = start
 		q.sndUna = start
 		q.reflow(1, psnAdd(start, o.npkts))
 	default:
 		// Go-back-N: resume the same mapping from the missing PSN.
+		// missing can never be behind sndUna here — timeouts pass sndUna
+		// itself and the NAK path discards anything stale — so the
+		// cumulative ack point never rewinds.
 		if psnDiff(missing, q.sndNxt) < 0 {
 			q.S.PacketsRetx += uint64(psnDiff(q.sndNxt, missing))
 			q.cfg.Metrics.PacketsRetx.Add(uint64(psnDiff(q.sndNxt, missing)))
 			q.sndNxt = missing
-		}
-		if psnDiff(q.sndUna, missing) > 0 {
-			q.sndUna = missing
 		}
 	}
 }
@@ -771,6 +807,20 @@ func (q *QP) handleAck(p *packet.Packet) {
 	if a.IsNak() {
 		q.S.NaksReceived++
 		q.cfg.Metrics.NaksReceived.Inc()
+		// Staleness guard, mirroring the ACK path: for SEND/WRITE a
+		// genuine NAK names the responder's expected PSN, which can
+		// never be below our cumulative ack point (sndUna only advances
+		// when the responder acknowledged everything before it). A NAK
+		// behind sndUna is a reordered or duplicate frame from an
+		// episode already recovered past; acting on it would rewind
+		// sndUna below acknowledged data and re-send retired packets.
+		// READs are exempt: their recovery repositions sndUna on a
+		// guessed fresh range, and a NAK behind it is the responder
+		// steering the re-issued request to where it actually is.
+		if psnDiff(p.BTH.PSN, q.sndUna) < 0 &&
+			(len(q.ops) == 0 || q.ops[0].kind != OpRead) {
+			return
+		}
 		q.traceRetx("nak")
 		q.recoverFrom(p.BTH.PSN, true)
 		q.armRetx()
@@ -781,7 +831,11 @@ func (q *QP) handleAck(p *packet.Packet) {
 	if psnDiff(acked, q.sndUna) <= 0 {
 		return // stale
 	}
+	from := q.sndUna
 	q.sndUna = acked
+	if q.cfg.Audit != nil {
+		q.cfg.Audit.AckAdvance(q, from, acked)
+	}
 	q.completeOps()
 	if len(q.ops) > 0 {
 		q.armRetx()
@@ -817,7 +871,11 @@ func (q *QP) handleReadResponse(p *packet.Packet) {
 	q.S.BytesDelivered += uint64(p.PayloadLen)
 	end := psnAdd(o.firstPSN, o.npkts)
 	if o.readNext == end {
+		from := q.sndUna
 		q.sndUna = end
+		if q.cfg.Audit != nil && from != end {
+			q.cfg.Audit.AckAdvance(q, from, end)
+		}
 		q.completeOps()
 	} else {
 		q.armRetx()
@@ -838,6 +896,9 @@ func (q *QP) completeOps() {
 		}
 		q.ops = q.ops[1:]
 		q.S.MessagesSent++
+		if q.cfg.Audit != nil {
+			q.cfg.Audit.CQECompleted(q, o.kind)
+		}
 		if o.onDone != nil {
 			o.onDone(o.posted, now)
 		}

@@ -449,6 +449,109 @@ func TestPSNWraparoundWithLoss(t *testing.T) {
 	}
 }
 
+func TestPSNDoubleWrapRetransmit(t *testing.T) {
+	// A long-lived go-back-N flow whose PSN space wraps twice, with a
+	// post-wrap loss in each revolution. The fast-forward between
+	// episodes (both sides jumped consistently to just short of the
+	// boundary) stands in for the ~16M in-order packets of one full
+	// revolution. Recovery must re-walk only the lost tail — a signed
+	// psnDiff misclassification at the boundary would either stall the
+	// flow or account a ~2^24-packet retransmit.
+	k := sim.NewKernel(12)
+	a, b, _, _ := newPair(k)
+	a.cfg.Recovery = GoBackN
+	msgs := 0
+	b.OnMessage = func(OpKind, int) { msgs++ }
+	for wrap := 0; wrap < 2; wrap++ {
+		start := uint32(packet.PSNMask - 3)
+		a.nextPSN, a.sndNxt, a.sndUna = start, start, start
+		b.ePSN = start
+		done := false
+		a.Post(OpSend, 10*1024, func(_, _ simtime.Time) { done = true })
+		dropped := false
+		shuttle(k, a, b, func(p *packet.Packet) bool {
+			// Drop the third packet after the boundary (PSN 2).
+			if !dropped && p.BTH != nil && p.BTH.Opcode.IsRequest() && p.BTH.PSN == 2 {
+				dropped = true
+				return true
+			}
+			return false
+		})
+		if !done {
+			t.Fatalf("wrap episode %d: recovery across the boundary failed", wrap)
+		}
+		if want := psnAdd(start, 10); a.sndUna != want {
+			t.Fatalf("wrap episode %d: sndUna=%d, want %d", wrap, a.sndUna, want)
+		}
+	}
+	if msgs != 2 || b.S.BytesDelivered != 2*10*1024 {
+		t.Fatalf("msgs=%d delivered=%d", msgs, b.S.BytesDelivered)
+	}
+	// Two single-loss episodes re-walk at most the 8-packet tails.
+	if a.S.PacketsRetx > 20 {
+		t.Fatalf("retransmitted %d packets across two wraps; boundary misclassified", a.S.PacketsRetx)
+	}
+}
+
+// Regression: a reordered/duplicate NAK naming a PSN behind the
+// cumulative ack point must be discarded. Before the fix the NAK path
+// had no staleness guard (unlike the ACK path): go-back-N recovery
+// rewound sndUna below acknowledged data and re-sent retired packets.
+func TestStaleNakDoesNotRewindAckPoint(t *testing.T) {
+	k := sim.NewKernel(13)
+	a, b, _, _ := newPair(k)
+	a.cfg.Recovery = GoBackN
+	a.Post(OpSend, 8*1024, nil) // 8 packets, PSNs 0..7
+	// Pump 6 packets by hand (AckEvery=1: each is acked immediately),
+	// leaving the op in flight with sndUna = sndNxt = 6.
+	for i := 0; i < 6; i++ {
+		p := a.Pop(k.Now())
+		if p == nil {
+			t.Fatalf("packet %d: nothing to pop", i)
+		}
+		b.HandlePacket(p)
+		for ack := b.Pop(k.Now()); ack != nil; ack = b.Pop(k.Now()) {
+			a.HandlePacket(ack)
+		}
+	}
+	if a.sndUna != 6 || a.sndNxt != 6 {
+		t.Fatalf("setup: sndUna=%d sndNxt=%d, want 6/6", a.sndUna, a.sndNxt)
+	}
+	retx := a.S.PacketsRetx
+	// A stale NAK from the already-recovered region (PSN 2).
+	stale := &packet.Packet{}
+	*stale.AttachBTH() = packet.BTH{Opcode: packet.OpAcknowledge, DestQP: 1, PSN: 2}
+	*stale.AttachAETH() = packet.AETH{Syndrome: packet.AETHNak | packet.NakPSNSequenceError}
+	a.HandlePacket(stale)
+	if a.sndUna != 6 {
+		t.Fatalf("stale NAK rewound sndUna to %d", a.sndUna)
+	}
+	if a.sndNxt != 6 {
+		t.Fatalf("stale NAK rewound sndNxt to %d", a.sndNxt)
+	}
+	if a.S.PacketsRetx != retx {
+		t.Fatalf("stale NAK accounted %d retransmits", a.S.PacketsRetx-retx)
+	}
+	if a.S.NaksReceived != 1 {
+		t.Fatalf("the NAK frame itself must still be counted: %d", a.S.NaksReceived)
+	}
+}
+
+// Regression: during go-back-0 recovery sndNxt legitimately trails
+// sndUna (the sender re-walks duplicates). A timeout in that state fed
+// the negative signed diff straight into the uint64 retransmit
+// counters, underflowing them by ~2^64.
+func TestGoBack0RetxCountClampedWhenSndNxtTrails(t *testing.T) {
+	k := sim.NewKernel(14)
+	a, _, _, _ := newPair(k) // zero-value Recovery is GoBack0
+	a.Post(OpSend, 4*1024, nil)
+	a.sndUna, a.sndNxt = 3, 1
+	a.recoverFrom(a.sndUna, false)
+	if a.S.PacketsRetx > 1<<20 {
+		t.Fatalf("retransmit counter underflowed: %d", a.S.PacketsRetx)
+	}
+}
+
 func TestDCQCNPacingSlowsEmission(t *testing.T) {
 	k := sim.NewKernel(11)
 	ea := &stubEP{k: k}
