@@ -1,18 +1,31 @@
 GO ?= go
 
-.PHONY: all check build test test-race vet audit bench bench-json bench-kernel bench-compare report examples clean
+.PHONY: all check build test test-race vet audit chaos bench bench-json bench-kernel bench-compare report examples clean
 
 all: build vet test
 
 # Tier-1 gate: every PR must keep this green (see README). Order
 # matters — vet catches mistakes the compiler accepts, build catches
 # packages tests don't import, then the full test suite, then the
-# golden experiments replayed under the runtime invariant auditor.
+# golden experiments replayed under the runtime invariant auditor,
+# then the quick chaos campaign (fault injection with safeguard
+# scoring; exits nonzero if an expected safeguard fails to fire).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) run ./cmd/roce-audit
+	$(GO) run ./cmd/roce-chaos -quick
+
+# Fault-injection campaigns (see EXPERIMENTS.md "Chaos campaigns").
+# `make chaos` runs the small CI matrix; CAMPAIGN=full sweeps the whole
+# fault library across the protected, unprotected and clos fleets.
+chaos:
+ifeq ($(CAMPAIGN),full)
+	$(GO) run ./cmd/roce-chaos
+else
+	$(GO) run ./cmd/roce-chaos -quick
+endif
 
 # Runtime invariant audit alone: deadlock, storm, alpha incident and
 # livelock with the lossless/DCQCN auditor attached; exits nonzero on

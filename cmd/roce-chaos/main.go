@@ -1,0 +1,66 @@
+// Command roce-chaos runs the deterministic chaos campaign: the fault
+// library of internal/faults swept against the campaign scenarios, every
+// (scenario, fault) cell scored on detection time, recovery time,
+// residual invariant violations and whether the safeguard the fault was
+// aimed at (§4 watchdogs, go-back-N, DCQCN, ECMP withdrawal, the config
+// drift checker) demonstrably fired. The same seed always renders the
+// byte-identical scorecard (a golden copy is kept under testdata/ and
+// checked by the package test).
+//
+// The exit status is the CI contract: nonzero when any cell's expected
+// safeguard failed to fire. Unrecovered cells are reported — and their
+// flight-recorder tails printed with -dumps — but are only failures if
+// the safeguard also went missing, because the campaign deliberately
+// includes unprotected cells to show what the safeguards are for.
+//
+// Usage:
+//
+//	roce-chaos [-quick] [-json] [-dumps] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rocesim/internal/faults"
+)
+
+// scorecard runs the selected campaign. Factored out of main so the
+// golden test renders exactly what the command prints.
+func scorecard(seed int64, quick bool) *faults.Scorecard {
+	if quick {
+		return faults.QuickCampaign(seed).Run()
+	}
+	return faults.DefaultCampaign(seed).Run()
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the scorecard as JSON")
+	quick := flag.Bool("quick", false, "run the small CI campaign instead of the full matrix")
+	dumps := flag.Bool("dumps", false, "print flight-recorder tails for unrecovered cells")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	sc := scorecard(*seed, *quick)
+	if *jsonOut {
+		b, err := sc.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roce-chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", b)
+	} else {
+		fmt.Print(sc.Text())
+	}
+	if *dumps {
+		if err := sc.WriteDumps(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "roce-chaos:", err)
+			os.Exit(1)
+		}
+	}
+	if sc.Failed() {
+		fmt.Fprintln(os.Stderr, "roce-chaos: expected safeguard did not fire")
+		os.Exit(1)
+	}
+}

@@ -142,6 +142,18 @@ func New(cfg Config) (*MMU, error) {
 // Config returns the MMU's configuration.
 func (m *MMU) Config() Config { return m.cfg }
 
+// SetAlpha changes the dynamic-threshold parameter at runtime — pushing a
+// wrong α to a running switch, the §6.2 incident as a live config fault.
+// Takes effect on the next admission; existing accounting is untouched.
+func (m *MMU) SetAlpha(a float64) { m.cfg.Alpha = a }
+
+// SetLossless reprograms whether PG pg is treated as lossless. It
+// deliberately leaves paused state, headroom charges and reservations in
+// place: hardware reprogrammed under load keeps whatever state the old
+// classification accumulated, and that stale state is exactly what
+// CheckConservation flags afterwards.
+func (m *MMU) SetLossless(pg int, lossless bool) { m.cfg.LosslessPGs[pg] = lossless }
+
 // SharedUsed returns the total shared-pool occupancy in bytes.
 func (m *MMU) SharedUsed() int { return m.sharedUsed }
 

@@ -152,6 +152,9 @@ type Config struct {
 	// the deployment's own settings are applied (experiments use it for
 	// ablations like per-packet spraying).
 	SwitchTweak func(level string, c *fabric.Config)
+	// NICTweak is the NIC-side counterpart (the chaos campaigns use it
+	// to scale watchdog time constants down to simulation-sized runs).
+	NICTweak func(c *nic.Config)
 }
 
 // DefaultConfig returns a production-shaped deployment of the given
@@ -222,6 +225,9 @@ func New(k *sim.Kernel, cfg Config) (*Deployment, error) {
 		c.MissPenalty = 600 * simtime.Nanosecond
 		if safety.NICWatchdog {
 			c.Watchdog = nic.DefaultWatchdog()
+		}
+		if cfg.NICTweak != nil {
+			cfg.NICTweak(&c)
 		}
 		return c
 	}

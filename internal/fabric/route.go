@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rocesim/internal/link"
 	"rocesim/internal/packet"
 )
 
@@ -16,6 +17,11 @@ type Route struct {
 	Bits   int // prefix length, 0..32
 	Ports  []int
 	Local  bool
+
+	// static is the as-configured port set. Ports is the live ECMP group
+	// the control plane prunes when next hops die and restores from
+	// static when they come back (see ResetRoutes / PruneRoutes).
+	static []int
 }
 
 func (r Route) matches(a packet.Addr) bool {
@@ -26,11 +32,14 @@ func (r Route) matches(a packet.Addr) bool {
 	return a.Uint32()&mask == r.Prefix.Uint32()&mask
 }
 
-// routeTable is a longest-prefix-match table. Lookup cost is linear in
-// the number of distinct prefix lengths — tiny for Clos fabrics, whose
-// tables hold one prefix per ToR plus a default.
+// routeTable is a longest-prefix-match table with an exact-match index
+// for /24 entries: Clos tables hold one /24 per destination ToR, so the
+// hot path is a single map probe; shorter prefixes (podset /16s, the
+// default) fall back to a linear scan over a handful of entries.
 type routeTable struct {
-	routes []Route // kept sorted by Bits descending
+	routes  []Route        // kept sorted by Bits descending
+	by24    map[uint32]int // Prefix>>8 → index into routes, Bits==24 only
+	maxBits int
 }
 
 // add inserts a route, replacing any identical prefix.
@@ -38,6 +47,7 @@ func (t *routeTable) add(r Route) {
 	if r.Bits < 0 || r.Bits > 32 {
 		panic(fmt.Sprintf("fabric: prefix length %d", r.Bits))
 	}
+	r.static = append([]int(nil), r.Ports...)
 	for i := range t.routes {
 		if t.routes[i].Bits == r.Bits && t.routes[i].Prefix.Uint32() == r.Prefix.Uint32() {
 			t.routes[i] = r
@@ -46,10 +56,32 @@ func (t *routeTable) add(r Route) {
 	}
 	t.routes = append(t.routes, r)
 	sort.SliceStable(t.routes, func(i, j int) bool { return t.routes[i].Bits > t.routes[j].Bits })
+	t.reindex()
+}
+
+// reindex rebuilds the /24 exact-match index after the slice reorders.
+func (t *routeTable) reindex() {
+	t.by24 = make(map[uint32]int, len(t.routes))
+	t.maxBits = 0
+	for i := range t.routes {
+		if t.routes[i].Bits == 24 {
+			t.by24[t.routes[i].Prefix.Uint32()>>8] = i
+		}
+		if t.routes[i].Bits > t.maxBits {
+			t.maxBits = t.routes[i].Bits
+		}
+	}
 }
 
 // lookup returns the longest-prefix-match route for a, or nil.
 func (t *routeTable) lookup(a packet.Addr) *Route {
+	// A /24 hit is the longest possible match while no longer prefixes
+	// are configured (Clos tables never hold any).
+	if t.maxBits <= 24 {
+		if i, ok := t.by24[a.Uint32()>>8]; ok {
+			return &t.routes[i]
+		}
+	}
 	for i := range t.routes {
 		if t.routes[i].matches(a) {
 			return &t.routes[i]
@@ -57,3 +89,64 @@ func (t *routeTable) lookup(a packet.Addr) *Route {
 	}
 	return nil
 }
+
+// ResetRoutes rebuilds every non-local route's live ECMP group from its
+// static configuration, keeping only ports for which portUp returns
+// true. The control plane calls this as the first step of reconvergence
+// after a carrier change.
+func (s *Switch) ResetRoutes(portUp func(port int) bool) {
+	for i := range s.routes.routes {
+		r := &s.routes.routes[i]
+		if r.Local {
+			continue
+		}
+		r.Ports = r.Ports[:0]
+		for _, p := range r.static {
+			if portUp(p) {
+				r.Ports = append(r.Ports, p)
+			}
+		}
+	}
+}
+
+// PruneRoutes removes from every non-local route the ports the usable
+// predicate rejects (typically: next hops that no longer have a path to
+// the prefix). It reports whether anything changed, so a fixpoint
+// iteration knows when withdrawal has propagated fully.
+func (s *Switch) PruneRoutes(usable func(prefix packet.Addr, bits, port int) bool) bool {
+	changed := false
+	for i := range s.routes.routes {
+		r := &s.routes.routes[i]
+		if r.Local {
+			continue
+		}
+		kept := r.Ports[:0]
+		for _, p := range r.Ports {
+			if usable(r.Prefix, r.Bits, p) {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) != len(r.Ports) {
+			changed = true
+		}
+		r.Ports = kept
+	}
+	return changed
+}
+
+// RouteUsable reports whether this switch can currently forward traffic
+// for dst: it is up, and its longest-prefix match either delivers
+// locally or still has at least one live next hop. Neighbors use this
+// during reconvergence to decide whether this switch remains a valid
+// ECMP member for the destination.
+func (s *Switch) RouteUsable(dst packet.Addr) bool {
+	if s.failed {
+		return false
+	}
+	r := s.routes.lookup(dst)
+	return r != nil && (r.Local || len(r.Ports) > 0)
+}
+
+// PortLink returns the cable attached to a port (nil if unattached),
+// letting the control plane check carrier state.
+func (s *Switch) PortLink(port int) *link.Link { return s.port[port].lk }

@@ -172,6 +172,7 @@ type Counters struct {
 	ARPIncompleteDrops *telemetry.Counter // the deadlock fix in action
 	ARPMissDrops       *telemetry.Counter
 	WatchdogDrops      *telemetry.Counter // lossless frames discarded while tripped
+	DownDrops          *telemetry.Counter // frames lost to a dead/rebooting switch
 	InjectedDrops      *telemetry.Counter // DropFn hook (livelock experiment)
 	ECNMarked          *telemetry.Counter
 	Floods             *telemetry.Counter
@@ -197,6 +198,7 @@ func newCounters(r *telemetry.Registry, name string) Counters {
 		ARPIncompleteDrops: r.Counter(name + "/arp_incomplete_drops"),
 		ARPMissDrops:       r.Counter(name + "/arp_miss_drops"),
 		WatchdogDrops:      r.Counter(name + "/watchdog_drops"),
+		DownDrops:          r.Counter(name + "/down_drops"),
 		InjectedDrops:      r.Counter(name + "/injected_drops"),
 		ECNMarked:          r.Counter(name + "/ecn_marked"),
 		Floods:             r.Counter(name + "/floods"),
@@ -231,6 +233,10 @@ type Switch struct {
 	// ingress — the hook the livelock experiment uses ("drop any packet
 	// with the least significant byte of IP ID equal to 0xff").
 	DropFn func(*packet.Packet) bool
+
+	// failed marks the switch powered off (mid-reboot): the ASIC is
+	// dead, every port's carrier is down and the packet buffer is gone.
+	failed bool
 
 	C Counters
 }
@@ -383,6 +389,13 @@ func (s *Switch) losslessMask() uint8 {
 
 // Receive implements link.Endpoint: a frame has arrived on port n.
 func (s *Switch) Receive(n int, p *packet.Packet) {
+	if s.failed {
+		// Frames already in flight when the switch died land on a dead
+		// ASIC; the carrier drop stops anything new from being sent.
+		s.C.DownDrops.Inc()
+		s.drop(n, p.Priority(s.cfg.DSCPMap), p, "switch-down")
+		return
+	}
 	ps := s.port[n]
 	s.C.RxFrames.Inc()
 	ps.RxFrames.Inc()
@@ -515,18 +528,11 @@ func (s *Switch) forward(in int, p *packet.Packet, pri int, lossless bool) ([]in
 		return nil, false
 	}
 	if !r.Local {
-		if len(r.Ports) == 0 {
+		out, ok := s.pickECMP(r.Ports, p)
+		if !ok {
 			s.C.NoRouteDrops.Inc()
 			s.drop(in, pri, p, "no-route")
 			return nil, false
-		}
-		var out int
-		if s.cfg.PerPacketSpray {
-			// Random spray (not round-robin): transient load imbalance
-			// between equal-cost paths is what makes reordering real.
-			out = r.Ports[s.rng.Intn(len(r.Ports))]
-		} else {
-			out = r.Ports[int(p.Flow().Hash()%uint64(len(r.Ports)))]
 		}
 		return []int{out}, true
 	}
@@ -554,6 +560,53 @@ func (s *Switch) forward(in int, p *packet.Packet, pri int, lossless bool) ([]in
 	p.Eth.Dst = mac
 	p.Eth.Src = s.mac
 	return s.floodPorts(in), true
+}
+
+// portDown reports whether a port has lost carrier — its cable is dead
+// or was never attached. Dead next hops are withdrawn from ECMP groups.
+func (s *Switch) portDown(pt int) bool {
+	ps := s.port[pt]
+	return ps.lk == nil || ps.lk.Down
+}
+
+// pickECMP selects the egress port for p among an equal-cost group,
+// excluding ports whose links are down: hardware withdraws a dead next
+// hop from the group instead of hashing flows into a black hole, and
+// restores it when carrier returns. With every port live the selection
+// (hash modulus and rng draw alike) is identical to indexing the full
+// group, so healthy-fabric routing is bit-for-bit unchanged. Returns
+// false when no live port remains.
+func (s *Switch) pickECMP(ports []int, p *packet.Packet) (int, bool) {
+	live := len(ports)
+	if live == 0 {
+		return 0, false
+	}
+	for _, pt := range ports {
+		if s.portDown(pt) {
+			live--
+		}
+	}
+	if live == 0 {
+		return 0, false
+	}
+	var idx int
+	if s.cfg.PerPacketSpray {
+		// Random spray (not round-robin): transient load imbalance
+		// between equal-cost paths is what makes reordering real.
+		idx = s.rng.Intn(live)
+	} else {
+		idx = int(p.Flow().Hash() % uint64(live))
+	}
+	for _, pt := range ports {
+		if s.portDown(pt) {
+			continue
+		}
+		if idx == 0 {
+			return pt, true
+		}
+		idx--
+	}
+	return 0, false // unreachable: idx < live by construction
 }
 
 func (s *Switch) floodPorts(in int) []int {
@@ -611,6 +664,18 @@ func (s *Switch) fireForward() {
 
 // enqueueOut hands a forwarded frame to its egress queue.
 func (s *Switch) enqueueOut(out int, it link.Item) {
+	if s.failed {
+		// The forwarding pipeline died with the fabric: frames admitted
+		// before the failure release their accounting and vanish. The
+		// pause generators are already dead, so transitions go unsignalled.
+		s.C.DownDrops.Inc()
+		wire := it.P.WireLen() // before drop: the pool may recycle it.P
+		s.drop(out, it.Pri, it.P, "switch-down")
+		if it.IngressPort >= 0 {
+			s.mmu.Release(it.IngressPort, it.PG, wire)
+		}
+		return
+	}
 	if s.trace.Wants(telemetry.EvEnqueue.Mask()) {
 		s.trace.Emit(telemetry.Event{
 			Type: telemetry.EvEnqueue, Node: s.cfg.Name, Port: out, Pri: it.Pri, Pkt: it.P,
@@ -702,6 +767,9 @@ func (s *Switch) onTransmit(port int, it link.Item) {
 // pollWatchdogs runs the switch-side PFC storm watchdog over
 // server-facing ports.
 func (s *Switch) pollWatchdogs() {
+	if s.failed {
+		return // the control plane is down with the rest of the box
+	}
 	now := s.k.Now()
 	cfg := s.cfg.Watchdog
 	for i, ps := range s.port {
@@ -794,4 +862,98 @@ func (s *Switch) reenablePort(port int, ps *portState) {
 		}
 	}
 	ps.egress.Kick()
+}
+
+// Failed reports whether the switch is powered off (mid-reboot).
+func (s *Switch) Failed() bool { return s.failed }
+
+// SetFailed powers the switch off (true) or back on (false), modeling a
+// reboot: the packet buffer is volatile, so the MMU and every egress
+// queue are flushed; carrier drops on every attached link so neighbours'
+// ECMP withdraws the dead next hops; and PFC state is torn down on both
+// directions. MAC/ARP/route tables persist — a rebooted switch reloads
+// its configuration. The carrier transitions fire each link's OnCarrier
+// hook, so the topology control plane reconverges routes around (and
+// later back through) the rebooted switch.
+func (s *Switch) SetFailed(down bool) {
+	if down == s.failed {
+		return
+	}
+	s.failed = down
+	if down {
+		s.powerOff()
+	} else {
+		s.powerOn()
+	}
+}
+
+// powerOff tears the data plane down. Order matters: pause intervals are
+// closed while the generator still works (an XOFF left open would read
+// as pausing forever), then emission and transmission stop, then the
+// queues flush with their buffer accounting released.
+func (s *Switch) powerOff() {
+	for i, ps := range s.port {
+		if ps.lk == nil {
+			continue
+		}
+		for pri := 0; pri < 8; pri++ {
+			if ps.pauser.Engaged()&(1<<uint(pri)) != 0 {
+				s.applyPause(i, pri, buffer.XON)
+			}
+		}
+		ps.pauser.Disabled = true
+		ps.egress.Blocked = true
+		ps.lk.SetDown(true)
+		for pri := 0; pri < 8; pri++ {
+			for _, it := range ps.egress.Purge(pri) {
+				s.C.DownDrops.Inc()
+				wire := it.P.WireLen() // before drop: the pool may recycle it.P
+				s.drop(i, pri, it.P, "switch-down")
+				if it.IngressPort >= 0 {
+					// The generators are dead; the release transition has
+					// nobody left to signal.
+					s.mmu.Release(it.IngressPort, it.PG, wire)
+				}
+			}
+		}
+	}
+	// Frames still traversing the forwarding pipeline die as their delay
+	// events fire — see the failed guard in enqueueOut.
+}
+
+// powerOn brings the data plane back with post-reset state: carriers up,
+// fresh PFC state in both directions (a link reset clears pause), and
+// watchdog state cleared. Pause signalling is re-derived from the MMU,
+// which is empty after the flush unless pipeline stragglers remain.
+func (s *Switch) powerOn() {
+	for i, ps := range s.port {
+		if ps.lk == nil {
+			continue
+		}
+		ps.lk.SetDown(false)
+		ps.egress.Blocked = false
+		ps.egress.Pause = pfc.NewPauseState(ps.lk.Rate())
+		ps.losslessDisabled = false
+		ps.wdTrip = pfc.NewWatchdog(s.cfg.Watchdog.TripWindow)
+		s.reenablePort(i, ps)
+	}
+}
+
+// SetBufferAlpha pushes a new dynamic-threshold α to the running switch —
+// declared config and MMU alike, exactly as a config-management rollout
+// would. The config-store drift checker reads the declared side, so an
+// injected wrong α is immediately visible as drift.
+func (s *Switch) SetBufferAlpha(a float64) {
+	s.cfg.Buffer.Alpha = a
+	s.mmu.SetAlpha(a)
+}
+
+// MisclassifyLossless reprograms the MMU's lossless classification of a
+// priority group without touching the declared configuration: the
+// hardware is misprogrammed while the operator intent — and the invariant
+// auditor's reading of it — still says lossless. Congestion drops on the
+// class then surface as lossless-guarantee violations, which is the
+// point of injecting this fault.
+func (s *Switch) MisclassifyLossless(pg int, lossless bool) {
+	s.mmu.SetLossless(pg, lossless)
 }

@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestQuickCampaignDeterministicAndGreen runs the CI campaign twice and
+// requires byte-identical scorecards — same seed, same bytes — and that
+// every expected safeguard fired: ECMP failover around the dead uplink,
+// go-back-N over the corrupted cable, DCQCN against the slow receiver.
+func TestQuickCampaignDeterministicAndGreen(t *testing.T) {
+	run := func() (*Scorecard, []byte) {
+		sc := QuickCampaign(7).Run()
+		b, err := sc.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc, b
+	}
+	sc, a := run()
+	_, b := run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed campaigns produced different scorecards:\n%s\nvs\n%s", a, b)
+	}
+
+	if len(sc.Cells) != 3 {
+		t.Fatalf("quick campaign ran %d cells, want 3", len(sc.Cells))
+	}
+	if sc.Failed() {
+		t.Fatalf("expected safeguards missing:\n%s", sc.Text())
+	}
+	for _, c := range sc.Cells {
+		if c.BaselineGbps <= 0 {
+			t.Errorf("%s: no baseline throughput", c.Name())
+		}
+		if !c.Recovered {
+			t.Errorf("%s: did not recover", c.Name())
+		}
+	}
+}

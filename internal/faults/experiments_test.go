@@ -1,0 +1,45 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"rocesim/internal/experiments"
+	"rocesim/internal/faults"
+	"rocesim/internal/simtime"
+)
+
+// TestHookComposesWithExperiment injects a scheduled fault into one of
+// the existing paper experiments through its Observe hook — the
+// composition the subsystem promises: any experiment, any fault, no
+// experiment-side changes. A corrupted uplink during the Figure 10
+// incident scenario must be applied, reverted, and survived (go-back-N
+// keeps the chatty service completing operations).
+func TestHookComposesWithExperiment(t *testing.T) {
+	h := faults.Hook{Schedule: faults.Schedule{{
+		At:       simtime.Time(10 * simtime.Millisecond),
+		Duration: 20 * simtime.Millisecond,
+		Kind:     faults.LinkCorrupt,
+		Target:   "link:tor-0-0~leaf-0-0",
+		Param:    0.02,
+	}}}
+	cfg := experiments.AlphaConfig{
+		Seed: 51, Alpha: 1.0 / 16, Chatty: 1, Backends: 4,
+		Duration: 40 * simtime.Millisecond,
+		Observe:  h.Observe,
+	}
+	r := experiments.RunAlpha(cfg)
+
+	in := h.Injector()
+	if in == nil {
+		t.Fatal("experiment never ran the Observe hook")
+	}
+	if len(in.Log) != 2 ||
+		!strings.Contains(in.Log[0], "apply link-corrupt") ||
+		!strings.Contains(in.Log[1], "revert link-corrupt") {
+		t.Fatalf("journal = %q", in.Log)
+	}
+	if r.ChattyOps == 0 {
+		t.Fatal("chatty service completed nothing across the corrupted-uplink window")
+	}
+}

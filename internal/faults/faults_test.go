@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"rocesim/internal/packet"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/topology"
+)
+
+func ms(n int64) simtime.Time { return simtime.Time(simtime.Duration(n) * simtime.Millisecond) }
+
+// smallSpec is a 2-leaf, 2-ToR podset: the smallest shape with ECMP
+// uplink groups and per-ToR /24 routes to withdraw.
+func smallSpec() topology.Spec {
+	return topology.Spec{
+		Name: "faults-test", Podsets: 1, LeafsPerPod: 2, TorsPerPod: 2,
+		ServersPerTor: 1, LinkRate: 10 * simtime.Gbps,
+	}
+}
+
+// TestInjectorLinkDownWithdrawsAndRestores schedules a cable pull and
+// checks the whole chain: the carrier drops at At, the control plane
+// withdraws routes through the dead link, the revert restores both, and
+// the apply/revert journal records the two events in order.
+func TestInjectorLinkDownWithdrawsAndRestores(t *testing.T) {
+	k := sim.NewKernel(1)
+	in := NewInjector(k, Schedule{{
+		At: ms(1), Duration: 2 * simtime.Millisecond,
+		Kind: LinkDown, Target: "link:leaf-0-0~tor-0-0",
+	}})
+	net, err := topology.Build(k, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Network() != net {
+		t.Fatal("injector did not capture the announced network")
+	}
+
+	lk := in.lookupLink("link:tor-0-0~leaf-0-0") // either endpoint order
+	srvInTor00 := packet.IPv4Addr(10, 0, 0, 1)
+	leaf0 := net.Switches()[2] // order: tors, then leafs
+	if leaf0.Name() != "leaf-0-0" {
+		t.Fatalf("unexpected switch order: %s", leaf0.Name())
+	}
+
+	k.At(ms(2), func() {
+		if !lk.Down {
+			t.Error("link still up during fault window")
+		}
+		// leaf-0-0's only path to ToR 0-0's subnet was the dead cable:
+		// reconvergence must have withdrawn it.
+		if leaf0.RouteUsable(srvInTor00) {
+			t.Error("leaf-0-0 still claims a route through the dead link")
+		}
+	})
+	k.At(ms(4), func() {
+		if lk.Down {
+			t.Error("link not restored after fault duration")
+		}
+		if !leaf0.RouteUsable(srvInTor00) {
+			t.Error("route not restored after link-up")
+		}
+	})
+	k.RunUntil(ms(5))
+
+	if len(in.Log) != 2 ||
+		!strings.Contains(in.Log[0], "apply link-down") ||
+		!strings.Contains(in.Log[1], "revert link-down") {
+		t.Fatalf("journal = %q", in.Log)
+	}
+}
+
+// TestInjectorFlapTogglesCarrier checks that a flap entry produces the
+// full down/up train: cycles=3 over 6ms is six half-periods, so five
+// interior toggles between the apply (down) and revert (up) edges.
+func TestInjectorFlapTogglesCarrier(t *testing.T) {
+	k := sim.NewKernel(1)
+	in := NewInjector(k, Schedule{{
+		At: ms(1), Duration: 6 * simtime.Millisecond,
+		Kind: LinkFlap, Target: "link:tor-0-0~leaf-0-0", Param: 3,
+	}})
+	if _, err := topology.Build(k, smallSpec()); err != nil {
+		t.Fatal(err)
+	}
+	lk := in.lookupLink("link:tor-0-0~leaf-0-0")
+	k.RunUntil(ms(10))
+
+	if lk.Down {
+		t.Error("link left down after flap reverted")
+	}
+	downs, ups := 0, 0
+	for _, l := range in.Log {
+		if strings.Contains(l, "flap down") {
+			downs++
+		}
+		if strings.Contains(l, "flap up") {
+			ups++
+		}
+	}
+	// Interior toggles only: c=1..5 alternating up/down (apply did the
+	// first down, revert the final up).
+	if downs != 2 || ups != 3 {
+		t.Fatalf("flap toggles = %d down / %d up, want 2/3; journal:\n%s",
+			downs, ups, strings.Join(in.Log, "\n"))
+	}
+}
+
+// TestInjectorUnknownTargetPanics: a misspelled plan is a programming
+// error and must fail loudly at arm time, not silently no-op.
+func TestInjectorUnknownTargetPanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	NewInjector(k, Schedule{{
+		At: ms(1), Kind: SwitchReboot, Target: "switch:nope",
+	}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arming against a missing target did not panic")
+		}
+	}()
+	topology.Build(k, smallSpec()) // announce fires arm → panic
+}
+
+// TestGenerateDeterministic: the same seed, spec and topology must give
+// the same plan; a different stream name must give an independent one.
+func TestGenerateDeterministic(t *testing.T) {
+	plan := func(seed int64, stream string) string {
+		k := sim.NewKernel(seed)
+		net, err := topology.Build(k, smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Generate(k, net, GenSpec{
+			N: 8, From: ms(1), To: ms(50),
+			MinDur: simtime.Millisecond, MaxDur: 10 * simtime.Millisecond,
+			Stream: stream,
+		}).String()
+	}
+	a, b := plan(7, ""), plan(7, "")
+	if a != b {
+		t.Fatalf("same seed produced different plans:\n%s\nvs\n%s", a, b)
+	}
+	if c := plan(7, "faults/other"); c == a {
+		t.Fatal("distinct streams produced identical plans")
+	}
+	if d := plan(8, ""); d == a {
+		t.Fatal("distinct seeds produced identical plans")
+	}
+	if n := len(strings.Split(strings.TrimRight(a, "\n"), "\n")); n != 8 {
+		t.Fatalf("plan has %d entries, want 8:\n%s", n, a)
+	}
+}
+
+// TestHookObserve wires a schedule through the experiments-style Observe
+// hook and checks the injector runs inside that kernel.
+func TestHookObserve(t *testing.T) {
+	h := Hook{Schedule: Schedule{{
+		At: ms(1), Duration: simtime.Millisecond,
+		Kind: LinkDown, Target: "link:tor-0-0~leaf-0-0",
+	}}}
+	k := sim.NewKernel(1)
+	h.Observe(k)
+	if h.Injector() == nil {
+		t.Fatal("Observe did not create an injector")
+	}
+	if _, err := topology.Build(k, smallSpec()); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(ms(5))
+	if len(h.Injector().Log) != 2 {
+		t.Fatalf("journal = %q, want apply+revert", h.Injector().Log)
+	}
+}
+
+// TestScheduleSort pins the (At, Kind, Target) execution order.
+func TestScheduleSort(t *testing.T) {
+	s := Schedule{
+		{At: ms(2), Kind: LinkDown, Target: "link:b~c"},
+		{At: ms(1), Kind: SwitchReboot, Target: "switch:x"},
+		{At: ms(2), Kind: LinkDown, Target: "link:a~b"},
+		{At: ms(1), Kind: LinkDown, Target: "link:a~b"},
+	}
+	s.Sort()
+	want := []string{"link:a~b", "switch:x", "link:a~b", "link:b~c"}
+	for i, e := range s {
+		if e.Target != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, e.Target, want[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"fmt"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/topology"
+)
+
+// GenSpec shapes a randomized fault plan.
+type GenSpec struct {
+	// N is how many faults to draw.
+	N int
+	// Kinds restricts the library; empty means every kind.
+	Kinds []Kind
+	// From/To bound the injection window.
+	From, To simtime.Time
+	// MinDur/MaxDur bound each fault's duration. MaxDur 0 with MinDur 0
+	// makes every fault permanent.
+	MinDur, MaxDur simtime.Duration
+	// Stream names the kernel random stream; empty uses
+	// "faults/generate". Distinct names give independent plans on one
+	// kernel.
+	Stream string
+}
+
+// Generate draws a reproducible Schedule for the built network: same
+// kernel seed, spec and topology ⇒ same plan, and the plan is sorted so
+// execution order is explicit. Targets are drawn uniformly from the
+// objects a kind applies to (cables for link faults, switches for switch
+// and config faults, server NICs for NIC faults).
+func Generate(k *sim.Kernel, net *topology.Network, spec GenSpec) Schedule {
+	if spec.N <= 0 {
+		return nil
+	}
+	kinds := spec.Kinds
+	if len(kinds) == 0 {
+		kinds = Kinds()
+	}
+	stream := spec.Stream
+	if stream == "" {
+		stream = "faults/generate"
+	}
+	rng := k.Rand(stream)
+	switches := net.Switches()
+
+	var out Schedule
+	for i := 0; i < spec.N; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		var target string
+		switch kind {
+		case LinkDown, LinkFlap, LinkCorrupt:
+			rec := net.Links[rng.Intn(len(net.Links))]
+			target = fmt.Sprintf("link:%s~%s", rec.A, rec.B)
+		case SwitchReboot, CfgAlpha, CfgLosslessAsLossy:
+			target = "switch:" + switches[rng.Intn(len(switches))].Name()
+		case NICPauseStorm, NICRxDegrade:
+			target = "nic:" + net.Servers[rng.Intn(len(net.Servers))].NIC.Name()
+		default:
+			panic(fmt.Sprintf("faults: cannot generate kind %q", kind))
+		}
+		at := spec.From
+		if span := spec.To.Sub(spec.From); span > 0 {
+			at = spec.From.Add(simtime.Duration(rng.Int63n(int64(span))))
+		}
+		dur := spec.MinDur
+		if span := spec.MaxDur - spec.MinDur; span > 0 {
+			dur += simtime.Duration(rng.Int63n(int64(span)))
+		}
+		if kind == LinkFlap && dur <= 0 {
+			dur = spec.To.Sub(at) // a flap needs a window to flap across
+		}
+		out = append(out, Entry{At: at, Duration: dur, Kind: kind, Target: target})
+	}
+	out.Sort()
+	return out
+}

@@ -14,7 +14,6 @@ package link
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	"rocesim/internal/packet"
 	"rocesim/internal/pfc"
@@ -56,8 +55,14 @@ type Link struct {
 	// FCSErrors counts frames lost to corruption.
 	FCSErrors uint64
 	// Down simulates cable pull: frames in either direction are silently
-	// lost.
+	// lost. Prefer SetDown, which also notifies OnCarrier — writing the
+	// field directly changes the data path without telling the control
+	// plane, like a cable that fails without the PHY noticing.
 	Down bool
+	// OnCarrier, when set, runs after every carrier transition made
+	// through SetDown. The topology layer uses it to withdraw routes
+	// through dead cables and restore them on link-up.
+	OnCarrier func(down bool)
 	// Delivered counts frames per direction (index = sending side).
 	Delivered [2]uint64
 	// Tap, when set, observes every frame put on the wire (both
@@ -70,9 +75,10 @@ func New(k *sim.Kernel, rate simtime.Rate, delay simtime.Duration) *Link {
 	if rate <= 0 {
 		panic("link: non-positive rate")
 	}
-	// Each link gets its own deterministic stream; construction order is
-	// deterministic in a simulation, so runs reproduce exactly.
-	id := atomic.AddUint64(&linkSeq, 1)
+	// Each link gets its own deterministic stream, numbered per kernel;
+	// construction order is deterministic in a simulation, so runs
+	// reproduce exactly — even when several kernels share one process.
+	id := k.NamedSeq("link")
 	l := &Link{k: k, rate: rate, delay: delay, rng: k.Rand(fmt.Sprintf("link/%d", id))}
 	for side := 0; side < 2; side++ {
 		peer := &l.ends[1-side]
@@ -83,9 +89,6 @@ func New(k *sim.Kernel, rate simtime.Rate, delay simtime.Duration) *Link {
 	return l
 }
 
-// linkSeq disambiguates per-link random streams.
-var linkSeq uint64
-
 // Attach connects side (0 or 1) to an endpoint's port.
 func (l *Link) Attach(side int, ep Endpoint, port int) {
 	l.ends[side].ep = ep
@@ -94,6 +97,18 @@ func (l *Link) Attach(side int, ep Endpoint, port int) {
 
 // Rate returns the link speed.
 func (l *Link) Rate() simtime.Rate { return l.rate }
+
+// SetDown changes the cable's carrier state and notifies OnCarrier on
+// transitions. Repeated writes of the same state are no-ops.
+func (l *Link) SetDown(down bool) {
+	if l.Down == down {
+		return
+	}
+	l.Down = down
+	if l.OnCarrier != nil {
+		l.OnCarrier(down)
+	}
+}
 
 // Peer returns the endpoint and port attached opposite to side.
 func (l *Link) Peer(side int) (Endpoint, int) {

@@ -372,6 +372,11 @@ type IncidentDetector struct {
 	c *Collector
 	// PauseRxPerInterval is the per-device alert threshold.
 	PauseRxPerInterval float64
+	// LosslessDropsPerInterval, when positive, also opens an incident
+	// when any device drops that many lossless frames in one interval —
+	// the guarantee violation itself, caught live rather than by the
+	// after-the-fact Scan. Zero disables (the historical behavior).
+	LosslessDropsPerInterval float64
 
 	// TriggerAfter is how many consecutive over-threshold samples open
 	// an incident (default 1). Requiring more than one filters
@@ -449,30 +454,46 @@ func (d *IncidentDetector) DumpOnIncident(rec *flighttrace.Recorder, w io.Writer
 	return d
 }
 
-// step advances the hysteresis state machine on one collector sample.
-func (d *IncidentDetector) step(now simtime.Time) {
-	worstDev, worst := "", 0.0
-	for _, dev := range d.c.devices {
-		s := d.c.Series[dev+"/pause_rx"]
+// worstLast returns the device with the highest latest sample for a
+// series suffix, scanning in Watch registration order (deterministic).
+func (d *IncidentDetector) worstLast(suffix string) (string, float64) {
+	dev, worst := "", 0.0
+	for _, dv := range d.c.devices {
+		s := d.c.Series[dv+suffix]
 		if s == nil || len(s.Samples) == 0 {
 			continue
 		}
-		if v := s.Samples[len(s.Samples)-1]; worstDev == "" || v > worst {
-			worst, worstDev = v, dev
+		if v := s.Samples[len(s.Samples)-1]; dev == "" || v > worst {
+			worst, dev = v, dv
 		}
 	}
+	return dev, worst
+}
+
+// step advances the hysteresis state machine on one collector sample.
+func (d *IncidentDetector) step(now simtime.Time) {
+	worstDev, worst := d.worstLast("/pause_rx")
+	dropDev, drops := "", 0.0
+	if d.LosslessDropsPerInterval > 0 {
+		dropDev, drops = d.worstLast("/lossless_drops")
+	}
+	over := worst >= d.PauseRxPerInterval
+	alertDev := worstDev
+	reason := fmt.Sprintf("pause storm: %g pause frames in one interval", worst)
+	if !over && d.LosslessDropsPerInterval > 0 && drops >= d.LosslessDropsPerInterval {
+		over = true
+		alertDev = dropDev
+		reason = fmt.Sprintf("lossless drops: %g in one interval", drops)
+	}
 	if !d.triggered {
-		if worst >= d.PauseRxPerInterval {
+		if over {
 			d.hot++
 		} else {
 			d.hot = 0
 		}
 		if d.hot >= d.TriggerAfter {
 			d.triggered, d.hot, d.calm = true, 0, 0
-			a := Alert{
-				At: now, Device: worstDev,
-				Reason: fmt.Sprintf("pause storm: %g pause frames in one interval", worst),
-			}
+			a := Alert{At: now, Device: alertDev, Reason: reason}
 			d.Alerts = append(d.Alerts, a)
 			if d.OnTrigger != nil {
 				d.OnTrigger(a)
@@ -480,7 +501,9 @@ func (d *IncidentDetector) step(now simtime.Time) {
 		}
 		return
 	}
-	if worst < d.ClearBelow {
+	calm := worst < d.ClearBelow &&
+		(d.LosslessDropsPerInterval <= 0 || drops < d.LosslessDropsPerInterval)
+	if calm {
 		d.calm++
 	} else {
 		d.calm = 0

@@ -322,3 +322,65 @@ func TestDumpOnIncident(t *testing.T) {
 		t.Fatalf("existing OnTrigger not preserved: %v", order)
 	}
 }
+
+// TestIncidentDetectorBackToBackIncidents drives the detector through
+// two storms separated by a calm gap shorter than ClearAfter, then a
+// real clear, then a third storm: the second storm must fold into the
+// still-open incident (no duplicate page), and only after a genuine
+// clear does the next storm open a second incident.
+func TestIncidentDetectorBackToBackIncidents(t *testing.T) {
+	k := sim.NewKernel(12)
+	col := NewCollector(k, 10*simtime.Millisecond)
+	col.Watch("dev")
+	ctr := k.Metrics().Counter("dev/pause_rx")
+
+	det := NewIncidentDetector(col, 100)
+	det.TriggerAfter = 2
+	det.ClearAfter = 3
+	det.ClearBelow = 50
+	var triggers, clears int
+	det.OnTrigger = func(Alert) { triggers++ }
+	det.OnClear = func(simtime.Time) { clears++ }
+	det.Arm()
+
+	add := func(at simtime.Duration, n uint64) { k.After(at, func() { ctr.Add(n) }) }
+	// Storm 1: hot at 10,20ms → trigger at 20ms.
+	add(1*simtime.Millisecond, 150)
+	add(11*simtime.Millisecond, 150)
+	// Calm at 30,40ms — two samples, below ClearAfter=3: still open.
+	// Storm 2 (back to back): hot again at 50,60ms — the open incident
+	// absorbs it; no second alert.
+	add(41*simtime.Millisecond, 150)
+	add(51*simtime.Millisecond, 150)
+	// Calm at 70,80,90ms → clear at 90ms.
+	// Storm 3: hot at 100,110ms → a NEW incident at 110ms.
+	add(91*simtime.Millisecond, 150)
+	add(101*simtime.Millisecond, 150)
+
+	k.RunUntil(simtime.Time(45 * simtime.Millisecond))
+	if triggers != 1 || !det.Triggered() {
+		t.Fatalf("storm 1: triggers=%d triggered=%v, want one open incident", triggers, det.Triggered())
+	}
+	k.RunUntil(simtime.Time(65 * simtime.Millisecond))
+	if triggers != 1 {
+		t.Fatalf("back-to-back storm re-paged: triggers=%d, want 1 (incident still open)", triggers)
+	}
+	if !det.Triggered() {
+		t.Fatal("incident closed during a gap shorter than ClearAfter")
+	}
+	k.RunUntil(simtime.Time(95 * simtime.Millisecond))
+	if det.Triggered() || clears != 1 {
+		t.Fatalf("incident must clear after 3 calm samples: triggered=%v clears=%d", det.Triggered(), clears)
+	}
+	k.RunUntil(simtime.Time(115 * simtime.Millisecond))
+	if triggers != 2 || !det.Triggered() {
+		t.Fatalf("post-clear storm must open a second incident: triggers=%d", triggers)
+	}
+	if len(det.Alerts) != 2 {
+		t.Fatalf("alerts = %d, want 2", len(det.Alerts))
+	}
+	if det.Alerts[0].At != simtime.Time(20*simtime.Millisecond) ||
+		det.Alerts[1].At != simtime.Time(110*simtime.Millisecond) {
+		t.Fatalf("alert times = %v, %v; want 20ms, 110ms", det.Alerts[0].At, det.Alerts[1].At)
+	}
+}

@@ -140,7 +140,10 @@ type NIC struct {
 	// PFC storms: the pipeline stops and the NIC pauses its ToR
 	// continuously.
 	malfunction bool
-	wd          *pfc.Watchdog
+	// rxSlowdown is added to every pipeline traversal — the generalized
+	// slow-receiver degradation (§6.3 without the cache model).
+	rxSlowdown simtime.Duration
+	wd         *pfc.Watchdog
 
 	// OnHostPacket receives non-RoCE IP packets (the kernel TCP path).
 	// TCP bypasses the RDMA receive pipeline: real NICs steer it to
@@ -247,6 +250,11 @@ func (n *NIC) SetMalfunction(on bool) {
 
 // Malfunctioning reports the malfunction state.
 func (n *NIC) Malfunctioning() bool { return n.malfunction }
+
+// SetRxSlowdown adds d to the receive pipeline's per-packet cost (zero
+// restores full speed) — a degraded-but-alive receiver that backpressures
+// the fabric through PFC without ever stopping, unlike SetMalfunction.
+func (n *NIC) SetRxSlowdown(d simtime.Duration) { n.rxSlowdown = d }
 
 // PauseDisabled reports whether the watchdog has cut off pause
 // generation.
@@ -479,7 +487,7 @@ func (n *NIC) startPipeline() {
 	}
 	n.busy = true
 	p := n.rxQueue[n.rxHead]
-	d := n.cfg.ProcTime
+	d := n.cfg.ProcTime + n.rxSlowdown
 	if n.mtt != nil && p.BTH != nil && p.PayloadLen > 0 {
 		// Each payload lands at an address within the registered
 		// region; a translation miss stalls the pipeline.

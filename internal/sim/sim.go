@@ -108,6 +108,8 @@ type Kernel struct {
 
 	announced  []any       // every device/component announced so far
 	onAnnounce []func(any) // observers; late subscribers get a replay
+
+	seqs map[string]uint64 // kernel-scoped named counters (NamedSeq)
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
@@ -430,6 +432,19 @@ func (k *Kernel) Run() { k.RunUntil(simtime.Forever) }
 func (k *Kernel) Rand(name string) *rand.Rand {
 	h := fnv64(name)
 	return rand.New(rand.NewSource(k.seed ^ int64(h)))
+}
+
+// NamedSeq returns the next value (1, 2, 3, ...) of a kernel-scoped
+// counter. Components use it to derive unique per-kernel stream names
+// ("link/3"): unlike a process-global counter, two kernels built the same
+// way in one process number their components identically, so same-seed
+// runs stay byte-identical no matter how many simulations ran before.
+func (k *Kernel) NamedSeq(name string) uint64 {
+	if k.seqs == nil {
+		k.seqs = make(map[string]uint64)
+	}
+	k.seqs[name]++
+	return k.seqs[name]
 }
 
 func fnv64(s string) uint64 {

@@ -127,16 +127,24 @@ type Network struct {
 	// need to resolve which neighbour a pause emitted on a port lands on.
 	Links []LinkRec
 
-	qpn uint32
+	// adj maps switch name → port → the switch on the other end of that
+	// cable (nil for server-facing ports), for route reconvergence.
+	adj map[string]map[int]*fabric.Switch
+
+	reconvergePending bool
+	qpn               uint32
 }
 
 // LinkRec is one cable: port APort of device A connects to port BPort of
-// device B. NICs are single-ported (port 0).
+// device B. NICs are single-ported (port 0). L is the cable itself, so
+// tooling (the fault injector pulling cables, pcap taps) can reach the
+// wire by its endpoint names.
 type LinkRec struct {
 	A     string
 	APort int
 	B     string
 	BPort int
+	L     *link.Link
 }
 
 // Switches returns every switch (for monitoring and deadlock scans).
@@ -234,7 +242,7 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 				nc.Attach(l, 1)
 				tor.SetARP(ip, mac)
 				tor.LearnMAC(mac, s)
-				n.Links = append(n.Links, LinkRec{A: tor.Name(), APort: s, B: name, BPort: 0})
+				n.Links = append(n.Links, LinkRec{A: tor.Name(), APort: s, B: name, BPort: 0, L: l})
 				n.Servers = append(n.Servers, &Server{
 					NIC: nc, Tor: tor, TorPort: s, Podset: p, TorIdx: t, Idx: s,
 				})
@@ -256,15 +264,28 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 				l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.LeafCableM))
 				tor.AttachLink(torPort, l, 0, leaf.MAC(), false)
 				leaf.AttachLink(leafPort, l, 1, tor.MAC(), false)
-				n.Links = append(n.Links, LinkRec{A: tor.Name(), APort: torPort, B: leaf.Name(), BPort: leafPort})
+				n.Links = append(n.Links, LinkRec{A: tor.Name(), APort: torPort, B: leaf.Name(), BPort: leafPort, L: l})
 				uplinks = append(uplinks, torPort)
 				// Leaf routes down to this ToR's subnet.
 				leaf.AddRoute(fabric.Route{Prefix: torSubnet(p, t), Bits: 24, Ports: []int{leafPort}})
 			}
 			// ToR default route: ECMP over all its leafs (absent on a
-			// single-rack topology).
+			// single-rack topology), plus a /24 per remote ToR with the
+			// same ECMP group. Forwarding is identical — same ports, same
+			// hash — but the per-destination entries are what the control
+			// plane withdraws next hops from when a path dies (a default
+			// route could only be withdrawn for all destinations at once).
 			if len(uplinks) > 0 {
 				tor.AddRoute(fabric.Route{Prefix: packet.Addr{}, Bits: 0, Ports: append([]int(nil), uplinks...)})
+				for p2 := 0; p2 < spec.Podsets; p2++ {
+					for t2 := 0; t2 < spec.TorsPerPod; t2++ {
+						if p2 == p && t2 == t {
+							continue
+						}
+						tor.AddRoute(fabric.Route{Prefix: torSubnet(p2, t2), Bits: 24,
+							Ports: append([]int(nil), uplinks...)})
+					}
+				}
 			}
 		}
 	}
@@ -284,21 +305,122 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 					l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.SpineCableM))
 					leaf.AttachLink(leafPort, l, 0, spine.MAC(), false)
 					spine.AttachLink(spinePort, l, 1, leaf.MAC(), false)
-					n.Links = append(n.Links, LinkRec{A: leaf.Name(), APort: leafPort, B: spine.Name(), BPort: spinePort})
+					n.Links = append(n.Links, LinkRec{A: leaf.Name(), APort: leafPort, B: spine.Name(), BPort: spinePort, L: l})
 					spinePorts = append(spinePorts, leafPort)
 					n.LeafSpineLinks = append(n.LeafSpineLinks, l)
-					// Spine routes each podset's /16 down to its leaf.
+					// Spine routes each podset's /16 down to its leaf, with
+					// withdrawable per-ToR /24s on top: if the leaf loses one
+					// ToR, the spine must withdraw only that ToR's prefix,
+					// not the podset.
 					spine.AddRoute(fabric.Route{
 						Prefix: packet.IPv4Addr(10, byte(p), 0, 0), Bits: 16,
 						Ports: []int{spinePort},
 					})
+					for t2 := 0; t2 < spec.TorsPerPod; t2++ {
+						spine.AddRoute(fabric.Route{Prefix: torSubnet(p, t2), Bits: 24,
+							Ports: []int{spinePort}})
+					}
 				}
-				// Leaf default route: ECMP over its spines.
+				// Leaf default route: ECMP over its spines, plus
+				// withdrawable /24s per remote-podset ToR (local-podset
+				// ToRs already have their specific single-port routes).
 				leaf.AddRoute(fabric.Route{Prefix: packet.Addr{}, Bits: 0, Ports: spinePorts})
+				for p2 := 0; p2 < spec.Podsets; p2++ {
+					if p2 == p {
+						continue
+					}
+					for t2 := 0; t2 < spec.TorsPerPod; t2++ {
+						leaf.AddRoute(fabric.Route{Prefix: torSubnet(p2, t2), Bits: 24,
+							Ports: append([]int(nil), spinePorts...)})
+					}
+				}
 			}
 		}
 	}
+	// Adjacency map and carrier hooks: any cable transition (a pulled
+	// cable, a rebooting switch dropping all its links) triggers route
+	// reconvergence, coalesced per timestamp.
+	byName := make(map[string]*fabric.Switch)
+	for _, sw := range n.Switches() {
+		byName[sw.Name()] = sw
+	}
+	n.adj = make(map[string]map[int]*fabric.Switch)
+	port := func(dev string, p int, peer *fabric.Switch) {
+		if byName[dev] == nil {
+			return // server side: no routing state
+		}
+		if n.adj[dev] == nil {
+			n.adj[dev] = make(map[int]*fabric.Switch)
+		}
+		n.adj[dev][p] = peer
+	}
+	for _, rec := range n.Links {
+		port(rec.A, rec.APort, byName[rec.B])
+		port(rec.B, rec.BPort, byName[rec.A])
+		rec.L.OnCarrier = func(bool) { n.scheduleReconverge() }
+	}
+
+	// Announce the wired fabric so late-attaching observers (the fault
+	// injector resolving "link:tor-0-0~leaf-0-1" targets) can discover it
+	// through the kernel's component registry.
+	k.Announce(n)
 	return n, nil
+}
+
+// scheduleReconverge coalesces carrier transitions landing at the same
+// instant (a switch reboot downs every attached cable at once) into one
+// reconvergence pass, run after the current event completes.
+func (n *Network) scheduleReconverge() {
+	if n.reconvergePending {
+		return
+	}
+	n.reconvergePending = true
+	n.K.After(0, func() {
+		n.reconvergePending = false
+		n.Reconverge()
+	})
+}
+
+// Reconverge recomputes every switch's live ECMP groups from the static
+// routing configuration and current carrier state — the instantaneous
+// stand-in for the fabric's BGP withdrawing routes through dead links
+// and re-advertising them on link-up. First each switch drops next hops
+// whose own cable is dead; then withdrawal propagates: a next hop is
+// pruned when the neighbor behind it has no remaining path to the
+// destination prefix, iterated to fixpoint so dead ends several hops
+// away (a spine whose only downlink into a podset died) withdraw all the
+// way back to the sources.
+func (n *Network) Reconverge() {
+	sws := n.Switches()
+	for _, sw := range sws {
+		sw := sw
+		sw.ResetRoutes(func(port int) bool {
+			l := sw.PortLink(port)
+			return l != nil && !l.Down
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sw := range sws {
+			ports := n.adj[sw.Name()]
+			if sw.PruneRoutes(func(prefix packet.Addr, bits, port int) bool {
+				// Only per-ToR /24s are withdrawn transitively; shorter
+				// prefixes (defaults, podset /16s) aggregate too many
+				// destinations to judge by one probe and act as static
+				// backstops, pruned by local carrier only.
+				if bits != 24 {
+					return true
+				}
+				peer := ports[port]
+				if peer == nil {
+					return true // server-facing: hosts don't transit
+				}
+				return peer.RouteUsable(prefix)
+			}) {
+				changed = true
+			}
+		}
+	}
 }
 
 // QPPair creates a connected queue pair between two servers; mod (may be
