@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test test-race vet audit chaos bench bench-json bench-kernel bench-compare report examples clean
+.PHONY: all check build test test-race vet audit chaos transports bench bench-json bench-kernel bench-compare report examples clean
 
 all: build vet test
 
@@ -9,13 +9,16 @@ all: build vet test
 # packages tests don't import, then the full test suite, then the
 # golden experiments replayed under the runtime invariant auditor,
 # then the quick chaos campaign (fault injection with safeguard
-# scoring; exits nonzero if an expected safeguard fails to fire).
+# scoring; exits nonzero if an expected safeguard fails to fire),
+# then the quick transport matrix run twice and diffed (byte-
+# determinism is part of the gate).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) run ./cmd/roce-audit
 	$(GO) run ./cmd/roce-chaos -quick
+	$(MAKE) transports
 
 # Fault-injection campaigns (see EXPERIMENTS.md "Chaos campaigns").
 # `make chaos` runs the small CI matrix; CAMPAIGN=full sweeps the whole
@@ -25,6 +28,22 @@ ifeq ($(CAMPAIGN),full)
 	$(GO) run ./cmd/roce-chaos
 else
 	$(GO) run ./cmd/roce-chaos -quick
+endif
+
+# Three-way transport matrix (see EXPERIMENTS.md "Lossless vs lossy"):
+# the same scenarios under PFC+DCQCN and both IRN variants. The default
+# quick grid (storm + incast) runs twice and is diffed — the matrix
+# must render byte-identically run to run, every lossy cell must be
+# pause-free, and every victim must recover (the command exits nonzero
+# otherwise). TRANSPORTS=full sweeps all four scenarios once.
+transports:
+ifeq ($(TRANSPORTS),full)
+	$(GO) run ./cmd/roce-transports
+else
+	$(GO) run ./cmd/roce-transports -quick > /tmp/roce-transports-1.txt
+	$(GO) run ./cmd/roce-transports -quick > /tmp/roce-transports-2.txt
+	cmp /tmp/roce-transports-1.txt /tmp/roce-transports-2.txt
+	@cat /tmp/roce-transports-1.txt
 endif
 
 # Runtime invariant audit alone: deadlock, storm, alpha incident and

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"rocesim/internal/faults"
@@ -100,5 +102,54 @@ func TestAcceptanceCells(t *testing.T) {
 
 	if sc.Failed() {
 		t.Fatalf("expected safeguards missing:\n%s", sc.Text())
+	}
+}
+
+// TestPFCCellsMatchPR5 pins the lossless fleet's scores to the snapshot
+// taken before the campaign learned about transports
+// (testdata/golden-pr5.json): the transport column and the IRN scenarios
+// are additive, so every pre-existing PFC+DCQCN cell must score exactly
+// what it scored then, field for field. A diff here means the transport
+// refactor changed lossless-path behavior, not just added to it.
+func TestPFCCellsMatchPR5(t *testing.T) {
+	load := func(name string) map[string]map[string]any {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc struct {
+			Cells []map[string]any `json:"cells"`
+		}
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]map[string]any, len(sc.Cells))
+		for _, c := range sc.Cells {
+			out[c["scenario"].(string)+"/"+c["fault"].(string)] = c
+		}
+		return out
+	}
+	old, cur := load("golden-pr5.json"), load("golden.json")
+	if len(old) == 0 {
+		t.Fatal("golden-pr5.json holds no cells")
+	}
+	for name, want := range old {
+		got, ok := cur[name]
+		if !ok {
+			t.Errorf("cell %s disappeared from the campaign", name)
+			continue
+		}
+		if tr := got["transport"]; tr != "pfc+dcqcn" {
+			t.Errorf("%s: pre-existing cell reports transport %v", name, tr)
+		}
+		for key, w := range want {
+			if !reflect.DeepEqual(got[key], w) {
+				t.Errorf("%s: %s drifted from PR5: %v -> %v", name, key, w, got[key])
+			}
+		}
+		// No new scoring fields beyond the transport column.
+		if len(got) != len(want)+1 {
+			t.Errorf("%s: field count %d, want %d+transport", name, len(got), len(want))
+		}
 	}
 }

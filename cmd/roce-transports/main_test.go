@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickMatrixDeterministicAndSafe is the CI gate behind `make
+// transports`: the quick grid renders byte-identically run to run, the
+// lossy fabrics never emit a pause frame, and every cell's victim
+// traffic survives its scenario.
+func TestQuickMatrixDeterministicAndSafe(t *testing.T) {
+	r1 := matrix(61, true)
+	r2 := matrix(61, true)
+	if r1.Table() != r2.Table() {
+		t.Fatalf("matrix not byte-deterministic:\n--- run1\n%s--- run2\n%s", r1.Table(), r2.Table())
+	}
+	if bad := verdict(r1); len(bad) != 0 {
+		t.Fatalf("verdict failures: %v", bad)
+	}
+	for _, want := range []string{"pfc-storm", "incast", "irn-no-pfc", "irn+ecn", "winners by goodput"} {
+		if !strings.Contains(r1.Table(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	// The three-way comparison must include all modes for each scenario.
+	if got := strings.Count(r1.Table(), "pfc-storm"); got != 4 {
+		// 3 cells + possibly the winners row; at least the 3 cells.
+		if got < 3 {
+			t.Errorf("pfc-storm appears %d times", got)
+		}
+	}
+}

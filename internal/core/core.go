@@ -13,6 +13,7 @@ import (
 
 	"rocesim/internal/dcqcn"
 	"rocesim/internal/fabric"
+	"rocesim/internal/irn"
 	"rocesim/internal/monitor"
 	"rocesim/internal/nic"
 	"rocesim/internal/packet"
@@ -52,6 +53,44 @@ func (m PFCMode) String() string {
 		return "dscp-based"
 	}
 	return "vlan-based"
+}
+
+// TransportMode selects the fabric-wide answer to "does RDMA need a
+// lossless network?". The paper's deployment (the zero value) says yes
+// and builds one with PFC; the IRN modes (Mittal et al., SIGCOMM 2018)
+// say no and run selective repeat over a lossy fabric — without or with
+// ECN-driven end-to-end congestion control.
+type TransportMode int
+
+// Transport modes.
+const (
+	// TransportPFCDCQCN is the paper's production stack: a PFC-lossless
+	// fabric, go-back-N recovery, DCQCN congestion control.
+	TransportPFCDCQCN TransportMode = iota
+	// TransportIRNNoPFC disables PFC everywhere (switch lossless PGs
+	// and NIC pause generation) and runs IRN selective repeat with only
+	// its BDP flight bound for congestion control.
+	TransportIRNNoPFC
+	// TransportIRNECN is IRN on a lossy fabric that still marks ECN:
+	// selective repeat for loss recovery plus DCQCN for rate control.
+	TransportIRNECN
+)
+
+// String names the mode.
+func (m TransportMode) String() string {
+	switch m {
+	case TransportIRNNoPFC:
+		return "irn-no-pfc"
+	case TransportIRNECN:
+		return "irn+ecn"
+	default:
+		return "pfc+dcqcn"
+	}
+}
+
+// IRN reports whether the mode runs selective repeat on a lossy fabric.
+func (m TransportMode) IRN() bool {
+	return m == TransportIRNNoPFC || m == TransportIRNECN
 }
 
 // Safety is the Section 4 fix switchboard. The zero value is the "all
@@ -139,6 +178,10 @@ type Config struct {
 	Mode     PFCMode
 	Safety   Safety
 	Stage    Stage
+	// Transport selects the lossless-vs-lossy stack. The default,
+	// TransportPFCDCQCN, is the paper's deployment; the IRN modes strip
+	// PFC from every switch and NIC and run selective repeat instead.
+	Transport TransportMode
 	// Alpha overrides the dynamic-buffer parameter (default 1/16; the
 	// incident of §6.2 shipped 1/64).
 	Alpha float64
@@ -210,6 +253,13 @@ func New(k *sim.Kernel, cfg Config) (*Deployment, error) {
 			// Staged rollout: this layer treats every class as lossy.
 			c.Buffer.LosslessPGs = [8]bool{}
 		}
+		if cfg.Transport.IRN() {
+			// Lossy fabric: no lossless classes anywhere, so no PFC, no
+			// headroom, no pause storms — and no watchdog to fight them.
+			// ECN marking stays only in the irn+ecn mode.
+			c.Buffer.LosslessPGs = [8]bool{}
+			c.ECN.Enabled = cfg.Transport == TransportIRNECN
+		}
 		if cfg.SwitchTweak != nil {
 			cfg.SwitchTweak(level, &c)
 		}
@@ -225,6 +275,9 @@ func New(k *sim.Kernel, cfg Config) (*Deployment, error) {
 		c.MissPenalty = 600 * simtime.Nanosecond
 		if safety.NICWatchdog {
 			c.Watchdog = nic.DefaultWatchdog()
+		}
+		if cfg.Transport.IRN() {
+			c.LosslessMask = 0 // the NIC never generates pause frames
 		}
 		if cfg.NICTweak != nil {
 			cfg.NICTweak(&c)
@@ -258,27 +311,52 @@ func New(k *sim.Kernel, cfg Config) (*Deployment, error) {
 // desiredSwitchConfig is the operator intent recorded in the config
 // store.
 func (d *Deployment) desiredSwitchConfig() map[string]string {
+	// ECN intent follows the transport contract: the Safety switchboard
+	// governs the PFC stack, but an IRN fabric marks only in irn+ecn
+	// mode — otherwise the drift checker would page on every lossy
+	// deployment.
+	ecn := d.Cfg.Safety.DCQCN
+	if d.Cfg.Transport.IRN() {
+		ecn = d.Cfg.Transport == TransportIRNECN
+	}
 	return map[string]string{
 		"alpha":    fmt.Sprintf("1/%d", int(1/d.Cfg.Alpha+0.5)),
 		"dynamic":  fmt.Sprintf("%v", d.Cfg.Safety.DynamicBuffer),
 		"arp_fix":  fmt.Sprintf("%v", d.Cfg.Safety.ARPDropFix),
-		"ecn":      fmt.Sprintf("%v", d.Cfg.Safety.DCQCN),
+		"ecn":      fmt.Sprintf("%v", ecn),
 		"watchdog": fmt.Sprintf("%v", d.Cfg.Safety.SwitchWatchdog),
 	}
 }
 
 // Connect creates an RC queue pair between two servers in the bulk or
-// real-time class, applying the deployment's transport safety settings
-// (recovery scheme, DCQCN, and VLAN tagging in VLANBased mode).
+// real-time class, applying the deployment's transport settings: the
+// recovery scheme and DCQCN per the Safety switchboard in the PFC
+// stack, or IRN with a topology-derived BDP flight cap in the lossy
+// modes (rate control only when the fabric still marks ECN), plus VLAN
+// tagging in VLANBased mode.
 func (d *Deployment) Connect(a, b *topology.Server, class int) (qa, qb *transport.QP) {
 	return d.Net.QPPair(a, b, func(c *transport.Config) {
 		c.Priority = class
-		if d.Cfg.Safety.GoBackN {
+		switch {
+		case d.Cfg.Transport.IRN():
+			c.Recovery = transport.IRN
+			frame := packet.EthernetHeaderLen + packet.IPv4HeaderLen +
+				packet.UDPHeaderLen + packet.BTHLen + c.MTU +
+				packet.ICRCLen + packet.EthernetFCSLen
+			if d.Cfg.Mode == VLANBased {
+				frame += packet.VLANTagLen
+			}
+			c.IRN = &irn.Config{BDPBytes: d.Cfg.Topology.BDPBytes(frame)}
+			if d.Cfg.Transport == TransportIRNECN {
+				p := d.dcqcnParams
+				c.DCQCN = &p
+			}
+		case d.Cfg.Safety.GoBackN:
 			c.Recovery = transport.GoBackN
-		} else {
+		default:
 			c.Recovery = transport.GoBack0
 		}
-		if d.Cfg.Safety.DCQCN {
+		if !d.Cfg.Transport.IRN() && d.Cfg.Safety.DCQCN {
 			p := d.dcqcnParams
 			c.DCQCN = &p
 		}

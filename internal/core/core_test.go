@@ -179,3 +179,86 @@ func TestEndToEndDSCPLosslessUnderIncast(t *testing.T) {
 		}
 	}
 }
+
+func TestIRNModesRunLossyAndRecover(t *testing.T) {
+	for _, mode := range []TransportMode{TransportIRNNoPFC, TransportIRNECN} {
+		t.Run(mode.String(), func(t *testing.T) {
+			k := sim.NewKernel(31 + int64(mode))
+			cfg := DefaultConfig(topology.RackSpec(4))
+			cfg.Transport = mode
+			d, err := New(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The whole fabric must have renounced PFC: no lossless PGs
+			// on any switch, no pause generation on any NIC.
+			for _, sw := range d.Net.Switches() {
+				if sw.Config().Buffer.LosslessPGs != [8]bool{} {
+					t.Fatalf("%s kept lossless PGs under %v", sw.Name(), mode)
+				}
+				if want := mode == TransportIRNECN; sw.Config().ECN.Enabled != want {
+					t.Fatalf("%s ECN enabled=%v under %v", sw.Name(), !want, mode)
+				}
+			}
+			for _, s := range d.Net.Servers {
+				if s.NIC.Config().LosslessMask != 0 {
+					t.Fatalf("%s kept a lossless mask under %v", s.NIC.Name(), mode)
+				}
+			}
+
+			// Force genuine wire loss on the first server's cable.
+			d.Net.Links[0].L.FCSErrorRate = 0.02
+
+			qa, _ := d.Connect(d.Net.Server(0, 0, 0), d.Net.Server(0, 0, 1), ClassBulk)
+			if qa.Config().Recovery != transport.IRN || !qa.Strategy().SelectiveRepeat() {
+				t.Fatal("IRN mode did not select the IRN strategy")
+			}
+			if qa.Config().IRN == nil || qa.Config().IRN.BDPBytes <= 0 {
+				t.Fatal("IRN mode did not derive a BDP cap from the topology")
+			}
+			if (qa.Config().DCQCN != nil) != (mode == TransportIRNECN) {
+				t.Fatalf("DCQCN wiring wrong for %v", mode)
+			}
+
+			done := 0
+			for i := 0; i < 4; i++ {
+				qa.Post(transport.OpSend, 1<<20, func(_, _ simtime.Time) { done++ })
+			}
+			k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+			if done != 4 {
+				t.Fatalf("%d/4 transfers completed through a lossy wire", done)
+			}
+			if d.Net.Links[0].L.FCSErrors == 0 {
+				t.Fatal("loss injection never fired; the test proved nothing")
+			}
+			if qa.S.PacketsRetx == 0 {
+				t.Fatal("recovery happened without retransmissions?")
+			}
+
+			snap := k.Metrics().Snapshot()
+			if pauses := snap.SumSuffix("/pause_tx"); pauses != 0 {
+				t.Fatalf("lossy fabric emitted %g pause frames", pauses)
+			}
+			if retx := snap.SumSuffix("/qp_retx_packets"); retx == 0 {
+				t.Fatal("device retx counter silent despite recovery")
+			}
+		})
+	}
+}
+
+func TestTransportModeStrings(t *testing.T) {
+	cases := map[TransportMode]string{
+		TransportPFCDCQCN: "pfc+dcqcn",
+		TransportIRNNoPFC: "irn-no-pfc",
+		TransportIRNECN:   "irn+ecn",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String()=%q want %q", m, m.String(), want)
+		}
+		if m.IRN() != (m != TransportPFCDCQCN) {
+			t.Errorf("%v.IRN() wrong", m)
+		}
+	}
+}

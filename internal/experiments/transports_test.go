@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rocesim/internal/core"
+)
+
+func TestTransportMatrixQuick(t *testing.T) {
+	cfg := DefaultTransportMatrix(true)
+	r := RunTransportMatrix(cfg)
+
+	if len(r.Scenarios) != 2 || r.Scenarios[0] != "pfc-storm" || r.Scenarios[1] != "incast" {
+		t.Fatalf("quick scenarios: %v", r.Scenarios)
+	}
+	if len(r.Cells) != len(r.Scenarios)*len(TransportModes) {
+		t.Fatalf("cell count %d", len(r.Cells))
+	}
+
+	for _, c := range r.Cells {
+		if c.Mode != core.TransportPFCDCQCN.String() && c.PauseTx != 0 {
+			t.Errorf("%s/%s: lossy fabric emitted %d pause frames", c.Scenario, c.Mode, c.PauseTx)
+		}
+		if !c.Recovered {
+			t.Errorf("%s/%s: victim traffic never recovered", c.Scenario, c.Mode)
+		}
+		if c.Completed == 0 || c.GoodputGbps <= 0 {
+			t.Errorf("%s/%s: no progress at all: %+v", c.Scenario, c.Mode, c)
+		}
+	}
+
+	// The storm must actually storm under PFC: pause frames flew, and
+	// the pause-free IRN fabric kept victims faster than the paused one.
+	storm := map[string]TransportCell{}
+	for _, c := range r.Cells {
+		if c.Scenario == "pfc-storm" {
+			storm[c.Mode] = c
+		}
+	}
+	if storm["pfc+dcqcn"].PauseTx == 0 {
+		t.Error("PFC storm scenario generated no pause frames under pfc+dcqcn")
+	}
+	if storm["irn-no-pfc"].GoodputGbps <= storm["pfc+dcqcn"].GoodputGbps {
+		t.Errorf("storm: irn-no-pfc %.2f <= pfc+dcqcn %.2f Gb/s — the storm had no cost?",
+			storm["irn-no-pfc"].GoodputGbps, storm["pfc+dcqcn"].GoodputGbps)
+	}
+
+	// Byte-determinism: the whole rendered table, not just totals.
+	r2 := RunTransportMatrix(cfg)
+	if r.Table() != r2.Table() {
+		t.Fatalf("transport matrix not deterministic:\n--- run1\n%s--- run2\n%s", r.Table(), r2.Table())
+	}
+	if !strings.Contains(r.Table(), "winners by goodput") {
+		t.Fatal("table lost its winners section")
+	}
+}
+
+func TestTransportMatrixFullScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix in -short mode")
+	}
+	r := RunTransportMatrix(DefaultTransportMatrix(false))
+	if len(r.Scenarios) != 4 {
+		t.Fatalf("full scenarios: %v", r.Scenarios)
+	}
+
+	cells := map[string]TransportCell{}
+	for _, c := range r.Cells {
+		cells[c.Scenario+"/"+c.Mode] = c
+	}
+
+	// Wire loss: both stacks recover, but go-back-N re-walks its window
+	// per drop while IRN repairs selectively — strictly fewer
+	// retransmissions for at least as much goodput.
+	gbn := cells["loss-recovery/pfc+dcqcn"]
+	irn := cells["loss-recovery/irn-no-pfc"]
+	if gbn.FCSErrors == 0 || irn.FCSErrors == 0 {
+		t.Fatal("loss-recovery scenario injected no loss")
+	}
+	if irn.Retx >= gbn.Retx {
+		t.Errorf("selective repeat retransmitted %d >= go-back-N's %d", irn.Retx, gbn.Retx)
+	}
+	if irn.GoodputGbps < gbn.GoodputGbps {
+		t.Errorf("IRN goodput %.2f below go-back-N %.2f under identical loss",
+			irn.GoodputGbps, gbn.GoodputGbps)
+	}
+
+	// Pause propagation: the misconfigured-α incident floods pauses
+	// only where PFC exists.
+	if cells["pause-propagation/pfc+dcqcn"].PauseTx == 0 {
+		t.Error("pause-propagation scenario produced no pauses under PFC")
+	}
+	if cells["pause-propagation/irn-no-pfc"].PauseTx != 0 {
+		t.Error("pause propagation on a pause-free fabric")
+	}
+
+	// Winners are well-defined for every scenario.
+	for _, s := range r.Scenarios {
+		if w := r.Winner(s); w.Mode == "" {
+			t.Errorf("no winner for %s", s)
+		}
+	}
+}

@@ -6,10 +6,10 @@ import (
 
 	"rocesim/internal/core"
 	"rocesim/internal/fabric"
-	"rocesim/internal/nic"
 	"rocesim/internal/flighttrace"
 	"rocesim/internal/invariant"
 	"rocesim/internal/monitor"
+	"rocesim/internal/nic"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
 	"rocesim/internal/telemetry"
@@ -28,11 +28,17 @@ type Scenario struct {
 	// Duration/4 and Duration/2.
 	FaultAt  simtime.Time
 	FaultDur simtime.Duration
+	// Transport selects the fabric contract the deployment runs under
+	// (zero value: the paper's PFC+DCQCN lossless stack). The runner
+	// passes it to Build and records it in the cell.
+	Transport core.TransportMode
 	// Roles maps role names to injector targets.
 	Roles map[string]string
 	// Build constructs the deployment and starts traffic, returning the
-	// streams whose progress defines the cell's throughput.
-	Build func(k *sim.Kernel) (*core.Deployment, []*workload.Streamer)
+	// streams whose progress defines the cell's throughput. The mode is
+	// the scenario's Transport, passed in so shared constructors can set
+	// cfg.Transport without closing over the field.
+	Build func(k *sim.Kernel, mode core.TransportMode) (*core.Deployment, []*workload.Streamer)
 }
 
 // FaultSpec is one row of the matrix. A spec only runs against scenarios
@@ -102,12 +108,12 @@ func (c Campaign) Run() *Scorecard {
 // attached, the incident detector armed, and per-interval throughput
 // sampled off the deployment's collector.
 func (c Campaign) runCell(s Scenario, f FaultSpec) Cell {
-	cell := Cell{Scenario: s.Name, Fault: f.Name, Expect: f.Expect}
+	cell := Cell{Scenario: s.Name, Fault: f.Name, Transport: s.Transport.String(), Expect: f.Expect}
 	k := sim.NewKernel(c.Seed ^ int64(fnv64(s.Name+"/"+f.Name)))
 	aud := invariant.Attach(k, invariant.Options{})
 	rec := flighttrace.NewRecorder(128).Attach(k.Trace(), telemetry.EvAll)
 
-	d, streams := s.Build(k)
+	d, streams := s.Build(k, s.Transport)
 
 	faultAt := s.FaultAt
 	if faultAt == 0 {
@@ -215,7 +221,7 @@ func (c Campaign) runCell(s Scenario, f FaultSpec) Cell {
 	cell.Violations = aud.Total()
 	cell.Flags = len(aud.Flags())
 	cell.Drifts = len(d.CheckDrift())
-	cell.Safeguards = c.safeguards(d, snap, f.Kind, cell)
+	cell.Safeguards = c.safeguards(d, snap, f.Kind, s.Transport, cell)
 	for _, sg := range cell.Safeguards {
 		if sg == cell.Expect {
 			cell.ExpectFired = true
@@ -235,7 +241,7 @@ func (c Campaign) runCell(s Scenario, f FaultSpec) Cell {
 
 // safeguards reports which of the paper's defenses demonstrably acted
 // during the cell, from the end-of-run registry snapshot.
-func (c Campaign) safeguards(d *core.Deployment, snap *telemetry.Snapshot, kind Kind, cell Cell) []string {
+func (c Campaign) safeguards(d *core.Deployment, snap *telemetry.Snapshot, kind Kind, mode core.TransportMode, cell Cell) []string {
 	var out []string
 	nicTrips, swTrips := 0.0, 0.0
 	for _, s := range d.Net.Servers {
@@ -251,7 +257,14 @@ func (c Campaign) safeguards(d *core.Deployment, snap *telemetry.Snapshot, kind 
 		out = append(out, "switch-watchdog")
 	}
 	if snap.SumSuffix("/qp_retx_packets") > 0 {
-		out = append(out, "go-back-n")
+		// The same counter names a different defense depending on the
+		// transport: cumulative stacks re-walk the window (go-back-N),
+		// IRN repairs only the lost PSNs.
+		if mode.IRN() {
+			out = append(out, "selective-repeat")
+		} else {
+			out = append(out, "go-back-n")
+		}
 	}
 	if snap.SumSuffix("/cnps_tx") > 0 {
 		out = append(out, "dcqcn")
@@ -338,13 +351,14 @@ func RackPairScenario(name string, duration simtime.Duration, mitigated bool) Sc
 			"tor":         "switch:tor-0-0",
 			"leaf":        "switch:leaf-0-0",
 		},
-		Build: func(k *sim.Kernel) (*core.Deployment, []*workload.Streamer) {
+		Build: func(k *sim.Kernel, mode core.TransportMode) (*core.Deployment, []*workload.Streamer) {
 			spec := topology.Spec{
 				Name: "rack-pair", Podsets: 1, LeafsPerPod: 2, TorsPerPod: 2,
 				ServersPerTor: 5, LinkRate: 10 * simtime.Gbps,
 				ServerCableM: 2, LeafCableM: 20,
 			}
 			cfg := core.DefaultConfig(spec)
+			cfg.Transport = mode
 			if !mitigated {
 				cfg.Safety.NICWatchdog = false
 				cfg.Safety.SwitchWatchdog = false
@@ -385,13 +399,14 @@ func ClosScenario(name string, duration simtime.Duration) Scenario {
 			"spine":     "switch:spine-0",
 			"leaf":      "switch:leaf-0-0",
 		},
-		Build: func(k *sim.Kernel) (*core.Deployment, []*workload.Streamer) {
+		Build: func(k *sim.Kernel, mode core.TransportMode) (*core.Deployment, []*workload.Streamer) {
 			spec := topology.Spec{
 				Name: "clos", Podsets: 2, LeafsPerPod: 2, TorsPerPod: 2,
 				ServersPerTor: 2, Spines: 4, LinkRate: 10 * simtime.Gbps,
 				ServerCableM: 2, LeafCableM: 20, SpineCableM: 300,
 			}
 			cfg := core.DefaultConfig(spec)
+			cfg.Transport = mode
 			scaleWatchdogs(&cfg)
 			d, err := core.New(k, cfg)
 			if err != nil {
@@ -428,12 +443,31 @@ func DefaultCampaign(seed int64) Campaign {
 		"rogue-nic-raw": unsafe.Roles["rogue-nic"],
 		"tor-mmu":       unsafe.Roles["tor"],
 	}
+	// The IRN columns rerun the rack pair on a lossy fabric (no PFC,
+	// selective repeat), without and with ECN rate control. Their roles
+	// get irn-prefixed names so the lossless fleet's expectations —
+	// go-back-n, watchdogs — don't apply to cells where they can't fire.
+	irn := RackPairScenario("rack-pair-irn", 160*simtime.Millisecond, true)
+	irn.Transport = core.TransportIRNNoPFC
+	irn.Roles = map[string]string{
+		"irn-rogue-nic":   irn.Roles["rogue-nic"],
+		"irn-victim-link": irn.Roles["victim-link"],
+		"irn-uplink":      irn.Roles["uplink"],
+	}
+	irnECN := RackPairScenario("rack-pair-irn-ecn", 160*simtime.Millisecond, true)
+	irnECN.Transport = core.TransportIRNECN
+	irnECN.Roles = map[string]string{
+		"irn-ecn-victim-link": irnECN.Roles["victim-link"],
+		"irn-ecn-victim-nic":  irnECN.Roles["victim-nic"],
+	}
 	return Campaign{
 		Seed: seed,
 		Scenarios: []Scenario{
 			safe,
 			unsafe,
 			ClosScenario("clos", 160*simtime.Millisecond),
+			irn,
+			irnECN,
 		},
 		Faults: []FaultSpec{
 			{Name: "nic-pause-storm", Kind: NICPauseStorm, Role: "rogue-nic", Permanent: true, Expect: "nic-watchdog"},
@@ -450,6 +484,19 @@ func DefaultCampaign(seed int64) Campaign {
 			{Name: "lossless-as-lossy", Kind: CfgLosslessAsLossy, Role: "tor-mmu", Param: 4, Permanent: true, Expect: "go-back-n"},
 			{Name: "core-link-down", Kind: LinkDown, Role: "core-link", Expect: "ecmp-failover"},
 			{Name: "spine-reboot", Kind: SwitchReboot, Role: "spine", Expect: "ecmp-failover"},
+			// IRN columns: the same wire corruption that demands go-back-N
+			// on the lossless fleet is repaired by selective retransmit;
+			// ECMP withdrawal works the same either way; and the two
+			// no-expect cells are the point of the lossy fabric — a pause
+			// storm has no blast radius without PFC to propagate it, and a
+			// degraded receiver is absorbed by the BDP flight cap (the
+			// sender ACK-clocks down to the receiver's pace) where the
+			// lossless fleet needs DCQCN to survive the same fault.
+			{Name: "srv-link-corrupt", Kind: LinkCorrupt, Role: "irn-victim-link", Expect: "selective-repeat"},
+			{Name: "nic-pause-storm", Kind: NICPauseStorm, Role: "irn-rogue-nic", Permanent: true},
+			{Name: "uplink-down", Kind: LinkDown, Role: "irn-uplink", Expect: "ecmp-failover"},
+			{Name: "srv-link-corrupt", Kind: LinkCorrupt, Role: "irn-ecn-victim-link", Expect: "selective-repeat"},
+			{Name: "nic-rx-degrade", Kind: NICRxDegrade, Role: "irn-ecn-victim-nic"},
 		},
 	}
 }

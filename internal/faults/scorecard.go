@@ -11,6 +11,9 @@ import (
 type Cell struct {
 	Scenario string `json:"scenario"`
 	Fault    string `json:"fault"`
+	// Transport is the fabric contract the scenario ran under:
+	// "pfc+dcqcn", "irn-no-pfc" or "irn+ecn".
+	Transport string `json:"transport"`
 
 	// Detection: did the live incident detector raise an alert at or
 	// after fault onset, how long after, and on which device.

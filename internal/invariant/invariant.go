@@ -96,10 +96,14 @@ type pauseKey struct {
 	pri  int
 }
 
-// qpCount pairs posted work requests with retired completions for one QP.
+// qpCount pairs posted work requests with retired completions for one
+// QP, alongside the transport-strategy descriptors the PSN rules depend
+// on (captured once at announce; strategies are fixed per QP).
 type qpCount struct {
-	wqe uint64
-	cqe uint64
+	wqe       uint64
+	cqe       uint64
+	selective bool   // strategy allows the ack point to jump over SACKed runs
+	maxOut    uint32 // strategy's flight bound in packets
 }
 
 // Auditor watches one kernel's simulation. Create with Attach.
@@ -151,7 +155,11 @@ func (a *Auditor) onAnnounce(v any) {
 	case *nic.NIC:
 		a.nics[d.Name()] = d
 	case *transport.QP:
-		a.qps[d] = &qpCount{}
+		s := d.Strategy()
+		a.qps[d] = &qpCount{
+			selective: s.SelectiveRepeat(),
+			maxOut:    s.MaxOutstanding(),
+		}
 		d.SetAuditor(a)
 		if rp := d.RP(); rp != nil {
 			q := d
@@ -280,10 +288,19 @@ func (a *Auditor) CQECompleted(q *transport.QP, kind transport.OpKind) {
 }
 
 // AckAdvance implements transport.Auditor: the acknowledged window only
-// moves forward, by less than half the 24-bit PSN space.
+// moves forward. For cumulative strategies any advance of half the
+// 24-bit space or more is a rewind in disguise. Selective repeat is
+// looser: a SACK-carrying NAK can jump the cumulative point over
+// arbitrarily long acknowledged runs, so only a move that lands within
+// the strategy's flight bound BEHIND the old point — the one distance
+// provably unreachable going forward — is a violation.
 func (a *Auditor) AckAdvance(q *transport.QP, from, to uint32) {
 	d := (to - from) & packet.PSNMask
-	if d == 0 || d >= 1<<23 {
+	limit := uint32(1 << 23)
+	if c := a.qps[q]; c != nil && c.selective && c.maxOut < limit {
+		limit = (1 << 24) - c.maxOut
+	}
+	if d == 0 || d >= limit {
 		a.violate(FamilyTransport, q.Config().Node, fmt.Sprintf(
 			"qp%d: ack point moved %d->%d (non-monotone)", q.Config().QPN, from, to))
 	}

@@ -162,3 +162,48 @@ func TestDisabledHooksAllocateNothing(t *testing.T) {
 		t.Fatalf("RP hot path with nil audit hook allocates %v/op", avg)
 	}
 }
+
+func TestAckAdvanceStrategyAware(t *testing.T) {
+	k := sim.NewKernel(9)
+	a := Attach(k, Options{})
+	n := nic.New(k, nic.DefaultConfig("srv0", packet.MAC{2, 0, 0, 0, 0, 1}, packet.IPv4Addr(10, 0, 0, 1)))
+
+	cum := n.CreateQP(transport.Config{QPN: 1, PeerQPN: 2, MTU: 1024, Priority: 3})
+	irnQ := n.CreateQP(transport.Config{QPN: 3, PeerQPN: 4, MTU: 1024, Priority: 3,
+		Recovery: transport.IRN})
+	maxOut := irnQ.Strategy().MaxOutstanding()
+	if maxOut == 0 || irnQ.Strategy().SelectiveRepeat() != true {
+		t.Fatalf("IRN descriptors: maxOut=%d", maxOut)
+	}
+
+	// A forward jump of half the PSN space: a rewind in disguise for
+	// cumulative strategies, but a legitimate SACK-driven jump for
+	// selective repeat.
+	a.AckAdvance(cum, 100, 100+1<<23)
+	if a.Total() != 1 {
+		t.Fatalf("cumulative half-space jump not caught: %v", a.Violations())
+	}
+	a.AckAdvance(irnQ, 100, 100+1<<23)
+	if a.Total() != 1 {
+		t.Fatalf("selective-repeat long jump wrongly flagged: %v", a.Violations())
+	}
+
+	// No movement is still a violation for both.
+	a.AckAdvance(irnQ, 7, 7)
+	if a.Total() != 2 {
+		t.Fatal("zero-advance not caught for selective repeat")
+	}
+
+	// A rewind within the flight bound is the one provably-bogus move
+	// left for selective repeat.
+	a.AckAdvance(irnQ, 1000, 1000-(maxOut-1))
+	if a.Total() != 3 {
+		t.Fatalf("flight-bound rewind not caught: %v", a.Violations())
+	}
+	// Just past the flight bound it is indistinguishable from a huge
+	// forward jump, which SACK can produce: not flagged.
+	a.AckAdvance(irnQ, 1000, (1000-(maxOut+1))&packet.PSNMask)
+	if a.Total() != 3 {
+		t.Fatalf("beyond-flight move wrongly flagged: %v", a.Violations())
+	}
+}

@@ -1,0 +1,217 @@
+// Package irn implements the mechanics of the IRN transport ("Revisiting
+// Network Support for RDMA", Mittal et al., SIGCOMM 2018): per-packet
+// tracking of out-of-order arrivals in a SACK bitmap, selective
+// retransmission of exactly the PSNs known lost, and a
+// bandwidth-delay-product cap on outstanding data. The package is pure
+// state machines over the 24-bit PSN space — no clocks, no packets, no
+// I/O — so internal/transport can drive it from its strategy layer and
+// tests can exercise wrap-around episodes directly.
+package irn
+
+// PSN arithmetic over the 24-bit space, mirroring the transport's rules.
+const (
+	psnMask = 1<<24 - 1
+	half    = 1 << 23
+)
+
+// Add advances a PSN by n in the 24-bit space.
+func Add(p, n uint32) uint32 { return (p + n) & psnMask }
+
+// Diff returns the serial difference a-b in the 24-bit space.
+func Diff(a, b uint32) int32 {
+	d := int32((a - b) & psnMask)
+	if d > half {
+		d -= 1 << 24
+	}
+	return d
+}
+
+// Meta is what the responder remembers about a packet buffered out of
+// order: enough to replay its in-order processing when the gap before it
+// fills. Payload contents are not modeled (the simulator is size-only).
+type Meta struct {
+	Opcode     uint8
+	PayloadLen int
+	AckReq     bool
+	DMALen     uint32 // READ request only
+}
+
+// TrackerWindow bounds how far past the cumulative point the responder
+// accepts out-of-order packets — IRN NICs size this to a few BDPs; the
+// simulator uses a generous fixed cap that still keeps memory bounded.
+const TrackerWindow = 1 << 14
+
+// Tracker is the responder's out-of-order receive state: the set of
+// PSNs received past the cumulative point (which the transport owns as
+// its expected PSN). It is deterministic: iteration order never leaks —
+// lookups are by explicit PSN and the bitmap is positional.
+type Tracker struct {
+	buf map[uint32]Meta
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{buf: make(map[uint32]Meta)} }
+
+// Put records an out-of-order arrival. It reports whether the PSN was
+// newly recorded (false: duplicate of an already-buffered packet, or
+// outside the tracker window relative to base).
+func (t *Tracker) Put(base, psn uint32, m Meta) bool {
+	d := Diff(psn, base)
+	if d <= 0 || d >= TrackerWindow {
+		return false
+	}
+	if _, ok := t.buf[psn]; ok {
+		return false
+	}
+	t.buf[psn] = m
+	return true
+}
+
+// Has reports whether psn is buffered.
+func (t *Tracker) Has(psn uint32) bool {
+	_, ok := t.buf[psn]
+	return ok
+}
+
+// Take removes and returns the buffered packet at psn, if any. The
+// transport calls it repeatedly as its expected PSN advances, draining
+// buffered arrivals in order.
+func (t *Tracker) Take(psn uint32) (Meta, bool) {
+	m, ok := t.buf[psn]
+	if ok {
+		delete(t.buf, psn)
+	}
+	return m, ok
+}
+
+// Len returns the number of buffered out-of-order packets.
+func (t *Tracker) Len() int { return len(t.buf) }
+
+// Bitmap renders the 64-PSN window starting at base: bit i set means
+// base+i is buffered. Bit 0 is always clear — base is the cumulative
+// point, by definition not yet received.
+func (t *Tracker) Bitmap(base uint32) uint64 {
+	var bm uint64
+	for i := uint32(1); i < 64; i++ {
+		if t.Has(Add(base, i)) {
+			bm |= 1 << i
+		}
+	}
+	return bm
+}
+
+// Lost lists the PSNs a NAK-with-SACK proves lost: every clear bit of
+// bitmap below its highest set bit, plus the cumulative point itself
+// (bit 0). PSNs are returned in ascending serial order starting at cum,
+// wrapping through the 24-bit space as needed.
+func Lost(cum uint32, bitmap uint64) []uint32 {
+	hi := -1
+	for i := 63; i >= 1; i-- {
+		if bitmap>>uint(i)&1 == 1 {
+			hi = i
+			break
+		}
+	}
+	if hi < 0 {
+		return []uint32{cum} // no SACKed packets: only the cum point is proven lost
+	}
+	var lost []uint32
+	for i := 0; i < hi; i++ {
+		if bitmap>>uint(i)&1 == 0 {
+			lost = append(lost, Add(cum, uint32(i)))
+		}
+	}
+	return lost
+}
+
+// Queue is the requester's retransmit queue: a FIFO of lost PSNs with
+// O(1) dedup, drained ahead of new data.
+type Queue struct {
+	q  []uint32
+	in map[uint32]struct{}
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{in: make(map[uint32]struct{})} }
+
+// Push enqueues psn unless already queued; reports whether it was added.
+func (rq *Queue) Push(psn uint32) bool {
+	if _, ok := rq.in[psn]; ok {
+		return false
+	}
+	rq.in[psn] = struct{}{}
+	rq.q = append(rq.q, psn)
+	return true
+}
+
+// Peek returns the head without removing it.
+func (rq *Queue) Peek() (uint32, bool) {
+	if len(rq.q) == 0 {
+		return 0, false
+	}
+	return rq.q[0], true
+}
+
+// Pop removes and returns the head.
+func (rq *Queue) Pop() (uint32, bool) {
+	if len(rq.q) == 0 {
+		return 0, false
+	}
+	psn := rq.q[0]
+	rq.q = rq.q[1:]
+	delete(rq.in, psn)
+	return psn, true
+}
+
+// Len returns the queued count.
+func (rq *Queue) Len() int { return len(rq.q) }
+
+// SackSet is the requester's record of PSNs the responder has SACKed
+// (received out of order): those must not be retransmitted on timeout.
+type SackSet struct {
+	in map[uint32]struct{}
+}
+
+// NewSackSet returns an empty set.
+func NewSackSet() *SackSet { return &SackSet{in: make(map[uint32]struct{})} }
+
+// Add records psn as SACKed.
+func (s *SackSet) Add(psn uint32) { s.in[psn] = struct{}{} }
+
+// Has reports whether psn is SACKed.
+func (s *SackSet) Has(psn uint32) bool {
+	_, ok := s.in[psn]
+	return ok
+}
+
+// PruneBelow forgets every PSN in [from, to): the cumulative ack point
+// advanced past them, so they can never be asked about again.
+func (s *SackSet) PruneBelow(from, to uint32) {
+	for psn := from; psn != to; psn = Add(psn, 1) {
+		delete(s.in, psn)
+	}
+}
+
+// Len returns the set size.
+func (s *SackSet) Len() int { return len(s.in) }
+
+// Config parameterizes the IRN strategy on one QP.
+type Config struct {
+	// BDPBytes caps outstanding wire bytes at the path's
+	// bandwidth-delay product (IRN's flow bound). Zero falls back to
+	// the transport's packet window.
+	BDPBytes int
+}
+
+// BDPPackets converts a byte BDP cap to whole packets of the given wire
+// size, never below 2 (one packet in flight each way).
+func BDPPackets(bdpBytes, wireBytes int) uint32 {
+	if bdpBytes <= 0 || wireBytes <= 0 {
+		return 0
+	}
+	n := uint32((bdpBytes + wireBytes - 1) / wireBytes)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package irn
+
+import "testing"
+
+const mask = 1<<24 - 1
+
+func TestAddDiffWrap(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want int32
+	}{
+		{0, mask, 1},
+		{mask, 0, -1},
+		{10, mask - 9, 20},
+		{mask - 9, 10, -20},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Diff(c.a, c.b); got != c.want {
+			t.Errorf("Diff(%d,%d)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if Add(mask, 1) != 0 || Add(mask-1, 3) != 1 || Add(5, 0) != 5 {
+		t.Fatal("Add wrap arithmetic broken")
+	}
+}
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker()
+	base := uint32(100)
+	if !tr.Put(base, 102, Meta{PayloadLen: 7}) {
+		t.Fatal("Put rejected a valid OOO arrival")
+	}
+	if tr.Put(base, 102, Meta{}) {
+		t.Fatal("Put accepted a duplicate")
+	}
+	if tr.Put(base, 100, Meta{}) {
+		t.Fatal("Put accepted the in-order PSN (d=0)")
+	}
+	if tr.Put(base, 99, Meta{}) {
+		t.Fatal("Put accepted a PSN behind base")
+	}
+	if tr.Put(base, base+TrackerWindow, Meta{}) {
+		t.Fatal("Put accepted a PSN beyond the tracker window")
+	}
+	if !tr.Has(102) || tr.Has(101) {
+		t.Fatal("Has wrong")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	if _, ok := tr.Take(101); ok {
+		t.Fatal("Take returned a missing PSN")
+	}
+	m, ok := tr.Take(102)
+	if !ok || m.PayloadLen != 7 {
+		t.Fatalf("Take(102)=%v,%v", m, ok)
+	}
+	if tr.Len() != 0 || tr.Has(102) {
+		t.Fatal("Take did not remove the entry")
+	}
+}
+
+func TestBitmapSemantics(t *testing.T) {
+	tr := NewTracker()
+	base := uint32(500)
+	// Arrivals at +2, +5, +63; +64 is beyond bitmap reach but tracked.
+	for _, off := range []uint32{2, 5, 63, 64} {
+		if !tr.Put(base, base+off, Meta{}) {
+			t.Fatalf("Put(+%d) rejected", off)
+		}
+	}
+	bm := tr.Bitmap(base)
+	if bm&1 != 0 {
+		t.Fatal("bit 0 must always be clear (base is the missing PSN)")
+	}
+	want := uint64(1)<<2 | uint64(1)<<5 | uint64(1)<<63
+	if bm != want {
+		t.Fatalf("Bitmap=%#x want %#x (+64 must not appear)", bm, want)
+	}
+}
+
+func TestLost(t *testing.T) {
+	cum := uint32(1000)
+	// Empty bitmap: only the cumulative point is proven lost.
+	if got := Lost(cum, 0); len(got) != 1 || got[0] != cum {
+		t.Fatalf("Lost(empty)=%v", got)
+	}
+	// Bits 2 and 5 set: lost = cum, cum+1, cum+3, cum+4 (holes below the
+	// highest SACKed PSN). Nothing at or above bit 5.
+	got := Lost(cum, 1<<2|1<<5)
+	want := []uint32{cum, cum + 1, cum + 3, cum + 4}
+	if len(got) != len(want) {
+		t.Fatalf("Lost=%v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Lost=%v want %v", got, want)
+		}
+	}
+}
+
+// TestWrapSpanningLossEpisode drives the full responder-side episode
+// across the 24-bit PSN wrap: base just below the wrap, arrivals and
+// holes on both sides of it. The bitmap offsets and the Lost expansion
+// must be computed in serial space, not integer space.
+func TestWrapSpanningLossEpisode(t *testing.T) {
+	tr := NewTracker()
+	base := uint32(mask - 2) // expecting ...fffd; wrap is 3 PSNs ahead
+	// Arrivals: fffe (+1), 0 (+3), 2 (+5). Holes: fffd(+0), ffff(+2), 1(+4).
+	for _, psn := range []uint32{mask - 1, 0, 2} {
+		if !tr.Put(base, psn, Meta{}) {
+			t.Fatalf("Put(%#x) rejected across the wrap", psn)
+		}
+	}
+	bm := tr.Bitmap(base)
+	want := uint64(1)<<1 | uint64(1)<<3 | uint64(1)<<5
+	if bm != want {
+		t.Fatalf("wrap Bitmap=%#x want %#x", bm, want)
+	}
+	lost := Lost(base, bm)
+	wantLost := []uint32{base, mask, 1} // serial order across the wrap
+	if len(lost) != len(wantLost) {
+		t.Fatalf("wrap Lost=%v want %v", lost, wantLost)
+	}
+	for i := range wantLost {
+		if lost[i] != wantLost[i] {
+			t.Fatalf("wrap Lost=%v want %v", lost, wantLost)
+		}
+	}
+	// Fill the first hole and drain: fffd, fffe drain; ffff still missing.
+	drained := 0
+	next := base
+	if _, ok := tr.Take(next); ok {
+		t.Fatal("base itself must not be in the tracker")
+	}
+	next = Add(next, 1)
+	for {
+		if _, ok := tr.Take(next); !ok {
+			break
+		}
+		drained++
+		next = Add(next, 1)
+	}
+	if drained != 1 || next != mask {
+		t.Fatalf("drained %d to %#x; want 1 to %#x", drained, next, uint32(mask))
+	}
+}
+
+func TestQueueFIFOAndDedup(t *testing.T) {
+	q := NewQueue()
+	if _, ok := q.Peek(); ok {
+		t.Fatal("empty Peek")
+	}
+	if !q.Push(7) || !q.Push(3) || q.Push(7) {
+		t.Fatal("Push dedup broken")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len=%d", q.Len())
+	}
+	if p, _ := q.Peek(); p != 7 {
+		t.Fatalf("Peek=%d want FIFO head 7", p)
+	}
+	if p, _ := q.Pop(); p != 7 {
+		t.Fatal("Pop order")
+	}
+	if !q.Push(7) {
+		t.Fatal("Push must accept a PSN again once popped")
+	}
+	if p, _ := q.Pop(); p != 3 {
+		t.Fatal("FIFO violated")
+	}
+}
+
+func TestSackSetPruneAcrossWrap(t *testing.T) {
+	s := NewSackSet()
+	s.Add(mask - 1)
+	s.Add(1)
+	s.Add(5)
+	if s.Len() != 3 || !s.Has(mask-1) || !s.Has(1) {
+		t.Fatal("Add/Has broken")
+	}
+	s.PruneBelow(mask-2, 3) // cumulative point crossed the wrap
+	if s.Has(mask-1) || s.Has(1) {
+		t.Fatal("PruneBelow missed entries across the wrap")
+	}
+	if !s.Has(5) || s.Len() != 1 {
+		t.Fatal("PruneBelow removed too much")
+	}
+}
+
+func TestBDPPackets(t *testing.T) {
+	cases := []struct {
+		bdp, wire int
+		want      uint32
+	}{
+		{0, 1086, 0},    // unset: no cap
+		{-5, 1086, 0},   // nonsense: no cap
+		{1086, 0, 0},    // nonsense wire size: no cap
+		{1, 1086, 2},    // floor of 2 packets
+		{1086, 1086, 2}, // exactly one packet still floors at 2
+		{3258, 1086, 3}, // exact multiple
+		{3259, 1086, 4}, // ceil
+		{10860, 1086, 10},
+	}
+	for _, c := range cases {
+		if got := BDPPackets(c.bdp, c.wire); got != c.want {
+			t.Errorf("BDPPackets(%d,%d)=%d want %d", c.bdp, c.wire, got, c.want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ type Packet struct {
 	BTH   *BTH
 	RETH  *RETH
 	AETH  *AETH
+	SACK  *SACK
 	Pause *PFCPause
 
 	// PayloadLen is the RDMA/application payload size in bytes (after the
@@ -67,6 +68,9 @@ func (p *Packet) WireLen() int {
 		}
 		if p.AETH != nil {
 			n += AETHLen
+		}
+		if p.SACK != nil {
+			n += SACKLen
 		}
 		n += p.PayloadLen + ICRCLen
 	case p.IP != nil && p.IP.Protocol == ProtoTCP:

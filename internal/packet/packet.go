@@ -70,6 +70,7 @@ const (
 	BTHLen            = 12
 	RETHLen           = 16
 	AETHLen           = 4
+	SACKLen           = 8
 	ICRCLen           = 4
 	// MinFrameLen is the 802.3 minimum frame size including FCS.
 	MinFrameLen = 64
@@ -263,6 +264,11 @@ const (
 	NakInvalidRequest   uint8 = 0x01
 	NakRemoteAccess     uint8 = 0x02
 	NakRemoteOpError    uint8 = 0x03
+	// NakSACK marks a sequence-error NAK that carries a SACK extension
+	// after the AETH: the selective-repeat transport's
+	// NAK-with-cumulative+bitmap (IRN-style). Vendor extension code,
+	// chosen from the reserved space.
+	NakSACK uint8 = 0x1e
 )
 
 // AETH is the ACK extended transport header.
@@ -276,6 +282,15 @@ func (a AETH) IsNak() bool { return a.Syndrome&0x60 == AETHNak }
 
 // NakCode returns the NAK code (meaningful only when IsNak).
 func (a AETH) NakCode() uint8 { return a.Syndrome & 0x1f }
+
+// SACK is the selective-ack extension a NakSACK acknowledgement carries
+// after its AETH. BTH.PSN holds the cumulative point (everything before
+// it was received in order); bit i of Bitmap set means PSN+i arrived out
+// of order. Bit 0 — the cumulative point itself, by definition missing —
+// is always clear.
+type SACK struct {
+	Bitmap uint64
+}
 
 // PFCPause is an IEEE 802.1Qbb priority-based flow control frame. It is an
 // untagged layer-2 MAC control frame in both VLAN-based and DSCP-based PFC

@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -340,5 +341,54 @@ func TestIPv4ChecksumProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMarshalParseRoundTripSACK(t *testing.T) {
+	p := roceDataPacket()
+	p.BTH.Opcode = OpAcknowledge
+	p.BTH.AckReq = false
+	p.PayloadLen = 0
+	p.AETH = &AETH{Syndrome: AETHNak | NakSACK, MSN: 12}
+	p.SACK = &SACK{Bitmap: 1<<2 | 1<<5 | 1<<63}
+	data := p.Marshal()
+	if len(data) != p.WireLen() {
+		t.Fatalf("marshal %d bytes, WireLen %d", len(data), p.WireLen())
+	}
+	out, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if out.AETH == nil || !out.AETH.IsNak() || out.AETH.NakCode() != NakSACK {
+		t.Fatalf("AETH round trip: %+v", out.AETH)
+	}
+	if out.SACK == nil || out.SACK.Bitmap != p.SACK.Bitmap {
+		t.Fatalf("SACK round trip: %+v", out.SACK)
+	}
+
+	// A plain PSN-sequence-error NAK must NOT grow a SACK extension.
+	p2 := roceDataPacket()
+	p2.BTH.Opcode = OpAcknowledge
+	p2.BTH.AckReq = false
+	p2.PayloadLen = 0
+	p2.AETH = &AETH{Syndrome: AETHNak | NakPSNSequenceError, MSN: 12}
+	out2, err := Parse(p2.Marshal())
+	if err != nil {
+		t.Fatalf("parse plain NAK: %v", err)
+	}
+	if out2.SACK != nil {
+		t.Fatal("plain NAK grew a SACK extension on parse")
+	}
+	if p2.WireLen() != p.WireLen()-SACKLen {
+		t.Fatalf("SACK must add exactly %d wire bytes", SACKLen)
+	}
+
+	// A NakSACK syndrome whose SACK words are missing must fail loudly,
+	// not parse garbage. Flip the syndrome byte of the plain NAK in
+	// place (AETH starts after Eth 14 + IPv4 20 + UDP 8 + BTH 12).
+	raw := p2.Marshal()
+	raw[14+IPv4HeaderLen+UDPHeaderLen+BTHLen] = AETHNak | NakSACK
+	if _, err := Parse(raw); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("NakSACK without SACK words: err=%v, want ErrTruncated", err)
 	}
 }

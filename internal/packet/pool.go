@@ -31,6 +31,7 @@ type box struct {
 	bth    BTH
 	reth   RETH
 	aeth   AETH
+	sack   SACK
 	vlan   VLANTag
 	pause  PFCPause
 	pooled bool // currently sitting in the free-list (double-put guard)
@@ -152,6 +153,17 @@ func (p *Packet) AttachAETH() *AETH {
 	return p.AETH
 }
 
+// AttachSACK attaches a zeroed SACK extension and returns it.
+func (p *Packet) AttachSACK() *SACK {
+	if p.box != nil {
+		p.box.sack = SACK{}
+		p.SACK = &p.box.sack
+	} else {
+		p.SACK = &SACK{}
+	}
+	return p.SACK
+}
+
 // AttachVLAN attaches a zeroed VLAN tag and returns it.
 func (p *Packet) AttachVLAN() *VLANTag {
 	if p.box != nil {
@@ -204,6 +216,10 @@ func (p *Packet) Clone() *Packet {
 	if p.AETH != nil {
 		a := *p.AETH
 		q.AETH = &a
+	}
+	if p.SACK != nil {
+		s := *p.SACK
+		q.SACK = &s
 	}
 	if p.Pause != nil {
 		pa := *p.Pause

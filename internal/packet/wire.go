@@ -102,6 +102,9 @@ func (p *Packet) Marshal() []byte {
 			if p.AETH != nil {
 				put32(uint32(p.AETH.Syndrome)<<24 | p.AETH.MSN&0xffffff)
 			}
+			if p.SACK != nil {
+				put64(p.SACK.Bitmap)
+			}
 			buf = append(buf, make([]byte, p.PayloadLen)...)
 			put32(0) // ICRC placeholder
 		} else {
@@ -142,6 +145,9 @@ func (p *Packet) roceLen() int {
 	}
 	if p.AETH != nil {
 		n += AETHLen
+	}
+	if p.SACK != nil {
+		n += SACKLen
 	}
 	return n + p.PayloadLen + ICRCLen
 }
@@ -299,6 +305,13 @@ func parseRoCE(p *Packet, b []byte) error {
 		w := binary.BigEndian.Uint32(rest[0:4])
 		p.AETH = &AETH{Syndrome: uint8(w >> 24), MSN: w & 0xffffff}
 		rest = rest[AETHLen:]
+		if p.AETH.IsNak() && p.AETH.NakCode() == NakSACK {
+			if len(rest) < SACKLen {
+				return fmt.Errorf("%w: SACK", ErrTruncated)
+			}
+			p.SACK = &SACK{Bitmap: binary.BigEndian.Uint64(rest[0:8])}
+			rest = rest[SACKLen:]
+		}
 	}
 	p.PayloadLen = len(rest)
 	return nil

@@ -44,6 +44,43 @@ type Spec struct {
 	NICConfig func(name string, mac packet.MAC, ip packet.Addr) nic.Config
 }
 
+// BDPBytes returns the bandwidth-delay product of the spec's longest
+// server-to-server path: the bytes one line-rate flow keeps in flight
+// across a full RTT. frameBytes is the wire size of a full-MTU segment,
+// charged once per hop for store-and-forward serialization. The IRN
+// transport caps its flight at this to stay self-clocked without PFC
+// (one BDP in flight saturates the path; more only builds queues).
+// The floor of two frames keeps degenerate specs (zero-length cables)
+// from stalling the ACK clock.
+func (s Spec) BDPBytes(frameBytes int) int {
+	rate := s.LinkRate
+	if rate <= 0 {
+		rate = 40 * simtime.Gbps
+	}
+	if frameBytes <= 0 {
+		return 0
+	}
+	var oneWay simtime.Duration
+	hop := func(meters float64) {
+		oneWay += simtime.PropagationDelay(meters) + rate.Transmission(frameBytes)
+	}
+	hop(s.ServerCableM) // server -> ToR
+	if s.LeafsPerPod > 0 {
+		hop(s.LeafCableM) // ToR -> Leaf
+		if s.Spines > 0 {
+			hop(s.SpineCableM) // Leaf -> Spine
+			hop(s.SpineCableM) // Spine -> Leaf
+		}
+		hop(s.LeafCableM) // Leaf -> ToR
+	}
+	hop(s.ServerCableM) // ToR -> server
+	bdp := int(rate.BytesIn(2 * oneWay))
+	if min := 2 * frameBytes; bdp < min {
+		bdp = min
+	}
+	return bdp
+}
+
 // Fig7Spec returns the Section 5.4 throughput fabric: two podsets of
 // 4 Leafs × 24 ToRs × 24 servers plus 64 Spines, all 40GbE.
 // serversPerTor may be reduced to scale the experiment down; the paper

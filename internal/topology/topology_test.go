@@ -165,3 +165,44 @@ func TestPropagationDelaysApplied(t *testing.T) {
 		t.Fatalf("RTT %v too small for 300m spine cables", rtt)
 	}
 }
+
+func TestBDPBytes(t *testing.T) {
+	const frame = 1086 // full-MTU RoCE segment on the wire
+
+	// Degenerate inputs.
+	if got := RackSpec(2).BDPBytes(0); got != 0 {
+		t.Fatalf("BDPBytes(0)=%d", got)
+	}
+
+	rack := RackSpec(2).BDPBytes(frame)
+	fig8 := Fig8Spec().BDPBytes(frame)
+	fig7 := Fig7Spec(8).BDPBytes(frame)
+	// Deeper fabrics hold strictly more in flight: more hops mean more
+	// serialization and longer cables.
+	if !(rack < fig8 && fig8 < fig7) {
+		t.Fatalf("BDP ordering: rack=%d fig8=%d fig7=%d", rack, fig8, fig7)
+	}
+	if rack < 2*frame {
+		t.Fatalf("rack BDP %d below the two-frame floor", rack)
+	}
+
+	// Closed form for the rack: RTT = 2 × (2 propagation + 2
+	// serialization), BDP = rate × RTT.
+	spec := RackSpec(2)
+	oneWay := 2*simtime.PropagationDelay(spec.ServerCableM) +
+		2*spec.LinkRate.Transmission(frame)
+	want := int(spec.LinkRate.BytesIn(2 * oneWay))
+	if want < 2*frame {
+		want = 2 * frame
+	}
+	if rack != want {
+		t.Fatalf("rack BDP=%d want %d", rack, want)
+	}
+
+	// The floor: zero-length cables still leave two frames in flight.
+	z := RackSpec(2)
+	z.ServerCableM = 0
+	if got := z.BDPBytes(frame); got < 2*frame {
+		t.Fatalf("floor violated: %d", got)
+	}
+}

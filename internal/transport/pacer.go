@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"rocesim/internal/dcqcn"
+	"rocesim/internal/simtime"
+)
+
+// Pacer is the strategy-owned emission pacing state: the DCQCN reaction
+// point (requester side), notification point (responder side), and the
+// earliest next-emission time. The QP's scheduler paths read `at`; the
+// DCQCN RP interacts only with the pacer, never with QP sequence
+// internals.
+type Pacer struct {
+	rp *dcqcn.RP
+	np *dcqcn.NP
+	at simtime.Time
+}
+
+// newPacer builds the pacing state for one QP; rate control is off
+// (line-rate, egress serializes) when cfg.DCQCN is nil.
+func newPacer(cfg *Config, now simtime.Time) *Pacer {
+	pc := &Pacer{}
+	if cfg.DCQCN != nil {
+		pc.rp = dcqcn.NewRP(*cfg.DCQCN, now)
+		pc.np = dcqcn.NewNP(*cfg.DCQCN)
+	}
+	return pc
+}
+
+// RP exposes the DCQCN reaction point (nil when rate control is off).
+func (pc *Pacer) RP() *dcqcn.RP { return pc.rp }
+
+// NextAt returns the earliest time the next paced emission may happen.
+func (pc *Pacer) NextAt() simtime.Time { return pc.at }
+
+// CurrentRate polls and returns the DCQCN rate (0 = uncontrolled).
+func (pc *Pacer) CurrentRate(now simtime.Time) simtime.Rate {
+	if pc.rp == nil {
+		return 0
+	}
+	pc.rp.Poll(now)
+	return pc.rp.Rate()
+}
+
+// OnCNP feeds a received congestion notification to the reaction point.
+func (pc *Pacer) OnCNP(now simtime.Time) {
+	if pc.rp != nil {
+		pc.rp.OnCNP(now)
+	}
+}
+
+// Charge accounts one emission of wireBytes against the DCQCN rate and
+// advances the next-emission time.
+func (pc *Pacer) Charge(now simtime.Time, wireBytes int) {
+	rate := simtime.Rate(0)
+	if pc.rp != nil {
+		pc.rp.Poll(now)
+		rate = pc.rp.Rate()
+		pc.rp.OnSend(now, wireBytes)
+	}
+	if rate <= 0 {
+		pc.at = now // uncontrolled: line-rate, the egress serializes
+		return
+	}
+	base := pc.at
+	if now.After(base) {
+		base = now
+	}
+	pc.at = base.Add(rate.Transmission(wireBytes))
+}

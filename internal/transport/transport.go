@@ -1,10 +1,18 @@
 // Package transport implements the RoCEv2 reliable-connection transport
 // the paper's NICs run: queue pairs with 24-bit PSN sequencing, SEND /
 // WRITE / READ verbs segmented to the path MTU, ACK/NAK (AETH)
-// generation, and — centrally for Section 4.1 — both loss-recovery
-// schemes: the vendor's original go-back-0 (restart the whole message on
-// NAK) and the go-back-N replacement (restart from the first dropped
-// packet).
+// generation, and DCQCN-paced emission. Loss detection, retransmission
+// selection, flow bounding, and completion ordering are delegated to a
+// pluggable Strategy with three implementations: go-back-N (the paper's
+// Section 4.1 replacement — resume from the first dropped PSN; the
+// default, and byte-for-byte the pre-refactor behaviour), go-back-0 (the
+// vendor's original restart-the-whole-message scheme that livelocked),
+// and IRN (selective repeat per "Revisiting Network Support for RDMA",
+// Mittal et al., SIGCOMM 2018: the responder accepts packets out of
+// order and NAKs with a cumulative point plus SACK bitmap, the requester
+// retransmits exactly the PSNs proven lost, and flight is capped at the
+// path's bandwidth-delay product — the transport that makes a lossless
+// fabric optional). Strategy mechanics for IRN live in internal/irn.
 package transport
 
 import (
@@ -12,30 +20,38 @@ import (
 	"math/rand"
 
 	"rocesim/internal/dcqcn"
+	"rocesim/internal/irn"
 	"rocesim/internal/packet"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
 	"rocesim/internal/telemetry"
 )
 
-// Recovery selects the loss-recovery scheme.
+// Recovery selects the loss-recovery strategy.
 type Recovery int
 
-// Recovery schemes (Section 4.1).
+// Recovery schemes (Section 4.1, plus IRN from the follow-on work).
 const (
 	// GoBack0 restarts the entire message from its first packet on NAK
 	// or timeout — the behaviour that livelocked.
 	GoBack0 Recovery = iota
 	// GoBackN restarts from the first dropped packet.
 	GoBackN
+	// IRN retransmits selectively from SACK feedback and bounds flight
+	// at the path BDP — no PFC required.
+	IRN
 )
 
 // String names the scheme.
 func (r Recovery) String() string {
-	if r == GoBack0 {
+	switch r {
+	case GoBack0:
 		return "go-back-0"
+	case IRN:
+		return "irn"
+	default:
+		return "go-back-N"
 	}
-	return "go-back-N"
 }
 
 // OpKind is the verb of a work request.
@@ -91,6 +107,13 @@ type Config struct {
 	// experiments: 1086-byte frames).
 	MTU      int
 	Recovery Recovery
+	// Strategy, when non-nil, overrides Recovery with a caller-built
+	// strategy instance. Instances are stateful and bind to exactly one
+	// QP; reusing one across QPs panics.
+	Strategy Strategy
+	// IRN parameterizes the selective-repeat strategy when Recovery is
+	// IRN (nil: BDP cap falls back to Window).
+	IRN *irn.Config
 	// Window caps outstanding request packets (PSNs) in flight.
 	Window int
 	// AckEvery makes the responder coalesce ACKs (1 = ack every
@@ -130,7 +153,8 @@ type Auditor interface {
 	CQECompleted(q *QP, kind OpKind)
 	// AckAdvance fires when the cumulative ack point moves from from to
 	// to (24-bit PSN space; a sane advance is forward by less than half
-	// the space).
+	// the space — or, under selective repeat, by anything short of a
+	// flight-bound rewind; see the QP's Strategy).
 	AckAdvance(q *QP, from, to uint32)
 }
 
@@ -205,27 +229,25 @@ type readServer struct {
 
 // QP is one reliable-connection queue pair.
 type QP struct {
-	ep  Endpoint
-	cfg Config
+	ep    Endpoint
+	cfg   Config
+	strat Strategy
+	pacer *Pacer // cached from strat for the hot paths; strategy-owned
+	aud   Auditor
 
 	// Requester state.
 	ops     []*op
 	nextPSN uint32 // next PSN to assign to a new op
 	sndNxt  uint32 // next PSN to transmit
 	sndUna  uint32 // oldest unacknowledged PSN
-	pacerAt simtime.Time
-	rp      *dcqcn.RP
 	retx    sim.Handle
 	retxEv  func() // resident timeout callback (one closure per QP)
 
 	// Responder state.
-	ePSN     uint32 // expected request PSN
-	rMSN     uint32
-	nakArmed bool // a NAK has been sent for the current gap
-	oosSince int  // out-of-sequence arrivals since that NAK
-	curMsg   int  // bytes accumulated for the in-progress message
-	reads    []*readServer
-	np       *dcqcn.NP
+	ePSN   uint32 // expected request PSN
+	rMSN   uint32
+	curMsg int // bytes accumulated for the in-progress message
+	reads  []*readServer
 
 	ctl []*packet.Packet // ACK/NAK/CNP awaiting emission
 
@@ -247,7 +269,8 @@ func New(ep Endpoint, cfg Config) *QP {
 	if cfg.Window <= 0 {
 		// RoCE NICs do not run a congestion window: they blast at the
 		// (DCQCN-paced) line rate and rely on PFC for losslessness. The
-		// default window exists only to bound requester state.
+		// default window exists only to bound requester state. The IRN
+		// strategy additionally caps flight at the path BDP.
 		cfg.Window = 4096
 	}
 	if cfg.AckEvery <= 0 {
@@ -259,35 +282,46 @@ func New(ep Endpoint, cfg Config) *QP {
 	if cfg.Metrics == nil {
 		cfg.Metrics = &Metrics{} // nil counters: metrics become no-ops
 	}
-	q := &QP{ep: ep, cfg: cfg}
+	q := &QP{ep: ep, cfg: cfg, aud: cfg.Audit}
 	q.retxEv = q.onRetxTimeout
-	if cfg.DCQCN != nil {
-		q.rp = dcqcn.NewRP(*cfg.DCQCN, ep.Now())
-		q.np = dcqcn.NewNP(*cfg.DCQCN)
+	q.strat = cfg.Strategy
+	if q.strat == nil {
+		switch cfg.Recovery {
+		case GoBack0:
+			q.strat = NewGoBack0()
+		case IRN:
+			var ic irn.Config
+			if cfg.IRN != nil {
+				ic = *cfg.IRN
+			}
+			q.strat = NewIRN(ic)
+		default:
+			q.strat = NewGoBackN()
+		}
 	}
+	q.strat.bind(q)
+	q.pacer = q.strat.pacer()
 	return q
 }
 
 // Config returns the QP's configuration.
 func (q *QP) Config() Config { return q.cfg }
 
+// Strategy returns the QP's bound transport strategy.
+func (q *QP) Strategy() Strategy { return q.strat }
+
 // RP exposes the DCQCN reaction point (nil when rate control is off) so
 // the invariant layer can attach its bounds check.
-func (q *QP) RP() *dcqcn.RP { return q.rp }
+func (q *QP) RP() *dcqcn.RP { return q.pacer.RP() }
 
 // SetAuditor installs (or clears) the transport-sanity hook after
 // construction — the invariant layer attaches to QPs as they are
-// announced, which happens after New.
-func (q *QP) SetAuditor(a Auditor) { q.cfg.Audit = a }
+// announced, which happens after New. The hook observes every event
+// from the next one on; construction state is never replayed.
+func (q *QP) SetAuditor(a Auditor) { q.aud = a }
 
 // Rate returns the current DCQCN rate, or 0 when rate control is off.
-func (q *QP) Rate() simtime.Rate {
-	if q.rp == nil {
-		return 0
-	}
-	q.rp.Poll(q.ep.Now())
-	return q.rp.Rate()
-}
+func (q *QP) Rate() simtime.Rate { return q.pacer.CurrentRate(q.ep.Now()) }
 
 // psnAdd advances a PSN in the 24-bit space.
 func psnAdd(p, n uint32) uint32 { return (p + n) & packet.PSNMask }
@@ -320,8 +354,8 @@ func (q *QP) Post(kind OpKind, length int, onDone func(posted, completed simtime
 	}
 	q.nextPSN = psnAdd(q.nextPSN, n)
 	q.ops = append(q.ops, o)
-	if q.cfg.Audit != nil {
-		q.cfg.Audit.WQEPosted(q)
+	if q.aud != nil {
+		q.aud.WQEPosted(q)
 	}
 	q.ep.Kick()
 }
@@ -343,33 +377,21 @@ func (q *QP) opForPSN(psn uint32) *op {
 // has nothing to say).
 func (q *QP) NextReady(now simtime.Time) simtime.Time {
 	if len(q.ctl) > 0 || q.readResponsePending() {
-		if q.pacerAt.After(now) && q.readResponsePending() && len(q.ctl) == 0 {
-			return q.pacerAt // read responses are paced like data
+		if q.pacer.at.After(now) && q.readResponsePending() && len(q.ctl) == 0 {
+			return q.pacer.at // read responses are paced like data
 		}
 		return now
 	}
-	if !q.hasDataToSend() {
+	if !q.strat.hasData(q) {
 		return simtime.Forever
 	}
-	if q.pacerAt.After(now) {
-		return q.pacerAt
+	if q.pacer.at.After(now) {
+		return q.pacer.at
 	}
 	return now
 }
 
 func (q *QP) readResponsePending() bool { return len(q.reads) > 0 }
-
-// hasDataToSend reports whether a request packet is transmittable within
-// the window.
-func (q *QP) hasDataToSend() bool {
-	if len(q.ops) == 0 {
-		return false
-	}
-	if psnDiff(q.sndNxt, q.nextPSN) >= 0 {
-		return false // everything assigned has been transmitted
-	}
-	return psnDiff(q.sndNxt, q.sndUna) < int32(q.cfg.Window)
-}
 
 // Pop emits the next packet. It must only be called when
 // NextReady(now) <= now. Returns nil when there is nothing to send
@@ -382,50 +404,24 @@ func (q *QP) Pop(now simtime.Time) *packet.Packet {
 		return p
 	}
 	// Read responses next (responder duty), paced.
-	if len(q.reads) > 0 && !q.pacerAt.After(now) {
+	if len(q.reads) > 0 && !q.pacer.at.After(now) {
 		return q.popReadResponse(now)
 	}
-	if !q.hasDataToSend() || q.pacerAt.After(now) {
+	if !q.strat.hasData(q) || q.pacer.at.After(now) {
 		return nil
 	}
-	return q.popRequest(now)
+	return q.strat.popRequest(q, now)
 }
 
-// pace charges one packet of the given wire size against the DCQCN rate.
-func (q *QP) pace(now simtime.Time, wireBytes int) {
-	rate := simtime.Rate(0)
-	if q.rp != nil {
-		q.rp.Poll(now)
-		rate = q.rp.Rate()
-		q.rp.OnSend(now, wireBytes)
-	}
-	if rate <= 0 {
-		q.pacerAt = now // uncontrolled: line-rate, the egress serializes
-		return
-	}
-	base := q.pacerAt
-	if now.After(base) {
-		base = now
-	}
-	q.pacerAt = base.Add(rate.Transmission(wireBytes))
-}
-
-// popRequest emits the next requester packet.
-func (q *QP) popRequest(now simtime.Time) *packet.Packet {
-	o := q.opForPSN(q.sndNxt)
-	if o == nil {
-		return nil
-	}
-	// READs are serialized behind all earlier ops, mirroring the small
-	// max_rd_atomic budget of real NICs; this keeps response-stream
-	// recovery unambiguous.
-	if o.kind == OpRead && o != q.ops[0] {
-		return nil
-	}
-	idx := uint32(psnDiff(q.sndNxt, o.firstPSN))
+// emitRequest builds, accounts, and paces the request packet carrying
+// psn of op o. When advance is set the send sequence moves past the
+// emitted range (the new-data path); selective retransmissions leave
+// sndNxt alone.
+func (q *QP) emitRequest(o *op, psn uint32, now simtime.Time, advance bool) *packet.Packet {
+	idx := uint32(psnDiff(psn, o.firstPSN))
 	p := q.newDataPacket()
 	bth := p.BTH
-	bth.PSN = q.sndNxt
+	bth.PSN = psn
 
 	// Note: sndNxt may legitimately trail sndUna during go-back-0
 	// recovery — the sender re-walks packets the responder has already
@@ -435,13 +431,15 @@ func (q *QP) popRequest(now simtime.Time) *packet.Packet {
 	case OpRead:
 		// A read request names the first PSN of its response range and
 		// consumes npkts PSNs. After recovery, the op carries a fresh
-		// range covering only the remaining bytes (go-back-N) or the
-		// whole message (go-back-0).
+		// range covering only the remaining bytes (go-back-N, IRN) or
+		// the whole message (go-back-0).
 		bth.Opcode = packet.OpReadRequest
 		bth.PSN = o.firstPSN
 		p.AttachRETH().DMALen = uint32(o.length - o.readDone)
 		p.PayloadLen = 0
-		q.sndNxt = psnAdd(o.firstPSN, o.npkts)
+		if advance {
+			q.sndNxt = psnAdd(o.firstPSN, o.npkts)
+		}
 	default:
 		last := idx == o.npkts-1
 		seg := q.cfg.MTU
@@ -470,16 +468,29 @@ func (q *QP) popRequest(now simtime.Time) *packet.Packet {
 		default:
 			bth.Opcode = packet.OpWriteMiddle
 		}
-		q.sndNxt = psnAdd(q.sndNxt, 1)
+		if advance {
+			q.sndNxt = psnAdd(psn, 1)
+		}
 	}
 
 	q.S.PacketsSent++
 	q.S.BytesSent += uint64(p.WireLen())
 	q.cfg.Metrics.PacketsSent.Inc()
 	q.cfg.Metrics.BytesSent.Add(uint64(p.WireLen()))
-	q.pace(now, p.WireLen())
+	q.pacer.Charge(now, p.WireLen())
 	q.armRetx()
 	return p
+}
+
+// mtuWireLen is the wire size of a full-MTU data segment — what the IRN
+// strategy converts its byte BDP cap with.
+func (q *QP) mtuWireLen() int {
+	n := packet.EthernetHeaderLen + packet.IPv4HeaderLen + packet.UDPHeaderLen +
+		packet.BTHLen + q.cfg.MTU + packet.ICRCLen + packet.EthernetFCSLen
+	if q.cfg.VLAN != nil {
+		n += packet.VLANTagLen
+	}
+	return n
 }
 
 // popReadResponse emits the next responder-side READ response packet.
@@ -512,7 +523,7 @@ func (q *QP) popReadResponse(now simtime.Time) *packet.Packet {
 	q.S.BytesSent += uint64(p.WireLen())
 	q.cfg.Metrics.PacketsSent.Inc()
 	q.cfg.Metrics.BytesSent.Add(uint64(p.WireLen()))
-	q.pace(now, p.WireLen())
+	q.pacer.Charge(now, p.WireLen())
 	return p
 }
 
@@ -569,7 +580,7 @@ func (q *QP) onRetxTimeout() {
 	q.S.Timeouts++
 	q.cfg.Metrics.Timeouts.Inc()
 	q.traceRetx("timeout")
-	q.recoverFrom(q.sndUna, false)
+	q.strat.onTimeout(q)
 	q.ep.Kick()
 	q.armRetx()
 }
@@ -604,70 +615,32 @@ func (q *QP) reflow(from int, psn uint32) {
 	q.nextPSN = psn
 }
 
-// recoverFrom restarts transmission per the recovery scheme. missing is
-// the first PSN known lost: the responder's expected PSN when fromNak,
-// otherwise the oldest unacknowledged PSN. PSNs never rewind for
-// go-back-0: the message restarts on a fresh range, which is why a
-// deterministic drop inside every window of 256 packets starves it
-// forever (Section 4.1).
-func (q *QP) recoverFrom(missing uint32, fromNak bool) {
-	if len(q.ops) == 0 {
-		return
-	}
+// recoverRead re-issues the READ at the head of the op queue on a fresh
+// PSN range positioned at the responder's expected PSN: the end of the
+// previous range if the responder consumed the request, or the NAK'd PSN
+// if the request itself was lost. zero restarts the response stream from
+// byte 0 (go-back-0); otherwise only the remaining bytes are re-read.
+// Every strategy recovers READs this way — response streams have no
+// per-packet feedback channel for selective repeat.
+func (q *QP) recoverRead(missing uint32, fromNak, zero bool) {
 	o := q.ops[0]
-
-	if o.kind == OpRead {
-		// Re-issue the read request on a fresh PSN range positioned at
-		// the responder's expected PSN: the end of the previous range
-		// if the responder consumed the request, or the NAK'd PSN if
-		// the request itself was lost.
-		start := psnAdd(o.firstPSN, o.npkts)
-		if fromNak {
-			start = missing
-		}
-		if q.cfg.Recovery == GoBack0 {
-			o.readDone = 0
-		}
-		remaining := o.length - o.readDone
-		o.npkts = uint32((remaining + q.cfg.MTU - 1) / q.cfg.MTU)
-		o.firstPSN = start
-		o.readNext = start
-		q.sndNxt = start
-		q.sndUna = start
-		q.S.PacketsRetx++
-		q.cfg.Metrics.PacketsRetx.Inc()
-		q.reflow(1, psnAdd(start, o.npkts))
-		return
+	start := psnAdd(o.firstPSN, o.npkts)
+	if fromNak {
+		start = missing
 	}
-
-	switch q.cfg.Recovery {
-	case GoBack0:
-		// Restart the whole message from byte 0 on fresh PSNs aligned
-		// with the responder's expected PSN. The retransmit count is the
-		// forward distance actually re-walked; during go-back-0 recovery
-		// sndNxt may trail sndUna (duplicate re-walk), making the signed
-		// diff negative — which, unclamped, underflows the uint64
-		// counters by ~2^64.
-		start := missing
-		if n := psnDiff(q.sndNxt, start); n > 0 {
-			q.S.PacketsRetx += uint64(n)
-			q.cfg.Metrics.PacketsRetx.Add(uint64(n))
-		}
-		o.firstPSN = start
-		q.sndNxt = start
-		q.sndUna = start
-		q.reflow(1, psnAdd(start, o.npkts))
-	default:
-		// Go-back-N: resume the same mapping from the missing PSN.
-		// missing can never be behind sndUna here — timeouts pass sndUna
-		// itself and the NAK path discards anything stale — so the
-		// cumulative ack point never rewinds.
-		if psnDiff(missing, q.sndNxt) < 0 {
-			q.S.PacketsRetx += uint64(psnDiff(q.sndNxt, missing))
-			q.cfg.Metrics.PacketsRetx.Add(uint64(psnDiff(q.sndNxt, missing)))
-			q.sndNxt = missing
-		}
+	if zero {
+		o.readDone = 0
 	}
+	remaining := o.length - o.readDone
+	o.npkts = uint32((remaining + q.cfg.MTU - 1) / q.cfg.MTU)
+	o.firstPSN = start
+	o.readNext = start
+	q.sndNxt = start
+	q.sndUna = start
+	q.S.PacketsRetx++
+	q.cfg.Metrics.PacketsRetx.Inc()
+	q.reflow(1, psnAdd(start, o.npkts))
+	q.strat.resetRequester(q)
 }
 
 // HandlePacket processes a RoCE packet addressed to this QP (after the
@@ -681,9 +654,7 @@ func (q *QP) HandlePacket(p *packet.Packet) {
 	case bth.Opcode == packet.OpCNP:
 		q.S.CNPsReceived++
 		q.cfg.Metrics.CNPsReceived.Inc()
-		if q.rp != nil {
-			q.rp.OnCNP(q.ep.Now())
-		}
+		q.pacer.OnCNP(q.ep.Now())
 		return
 	case bth.Opcode == packet.OpAcknowledge:
 		q.handleAck(p)
@@ -697,10 +668,10 @@ func (q *QP) HandlePacket(p *packet.Packet) {
 
 // maybeCNP emits a CNP if the packet was CE-marked (NP side of DCQCN).
 func (q *QP) maybeCNP(p *packet.Packet) {
-	if q.np == nil || p.IP == nil || p.IP.ECN != packet.ECNCE {
+	if q.pacer.np == nil || p.IP == nil || p.IP.ECN != packet.ECNCE {
 		return
 	}
-	if q.np.OnCE(q.ep.Now()) {
+	if q.pacer.np.OnCE(q.ep.Now()) {
 		cnp := q.newCtl(packet.OpCNP)
 		cnp.IP.ECN = packet.ECNNotECT
 		q.ctl = append(q.ctl, cnp)
@@ -716,30 +687,15 @@ func (q *QP) maybeCNP(p *packet.Packet) {
 }
 
 // handleRequest is the responder path for SEND/WRITE segments and READ
-// requests.
+// requests. Out-of-sequence arrivals go to the strategy: cumulative
+// schemes NAK and drop, selective repeat buffers and SACKs.
 func (q *QP) handleRequest(p *packet.Packet) {
 	q.maybeCNP(p)
 	bth := p.BTH
 	d := psnDiff(bth.PSN, q.ePSN)
 	switch {
 	case d > 0:
-		// Gap: a packet was dropped. NAK once per episode, but repeat
-		// (rate-limited) if out-of-sequence packets keep arriving —
-		// the first NAK may itself have been lost.
-		q.oosSince++
-		if !q.nakArmed || q.oosSince >= 256 {
-			q.nakArmed = true
-			q.oosSince = 0
-			nak := q.newCtl(packet.OpAcknowledge)
-			*nak.AttachAETH() = packet.AETH{
-				Syndrome: packet.AETHNak | packet.NakPSNSequenceError,
-				MSN:      q.rMSN,
-			}
-			nak.BTH.PSN = q.ePSN
-			q.ctl = append(q.ctl, nak)
-			q.S.NaksSent++
-			q.cfg.Metrics.NaksSent.Inc()
-		}
+		q.strat.onGap(q, p)
 		return
 	case d < 0:
 		// Duplicate (resent after a lost ACK): re-acknowledge.
@@ -752,35 +708,47 @@ func (q *QP) handleRequest(p *packet.Packet) {
 		return
 	}
 	// In order.
-	q.nakArmed = false
-	if bth.Opcode == packet.OpReadRequest {
+	var dma uint32
+	if p.RETH != nil {
+		dma = p.RETH.DMALen
+	}
+	q.acceptInOrder(bth.Opcode, bth.PSN, p.PayloadLen, bth.AckReq, dma)
+	q.strat.afterInOrder(q)
+}
+
+// acceptInOrder applies one in-sequence request packet (psn == ePSN) to
+// responder state: opcode semantics, message accounting, ACK
+// generation. The selective-repeat drain path replays buffered arrivals
+// through it as the expected PSN advances.
+func (q *QP) acceptInOrder(opcode packet.Opcode, psn uint32, payloadLen int, ackReq bool, dmaLen uint32) {
+	if opcode == packet.OpReadRequest {
 		// A new request supersedes any stream still draining: the
 		// requester re-issues reads on recovery and ignores the old
 		// range, so serving it further only wastes the wire.
 		q.reads = q.reads[:0]
-		n := (int(p.RETH.DMALen) + q.cfg.MTU - 1) / q.cfg.MTU
+		n := (int(dmaLen) + q.cfg.MTU - 1) / q.cfg.MTU
 		q.reads = append(q.reads, &readServer{
-			first:   bth.PSN,
-			nextPSN: bth.PSN,
-			endPSN:  psnAdd(bth.PSN, uint32(n)),
+			first:   psn,
+			nextPSN: psn,
+			endPSN:  psnAdd(psn, uint32(n)),
 		})
-		q.ePSN = psnAdd(bth.PSN, uint32(n))
+		q.ePSN = psnAdd(psn, uint32(n))
 		q.rMSN = (q.rMSN + 1) & packet.PSNMask
 		return
 	}
 
 	q.ePSN = psnAdd(q.ePSN, 1)
-	if bth.Opcode.IsFirst() || bth.Opcode == packet.OpSendOnly || bth.Opcode == packet.OpWriteOnly {
+	if opcode.IsFirst() || opcode == packet.OpSendOnly || opcode == packet.OpWriteOnly {
 		q.curMsg = 0 // a restarted message (go-back-0) discards partial state
 		q.curKind = OpWrite
-		switch bth.Opcode {
+		switch opcode {
 		case packet.OpSendFirst, packet.OpSendOnly:
 			q.curKind = OpSend
 		}
 	}
-	q.curMsg += p.PayloadLen
-	q.S.BytesDelivered += uint64(p.PayloadLen)
-	if bth.Opcode.IsLast() {
+	q.curMsg += payloadLen
+	q.S.BytesDelivered += uint64(payloadLen)
+	if opcode.IsLast() {
 		q.rMSN = (q.rMSN + 1) & packet.PSNMask
 		q.S.MessagesRecv++
 		if q.OnMessage != nil {
@@ -788,10 +756,10 @@ func (q *QP) handleRequest(p *packet.Packet) {
 		}
 		q.curMsg = 0
 	}
-	if bth.AckReq {
+	if ackReq {
 		ack := q.newCtl(packet.OpAcknowledge)
 		*ack.AttachAETH() = packet.AETH{Syndrome: packet.AETHAck, MSN: q.rMSN}
-		ack.BTH.PSN = bth.PSN
+		ack.BTH.PSN = psn
 		q.ctl = append(q.ctl, ack)
 		q.S.AcksSent++
 		q.cfg.Metrics.AcksSent.Inc()
@@ -807,24 +775,7 @@ func (q *QP) handleAck(p *packet.Packet) {
 	if a.IsNak() {
 		q.S.NaksReceived++
 		q.cfg.Metrics.NaksReceived.Inc()
-		// Staleness guard, mirroring the ACK path: for SEND/WRITE a
-		// genuine NAK names the responder's expected PSN, which can
-		// never be below our cumulative ack point (sndUna only advances
-		// when the responder acknowledged everything before it). A NAK
-		// behind sndUna is a reordered or duplicate frame from an
-		// episode already recovered past; acting on it would rewind
-		// sndUna below acknowledged data and re-send retired packets.
-		// READs are exempt: their recovery repositions sndUna on a
-		// guessed fresh range, and a NAK behind it is the responder
-		// steering the re-issued request to where it actually is.
-		if psnDiff(p.BTH.PSN, q.sndUna) < 0 &&
-			(len(q.ops) == 0 || q.ops[0].kind != OpRead) {
-			return
-		}
-		q.traceRetx("nak")
-		q.recoverFrom(p.BTH.PSN, true)
-		q.armRetx()
-		q.ep.Kick()
+		q.strat.onNak(q, p)
 		return
 	}
 	acked := psnAdd(p.BTH.PSN, 1)
@@ -833,9 +784,10 @@ func (q *QP) handleAck(p *packet.Packet) {
 	}
 	from := q.sndUna
 	q.sndUna = acked
-	if q.cfg.Audit != nil {
-		q.cfg.Audit.AckAdvance(q, from, acked)
+	if q.aud != nil {
+		q.aud.AckAdvance(q, from, acked)
 	}
+	q.strat.onCumAdvance(q, from, acked)
 	q.completeOps()
 	if len(q.ops) > 0 {
 		q.armRetx()
@@ -860,7 +812,7 @@ func (q *QP) handleReadResponse(p *packet.Packet) {
 			// Gap within the current response stream: re-issue the
 			// request for what is missing.
 			q.traceRetx("read-gap")
-			q.recoverFrom(o.readNext, false)
+			q.strat.onReadGap(q, o.readNext)
 			q.armRetx()
 			q.ep.Kick()
 		}
@@ -873,8 +825,11 @@ func (q *QP) handleReadResponse(p *packet.Packet) {
 	if o.readNext == end {
 		from := q.sndUna
 		q.sndUna = end
-		if q.cfg.Audit != nil && from != end {
-			q.cfg.Audit.AckAdvance(q, from, end)
+		if q.aud != nil && from != end {
+			q.aud.AckAdvance(q, from, end)
+		}
+		if from != end {
+			q.strat.onCumAdvance(q, from, end)
 		}
 		q.completeOps()
 	} else {
@@ -896,8 +851,8 @@ func (q *QP) completeOps() {
 		}
 		q.ops = q.ops[1:]
 		q.S.MessagesSent++
-		if q.cfg.Audit != nil {
-			q.cfg.Audit.CQECompleted(q, o.kind)
+		if q.aud != nil {
+			q.aud.CQECompleted(q, o.kind)
 		}
 		if o.onDone != nil {
 			o.onDone(o.posted, now)
@@ -910,5 +865,5 @@ func (q *QP) completeOps() {
 
 // String summarizes the QP.
 func (q *QP) String() string {
-	return fmt.Sprintf("QP%d->%d %s pri=%d", q.cfg.QPN, q.cfg.PeerQPN, q.cfg.Recovery, q.cfg.Priority)
+	return fmt.Sprintf("QP%d->%d %s pri=%d", q.cfg.QPN, q.cfg.PeerQPN, q.strat.Name(), q.cfg.Priority)
 }

@@ -27,9 +27,15 @@ func (e *stubEP) Rand() *rand.Rand { return e.k.Rand("stub") }
 func (e *stubEP) NextIPID() uint16 { e.ipid++; return e.ipid }
 
 func newPair(k *sim.Kernel) (*QP, *QP, *stubEP, *stubEP) {
+	return newPairRec(k, GoBack0)
+}
+
+// newPairRec builds a connected pair running the given recovery
+// strategy (selected at construction, like the NIC does).
+func newPairRec(k *sim.Kernel, rec Recovery) (*QP, *QP, *stubEP, *stubEP) {
 	ea, eb := &stubEP{k: k}, &stubEP{k: k}
-	cfgA := Config{QPN: 1, PeerQPN: 2, Priority: 3, MTU: 1024, SrcPort: 700}
-	cfgB := Config{QPN: 2, PeerQPN: 1, Priority: 3, MTU: 1024, SrcPort: 701}
+	cfgA := Config{QPN: 1, PeerQPN: 2, Priority: 3, MTU: 1024, SrcPort: 700, Recovery: rec}
+	cfgB := Config{QPN: 2, PeerQPN: 1, Priority: 3, MTU: 1024, SrcPort: 701, Recovery: rec}
 	return New(ea, cfgA), New(eb, cfgB), ea, eb
 }
 
@@ -167,8 +173,7 @@ func TestReadRoundTrip(t *testing.T) {
 
 func TestGoBackNSingleLoss(t *testing.T) {
 	k := sim.NewKernel(1)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	done := false
 	a.Post(OpSend, 10*1024, func(_, _ simtime.Time) { done = true })
 	dropped := false
@@ -197,8 +202,7 @@ func TestGoBackNSingleLoss(t *testing.T) {
 
 func TestGoBack0RestartsWholeMessage(t *testing.T) {
 	k := sim.NewKernel(1)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBack0
+	a, b, _, _ := newPairRec(k, GoBack0)
 	done := false
 	a.Post(OpSend, 10*1024, func(_, _ simtime.Time) { done = true })
 	dropped := false
@@ -230,8 +234,7 @@ func TestGoBack0RestartsWholeMessage(t *testing.T) {
 
 func TestLostAckRecoversByTimeout(t *testing.T) {
 	k := sim.NewKernel(1)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	done := false
 	a.Post(OpSend, 1024, func(_, _ simtime.Time) { done = true })
 	droppedAck := false
@@ -252,8 +255,7 @@ func TestLostAckRecoversByTimeout(t *testing.T) {
 
 func TestLostReadRequestRecovers(t *testing.T) {
 	k := sim.NewKernel(1)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	done := false
 	a.Post(OpRead, 4096, func(_, _ simtime.Time) { done = true })
 	dropped := false
@@ -271,8 +273,7 @@ func TestLostReadRequestRecovers(t *testing.T) {
 
 func TestLostReadResponseRecovers(t *testing.T) {
 	k := sim.NewKernel(1)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	done := false
 	a.Post(OpRead, 8*1024, func(_, _ simtime.Time) { done = true })
 	dropped := false
@@ -295,8 +296,7 @@ func TestDuplicateFromLostAckNotRedelivered(t *testing.T) {
 	// When an ACK is lost and the sender retransmits, the responder
 	// must not deliver the message twice.
 	k := sim.NewKernel(1)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	msgs := 0
 	b.OnMessage = func(OpKind, int) { msgs++ }
 	done := 0
@@ -383,8 +383,7 @@ func TestPostPanicsOnBadLength(t *testing.T) {
 func TestGoBackNDeliveryProperty(t *testing.T) {
 	f := func(seed int64, dropMask uint32) bool {
 		k := sim.NewKernel(seed)
-		a, b, _, _ := newPair(k)
-		a.cfg.Recovery = GoBackN
+		a, b, _, _ := newPairRec(k, GoBackN)
 		msgs, bytes := 0, 0
 		b.OnMessage = func(_ OpKind, sz int) { msgs++; bytes += sz }
 		done := 0
@@ -425,8 +424,7 @@ func TestPSNWraparound(t *testing.T) {
 
 func TestPSNWraparoundWithLoss(t *testing.T) {
 	k := sim.NewKernel(10)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	start := uint32(packet.PSNMask - 3)
 	a.nextPSN, a.sndNxt, a.sndUna = start, start, start
 	b.ePSN = start
@@ -458,8 +456,7 @@ func TestPSNDoubleWrapRetransmit(t *testing.T) {
 	// psnDiff misclassification at the boundary would either stall the
 	// flow or account a ~2^24-packet retransmit.
 	k := sim.NewKernel(12)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	msgs := 0
 	b.OnMessage = func(OpKind, int) { msgs++ }
 	for wrap := 0; wrap < 2; wrap++ {
@@ -499,8 +496,7 @@ func TestPSNDoubleWrapRetransmit(t *testing.T) {
 // rewound sndUna below acknowledged data and re-sent retired packets.
 func TestStaleNakDoesNotRewindAckPoint(t *testing.T) {
 	k := sim.NewKernel(13)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	a.Post(OpSend, 8*1024, nil) // 8 packets, PSNs 0..7
 	// Pump 6 packets by hand (AckEvery=1: each is acked immediately),
 	// leaving the op in flight with sndUna = sndNxt = 6.
@@ -546,7 +542,7 @@ func TestGoBack0RetxCountClampedWhenSndNxtTrails(t *testing.T) {
 	a, _, _, _ := newPair(k) // zero-value Recovery is GoBack0
 	a.Post(OpSend, 4*1024, nil)
 	a.sndUna, a.sndNxt = 3, 1
-	a.recoverFrom(a.sndUna, false)
+	a.strat.onTimeout(a)
 	if a.S.PacketsRetx > 1<<20 {
 		t.Fatalf("retransmit counter underflowed: %d", a.S.PacketsRetx)
 	}
@@ -600,8 +596,7 @@ func TestAckEveryWithLoss(t *testing.T) {
 	// Coalesced ACKs + a drop: NAK recovery must still converge and
 	// deliver exactly once.
 	k := sim.NewKernel(12)
-	a, b, _, _ := newPair(k)
-	a.cfg.Recovery = GoBackN
+	a, b, _, _ := newPairRec(k, GoBackN)
 	a.cfg.AckEvery = 16
 	msgs := 0
 	b.OnMessage = func(OpKind, int) { msgs++ }
