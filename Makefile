@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test test-race vet audit chaos transports bench bench-json bench-kernel bench-compare report examples clean
+.PHONY: all check build test test-race vet audit chaos transports health bench bench-json bench-kernel bench-compare report examples clean
 
 all: build vet test
 
@@ -11,7 +11,8 @@ all: build vet test
 # then the quick chaos campaign (fault injection with safeguard
 # scoring; exits nonzero if an expected safeguard fails to fire),
 # then the quick transport matrix run twice and diffed (byte-
-# determinism is part of the gate).
+# determinism is part of the gate), then the fleet health report run
+# twice and diffed the same way.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -19,6 +20,23 @@ check:
 	$(GO) run ./cmd/roce-audit
 	$(GO) run ./cmd/roce-chaos -quick
 	$(MAKE) transports
+	$(MAKE) health
+
+# Fleet health reports (see EXPERIMENTS.md "Fleet health"): both
+# scenarios through the full health plane — scraper, SLO burn-rate
+# engine, pingmesh heatmap. Text and JSON renderings are each produced
+# twice and byte-compared (the health plane's determinism contract),
+# and the JSON lands in health-report.json for CI to archive.
+# -fail-on-breach=false because the pfc-storm scenario breaching its
+# SLOs is the expected result, not a gate failure.
+health:
+	$(GO) run ./cmd/roce-health -fail-on-breach=false > /tmp/roce-health-1.txt
+	$(GO) run ./cmd/roce-health -fail-on-breach=false > /tmp/roce-health-2.txt
+	cmp /tmp/roce-health-1.txt /tmp/roce-health-2.txt
+	$(GO) run ./cmd/roce-health -fail-on-breach=false -json > health-report.json
+	$(GO) run ./cmd/roce-health -fail-on-breach=false -json > /tmp/roce-health-2.json
+	cmp health-report.json /tmp/roce-health-2.json
+	@cat /tmp/roce-health-1.txt
 
 # Fault-injection campaigns (see EXPERIMENTS.md "Chaos campaigns").
 # `make chaos` runs the small CI matrix; CAMPAIGN=full sweeps the whole
@@ -107,4 +125,4 @@ examples:
 
 clean:
 	rm -f capture.pcap test_output.txt bench_output.txt bench_output.json
-	rm -f *.pprof cpu.prof mem.prof
+	rm -f *.pprof cpu.prof mem.prof health-report.json

@@ -112,24 +112,7 @@ func TestAcceptanceCells(t *testing.T) {
 // what it scored then, field for field. A diff here means the transport
 // refactor changed lossless-path behavior, not just added to it.
 func TestPFCCellsMatchPR5(t *testing.T) {
-	load := func(name string) map[string]map[string]any {
-		raw, err := os.ReadFile(filepath.Join("testdata", name))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var sc struct {
-			Cells []map[string]any `json:"cells"`
-		}
-		if err := json.Unmarshal(raw, &sc); err != nil {
-			t.Fatal(err)
-		}
-		out := make(map[string]map[string]any, len(sc.Cells))
-		for _, c := range sc.Cells {
-			out[c["scenario"].(string)+"/"+c["fault"].(string)] = c
-		}
-		return out
-	}
-	old, cur := load("golden-pr5.json"), load("golden.json")
+	old, cur := loadCells(t, "golden-pr5.json"), loadCells(t, "golden.json")
 	if len(old) == 0 {
 		t.Fatal("golden-pr5.json holds no cells")
 	}
@@ -147,9 +130,66 @@ func TestPFCCellsMatchPR5(t *testing.T) {
 				t.Errorf("%s: %s drifted from PR5: %v -> %v", name, key, w, got[key])
 			}
 		}
-		// No new scoring fields beyond the transport column.
+		// No new scoring fields beyond the transport column (PR6) and the
+		// SLO time-to-detect column (PR7).
+		if len(got) != len(want)+2 {
+			t.Errorf("%s: field count %d, want %d+transport+sloDetectNs", name, len(got), len(want))
+		}
+	}
+}
+
+// loadCells reads a golden scorecard into per-cell field maps.
+func loadCells(t *testing.T, name string) map[string]map[string]any {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc struct {
+		Cells []map[string]any `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]map[string]any, len(sc.Cells))
+	for _, c := range sc.Cells {
+		out[c["scenario"].(string)+"/"+c["fault"].(string)] = c
+	}
+	return out
+}
+
+// TestCellsMatchPR6 pins every cell — all transports — to the snapshot
+// taken before the health plane's SLO column was added
+// (testdata/golden-pr6.json): the burn-rate engine scrapes in the
+// kernel's observer band and must not perturb any simulated behavior,
+// so every pre-existing field must score exactly what it scored then,
+// and sloDetectNs must be the only new field.
+func TestCellsMatchPR6(t *testing.T) {
+	old, cur := loadCells(t, "golden-pr6.json"), loadCells(t, "golden.json")
+	if len(old) == 0 {
+		t.Fatal("golden-pr6.json holds no cells")
+	}
+	for name, want := range old {
+		got, ok := cur[name]
+		if !ok {
+			t.Errorf("cell %s disappeared from the campaign", name)
+			continue
+		}
+		for key, w := range want {
+			if !reflect.DeepEqual(got[key], w) {
+				t.Errorf("%s: %s drifted from PR6: %v -> %v", name, key, w, got[key])
+			}
+		}
+		if _, ok := got["sloDetectNs"]; !ok {
+			t.Errorf("%s: sloDetectNs column missing", name)
+		}
 		if len(got) != len(want)+1 {
-			t.Errorf("%s: field count %d, want %d+transport", name, len(got), len(want))
+			t.Errorf("%s: field count %d, want %d+sloDetectNs", name, len(got), len(want))
+		}
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			t.Errorf("cell %s not in PR6 golden", name)
 		}
 	}
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	roce-pingmesh [-duration 1s]
+//	roce-pingmesh [-duration 1s] [-seed 1]
 package main
 
 import (
@@ -25,9 +25,10 @@ import (
 
 func main() {
 	duration := flag.Duration("duration", time.Second, "simulated probing duration")
+	seed := flag.Int64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	k := sim.NewKernel(1)
+	k := sim.NewKernel(*seed)
 	d, err := core.New(k, core.DefaultConfig(topology.Fig7Spec(2)))
 	if err != nil {
 		panic(err)

@@ -1,0 +1,29 @@
+package rocesim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeedFlagParity pins the CLI contract that every simulation-running
+// command exposes the kernel seed the same way: flag.Int64("seed", ...).
+// Determinism claims ("same seed, byte-identical output") are only
+// testable from the outside if the seed is reachable from the outside,
+// and a command that hardcodes its seed silently breaks sweep scripts
+// that pass -seed to every tool.
+func TestSeedFlagParity(t *testing.T) {
+	cmds := []string{
+		"roce-chaos", "roce-transports", "roce-metrics", "roce-pingmesh", "roce-health",
+	}
+	for _, cmd := range cmds {
+		src, err := os.ReadFile(filepath.Join("cmd", cmd, "main.go"))
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if !strings.Contains(string(src), `flag.Int64("seed"`) {
+			t.Errorf("%s: no flag.Int64(\"seed\", ...) — seed must be settable from the CLI", cmd)
+		}
+	}
+}

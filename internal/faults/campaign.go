@@ -3,10 +3,12 @@ package faults
 import (
 	"bytes"
 	"math"
+	"strings"
 
 	"rocesim/internal/core"
 	"rocesim/internal/fabric"
 	"rocesim/internal/flighttrace"
+	"rocesim/internal/health"
 	"rocesim/internal/invariant"
 	"rocesim/internal/monitor"
 	"rocesim/internal/nic"
@@ -154,6 +156,33 @@ func (c Campaign) runCell(s Scenario, f FaultSpec) Cell {
 	det.ClearAfter = 2
 	det.Arm()
 
+	// The SLO path watches the same signals as the detector — pause-rx
+	// and lossless-drop deltas per monitor interval — but through the
+	// health plane's burn-rate engine, so every cell scores both
+	// time-to-detect numbers side by side. Both windows span a single
+	// scrape: the campaign's faults include one-interval blips (a flap's
+	// single pause burst) that the detector pages on, and the columns
+	// are only comparable if the objectives mirror its per-interval
+	// thresholds exactly — the multi-window discipline is the health
+	// scenarios' job. The scraper runs in the kernel's observer band and
+	// never perturbs component events.
+	hs := health.NewScraper(k, health.ScrapeConfig{
+		Interval: d.Cfg.MonitorInterval,
+		Filter: func(key string) bool {
+			return strings.HasSuffix(key, "/pause_rx") || strings.HasSuffix(key, "/lossless_drops")
+		},
+	})
+	eng := health.NewEngine(k, hs)
+	eng.Add(health.Objective{
+		Name: "pause-rx", Bad: health.OverDelta(hs, "/pause_rx", c.DetectPauseRx),
+		LongWindow: d.Cfg.MonitorInterval,
+	})
+	eng.Add(health.Objective{
+		Name: "lossless-drops", Bad: health.OverDelta(hs, "/lossless_drops", c.DetectLosslessDrops),
+		LongWindow: d.Cfg.MonitorInterval,
+	})
+	hs.Start()
+
 	k.RunUntil(simtime.Time(s.Duration))
 	aud.Finish()
 	snap := k.Metrics().Snapshot()
@@ -216,6 +245,17 @@ func (c Campaign) runCell(s Scenario, f FaultSpec) Cell {
 		last := det.Alerts[len(det.Alerts)-1]
 		cell.Detected = true
 		cell.DetectedBy = last.Device
+	}
+
+	// SLO time-to-detect: the burn-rate engine's first breach at or
+	// after fault onset, in ns from onset. A cell whose only breach
+	// opened before the fault and is still open at end of run scores 0 —
+	// the pager was already ringing, same rule as the detector above.
+	cell.SLODetectNs = -1
+	if at, ok := eng.FirstBreachAfter(faultAt); ok {
+		cell.SLODetectNs = int64(at.Sub(faultAt) / simtime.Nanosecond)
+	} else if eng.Breached() {
+		cell.SLODetectNs = 0
 	}
 
 	cell.Violations = aud.Total()

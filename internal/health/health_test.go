@@ -1,0 +1,278 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/stats"
+	"rocesim/internal/topology"
+)
+
+// TestTieredSeriesFoldAndWindow records a known ramp and checks the
+// retention ladder: raw ring bounded, 10 raw per mid bucket, 100 per
+// coarse, and windowed aggregates matching brute force while the window
+// stays inside raw retention.
+func TestTieredSeriesFoldAndWindow(t *testing.T) {
+	ts := NewTieredSeries("x", 50, 20, 10)
+	tick := 10 * simtime.Millisecond
+	for i := 1; i <= 1000; i++ {
+		ts.Record(simtime.Time(tick*simtime.Duration(i)), float64(i))
+	}
+	raw, mid, coarse := ts.Tiers()
+	if raw != 50 {
+		t.Fatalf("raw retained %d, want cap 50", raw)
+	}
+	if mid != 20 {
+		t.Fatalf("mid retained %d, want cap 20", mid)
+	}
+	if coarse != 10 {
+		t.Fatalf("coarse retained %d, want 10 (1000 samples / 100)", coarse)
+	}
+	if ts.Total() != 1000 {
+		t.Fatalf("total %d", ts.Total())
+	}
+
+	// Recent window (inside raw retention): exact.
+	from, to := simtime.Time(tick*991), simtime.Time(tick*1000)
+	b := ts.Window(from, to)
+	if b.N != 10 || b.Min != 991 || b.Max != 1000 || b.Sum != (991+1000)*10/2 {
+		t.Fatalf("raw window = %+v", b)
+	}
+
+	// Older window (raw evicted, mid retains 20 buckets = samples
+	// 801..1000): answered from the mid tier with full-bucket granularity.
+	from = simtime.Time(tick * 805)
+	b = ts.Window(from, simtime.Time(tick*1000))
+	if b.N < 190 || b.N > 200 {
+		t.Fatalf("mid window N = %d, want ~196 (bucket granularity)", b.N)
+	}
+	if b.Max != 1000 {
+		t.Fatalf("mid window max = %g", b.Max)
+	}
+
+	// Ancient window: only coarse can reach back; best effort.
+	b = ts.Window(simtime.Time(tick*50), simtime.Time(tick*1000))
+	if b.N != 1000 {
+		t.Fatalf("coarse window N = %d, want 1000 (coarse retains all 10 buckets)", b.N)
+	}
+	if b.Sum != 1000*1001/2 {
+		t.Fatalf("coarse window sum = %g", b.Sum)
+	}
+
+	if _, ok := NewTieredSeries("empty", 4, 4, 4).Last(); ok {
+		t.Fatal("empty series has a last sample")
+	}
+}
+
+// TestScraperDeltasAndObserverBand drives counters from normal events
+// and checks (a) counters scrape as per-interval deltas, (b) a counter
+// bump scheduled at exactly the scrape instant is visible to that
+// scrape — the observer band guarantees scrape-after-work ordering even
+// for same-instant events, regardless of scheduling order.
+func TestScraperDeltasAndObserverBand(t *testing.T) {
+	k := sim.NewKernel(5)
+	ctr := k.Metrics().Counter("tor-0/pause_rx")
+	sc := NewScraper(k, ScrapeConfig{Interval: 10 * simtime.Millisecond})
+	sc.Start()
+	// Bump at exactly the second scrape instant (20ms), scheduled before
+	// the scraper ever ran: still seen by the 20ms scrape.
+	k.At(simtime.Time(20*simtime.Millisecond), func() { ctr.Add(7) })
+	k.At(simtime.Time(25*simtime.Millisecond), func() { ctr.Add(3) })
+	var probeVal float64
+	sc.Probe("probe/depth", func() float64 { return probeVal })
+	k.At(simtime.Time(12*simtime.Millisecond), func() { probeVal = 42 })
+
+	k.RunUntil(simtime.Time(30 * simtime.Millisecond))
+	if sc.Scrapes != 3 {
+		t.Fatalf("scrapes = %d, want 3", sc.Scrapes)
+	}
+	s := sc.Series["tor-0/pause_rx"]
+	if s == nil {
+		t.Fatal("counter not scraped")
+	}
+	want := []float64{0, 7, 3}
+	for i, w := range want {
+		if got := s.raw.at(i).Sum; got != w {
+			t.Fatalf("delta[%d] = %g, want %g", i, got, w)
+		}
+	}
+	p := sc.Series["probe/depth"]
+	if p == nil || p.raw.at(0).Sum != 0 || p.raw.at(1).Sum != 42 {
+		t.Fatalf("probe series wrong: %+v", p)
+	}
+}
+
+// TestScraperFilter: filtered-out keys never grow series.
+func TestScraperFilter(t *testing.T) {
+	k := sim.NewKernel(6)
+	k.Metrics().Counter("tor-0/pause_rx").Add(1)
+	k.Metrics().Counter("tor-0/tx_frames").Add(1)
+	sc := NewScraper(k, ScrapeConfig{
+		Interval: simtime.Millisecond,
+		Filter:   func(key string) bool { return strings.HasSuffix(key, "/pause_rx") },
+	})
+	sc.Start()
+	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	if _, ok := sc.Series["tor-0/tx_frames"]; ok {
+		t.Fatal("filtered key scraped")
+	}
+	if _, ok := sc.Series["tor-0/pause_rx"]; !ok {
+		t.Fatal("selected key not scraped")
+	}
+}
+
+// TestEngineBurnRateHysteresis drives a pause counter through calm,
+// storm and recovery, checking breach timing, the announcement bus, the
+// clear, and FirstBreachAfter.
+func TestEngineBurnRateHysteresis(t *testing.T) {
+	k := sim.NewKernel(7)
+	ctr := k.Metrics().Counter("tor-0/pause_rx")
+	sc := NewScraper(k, ScrapeConfig{Interval: 10 * simtime.Millisecond})
+	e := NewEngine(k, sc)
+	e.Add(Objective{
+		Name: "pause-ceiling", Bad: OverDelta(sc, "/pause_rx", 100),
+		Budget: 0.25, ShortWindow: 10 * simtime.Millisecond,
+		LongWindow: 20 * simtime.Millisecond, Burn: 2, ClearAfter: 2,
+	})
+	sc.Start()
+
+	var announced []SLOAlert
+	k.OnAnnounce(func(v any) {
+		if a, ok := v.(SLOAlert); ok {
+			announced = append(announced, a)
+		}
+	})
+
+	// Storm from 35ms to 65ms: scrapes at 40/50/60ms see deltas ≥ 100.
+	storm := k.NewTicker(simtime.Millisecond, func() {
+		now := k.Now()
+		if now > simtime.Time(35*simtime.Millisecond) && now < simtime.Time(65*simtime.Millisecond) {
+			ctr.Add(20)
+		}
+	})
+	defer storm.Stop()
+	k.RunUntil(simtime.Time(120 * simtime.Millisecond))
+
+	// Short window (1 scrape) hits burn 4 at 40ms; long window (2
+	// scrapes) needs two bad scrapes → breach at 50ms.
+	breachAt := simtime.Time(50 * simtime.Millisecond)
+	if at, ok := e.FirstBreachAfter(0); !ok || at != breachAt {
+		t.Fatalf("first breach = %v,%v, want %v", at, ok, breachAt)
+	}
+	if e.Breached() {
+		t.Fatal("breach still open after recovery")
+	}
+	if !e.EverBreached() {
+		t.Fatal("EverBreached lost the breach")
+	}
+	if len(e.Alerts) != 2 || e.Alerts[0].Cleared || !e.Alerts[1].Cleared {
+		t.Fatalf("alerts = %+v", e.Alerts)
+	}
+	if len(announced) != 2 {
+		t.Fatalf("bus saw %d alerts, want 2", len(announced))
+	}
+	if _, ok := e.FirstBreachAfter(simtime.Time(60 * simtime.Millisecond)); ok {
+		t.Fatal("FirstBreachAfter found a breach after the storm")
+	}
+	st := e.Status()
+	if len(st) != 1 || !st[0].EverBreached || st[0].Breaches != 1 ||
+		st[0].FirstBreachNs != int64(50*1e6) {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestLatencyOverBadness: the sketch-delta badness function reports the
+// over-target fraction per interval and 0 on idle intervals.
+func TestLatencyOverBadness(t *testing.T) {
+	sk := stats.NewSketch(0)
+	bad := LatencyOver(sk, 1000)
+	if got := bad(0); got != 0 {
+		t.Fatalf("idle interval badness = %g", got)
+	}
+	for i := 0; i < 8; i++ {
+		sk.Observe(500)
+	}
+	sk.Observe(5000)
+	sk.Observe(6000)
+	if got := bad(0); got < 0.15 || got > 0.25 {
+		t.Fatalf("badness = %g, want ~0.2", got)
+	}
+	if got := bad(0); got != 0 {
+		t.Fatalf("second read must see no new samples: %g", got)
+	}
+}
+
+// TestBelowBadness: goodput-floor badness is binary on the sampled rate.
+func TestBelowBadness(t *testing.T) {
+	rate := 100.0
+	bad := Below(func() float64 { return rate }, 50)
+	if bad(0) != 0 {
+		t.Fatal("healthy rate flagged")
+	}
+	rate = 10
+	if bad(0) != 1 {
+		t.Fatal("starved rate not flagged")
+	}
+}
+
+// TestHeatmapRenderAndReportDiff builds a 2×2 heatmap by hand, renders
+// it, snapshots a report twice (byte-identical), and diffs against a
+// perturbed baseline.
+func TestHeatmapRenderAndReportDiff(t *testing.T) {
+	a := &topology.Server{TorIdx: 0}
+	b := &topology.Server{TorIdx: 1}
+	h := NewHeatmap(2, func(s *topology.Server) int { return s.TorIdx }, nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(a, b, simtime.Duration(4*simtime.Microsecond), true)
+		h.Observe(b, a, simtime.Duration(6*simtime.Microsecond), true)
+	}
+	h.Observe(a, b, 0, false)
+	out := h.Render()
+	if !strings.Contains(out, "!1") {
+		t.Fatalf("failure marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "6.0") {
+		t.Fatalf("p99 cell missing:\n%s", out)
+	}
+	p99, probes, fails := h.CellP99(0, 1)
+	if probes != 101 || fails != 1 || p99 < 3.9e6 || p99 > 4.1e6 {
+		t.Fatalf("cell = %g/%d/%d", p99, probes, fails)
+	}
+
+	mk := func() *Report {
+		r := NewReport("test", 1)
+		r.DurationNs = 1e9
+		sk := stats.NewSketch(0)
+		sk.Observe(1000)
+		r.AddSketch("rtt", sk)
+		r.AddHeatmap(h)
+		return r
+	}
+	r1, r2 := mk(), mk()
+	if r1.Text() != r2.Text() {
+		t.Fatal("report text not deterministic")
+	}
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := r2.JSON()
+	if string(j1) != string(j2) {
+		t.Fatal("report JSON not deterministic")
+	}
+	if d := r1.Diff(r2, 0.01); len(d) != 0 {
+		t.Fatalf("self-diff = %v", d)
+	}
+
+	// Perturb the baseline: breach flip + p99 shift beyond tolerance.
+	base := mk()
+	base.Breached = true
+	base.Sketches[0].P99 *= 2
+	base.Heatmap[0][1].Fails = 0
+	d := r1.Diff(base, 0.01)
+	if len(d) != 3 {
+		t.Fatalf("diff = %v, want 3 drifts", d)
+	}
+}

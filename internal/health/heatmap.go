@@ -1,0 +1,118 @@
+package health
+
+import (
+	"fmt"
+	"strings"
+
+	"rocesim/internal/monitor"
+	"rocesim/internal/simtime"
+	"rocesim/internal/stats"
+	"rocesim/internal/topology"
+)
+
+// Heatmap aggregates pingmesh probe results into a group×group grid —
+// the pod×pod (or ToR×ToR) latency heatmap of the paper's Pingmesh
+// paper lineage: each cell holds a mergeable RTT sketch plus probe and
+// failure counts for the source→destination group pair.
+type Heatmap struct {
+	n     int
+	group func(*topology.Server) int
+	label func(int) string
+
+	cells [][]heatCell
+}
+
+type heatCell struct {
+	rtt    *stats.Sketch
+	probes uint64
+	fails  uint64
+}
+
+// NewHeatmap builds an n×n heatmap; group maps a server to its cell
+// index in [0, n), label names a group in report output (default "g%d").
+func NewHeatmap(n int, group func(*topology.Server) int, label func(int) string) *Heatmap {
+	if label == nil {
+		label = func(i int) string { return fmt.Sprintf("g%d", i) }
+	}
+	h := &Heatmap{n: n, group: group, label: label, cells: make([][]heatCell, n)}
+	for i := range h.cells {
+		h.cells[i] = make([]heatCell, n)
+	}
+	return h
+}
+
+// Attach subscribes the heatmap to a pingmesh's probe results, chaining
+// any observer already installed. Returns the heatmap.
+func (h *Heatmap) Attach(pm *monitor.Pingmesh) *Heatmap {
+	prev := pm.OnResult
+	pm.OnResult = func(a, b *topology.Server, scope monitor.ProbeScope, rtt simtime.Duration, ok bool) {
+		if prev != nil {
+			prev(a, b, scope, rtt, ok)
+		}
+		h.Observe(a, b, rtt, ok)
+	}
+	return h
+}
+
+// Observe records one settled probe.
+func (h *Heatmap) Observe(a, b *topology.Server, rtt simtime.Duration, ok bool) {
+	i, j := h.group(a), h.group(b)
+	if i < 0 || i >= h.n || j < 0 || j >= h.n {
+		return
+	}
+	c := &h.cells[i][j]
+	c.probes++
+	if !ok {
+		c.fails++
+		return
+	}
+	if c.rtt == nil {
+		c.rtt = stats.NewSketch(0)
+	}
+	c.rtt.Observe(float64(rtt))
+}
+
+// CellP99 returns the cell's p99 RTT in picoseconds plus its probe and
+// failure counts (p99 0 when the cell saw no successful probe).
+func (h *Heatmap) CellP99(i, j int) (p99 float64, probes, fails uint64) {
+	c := h.cells[i][j]
+	if c.rtt != nil {
+		p99 = c.rtt.Quantile(0.99)
+	}
+	return p99, c.probes, c.fails
+}
+
+// N returns the group count.
+func (h *Heatmap) N() int { return h.n }
+
+// Render draws the grid: p99 RTT in microseconds per source
+// (row) → destination (column) pair, "-" for unprobed cells, and a
+// "!k" suffix counting failed probes. Byte-deterministic.
+func (h *Heatmap) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "p99us")
+	for j := 0; j < h.n; j++ {
+		fmt.Fprintf(&b, " %10s", h.label(j))
+	}
+	b.WriteByte('\n')
+	for i := 0; i < h.n; i++ {
+		fmt.Fprintf(&b, "%-8s", h.label(i))
+		for j := 0; j < h.n; j++ {
+			c := h.cells[i][j]
+			cell := "-"
+			if c.probes > 0 {
+				if c.rtt != nil && c.rtt.Count() > 0 {
+					cell = fmt.Sprintf("%.1f", c.rtt.Quantile(0.99)/1e6)
+				} else {
+					cell = "x" // every probe failed
+				}
+				if c.fails > 0 {
+					cell += fmt.Sprintf("!%d", c.fails)
+				}
+			}
+			fmt.Fprintf(&b, " %10s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

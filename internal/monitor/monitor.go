@@ -75,11 +75,18 @@ type Pingmesh struct {
 	Failures map[ProbeScope]uint64
 	Probes   uint64
 
+	// OnResult, when set, observes every settled probe: ok=true with the
+	// measured RTT on an answer, ok=false (rtt=Timeout) on a timeout. The
+	// health plane's heatmap and sketches feed off this hook instead of
+	// re-probing the fabric.
+	OnResult func(a, b *topology.Server, scope ProbeScope, rtt simtime.Duration, ok bool)
+
 	pairs []*meshPair
 }
 
 type meshPair struct {
 	pp    workload.PingPong
+	a, b  *topology.Server
 	scope ProbeScope
 	// outstanding guards against piling probes onto a stuck path.
 	outstanding bool
@@ -118,7 +125,7 @@ func (pm *Pingmesh) AddPair(net *topology.Network, a, b *topology.Server) {
 	}
 	qa, qb := net.QPPair(a, b, nil)
 	pp := workload.NewRDMAPingPong(qa, qb, pm.k.Now)
-	pm.pairs = append(pm.pairs, &meshPair{pp: pp, scope: scope})
+	pm.pairs = append(pm.pairs, &meshPair{pp: pp, a: a, b: b, scope: scope})
 }
 
 // Start begins probing all registered pairs.
@@ -151,6 +158,9 @@ func (pm *Pingmesh) probe(p *meshPair) {
 		settled = true
 		p.outstanding = false
 		pm.Failures[p.scope]++
+		if pm.OnResult != nil {
+			pm.OnResult(p.a, p.b, p.scope, pm.cfg.Timeout, false)
+		}
 	})
 	p.pp.Query(pm.cfg.ProbeSize, pm.cfg.ProbeSize, func(rtt simtime.Duration) {
 		if settled {
@@ -160,6 +170,9 @@ func (pm *Pingmesh) probe(p *meshPair) {
 		p.outstanding = false
 		timeout.Cancel()
 		pm.RTT[p.scope].Observe(float64(rtt))
+		if pm.OnResult != nil {
+			pm.OnResult(p.a, p.b, p.scope, rtt, true)
+		}
 	})
 }
 
@@ -398,9 +411,11 @@ type IncidentDetector struct {
 
 	Alerts []Alert
 
-	armed     bool
-	triggered bool
-	hot, calm int
+	armed       bool
+	triggered   bool
+	hot, calm   int
+	triggeredAt simtime.Time
+	everFired   bool
 }
 
 // NewIncidentDetector attaches to a collector; Scan it after a run, or
@@ -431,6 +446,13 @@ func (d *IncidentDetector) Arm() *IncidentDetector {
 
 // Triggered reports whether an incident is currently open.
 func (d *IncidentDetector) Triggered() bool { return d.triggered }
+
+// TriggeredAt returns the simulated time the first incident opened and
+// whether any incident has opened at all. The detection *timestamp* —
+// not just the boolean — is what time-to-detect scoring needs.
+func (d *IncidentDetector) TriggeredAt() (simtime.Time, bool) {
+	return d.triggeredAt, d.everFired
+}
 
 // DumpOnIncident wires a flight recorder to the detector: the moment an
 // incident opens, the recorder's bounded ring — the last events on
@@ -493,6 +515,9 @@ func (d *IncidentDetector) step(now simtime.Time) {
 		}
 		if d.hot >= d.TriggerAfter {
 			d.triggered, d.hot, d.calm = true, 0, 0
+			if !d.everFired {
+				d.triggeredAt, d.everFired = now, true
+			}
 			a := Alert{At: now, Device: alertDev, Reason: reason}
 			d.Alerts = append(d.Alerts, a)
 			if d.OnTrigger != nil {

@@ -71,6 +71,47 @@ func TestPingmeshDetectsDeadServer(t *testing.T) {
 
 func time1s() simtime.Duration { return simtime.Second }
 
+// TestPingmeshOnResult: the observation hook sees every settled probe —
+// answers with their RTT and endpoint identity, timeouts with ok=false —
+// matching the histogram/failure counters exactly.
+func TestPingmeshOnResult(t *testing.T) {
+	k := sim.NewKernel(2)
+	net, err := topology.Build(k, topology.RackSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := NewPingmesh(k, DefaultPingmesh())
+	a, b := net.Server(0, 0, 0), net.Server(0, 0, 1)
+	pm.AddPair(net, a, b)
+	pm.AddPair(net, net.Server(0, 0, 2), net.Server(0, 0, 3))
+	net.Server(0, 0, 3).NIC.SetMalfunction(true)
+	var oks, fails uint64
+	pm.OnResult = func(sa, sb *topology.Server, scope ProbeScope, rtt simtime.Duration, ok bool) {
+		if scope != ScopeToR {
+			t.Fatalf("scope = %v, want tor", scope)
+		}
+		if ok {
+			oks++
+			if sa != a || sb != b || rtt <= 0 {
+				t.Fatalf("answered probe misattributed: %s->%s rtt=%v", sa.NIC.Name(), sb.NIC.Name(), rtt)
+			}
+		} else {
+			fails++
+			if rtt != pm.cfg.Timeout {
+				t.Fatalf("timeout rtt = %v, want %v", rtt, pm.cfg.Timeout)
+			}
+		}
+	}
+	pm.Start()
+	k.RunUntil(simtime.Time(time1s()))
+	if oks != pm.RTT[ScopeToR].Count() || oks == 0 {
+		t.Fatalf("hook saw %d answers, histogram %d", oks, pm.RTT[ScopeToR].Count())
+	}
+	if fails != pm.Failures[ScopeToR] || fails == 0 {
+		t.Fatalf("hook saw %d timeouts, counter %d", fails, pm.Failures[ScopeToR])
+	}
+}
+
 func TestCollectorSeries(t *testing.T) {
 	k := sim.NewKernel(3)
 	net, err := topology.Build(k, topology.RackSpec(3))
@@ -242,6 +283,9 @@ func TestIncidentDetectorHysteresis(t *testing.T) {
 	det.OnTrigger = func(a Alert) { triggered = append(triggered, a) }
 	det.OnClear = func(at simtime.Time) { cleared = append(cleared, at) }
 	det.Arm().Arm() // double-arm must be a no-op
+	if _, ok := det.TriggeredAt(); ok {
+		t.Fatal("TriggeredAt reports a detection before any incident")
+	}
 
 	// Interval deltas seen at samples (every 10ms):
 	//   10ms: 150 (blip)   20ms: 0     → hot count must reset
@@ -262,6 +306,9 @@ func TestIncidentDetectorHysteresis(t *testing.T) {
 	}
 	if triggered[0].Device != "dev" || triggered[0].At != simtime.Time(40*simtime.Millisecond) {
 		t.Fatalf("trigger alert = %+v", triggered[0])
+	}
+	if at, ok := det.TriggeredAt(); !ok || at != simtime.Time(40*simtime.Millisecond) {
+		t.Fatalf("TriggeredAt = %v,%v, want 40ms,true", at, ok)
 	}
 	k.RunUntil(simtime.Time(55 * simtime.Millisecond))
 	if !det.Triggered() {

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rocesim/internal/simtime"
+)
+
+// TestObserverBandOrdering: observer events fire after every normal
+// event of the same instant regardless of scheduling order, and keep
+// their own scheduling order among themselves.
+func TestObserverBandOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	at := simtime.Time(10)
+	k.AtObserve(at, func() { order = append(order, "O1") })
+	k.At(at, func() { order = append(order, "A") })
+	k.AtObserve(at, func() { order = append(order, "O2") })
+	k.At(at, func() { order = append(order, "B") })
+	// A later instant's normal event still fires after the earlier
+	// instant's observers.
+	k.At(at+1, func() { order = append(order, "C") })
+	k.Run()
+	want := []string{"A", "B", "O1", "O2", "C"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("fire order %v, want %v", order, want)
+	}
+}
+
+// TestObserverSchedulesNormalNow: a normal event scheduled by an
+// observer for the same instant preempts the remaining observers — the
+// normal band always drains first.
+func TestObserverSchedulesNormalNow(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	at := simtime.Time(5)
+	k.AtObserve(at, func() {
+		order = append(order, "O1")
+		k.At(at, func() { order = append(order, "N") })
+	})
+	k.AtObserve(at, func() { order = append(order, "O2") })
+	k.Run()
+	want := []string{"O1", "N", "O2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("fire order %v, want %v", order, want)
+	}
+}
+
+// TestObserverCancelAndRecycle: observer handles cancel like normal
+// ones, and recycled items shed the band bit for their next tenant.
+func TestObserverCancelAndRecycle(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	h := k.AfterObserve(3, func() { fired = true })
+	if !h.Pending() {
+		t.Fatal("observer event not pending")
+	}
+	if !h.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled observer fired")
+	}
+	// Reuse the free-listed item for a normal event: it must fire in the
+	// normal band (before a freshly scheduled observer at the instant).
+	var order []string
+	k.AtObserve(7, func() { order = append(order, "O") })
+	k.At(7, func() { order = append(order, "N") })
+	k.Run()
+	if !reflect.DeepEqual(order, []string{"N", "O"}) {
+		t.Fatalf("post-recycle order %v", order)
+	}
+}

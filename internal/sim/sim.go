@@ -320,6 +320,43 @@ func (k *Kernel) schedule(at simtime.Time) *item {
 	return it
 }
 
+// observerBand is OR'ed into an observer event's ordering sequence.
+// Because fire order is the total order (at, seq) and normal sequence
+// numbers never reach 2^63, every observer event at an instant sorts
+// after every normally-scheduled event of that instant, while observer
+// events keep their mutual scheduling order — no extra heap key needed.
+const observerBand = uint64(1) << 63
+
+// AtObserve schedules fn in the instant's observer band: it fires at
+// time at, after every normally-scheduled event of that same instant,
+// no matter when either was scheduled. Observers that must see the
+// completed state of a timestep — telemetry scrapers, SLO evaluators,
+// auditor sweeps — use it so their reads cannot depend on component
+// wiring order. Events an observer schedules "now" run before the
+// remaining observers of the instant (normal band beats observer band).
+func (k *Kernel) AtObserve(at simtime.Time, fn Event) Handle {
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
+	}
+	it := k.newItem(at)
+	it.seq |= observerBand
+	k.push(it)
+	it.fn = fn
+	return Handle{item: it, gen: it.gen, k: k}
+}
+
+// AfterObserve schedules fn in the observer band d after the current
+// time.
+func (k *Kernel) AfterObserve(d simtime.Duration, fn Event) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.AtObserve(k.now.Add(d), fn)
+}
+
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: that is always a logic bug in a discrete-event model.
 func (k *Kernel) At(at simtime.Time, fn Event) Handle {

@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sketch is a mergeable quantile sketch with relative-error guarantees,
+// in the DDSketch family (Masson, Rim, Lee, VLDB 2019): values map to
+// logarithmic buckets of ratio gamma = (1+alpha)/(1-alpha), so any
+// reported quantile is within a factor (1±alpha) of the true sample at
+// that rank. Unlike exact-percentile sorting, memory grows with the
+// dynamic range of the data (≈ log_gamma(max/min) buckets), not the
+// sample count, and two sketches over disjoint sample sets merge by
+// bucket addition into exactly the sketch of the pooled set — the
+// property the fleet health plane needs to aggregate pingmesh RTTs and
+// flow-completion times across thousands of devices without keeping raw
+// samples.
+//
+// The zero-or-negative bucket holds non-positive samples (same-host
+// loopback RTTs); its quantile estimate is 0, which is exact for 0 and
+// conservative for negatives (latencies are never negative in practice).
+type Sketch struct {
+	alpha  float64
+	gamma  float64
+	logG   float64
+	counts map[int]uint64
+	zero   uint64 // samples <= 0
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+
+	// maxBins, when positive, bounds len(counts): on overflow the two
+	// lowest occupied buckets collapse into one, trading accuracy at the
+	// cheap low quantiles for a hard memory bound (the DDSketch
+	// collapsing strategy — high quantiles keep their guarantee).
+	maxBins int
+}
+
+// DefaultSketchAlpha is the relative-error bound used when callers do
+// not choose one: 1%, comfortably inside the 2% the legacy log-bucketed
+// Histogram provides.
+const DefaultSketchAlpha = 0.01
+
+// NewSketch returns an empty sketch with relative error alpha
+// (0 < alpha < 1). Non-positive alpha selects DefaultSketchAlpha.
+func NewSketch(alpha float64) *Sketch {
+	if alpha <= 0 {
+		alpha = DefaultSketchAlpha
+	}
+	if alpha >= 1 {
+		panic(fmt.Sprintf("stats: sketch alpha %g out of range (0,1)", alpha))
+	}
+	g := (1 + alpha) / (1 - alpha)
+	return &Sketch{alpha: alpha, gamma: g, logG: math.Log(g), counts: make(map[int]uint64)}
+}
+
+// WithMaxBins bounds the number of buckets (0 = unbounded) and returns
+// the sketch for chaining.
+func (s *Sketch) WithMaxBins(n int) *Sketch {
+	s.maxBins = n
+	return s
+}
+
+// RelativeError returns the sketch's quantile error bound alpha.
+func (s *Sketch) RelativeError() float64 { return s.alpha }
+
+// bucket returns the index of the bucket covering v > 0: bucket i holds
+// (gamma^(i-1), gamma^i].
+func (s *Sketch) bucket(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.logG))
+}
+
+// Observe records one sample.
+func (s *Sketch) Observe(v float64) {
+	if v > 0 {
+		s.counts[s.bucket(v)]++
+		if s.maxBins > 0 && len(s.counts) > s.maxBins {
+			s.collapse()
+		}
+	} else {
+		s.zero++
+	}
+	if s.total == 0 || v < s.min {
+		s.min = v
+	}
+	if s.total == 0 || v > s.max {
+		s.max = v
+	}
+	s.total++
+	s.sum += v
+}
+
+// collapse merges the lowest occupied bucket into the next one up.
+func (s *Sketch) collapse() {
+	lo, next := 0, 0
+	first := true
+	for i := range s.counts {
+		switch {
+		case first:
+			lo, next, first = i, i, false
+		case i < lo:
+			lo, next = i, lo
+		case i < next || next == lo:
+			next = i
+		}
+	}
+	if next == lo {
+		return // single bucket; nothing to collapse into
+	}
+	s.counts[next] += s.counts[lo]
+	delete(s.counts, lo)
+}
+
+// Count returns the number of samples recorded.
+func (s *Sketch) Count() uint64 { return s.total }
+
+// Sum returns the running sum of samples.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.sum / float64(s.total)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (s *Sketch) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 when empty).
+func (s *Sketch) Max() float64 { return s.max }
+
+// Quantile estimates the q-quantile (q in [0,1]; 0 for an empty
+// sketch). The estimate is within relative error alpha of the exact
+// sample at rank ceil(q·n) of the sorted sample set, for every sample
+// that landed in an uncollapsed bucket.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank <= s.zero {
+		return 0
+	}
+	cum := s.zero
+	for _, i := range s.indices() {
+		cum += s.counts[i]
+		if cum >= rank {
+			// Midpoint estimate 2·gamma^i/(gamma+1) is within (1±alpha)
+			// of every value in (gamma^(i-1), gamma^i]. Clamping into
+			// [min, max] only moves the estimate toward the true value.
+			v := 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// Percentile is shorthand for Quantile(p/100).
+func (s *Sketch) Percentile(p float64) float64 { return s.Quantile(p / 100) }
+
+// CountAbove returns how many recorded samples exceed x, up to bucket
+// resolution: samples sharing x's bucket all count as above when x sits
+// below the bucket midpoint estimate, and as below otherwise. The SLO
+// engine uses it for "fraction of probes over target" error budgets.
+func (s *Sketch) CountAbove(x float64) uint64 {
+	if s.total == 0 {
+		return 0
+	}
+	if x < 0 {
+		return s.total
+	}
+	var above uint64
+	bx := 0
+	if x > 0 {
+		bx = s.bucket(x)
+	}
+	for i, c := range s.counts {
+		if i > bx {
+			above += c
+		} else if i == bx && x < 2*math.Pow(s.gamma, float64(i))/(s.gamma+1) {
+			above += c
+		}
+	}
+	return above
+}
+
+// Merge adds all samples of o into s. The result is exactly the sketch
+// of the pooled sample sets, so quantile guarantees survive the merge.
+// Merging sketches built with different alpha is a wiring bug and
+// panics.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if o.alpha != s.alpha {
+		panic(fmt.Sprintf("stats: merging sketches with different alpha (%g vs %g)", s.alpha, o.alpha))
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+		if s.maxBins > 0 && len(s.counts) > s.maxBins {
+			s.collapse()
+		}
+	}
+	s.zero += o.zero
+	if s.total == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.total == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.total += o.total
+	s.sum += o.sum
+}
+
+// Bins returns the number of occupied buckets (the memory footprint).
+func (s *Sketch) Bins() int {
+	n := len(s.counts)
+	if s.zero > 0 {
+		n++
+	}
+	return n
+}
+
+// Summary formats count and the headline quantiles with the given unit
+// divisor and label, matching Histogram.Summary's shape.
+func (s *Sketch) Summary(div float64, unit string) string {
+	return fmt.Sprintf("n=%d min=%.1f%s p50=%.1f%s p99=%.1f%s p99.9=%.1f%s max=%.1f%s",
+		s.total, s.min/div, unit, s.Quantile(0.50)/div, unit,
+		s.Quantile(0.99)/div, unit, s.Quantile(0.999)/div, unit, s.max/div, unit)
+}
+
+// indices returns the occupied bucket indices in ascending order.
+func (s *Sketch) indices() []int {
+	idxs := make([]int, 0, len(s.counts))
+	for i := range s.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile returns the sample at rank ceil(q*n) of the sorted set,
+// the same rank convention Sketch.Quantile uses.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestSketchMergeQuantileBound is the merge property test: samples
+// split across many sketches — including empty and single-sample ones —
+// merged back together must answer every quantile within the sketch's
+// relative-error bound of the pooled exact distribution.
+func TestSketchMergeQuantileBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	draw := map[string]func() float64{
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64()*2 + 10) },
+		"uniform":   func() float64 { return 1 + rng.Float64()*1e6 },
+		"heavytail": func() float64 { return math.Pow(1/(1-rng.Float64()), 3) },
+	}
+	for name, gen := range draw {
+		for trial := 0; trial < 5; trial++ {
+			alpha := []float64{0.005, 0.01, 0.05}[trial%3]
+			// Split a pooled population across an uneven set of sketches:
+			// always one empty and one single-sample sketch in the pool.
+			parts := []*Sketch{NewSketch(alpha), NewSketch(alpha)}
+			var pooled []float64
+			single := gen()
+			parts[1].Observe(single)
+			pooled = append(pooled, single)
+			for p := 0; p < 6; p++ {
+				sk := NewSketch(alpha)
+				for n := rng.Intn(400); n > 0; n-- {
+					v := gen()
+					sk.Observe(v)
+					pooled = append(pooled, v)
+				}
+				parts = append(parts, sk)
+			}
+			merged := NewSketch(alpha)
+			for _, p := range parts {
+				merged.Merge(p)
+			}
+			if merged.Count() != uint64(len(pooled)) {
+				t.Fatalf("%s/%d: merged count %d, pooled %d", name, trial, merged.Count(), len(pooled))
+			}
+			sort.Float64s(pooled)
+			for _, q := range quantiles {
+				got := merged.Quantile(q)
+				want := exactQuantile(pooled, q)
+				if err := math.Abs(got-want) / want; err > alpha+1e-12 {
+					t.Errorf("%s/%d: q=%g alpha=%g: got %g want %g (rel err %g)",
+						name, trial, q, alpha, got, want, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSketchEmptyAndSingle pins the edge cases the property test relies
+// on: an empty sketch answers zeros, a single-sample sketch answers
+// that sample (within bound) at every quantile, and merging an empty
+// sketch is a no-op.
+func TestSketchEmptyAndSingle(t *testing.T) {
+	empty := NewSketch(0.01)
+	if empty.Count() != 0 || empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Fatalf("empty sketch not zero-valued: %+v", empty)
+	}
+	one := NewSketch(0.01)
+	one.Observe(1234.5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := one.Quantile(q)
+		if math.Abs(got-1234.5)/1234.5 > 0.01 {
+			t.Errorf("single-sample q=%g: got %g", q, got)
+		}
+	}
+	before := one.Quantile(0.5)
+	one.Merge(empty)
+	one.Merge(nil)
+	if one.Count() != 1 || one.Quantile(0.5) != before {
+		t.Errorf("merging empty changed the sketch: count=%d", one.Count())
+	}
+	// Min/max/sum survive merges in both directions.
+	other := NewSketch(0.01)
+	other.Observe(10)
+	other.Observe(1e9)
+	empty2 := NewSketch(0.01)
+	empty2.Merge(other)
+	empty2.Merge(one)
+	if empty2.Min() != 10 || empty2.Max() != 1e9 || empty2.Count() != 3 {
+		t.Errorf("merge into empty lost extremes: min=%g max=%g n=%d",
+			empty2.Min(), empty2.Max(), empty2.Count())
+	}
+}
+
+// TestSketchZeroBucket: non-positive samples land in the zero bucket
+// and low quantiles answer 0.
+func TestSketchZeroBucket(t *testing.T) {
+	s := NewSketch(0.01)
+	s.Observe(0)
+	s.Observe(0)
+	s.Observe(100)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("p50 over {0,0,100}: got %g, want 0", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-100)/100 > 0.01 {
+		t.Errorf("p100 over {0,0,100}: got %g", got)
+	}
+}
+
+// TestSketchCountAbove: the over-threshold counter is exact away from
+// bucket boundaries.
+func TestSketchCountAbove(t *testing.T) {
+	s := NewSketch(0.01)
+	for v := 1; v <= 1000; v++ {
+		s.Observe(float64(v) * 100)
+	}
+	// Threshold midway through the range, far from any single bucket's
+	// width at alpha=1%.
+	got := s.CountAbove(50050)
+	if math.Abs(float64(got)-500) > 10 {
+		t.Errorf("CountAbove(50050) = %d, want ~500", got)
+	}
+	if s.CountAbove(-1) != 1000 || s.CountAbove(2e9) != 0 {
+		t.Errorf("extremes: %d / %d", s.CountAbove(-1), s.CountAbove(2e9))
+	}
+}
+
+// TestSketchMaxBins: the collapsing sketch keeps a hard memory bound
+// while preserving high-quantile accuracy.
+func TestSketchMaxBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSketch(0.01).WithMaxBins(512)
+	var pooled []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64() * 4) // huge dynamic range
+		s.Observe(v)
+		pooled = append(pooled, v)
+	}
+	if got := len(s.counts); got > 512 {
+		t.Fatalf("bins %d exceed bound 512", got)
+	}
+	sort.Float64s(pooled)
+	for _, q := range []float64{0.9, 0.99, 0.999} {
+		got, want := s.Quantile(q), exactQuantile(pooled, q)
+		if math.Abs(got-want)/want > 0.01+1e-12 {
+			t.Errorf("collapsed sketch q=%g: got %g want %g", q, got, want)
+		}
+	}
+}
+
+// TestSketchAlphaMismatchPanics: merging sketches of different accuracy
+// is always a wiring bug.
+func TestSketchAlphaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on alpha mismatch")
+		}
+	}()
+	a, b := NewSketch(0.01), NewSketch(0.02)
+	b.Observe(1)
+	a.Merge(b)
+}

@@ -105,6 +105,12 @@ type histogram struct {
 	h *stats.Histogram
 }
 
+// sketch wraps a mergeable stats.Sketch under a registry key.
+type sketch struct {
+	k string
+	s *stats.Sketch
+}
+
 // Registry holds every metric of one simulation. Components register at
 // construction; consumers read via Snapshot. Registration order is
 // deterministic (simulations are single-threaded), and snapshots sort by
@@ -113,6 +119,7 @@ type Registry struct {
 	counters   []*Counter
 	gauges     []gauge
 	histograms []histogram
+	sketches   []sketch
 	keys       map[string]struct{}
 }
 
@@ -168,6 +175,22 @@ func (r *Registry) Histogram(name string, labels ...Label) *stats.Histogram {
 	return h
 }
 
+// Sketch registers and returns a mergeable relative-error quantile
+// sketch (stats.Sketch at its default 1% accuracy) — the scalable
+// replacement for exact-percentile sorting: latency distributions from
+// thousands of devices publish and merge by bucket addition. A nil
+// registry returns an unregistered sketch that still records.
+func (r *Registry) Sketch(name string, labels ...Label) *stats.Sketch {
+	s := stats.NewSketch(0)
+	if r == nil {
+		return s
+	}
+	k := key(name, labels)
+	r.claim(k)
+	r.sketches = append(r.sketches, sketch{k: k, s: s})
+	return s
+}
+
 // Has reports whether a metric is already registered under name+labels.
 // Components that may be constructed more than once per simulation use
 // it to fall back to unregistered instruments instead of panicking.
@@ -187,6 +210,7 @@ const (
 	KindCounter   Kind = "counter"
 	KindGauge     Kind = "gauge"
 	KindHistogram Kind = "histogram"
+	KindSketch    Kind = "sketch"
 )
 
 // HistValues carries the summary statistics of a histogram entry.
@@ -219,7 +243,7 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return &Snapshot{}
 	}
-	s := &Snapshot{Entries: make([]Entry, 0, len(r.counters)+len(r.gauges)+len(r.histograms))}
+	s := &Snapshot{Entries: make([]Entry, 0, len(r.counters)+len(r.gauges)+len(r.histograms)+len(r.sketches))}
 	for _, c := range r.counters {
 		s.Entries = append(s.Entries, Entry{Key: c.k, Kind: KindCounter, Value: float64(c.v)})
 	}
@@ -232,6 +256,16 @@ func (r *Registry) Snapshot() *Snapshot {
 			Hist: &HistValues{
 				Count: h.h.Count(), Mean: h.h.Mean(), Min: h.h.Min(), Max: h.h.Max(),
 				P50: h.h.Quantile(0.50), P99: h.h.Quantile(0.99), P999: h.h.Quantile(0.999),
+			}})
+	}
+	for _, sk := range r.sketches {
+		// Sketch entries reuse the histogram summary shape (Hist), so
+		// consumers read quantiles the same way for either kind.
+		s.Entries = append(s.Entries, Entry{Key: sk.k, Kind: KindSketch,
+			Value: float64(sk.s.Count()),
+			Hist: &HistValues{
+				Count: sk.s.Count(), Mean: sk.s.Mean(), Min: sk.s.Min(), Max: sk.s.Max(),
+				P50: sk.s.Quantile(0.50), P99: sk.s.Quantile(0.99), P999: sk.s.Quantile(0.999),
 			}})
 	}
 	sort.Slice(s.Entries, func(i, j int) bool { return s.Entries[i].Key < s.Entries[j].Key })
@@ -296,7 +330,7 @@ func (s *Snapshot) Text() string {
 	var b strings.Builder
 	for _, e := range s.Entries {
 		switch e.Kind {
-		case KindHistogram:
+		case KindHistogram, KindSketch:
 			h := e.Hist
 			fmt.Fprintf(&b, "%s count=%d mean=%g min=%g max=%g p50=%g p99=%g p99.9=%g\n",
 				e.Key, h.Count, h.Mean, h.Min, h.Max, h.P50, h.P99, h.P999)

@@ -38,6 +38,33 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 }
 
+func TestSketchKind(t *testing.T) {
+	r := NewRegistry()
+	sk := r.Sketch("health/fct_ps", L("pri", 3))
+	for v := 1; v <= 100; v++ {
+		sk.Observe(float64(v) * 1000)
+	}
+	s := r.Snapshot()
+	e, ok := s.Get("health/fct_ps{pri=3}")
+	if !ok || e.Kind != KindSketch || e.Hist == nil || e.Hist.Count != 100 {
+		t.Fatalf("sketch entry = %+v ok=%v", e, ok)
+	}
+	if e.Hist.P99 < 97000 || e.Hist.P99 > 101000 {
+		t.Fatalf("sketch p99 = %g, want ~99000", e.Hist.P99)
+	}
+	// Sketch entries render like histograms: one line with quantiles.
+	line := s.Text()
+	if !strings.Contains(line, "health/fct_ps{pri=3} count=100") {
+		t.Fatalf("sketch text rendering: %q", line)
+	}
+
+	// Nil registry still hands out a working sketch.
+	var nr *Registry
+	if nsk := nr.Sketch("ignored"); nsk == nil {
+		t.Fatal("nil registry must still hand out a working sketch")
+	}
+}
+
 func TestLabelKeysCanonical(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("tor-0/pause_tx", L("pri", 3), L("port", 1))

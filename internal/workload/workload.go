@@ -200,9 +200,12 @@ func (s *Service) issue(op uint64) {
 // bulk pattern: "all the RDMA connections sent data as fast as
 // possible").
 type Streamer struct {
-	QP      *transport.QP
-	Size    int
-	Done    uint64
+	QP   *transport.QP
+	Size int
+	Done uint64
+	// OnDone, when set, observes every completed message with its post
+	// and completion times — the per-flow FCT feed for the health plane.
+	OnDone  func(posted, completed simtime.Time)
 	stopped bool
 }
 
@@ -223,8 +226,11 @@ func (st *Streamer) next() {
 	if st.stopped {
 		return
 	}
-	st.QP.Post(transport.OpSend, st.Size, func(_, _ simtime.Time) {
+	st.QP.Post(transport.OpSend, st.Size, func(posted, completed simtime.Time) {
 		st.Done++
+		if st.OnDone != nil {
+			st.OnDone(posted, completed)
+		}
 		st.next()
 	})
 }
