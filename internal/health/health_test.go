@@ -66,6 +66,46 @@ func TestTieredSeriesFoldAndWindow(t *testing.T) {
 	}
 }
 
+// TestWindowBeforeHistoryStart is the regression for the report
+// aggregate bug: a whole-run query (from=0) against a series whose raw
+// ring never evicted must answer from raw with every sample — including
+// the tail not yet folded into mid/coarse — not fall through to a
+// downsampled tier holding only complete 10/100-sample folds.
+func TestWindowBeforeHistoryStart(t *testing.T) {
+	ts := NewTieredSeries("x", 64, 32, 16)
+	tick := 10 * simtime.Millisecond
+	for i := 1; i <= 16; i++ {
+		ts.Record(simtime.Time(tick*simtime.Duration(i)), float64(i))
+	}
+	b := ts.Window(0, 1<<62)
+	if b.N != 16 {
+		t.Fatalf("whole-run window N = %d, want 16", b.N)
+	}
+	if b.Sum != 16*17/2 || b.Max != 16 {
+		t.Fatalf("whole-run window = %+v", b)
+	}
+}
+
+// TestWindowIncludesPendingFold: when raw has evicted and a query falls
+// to the mid tier, the samples recorded since the last complete mid
+// fold (sitting in the pending accumulator) still count.
+func TestWindowIncludesPendingFold(t *testing.T) {
+	ts := NewTieredSeries("x", 5, 32, 16)
+	tick := 10 * simtime.Millisecond
+	for i := 1; i <= 16; i++ {
+		ts.Record(simtime.Time(tick*simtime.Duration(i)), float64(i))
+	}
+	// Raw (cap 5) evicted samples 1..11; mid never evicted, holding one
+	// complete fold (1..10) plus six pending samples (11..16).
+	b := ts.Window(0, 1<<62)
+	if b.N != 16 {
+		t.Fatalf("mid-tier window N = %d, want 16 (10 folded + 6 pending)", b.N)
+	}
+	if b.Sum != 16*17/2 || b.Max != 16 {
+		t.Fatalf("mid-tier window = %+v", b)
+	}
+}
+
 // TestScraperDeltasAndObserverBand drives counters from normal events
 // and checks (a) counters scrape as per-interval deltas, (b) a counter
 // bump scheduled at exactly the scrape instant is visible to that
@@ -134,7 +174,7 @@ func TestEngineBurnRateHysteresis(t *testing.T) {
 	e.Add(Objective{
 		Name: "pause-ceiling", Bad: OverDelta(sc, "/pause_rx", 100),
 		Budget: 0.25, ShortWindow: 10 * simtime.Millisecond,
-		LongWindow: 20 * simtime.Millisecond, Burn: 2, ClearAfter: 2,
+		LongWindow: 40 * simtime.Millisecond, Burn: 2, ClearAfter: 2,
 	})
 	sc.Start()
 
@@ -155,8 +195,11 @@ func TestEngineBurnRateHysteresis(t *testing.T) {
 	defer storm.Stop()
 	k.RunUntil(simtime.Time(120 * simtime.Millisecond))
 
-	// Short window (1 scrape) hits burn 4 at 40ms; long window (2
-	// scrapes) needs two bad scrapes → breach at 50ms.
+	// Short window (1 scrape) hits burn 4 at 40ms; long window (4
+	// scrapes at the half-open (now-w, now] boundary) needs two bad
+	// scrapes to burn 2/4/0.25 = 2 → breach at 50ms. The single bad
+	// scrape at 40ms burns the long window at only 1/4/0.25 = 1: a
+	// blip cannot page.
 	breachAt := simtime.Time(50 * simtime.Millisecond)
 	if at, ok := e.FirstBreachAfter(0); !ok || at != breachAt {
 		t.Fatalf("first breach = %v,%v, want %v", at, ok, breachAt)
@@ -274,5 +317,26 @@ func TestHeatmapRenderAndReportDiff(t *testing.T) {
 	d := r1.Diff(base, 0.01)
 	if len(d) != 3 {
 		t.Fatalf("diff = %v, want 3 drifts", d)
+	}
+
+	// Set drift must be symmetric: a renamed sketch registers both as
+	// new-in-report and missing-from-baseline, and relabeled heatmap
+	// groups register per label.
+	base = mk()
+	base.Sketches[0].Name = "fct"
+	base.HeatLabels[1] = "pod-9"
+	d = r1.Diff(base, 0.01)
+	want := []string{"sketch rtt: not in baseline", "sketch fct: missing from report",
+		"heatmap label[1]"}
+	for _, w := range want {
+		found := false
+		for _, line := range d {
+			if strings.Contains(line, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("diff missing %q: %v", w, d)
+		}
 	}
 }

@@ -257,14 +257,27 @@ func (r *Report) Diff(baseline *Report, tol float64) []string {
 	for _, s := range r.Sketches {
 		b, ok := bs[s.Name]
 		if !ok {
+			out = append(out, fmt.Sprintf("sketch %s: not in baseline", s.Name))
 			continue
 		}
+		delete(bs, s.Name)
 		if d := relDiff(s.P99, b.P99); d > tol {
 			out = append(out, fmt.Sprintf("sketch %s: p99 %g, baseline %g (rel %.3f > %.3f)",
 				s.Name, s.P99, b.P99, d, tol))
 		}
 	}
+	for _, s := range baseline.Sketches {
+		if _, gone := bs[s.Name]; gone {
+			out = append(out, fmt.Sprintf("sketch %s: missing from report", s.Name))
+		}
+	}
 	if len(r.Heatmap) == len(baseline.Heatmap) {
+		for i := range r.HeatLabels {
+			if i < len(baseline.HeatLabels) && r.HeatLabels[i] != baseline.HeatLabels[i] {
+				out = append(out, fmt.Sprintf("heatmap label[%d]: %s, baseline %s",
+					i, r.HeatLabels[i], baseline.HeatLabels[i]))
+			}
+		}
 		for i := range r.Heatmap {
 			for j := range r.Heatmap[i] {
 				g, w := r.Heatmap[i][j], baseline.Heatmap[i][j]

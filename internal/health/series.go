@@ -83,9 +83,10 @@ func (b Bucket) Mean() float64 {
 // ring is a fixed-capacity FIFO of buckets; pushing onto a full ring
 // evicts the oldest.
 type ring struct {
-	buf   []Bucket
-	start int
-	n     int
+	buf     []Bucket
+	start   int
+	n       int
+	evicted bool
 }
 
 func newRing(cap int) ring {
@@ -103,6 +104,7 @@ func (r *ring) push(b Bucket) {
 	}
 	r.buf[r.start] = b
 	r.start = (r.start + 1) % len(r.buf)
+	r.evicted = true
 }
 
 // at returns the i-th retained bucket, oldest first.
@@ -175,14 +177,19 @@ func (t *TieredSeries) Last() (Bucket, bool) {
 }
 
 // covers reports whether the ring's retained span reaches back to from.
+// A ring that has never evicted retains its full history, so it covers
+// any from — even one before its oldest bucket's Start (e.g. from=0
+// against a series whose first sample landed later).
 func covers(r *ring, from simtime.Time) bool {
-	return r.n > 0 && r.at(0).Start <= from
+	return r.n > 0 && (!r.evicted || r.at(0).Start <= from)
 }
 
 // Window aggregates every retained sample in [from, to], answering from
 // the finest tier that still covers from (raw, then mid, then coarse;
 // best-effort from the longest-retention tier when even coarse has
-// evicted the window's start).
+// evicted the window's start). Windows answered from a downsampled tier
+// also fold in that tier's pending accumulator, so the samples recorded
+// since the last complete fold are never dropped from the aggregate.
 func (t *TieredSeries) Window(from, to simtime.Time) Bucket {
 	r := &t.coarse
 	switch {
@@ -206,6 +213,16 @@ func (t *TieredSeries) Window(from, to simtime.Time) Bucket {
 			continue
 		}
 		out.merge(b)
+	}
+	pending := Bucket{}
+	switch r {
+	case &t.mid:
+		pending = t.midAcc
+	case &t.coarse:
+		pending = t.coarseAcc
+	}
+	if pending.N > 0 && pending.End >= from && pending.Start <= to {
+		out.merge(pending)
 	}
 	return out
 }

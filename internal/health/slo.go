@@ -160,16 +160,21 @@ func (e *Engine) fire(a SLOAlert) {
 	e.k.Announce(a)
 }
 
-// burn computes the burn rate over the window ending at now: the
+// burn computes the burn rate over the window (now-w, now]: the
 // badness sum divided by the scrape count of a FULL window, then by the
-// budget. Normalizing by the expected count (not the retained one)
-// means an under-filled window — the first scrapes of a run — reads
-// low: a single cold-start spike cannot page a long-window alert, only
-// sustained badness can.
+// budget. The lower boundary is exclusive — with scrapes every interval,
+// a window of w covers exactly w/interval samples, so the divisor below
+// matches the inclusive-window sample count instead of diluting it by
+// one extra scrape. Normalizing by the expected count (not the retained
+// one) means an under-filled window — the first scrapes of a run —
+// reads low: a single cold-start spike cannot page a long-window alert,
+// only sustained badness can.
 func (e *Engine) burn(o *objState, now simtime.Time, w simtime.Duration) float64 {
 	from := simtime.Time(0)
 	if simtime.Duration(now) > w {
-		from = now.Add(-w)
+		// +1: exclude the bucket recorded exactly at now-w, making the
+		// window half-open.
+		from = now.Add(-w) + 1
 	}
 	b := o.series.Window(from, now)
 	if b.N == 0 {

@@ -186,14 +186,16 @@ func (s *Sketch) CountAbove(x float64) uint64 {
 	if s.total == 0 {
 		return 0
 	}
-	if x < 0 {
-		return s.total
+	if x <= 0 {
+		if x < 0 {
+			return s.total
+		}
+		// Every positive sample exceeds 0, wherever its bucket index
+		// landed (sub-unity values live in negative-index buckets).
+		return s.total - s.zero
 	}
 	var above uint64
-	bx := 0
-	if x > 0 {
-		bx = s.bucket(x)
-	}
+	bx := s.bucket(x)
 	for i, c := range s.counts {
 		if i > bx {
 			above += c

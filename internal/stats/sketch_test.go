@@ -141,6 +141,18 @@ func TestSketchCountAbove(t *testing.T) {
 	if s.CountAbove(-1) != 1000 || s.CountAbove(2e9) != 0 {
 		t.Errorf("extremes: %d / %d", s.CountAbove(-1), s.CountAbove(2e9))
 	}
+
+	// Sub-unity metrics (rates, fractions) land in negative-index
+	// buckets; CountAbove(0) must still count every positive sample.
+	frac := NewSketch(0.01)
+	frac.Observe(0)
+	frac.Observe(0.25)
+	frac.Observe(0.5)
+	frac.Observe(0.97)
+	frac.Observe(3)
+	if got := frac.CountAbove(0); got != 4 {
+		t.Errorf("CountAbove(0) over {0, 0.25, 0.5, 0.97, 3} = %d, want 4", got)
+	}
 }
 
 // TestSketchMaxBins: the collapsing sketch keeps a hard memory bound
