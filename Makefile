@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test test-race vet audit chaos transports health bench bench-json bench-kernel bench-compare report examples clean
+.PHONY: all check build test test-race vet audit chaos transports health bench bench-json bench-kernel bench-compare bench-parallel report examples clean
 
 all: build vet test
 
@@ -21,6 +21,7 @@ check:
 	$(GO) run ./cmd/roce-chaos -quick
 	$(MAKE) transports
 	$(MAKE) health
+	$(MAKE) bench-parallel
 
 # Fleet health reports (see EXPERIMENTS.md "Fleet health"): both
 # scenarios through the full health plane — scraper, SLO burn-rate
@@ -109,6 +110,19 @@ bench-kernel:
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchtime 1s -count 3 ./internal/sim/ > /tmp/bench-kernel-current.txt
 	$(GO) run ./cmd/roce-benchdiff -baseline docs/results/bench-kernel.json -current /tmp/bench-kernel-current.txt -tolerance 10
+
+# Parallel-kernel regression gate: the sharded executive's macro
+# benchmarks (Fig 7 at 1152 servers, the 20K-server pingmesh sweep at
+# reduced probing duration) at worker counts 1/2/4/8, compared against
+# the recorded baseline in docs/results/bench-parallel.json. The
+# baseline rows are conservative floors and the tolerance is 40% —
+# single-shot macro runs are noisy, so the gate trips on structural
+# collapses (a serialized barrier, an O(n^2) merge), not scheduler
+# jitter. On a single-core host the sharded rows pin the barrier/outbox
+# overhead rather than speedup.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 1x -timeout 30m ./internal/experiments/ | tee /tmp/bench-parallel-current.txt
+	$(GO) run ./cmd/roce-benchdiff -baseline docs/results/bench-parallel.json -current /tmp/bench-parallel-current.txt -tolerance 40
 
 
 # Consolidated reproduction report (fast experiments; add FLAGS=-all for

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	roce-deadlock [-duration 60ms] [-audit]
+//	roce-deadlock [-duration 60ms] [-shards 1] [-audit]
 package main
 
 import (
@@ -22,13 +22,19 @@ import (
 func main() {
 	duration := flag.Duration("duration", 60*time.Millisecond, "sender runtime before inspection")
 	audit := flag.Bool("audit", false, "attach the invariant auditor and fail on violations")
+	shards := flag.Int("shards", 1, "event-kernel shards (workers); output is byte-identical for any value")
 	flag.Parse()
+	if *audit && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "roce-deadlock: -audit requires -shards=1 (the invariant auditor is not shard-aware)")
+		os.Exit(2)
+	}
 
 	var violations uint64
 	fmt.Println("Figure 4 — PFC deadlock from flooding of lossless packets")
 	for _, fix := range []bool{false, true} {
 		cfg := experiments.DefaultDeadlock(fix)
 		cfg.Duration = simtime.FromStd(*duration)
+		cfg.Shards = *shards
 		var aud experiments.Audit
 		if *audit {
 			cfg.Observe = aud.Observe

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	roce-incident [-audit]
+//	roce-incident [-shards 1] [-audit]
 package main
 
 import (
@@ -23,7 +23,12 @@ import (
 
 func main() {
 	audit := flag.Bool("audit", false, "attach the invariant auditor and fail on violations")
+	shards := flag.Int("shards", 1, "event-kernel shards (workers); output is byte-identical for any value")
 	flag.Parse()
+	if *audit && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "roce-incident: -audit requires -shards=1 (the invariant auditor is not shard-aware)")
+		os.Exit(2)
+	}
 
 	var violations uint64
 	if *audit {
@@ -39,7 +44,7 @@ func main() {
 			aud.Report(os.Stdout)
 		}
 	} else {
-		fmt.Print(experiments.AlphaIncident())
+		fmt.Print(experiments.AlphaIncident(*shards))
 	}
 
 	// And the management-plane view: drift detection.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	roce-livelock [-duration 100ms] [-audit]
+//	roce-livelock [-duration 100ms] [-shards 1] [-audit]
 package main
 
 import (
@@ -22,9 +22,14 @@ import (
 func main() {
 	duration := flag.Duration("duration", 100*time.Millisecond, "simulated duration per cell")
 	audit := flag.Bool("audit", false, "attach the invariant auditor and fail on violations")
+	shards := flag.Int("shards", 1, "event-kernel shards (workers); output is byte-identical for any value")
 	flag.Parse()
+	if *audit && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "roce-livelock: -audit requires -shards=1 (the invariant auditor is not shard-aware)")
+		os.Exit(2)
+	}
 	if !*audit {
-		fmt.Print(experiments.LivelockMatrix(simtime.FromStd(*duration)))
+		fmt.Print(experiments.LivelockMatrix(simtime.FromStd(*duration), *shards))
 		return
 	}
 

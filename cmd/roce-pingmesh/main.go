@@ -4,9 +4,14 @@
 // error counts for failed probes — including against a deliberately
 // dead server, which the mesh surfaces as failures.
 //
+// With -sweep it instead runs the fleet-scale sampled mesh (Section
+// 5.3 at deployment size): -podsets 35 builds a >20,000-server fabric
+// and probes -pairs sampled server pairs across all three scopes.
+//
 // Usage:
 //
-//	roce-pingmesh [-duration 1s] [-seed 1]
+//	roce-pingmesh [-duration 1s] [-seed 1] [-shards 1]
+//	roce-pingmesh -sweep [-podsets 35] [-pairs 2000] [-duration 100ms] [-shards 8]
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"rocesim/internal/core"
+	"rocesim/internal/experiments"
 	"rocesim/internal/monitor"
 	"rocesim/internal/sim"
 	"rocesim/internal/simtime"
@@ -26,9 +32,24 @@ import (
 func main() {
 	duration := flag.Duration("duration", time.Second, "simulated probing duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", 1, "event-kernel shards (workers); output is byte-identical for any value")
+	sweep := flag.Bool("sweep", false, "run the fleet-scale sampled mesh instead of the two-podset sample")
+	podsets := flag.Int("podsets", 35, "sweep: podsets (35 ~ 20K servers)")
+	pairs := flag.Int("pairs", 2000, "sweep: sampled probe pairs")
 	flag.Parse()
 
-	k := sim.NewKernel(*seed)
+	if *sweep {
+		cfg := experiments.DefaultPingmeshSweep()
+		cfg.Seed = *seed
+		cfg.Podsets = *podsets
+		cfg.Pairs = *pairs
+		cfg.Duration = simtime.FromStd(*duration)
+		cfg.Shards = *shards
+		fmt.Print(experiments.RunPingmeshSweep(cfg).Table())
+		return
+	}
+
+	k := sim.NewRoot(*seed, *shards)
 	d, err := core.New(k, core.DefaultConfig(topology.Fig7Spec(2)))
 	if err != nil {
 		panic(err)

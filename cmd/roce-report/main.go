@@ -26,7 +26,7 @@ func main() {
 
 	fmt.Println("==== RDMA over Commodity Ethernet at Scale — reproduction report ====")
 	fmt.Println()
-	fmt.Print(experiments.LivelockMatrix(50 * simtime.Millisecond))
+	fmt.Print(experiments.LivelockMatrix(50*simtime.Millisecond, 1))
 	fmt.Println()
 
 	fmt.Println("Figure 4 — PFC deadlock")
@@ -34,7 +34,7 @@ func main() {
 	fmt.Print(experiments.RunDeadlock(experiments.DefaultDeadlock(true)).Table())
 	fmt.Println()
 
-	fmt.Print(experiments.AlphaIncident())
+	fmt.Print(experiments.AlphaIncident(1))
 	fmt.Println()
 
 	fmt.Print(experiments.SlowReceiverMatrix())

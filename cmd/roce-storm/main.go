@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	roce-storm [-duration 300ms] [-audit] [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	roce-storm [-duration 300ms] [-shards 1] [-audit] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
@@ -25,9 +25,14 @@ import (
 func main() {
 	duration := flag.Duration("duration", 300*time.Millisecond, "total simulated time")
 	audit := flag.Bool("audit", false, "attach the invariant auditor and fail on violations")
+	shards := flag.Int("shards", 1, "event-kernel shards (workers); output is byte-identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if *audit && *shards > 1 {
+		fmt.Fprintln(os.Stderr, "roce-storm: -audit requires -shards=1 (the invariant auditor is not shard-aware)")
+		os.Exit(2)
+	}
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -39,6 +44,7 @@ func main() {
 	for _, wd := range []bool{false, true} {
 		cfg := experiments.DefaultStorm(wd)
 		cfg.Duration = simtime.FromStd(*duration)
+		cfg.Shards = *shards
 		var aud experiments.Audit
 		if *audit {
 			cfg.Observe = aud.Observe

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	roce-throughput [-tors 24] [-servers 8] [-qps 8] [-measure 5ms]
-//	                [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	                [-shards 1] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // The defaults are the paper's full scale (3072 connections over 128
 // Leaf–Spine links); scale -tors down for a quicker run.
@@ -29,6 +29,7 @@ func main() {
 	qps := flag.Int("qps", 8, "QPs per server pair")
 	measure := flag.Duration("measure", 5*time.Millisecond, "measurement window")
 	warmup := flag.Duration("warmup", 20*time.Millisecond, "warmup before measuring (DCQCN convergence)")
+	shards := flag.Int("shards", 1, "event-kernel shards (workers); output is byte-identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -45,5 +46,6 @@ func main() {
 	cfg.QPsPerServer = *qps
 	cfg.Measure = simtime.FromStd(*measure)
 	cfg.Warmup = simtime.FromStd(*warmup)
+	cfg.Shards = *shards
 	fmt.Print(experiments.RunFig7(cfg).Table())
 }

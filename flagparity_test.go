@@ -27,3 +27,24 @@ func TestSeedFlagParity(t *testing.T) {
 		}
 	}
 }
+
+// TestShardsFlagParity pins the parallel-kernel CLI contract: every
+// command whose scenario runs on the sharded executive exposes
+// flag.Int("shards", 1, ...) the same way, so sweep scripts can scale
+// worker counts uniformly — and rely on the documented guarantee that
+// output is byte-identical for any value.
+func TestShardsFlagParity(t *testing.T) {
+	cmds := []string{
+		"roce-storm", "roce-deadlock", "roce-livelock", "roce-incident", "roce-pingmesh",
+		"roce-throughput",
+	}
+	for _, cmd := range cmds {
+		src, err := os.ReadFile(filepath.Join("cmd", cmd, "main.go"))
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if !strings.Contains(string(src), `flag.Int("shards", 1,`) {
+			t.Errorf("%s: no flag.Int(\"shards\", 1, ...) — shard count must be settable from the CLI with default 1", cmd)
+		}
+	}
+}

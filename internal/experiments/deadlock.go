@@ -28,6 +28,10 @@ type DeadlockConfig struct {
 	// Observe, when set, runs after the fabric is built and before
 	// traffic starts (external tracer/recorder attachment point).
 	Observe func(*sim.Kernel)
+	// Shards partitions the fabric across parallel event-kernel shards
+	// (<=1 runs the classic single kernel). Results are byte-identical
+	// for any value.
+	Shards int
 }
 
 // DefaultDeadlock returns the scenario parameters.
@@ -79,9 +83,25 @@ func (r DeadlockResult) Table() string {
 // lossless class. Without the fix the flooding of lossless packets forms
 // the cyclic buffer dependency T0→La→T1→Lb→T0.
 func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
-	k := sim.NewKernel(cfg.Seed)
-	pfc := flighttrace.NewAnalyzer().Attach(k.Trace())
-	mkSwitch := func(name string, ports int, m byte) *fabric.Switch {
+	k := sim.NewRoot(cfg.Seed, cfg.Shards)
+	// Manual shard map: each ToR and its servers form one station, each
+	// Leaf another. All cross-station cables are the 1500 ns 300 m runs,
+	// which is therefore the lookahead.
+	kFor := func(station int) *sim.Kernel {
+		if g := k.Group(); g != nil {
+			return g.Shard(station % g.N())
+		}
+		return k
+	}
+	kT0, kT1, kLa, kLb := kFor(0), kFor(1), kFor(2), kFor(3)
+	if g := k.Group(); g != nil {
+		g.SetLookahead(1500 * simtime.Nanosecond)
+	}
+	pfc := flighttrace.NewAnalyzer()
+	for _, bus := range k.TraceBuses() {
+		pfc.Attach(bus)
+	}
+	mkSwitch := func(kk *sim.Kernel, name string, ports int, m byte) *fabric.Switch {
 		c := fabric.DefaultConfig(name, ports)
 		c.ECN.Enabled = false
 		c.DropLosslessOnIncompleteARP = cfg.FixEnabled
@@ -90,27 +110,27 @@ func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 		c.Buffer.Dynamic = false
 		c.Buffer.StaticLimit = 64 << 10
 		c.Buffer.XOFFDelta = 8 << 10
-		sw, err := fabric.NewSwitch(k, c, packet.MAC{0x02, 0xff, 0, 0, 0, m})
+		sw, err := fabric.NewSwitch(kk, c, packet.MAC{0x02, 0xff, 0, 0, 0, m})
 		if err != nil {
 			panic(err)
 		}
 		return sw
 	}
-	t0 := mkSwitch("T0", 4, 0x10)
-	t1 := mkSwitch("T1", 5, 0x11)
-	la := mkSwitch("La", 2, 0x1a)
-	lb := mkSwitch("Lb", 2, 0x1b)
+	t0 := mkSwitch(kT0, "T0", 4, 0x10)
+	t1 := mkSwitch(kT1, "T1", 5, 0x11)
+	la := mkSwitch(kLa, "La", 2, 0x1a)
+	lb := mkSwitch(kLb, "Lb", 2, 0x1b)
 	switches := []*fabric.Switch{t0, t1, la, lb}
 
 	g40 := 40 * simtime.Gbps
-	mkNIC := func(name string, m byte, ip packet.Addr) *nic.NIC {
-		return nic.New(k, nic.DefaultConfig(name, packet.MAC{0x02, 0, 0, 0, 0, m}, ip))
+	mkNIC := func(kk *sim.Kernel, name string, m byte, ip packet.Addr) *nic.NIC {
+		return nic.New(kk, nic.DefaultConfig(name, packet.MAC{0x02, 0, 0, 0, 0, m}, ip))
 	}
-	s1 := mkNIC("S1", 1, packet.IPv4Addr(10, 0, 0, 1))
-	s2 := mkNIC("S2", 2, packet.IPv4Addr(10, 0, 0, 2))
-	s3 := mkNIC("S3", 3, packet.IPv4Addr(10, 0, 1, 3))
-	s4 := mkNIC("S4", 4, packet.IPv4Addr(10, 0, 1, 4))
-	s5 := mkNIC("S5", 5, packet.IPv4Addr(10, 0, 1, 5))
+	s1 := mkNIC(kT0, "S1", 1, packet.IPv4Addr(10, 0, 0, 1))
+	s2 := mkNIC(kT0, "S2", 2, packet.IPv4Addr(10, 0, 0, 2))
+	s3 := mkNIC(kT1, "S3", 3, packet.IPv4Addr(10, 0, 1, 3))
+	s4 := mkNIC(kT1, "S4", 4, packet.IPv4Addr(10, 0, 1, 4))
+	s5 := mkNIC(kT1, "S5", 5, packet.IPv4Addr(10, 0, 1, 5))
 
 	attach := func(sw *fabric.Switch, port int, n *nic.NIC, rate simtime.Rate) {
 		l := link.New(k, rate, 10*simtime.Nanosecond)

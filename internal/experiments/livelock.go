@@ -26,6 +26,10 @@ type LivelockConfig struct {
 	// Observe, when set, runs after the fabric is built and before
 	// traffic starts, so callers can attach tracers or auditors.
 	Observe func(*sim.Kernel)
+	// Shards partitions the two servers and the switch across parallel
+	// event-kernel shards (<=1 runs the classic single kernel). Results
+	// are byte-identical for any value.
+	Shards int
 }
 
 // DefaultLivelock returns the paper's parameters.
@@ -68,10 +72,21 @@ func (r LivelockResult) Table() string {
 
 // RunLivelock executes the experiment.
 func RunLivelock(cfg LivelockConfig) LivelockResult {
-	k := sim.NewKernel(cfg.Seed)
+	k := sim.NewRoot(cfg.Seed, cfg.Shards)
+	// Manual shard map: the switch and server 0 share a shard, server 1
+	// gets the next one; its 10 ns server cable is the lookahead.
+	kFor := func(station int) *sim.Kernel {
+		if g := k.Group(); g != nil {
+			return g.Shard(station % g.N())
+		}
+		return k
+	}
+	if g := k.Group(); g != nil {
+		g.SetLookahead(10 * simtime.Nanosecond)
+	}
 	swCfg := fabric.DefaultConfig("W", 4)
 	swCfg.ECN.Enabled = false
-	sw, err := fabric.NewSwitch(k, swCfg, packet.MAC{0x02, 0xff, 0, 0, 0, 1})
+	sw, err := fabric.NewSwitch(kFor(0), swCfg, packet.MAC{0x02, 0xff, 0, 0, 0, 1})
 	if err != nil {
 		panic(err)
 	}
@@ -85,7 +100,7 @@ func RunLivelock(cfg LivelockConfig) LivelockResult {
 	for i := 0; i < 2; i++ {
 		mac := packet.MAC{0x02, 0, 0, 0, 0, byte(i + 1)}
 		ip := packet.IPv4Addr(10, 0, 0, byte(i+1))
-		nics[i] = nic.New(k, nic.DefaultConfig(fmt.Sprintf("srv%d", i), mac, ip))
+		nics[i] = nic.New(kFor(i), nic.DefaultConfig(fmt.Sprintf("srv%d", i), mac, ip))
 		l := link.New(k, 40*simtime.Gbps, 10*simtime.Nanosecond)
 		sw.AttachLink(i, l, 0, mac, true)
 		nics[i].Attach(l, 1)
@@ -148,8 +163,9 @@ func RunLivelock(cfg LivelockConfig) LivelockResult {
 }
 
 // LivelockMatrix runs the full Section 4.1 grid (3 verbs × 2 recovery
-// schemes) and renders it.
-func LivelockMatrix(duration simtime.Duration) string {
+// schemes) over the given shard count and renders it. The output is
+// byte-identical for any shards value.
+func LivelockMatrix(duration simtime.Duration, shards int) string {
 	out := "Section 4.1 — RDMA transport livelock (drop 1/256 by IP ID)\n"
 	for _, rec := range []transport.Recovery{transport.GoBack0, transport.GoBackN} {
 		for _, verb := range []transport.OpKind{transport.OpSend, transport.OpWrite, transport.OpRead} {
@@ -157,6 +173,7 @@ func LivelockMatrix(duration simtime.Duration) string {
 			if duration > 0 {
 				cfg.Duration = duration
 			}
+			cfg.Shards = shards
 			out += RunLivelock(cfg).Table()
 		}
 	}

@@ -1,0 +1,149 @@
+package experiments
+
+// Shard-determinism matrix: every golden scenario must produce
+// byte-identical artifacts (a) across repeated runs at the same shard
+// count and (b) between the classic single kernel (shards=1) and the
+// parallel executive (shards=4). The artifacts compared are the
+// experiment tables, the registry snapshot where the scenario publishes
+// one, and the canonical flight-trace timeline — ordered by
+// (At, Node, Seq), which is partition-independent, unlike the legacy
+// arrival-ordered rendering the single-kernel goldens pin.
+//
+// Storm/deadlock/alpha attach flight-trace subscribers, which forces
+// windows sequential (still exercising partitioning, outbox merge and
+// the barrier schedule); livelock and Fig 7 run untraced, so at
+// shards=4 their windows execute on real worker goroutines — CI runs
+// this file under -race to check the barrier memory model.
+
+import (
+	"bytes"
+	"testing"
+
+	"rocesim/internal/flighttrace"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/telemetry"
+	"rocesim/internal/transport"
+)
+
+// shardCapture attaches a flight recorder to every trace bus of a
+// possibly-sharded kernel and renders the canonical timeline.
+type shardCapture struct {
+	k   *sim.Kernel
+	rec *flighttrace.Recorder
+}
+
+func (c *shardCapture) observe(k *sim.Kernel) {
+	c.k = k
+	c.rec = flighttrace.NewRecorder(4096)
+	for _, bus := range k.TraceBuses() {
+		c.rec.Attach(bus, telemetry.EvAll)
+	}
+}
+
+func (c *shardCapture) canonical(t *testing.T) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := c.rec.WriteCanonicalText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// shardScenarios maps each golden scenario to a renderer parameterized
+// on the shard count.
+func shardScenarios(t *testing.T) map[string]func(shards int) string {
+	return map[string]func(shards int) string{
+		"storm": func(shards int) string {
+			cfg := DefaultStorm(true)
+			cfg.Duration = 20 * simtime.Millisecond
+			cfg.Shards = shards
+			var c shardCapture
+			cfg.Observe = c.observe
+			r := RunStorm(cfg)
+			return StormIncident(r) + r.Snapshot.Text() + c.canonical(t)
+		},
+		"deadlock": func(shards int) string {
+			var out string
+			for _, fix := range []bool{false, true} {
+				cfg := DefaultDeadlock(fix)
+				cfg.Duration = 10 * simtime.Millisecond
+				cfg.QuietAfter = 20 * simtime.Millisecond
+				cfg.Shards = shards
+				var c shardCapture
+				cfg.Observe = c.observe
+				out += RunDeadlock(cfg).Table() + c.canonical(t)
+			}
+			return out
+		},
+		"alpha": func(shards int) string {
+			cfg := DefaultAlpha(1.0 / 64)
+			cfg.Duration = 60 * simtime.Millisecond
+			cfg.Shards = shards
+			r := RunAlpha(cfg)
+			return r.Table() + pfcSection(r.PFC)
+		},
+		"livelock": func(shards int) string {
+			cfg := DefaultLivelock(transport.OpSend, transport.GoBack0)
+			cfg.Duration = 10 * simtime.Millisecond
+			cfg.Shards = shards
+			return RunLivelock(cfg).Table()
+		},
+		// Untraced many-device fabric: at shards=4 the windows really run
+		// in parallel rather than sequentially-for-tracing.
+		"fig7": func(shards int) string {
+			cfg := DefaultFig7()
+			cfg.TorPairs = 2
+			cfg.ServersPerTor = 2
+			cfg.QPsPerServer = 2
+			cfg.Warmup = 2 * simtime.Millisecond
+			cfg.Measure = 2 * simtime.Millisecond
+			cfg.Shards = shards
+			return RunFig7(cfg).Table()
+		},
+	}
+}
+
+func TestShardDeterminismMatrix(t *testing.T) {
+	for name, run := range shardScenarios(t) {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base := run(1)
+			if again := run(1); again != base {
+				t.Fatalf("%s: two shards=1 runs from the same seed diverged", name)
+			}
+			if par := run(4); par != base {
+				diffAt(t, name+": shards=4 vs shards=1", base, run(4))
+			}
+			if again4 := run(4); again4 != base {
+				t.Fatalf("%s: repeated shards=4 run diverged", name)
+			}
+		})
+	}
+}
+
+// diffAt reports the first differing line of two renderings.
+func diffAt(t *testing.T, what, a, b string) {
+	t.Helper()
+	al, bl := bytes.Split([]byte(a), []byte("\n")), bytes.Split([]byte(b), []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			t.Fatalf("%s diverge at line %d:\n  base: %s\n  got:  %s", what, i+1, al[i], bl[i])
+		}
+	}
+	t.Fatalf("%s: renderings differ in length: %d vs %d lines", what, len(al), len(bl))
+}
+
+// TestShardCountInvariance sweeps awkward shard counts (odd,
+// non-power-of-two, more shards than stations) on the cheapest
+// scenario: the partitioning must never leak into results.
+func TestShardCountInvariance(t *testing.T) {
+	run := shardScenarios(t)["livelock"]
+	base := run(1)
+	for _, n := range []int{2, 3, 5} {
+		if got := run(n); got != base {
+			diffAt(t, "livelock shards invariance", base, got)
+		}
+	}
+}

@@ -27,6 +27,10 @@ type StormConfig struct {
 	// to attach flow tracers and flight recorders to the experiment's
 	// internal kernel.
 	Observe func(*sim.Kernel)
+	// Shards partitions the fabric across parallel event-kernel shards
+	// (<=1 runs the classic single kernel). Results are byte-identical
+	// for any value.
+	Shards int
 }
 
 // DefaultStorm returns the scenario parameters.
@@ -78,7 +82,7 @@ func (r StormResult) Table() string {
 // ToR → Leaf → ToR and strangle unrelated servers; with the watchdogs
 // the damage is contained within hundreds of milliseconds.
 func RunStorm(cfg StormConfig) StormResult {
-	k := sim.NewKernel(cfg.Seed)
+	k := sim.NewRoot(cfg.Seed, cfg.Shards)
 	// A reduced two-ToR, two-Leaf fabric keeps the event count tractable
 	// while preserving the propagation path ToR -> Leaf -> ToR.
 	spec := topology.Spec{

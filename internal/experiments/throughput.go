@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"rocesim/internal/core"
 	"rocesim/internal/sim"
@@ -28,6 +29,10 @@ type Fig7Config struct {
 	// Safety overrides the deployment safety switchboard (nil =
 	// Recommended). The DCQCN toggle is the interesting ablation here.
 	Safety *core.Safety
+	// Shards partitions the fabric across parallel event-kernel shards
+	// (<=1 runs the classic single kernel). Results are byte-identical
+	// for any value.
+	Shards int
 }
 
 // DefaultFig7 returns the paper's full-scale parameters. Callers scale
@@ -61,6 +66,12 @@ type Fig7Result struct {
 	BottleneckLinks int
 	LosslessDrops   uint64
 	Drops           uint64
+	// EventsFired and RunSeconds are the parallel-scaling gate's
+	// numerator and denominator: kernel-wide event count and the wall
+	// time of the RunUntil calls alone (fabric construction excluded,
+	// since it is serial in every mode). Not rendered in Table.
+	EventsFired uint64
+	RunSeconds  float64
 }
 
 // Table renders the Figure 7 row.
@@ -82,7 +93,7 @@ func (r Fig7Result) Table() string {
 // RunFig7 executes the experiment on a (possibly scaled) two-podset Clos
 // fabric.
 func RunFig7(cfg Fig7Config) Fig7Result {
-	k := sim.NewKernel(cfg.Seed)
+	k := sim.NewRoot(cfg.Seed, cfg.Shards)
 	spec := topology.Fig7Spec(cfg.ServersPerTor)
 	if cfg.TorPairs < spec.TorsPerPod {
 		spec.TorsPerPod = cfg.TorPairs
@@ -126,12 +137,14 @@ func RunFig7(cfg Fig7Config) Fig7Result {
 		}
 	}
 
+	wall := time.Now()
 	k.RunUntil(simtime.Time(cfg.Warmup))
 	start := make([]uint64, len(streams))
 	for i, st := range streams {
 		start[i] = st.Done
 	}
 	k.RunUntil(simtime.Time(cfg.Warmup + cfg.Measure))
+	runSeconds := time.Since(wall).Seconds()
 
 	var msgs float64
 	for i, st := range streams {
@@ -158,5 +171,7 @@ func RunFig7(cfg Fig7Config) Fig7Result {
 		BottleneckLinks: len(net.LeafSpineLinks),
 		LosslessDrops:   lossless,
 		Drops:           drops,
+		EventsFired:     k.EventsFired(),
+		RunSeconds:      runSeconds,
 	}
 }

@@ -14,7 +14,13 @@ func tracePFC(k *sim.Kernel, net *topology.Network) *flighttrace.Analyzer {
 	for _, lr := range net.Links {
 		an.AddLink(lr.A, lr.APort, lr.B, lr.BPort)
 	}
-	return an.Attach(k.Trace())
+	// A sharded run has one bus per member kernel; subscribing to the
+	// shard buses also switches the group to sequential window execution
+	// so the analyzer stays single-threaded.
+	for _, bus := range k.TraceBuses() {
+		an.Attach(bus)
+	}
+	return an
 }
 
 // pfcSection renders the analyzer's root-cause table for an incident

@@ -281,6 +281,10 @@ func NewSwitch(k *sim.Kernel, cfg Config, mac packet.MAC) (*Switch, error) {
 // Name returns the configured switch name.
 func (s *Switch) Name() string { return s.cfg.Name }
 
+// Kernel returns the kernel (shard) this switch runs on — the link
+// layer's KernelOwner hook.
+func (s *Switch) Kernel() *sim.Kernel { return s.k }
+
 // MAC returns the switch's MAC address.
 func (s *Switch) MAC() packet.MAC { return s.mac }
 

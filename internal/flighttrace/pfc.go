@@ -53,7 +53,7 @@ type Analyzer struct {
 	peers     map[portID]portID
 	open      map[pauseID]simtime.Time
 	intervals []Interval
-	sub       *telemetry.Subscription
+	subs      []*telemetry.Subscription
 }
 
 // NewAnalyzer returns an analyzer with a 1 µs causality slack.
@@ -78,20 +78,21 @@ func (a *Analyzer) Peer(node string, port int) (string, int, bool) {
 	return p.node, p.port, ok
 }
 
-// Attach subscribes the analyzer to the bus. Returns the analyzer for
+// Attach subscribes the analyzer to the bus. Call once per trace bus
+// (Kernel.TraceBuses in a sharded run). Returns the analyzer for
 // chaining.
 func (a *Analyzer) Attach(bus *telemetry.TraceBus) *Analyzer {
 	mask := telemetry.EvPauseXOFF.Mask() | telemetry.EvPauseXON.Mask()
-	a.sub = bus.Subscribe(mask, nil, a.handle)
+	a.subs = append(a.subs, bus.Subscribe(mask, nil, a.handle))
 	return a
 }
 
-// Close unsubscribes from the bus.
+// Close unsubscribes from every attached bus.
 func (a *Analyzer) Close() {
-	if a.sub != nil {
-		a.sub.Close()
-		a.sub = nil
+	for _, sub := range a.subs {
+		sub.Close()
 	}
+	a.subs = nil
 }
 
 func (a *Analyzer) handle(ev telemetry.Event) {

@@ -61,7 +61,7 @@ type Recorder struct {
 	perDevice int
 	seq       uint64
 	rings     map[string]*ring
-	sub       *telemetry.Subscription
+	subs      []*telemetry.Subscription
 }
 
 // NewRecorder returns a recorder keeping the last perDevice events for
@@ -74,18 +74,21 @@ func NewRecorder(perDevice int) *Recorder {
 }
 
 // Attach subscribes the recorder for the given event mask (use
-// telemetry.EvAll for everything). Returns the recorder for chaining.
+// telemetry.EvAll for everything). Call once per trace bus — a sharded
+// simulation has one bus per member kernel (Kernel.TraceBuses) and
+// devices emit on their own shard's bus. Returns the recorder for
+// chaining.
 func (r *Recorder) Attach(bus *telemetry.TraceBus, mask telemetry.EventMask) *Recorder {
-	r.sub = bus.Subscribe(mask, nil, r.record)
+	r.subs = append(r.subs, bus.Subscribe(mask, nil, r.record))
 	return r
 }
 
-// Close unsubscribes from the bus.
+// Close unsubscribes from every attached bus.
 func (r *Recorder) Close() {
-	if r.sub != nil {
-		r.sub.Close()
-		r.sub = nil
+	for _, sub := range r.subs {
+		sub.Close()
 	}
+	r.subs = nil
 }
 
 func (r *Recorder) record(ev telemetry.Event) {
@@ -147,9 +150,39 @@ func (r *Recorder) Snapshot() []Record {
 	return out
 }
 
+// CanonicalSnapshot returns every retained record merged in canonical
+// (At, Node, per-device order) order. Unlike Snapshot's global arrival
+// order — which in a sharded run depends on the shard-by-shard window
+// execution order — the canonical order is a pure function of each
+// device's own event stream, so shards=1 and shards=N renderings are
+// byte-identical.
+func (r *Recorder) CanonicalSnapshot() []Record {
+	out := r.Snapshot()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
 // WriteText dumps the merged timeline as one line per event.
 func (r *Recorder) WriteText(w io.Writer) error {
-	for _, rec := range r.Snapshot() {
+	return r.writeText(w, r.Snapshot())
+}
+
+// WriteCanonicalText dumps the timeline in canonical partition-independent
+// order (see CanonicalSnapshot).
+func (r *Recorder) WriteCanonicalText(w io.Writer) error {
+	return r.writeText(w, r.CanonicalSnapshot())
+}
+
+func (r *Recorder) writeText(w io.Writer, recs []Record) error {
+	for _, rec := range recs {
 		line := fmt.Sprintf("%-12v %-11s %-16s port=%-2d pri=%-2d",
 			rec.At, rec.Type, rec.Node, rec.Port, rec.Pri)
 		if rec.Flow != (packet.FlowKey{}) {

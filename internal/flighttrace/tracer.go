@@ -144,7 +144,7 @@ type FlowTracer struct {
 	open  map[spanKey]*Span
 	flows map[packet.FlowKey]*FlowStat
 	spans []Span
-	sub   *telemetry.Subscription
+	subs  []*telemetry.Subscription
 }
 
 // NewFlowTracer returns a tracer retaining up to keepSpans completed
@@ -157,23 +157,24 @@ func NewFlowTracer(keepSpans int) *FlowTracer {
 	}
 }
 
-// Attach subscribes the tracer to the bus. Returns the tracer for
+// Attach subscribes the tracer to the bus. Call once per trace bus
+// (Kernel.TraceBuses in a sharded run). Returns the tracer for
 // chaining.
 func (t *FlowTracer) Attach(bus *telemetry.TraceBus) *FlowTracer {
 	mask := telemetry.EvInject.Mask() | telemetry.EvEnqueue.Mask() |
 		telemetry.EvDequeue.Mask() | telemetry.EvDeliver.Mask() |
 		telemetry.EvDrop.Mask() | telemetry.EvRetransmit.Mask() |
 		telemetry.EvECNMark.Mask() | telemetry.EvCNP.Mask()
-	t.sub = bus.Subscribe(mask, nil, t.handle)
+	t.subs = append(t.subs, bus.Subscribe(mask, nil, t.handle))
 	return t
 }
 
-// Close unsubscribes from the bus.
+// Close unsubscribes from every attached bus.
 func (t *FlowTracer) Close() {
-	if t.sub != nil {
-		t.sub.Close()
-		t.sub = nil
+	for _, sub := range t.subs {
+		sub.Close()
 	}
+	t.subs = nil
 }
 
 func (t *FlowTracer) stat(flow packet.FlowKey) *FlowStat {

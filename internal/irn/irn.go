@@ -8,6 +8,8 @@
 // tests can exercise wrap-around episodes directly.
 package irn
 
+import "rocesim/internal/simtime"
+
 // PSN arithmetic over the 24-bit space, mirroring the transport's rules.
 const (
 	psnMask = 1<<24 - 1
@@ -195,12 +197,33 @@ func (s *SackSet) PruneBelow(from, to uint32) {
 // Len returns the set size.
 func (s *SackSet) Len() int { return len(s.in) }
 
+// DefaultLowFlightThresh is the flight bound (in packets) below which
+// the requester arms RTOLow instead of RTOHigh — IRN's N, small enough
+// that per-packet SACK feedback cannot be expected to repair a tail
+// loss (the last packets of a message generate no out-of-order
+// arrivals, hence no NAKs).
+const DefaultLowFlightThresh = 3
+
 // Config parameterizes the IRN strategy on one QP.
 type Config struct {
 	// BDPBytes caps outstanding wire bytes at the path's
 	// bandwidth-delay product (IRN's flow bound). Zero falls back to
 	// the transport's packet window.
 	BDPBytes int
+
+	// RTOLow, when positive, replaces the QP's coarse RetxTimeout
+	// whenever at most LowFlightThresh packets are in flight. Tail
+	// losses (no packets behind the hole to trigger SACK feedback) are
+	// the only losses that must wait for a timer under IRN, and with a
+	// near-empty pipe a short timer cannot cause spurious storms — so
+	// IRN arms an aggressive timeout exactly there.
+	RTOLow simtime.Duration
+	// RTOHigh, when positive, is the timeout used above
+	// LowFlightThresh. Zero falls back to the QP's RetxTimeout.
+	RTOHigh simtime.Duration
+	// LowFlightThresh is the flight bound (packets) at or below which
+	// RTOLow applies. Zero means DefaultLowFlightThresh.
+	LowFlightThresh uint32
 }
 
 // BDPPackets converts a byte BDP cap to whole packets of the given wire

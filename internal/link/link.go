@@ -28,6 +28,14 @@ type Endpoint interface {
 	Receive(port int, p *packet.Packet)
 }
 
+// KernelOwner is implemented by endpoints that run on their own kernel
+// (NICs and switches). Attach consults it so a link knows which shard
+// kernel owns each of its ends; a link whose ends live on different
+// shards routes deliveries through the group's cross-shard path.
+type KernelOwner interface {
+	Kernel() *sim.Kernel
+}
+
 // FrameOverhead is the per-frame preamble + start delimiter + inter-frame
 // gap cost on the wire, in bytes.
 const FrameOverhead = 20
@@ -40,10 +48,20 @@ type Link struct {
 	rate  simtime.Rate
 	delay simtime.Duration
 	rng   *rand.Rand
+	id    uint64 // per-kernel link number; seeds the boundary FCS hash
 	ends  [2]struct {
 		ep   Endpoint
 		port int
 	}
+	// endK[side] is the kernel owning side's endpoint (defaults to the
+	// construction kernel). On a sharded run the two sides of a boundary
+	// link differ, and Deliver crosses shards through the group.
+	endK [2]*sim.Kernel
+	// fcsDraws counts wire-error draws per sending side, driving the
+	// order-independent corruption hash on cross-shard links;
+	// fcsErrSide counts the corrupted frames it discards.
+	fcsDraws   [2]uint64
+	fcsErrSide [2]uint64
 	// deliver[side] is the resident arrival callback for frames sent BY
 	// side: scheduling it with the packet as arg allocates nothing.
 	deliver [2]sim.ArgEvent
@@ -79,7 +97,8 @@ func New(k *sim.Kernel, rate simtime.Rate, delay simtime.Duration) *Link {
 	// construction order is deterministic in a simulation, so runs
 	// reproduce exactly — even when several kernels share one process.
 	id := k.NamedSeq("link")
-	l := &Link{k: k, rate: rate, delay: delay, rng: k.Rand(fmt.Sprintf("link/%d", id))}
+	l := &Link{k: k, rate: rate, delay: delay, id: id, rng: k.Rand(fmt.Sprintf("link/%d", id))}
+	l.endK[0], l.endK[1] = k, k
 	for side := 0; side < 2; side++ {
 		peer := &l.ends[1-side]
 		l.deliver[side] = func(arg any) {
@@ -89,11 +108,26 @@ func New(k *sim.Kernel, rate simtime.Rate, delay simtime.Duration) *Link {
 	return l
 }
 
-// Attach connects side (0 or 1) to an endpoint's port.
+// Attach connects side (0 or 1) to an endpoint's port. Endpoints that
+// own a kernel (NICs, switches) bind their side of the wire to it, so a
+// link wired across two shards knows where each direction's arrival
+// event belongs.
 func (l *Link) Attach(side int, ep Endpoint, port int) {
 	l.ends[side].ep = ep
 	l.ends[side].port = port
+	if ko, ok := ep.(KernelOwner); ok {
+		if k := ko.Kernel(); k != nil {
+			l.endK[side] = k
+		}
+	}
 }
+
+// EndKernel returns the kernel owning side's endpoint.
+func (l *Link) EndKernel(side int) *sim.Kernel { return l.endK[side] }
+
+// CrossShard reports whether the link's two ends live on different
+// shard kernels.
+func (l *Link) CrossShard() bool { return l.endK[0] != l.endK[1] }
 
 // Rate returns the link speed.
 func (l *Link) Rate() simtime.Rate { return l.rate }
@@ -120,25 +154,67 @@ func (l *Link) Peer(side int) (Endpoint, int) {
 func (l *Link) Delay() simtime.Duration { return l.delay }
 
 // Deliver schedules p's arrival at the peer of side after the propagation
-// delay. Serialization time is the sender's job (see Egress).
+// delay. Serialization time is the sender's job (see Egress). It runs in
+// the sending side's kernel context; when the receiving side lives on a
+// different shard the arrival rides the group's cross-shard path, which
+// is legal because the propagation delay of every boundary link is at
+// least the group's lookahead window.
 func (l *Link) Deliver(side int, p *packet.Packet) {
 	if l.Tap != nil {
 		l.Tap(p)
 	}
+	src := l.endK[side]
 	if l.Down {
-		l.k.PacketPool().Put(p) // lost on the dead wire
+		src.PacketPool().Put(p) // lost on the dead wire
 		return
 	}
-	if l.FCSErrorRate > 0 && l.rng.Float64() < l.FCSErrorRate {
-		l.FCSErrors++
-		l.k.PacketPool().Put(p) // corrupted on the wire; receiver CRC discards it
+	if l.FCSErrorRate > 0 && l.corrupted(side) {
+		src.PacketPool().Put(p) // corrupted on the wire; receiver CRC discards it
 		return
 	}
 	if l.ends[1-side].ep == nil {
 		panic(fmt.Sprintf("link: side %d has no peer attached", 1-side))
 	}
 	l.Delivered[side]++
-	l.k.AfterArg(l.delay, l.deliver[side], p)
+	// The lane key canonicalizes same-instant deliveries from distinct
+	// links into stable wire order — like a switch sweeping its ingress
+	// ports — so the fire order is independent of shard partitioning.
+	src.ScheduleOnLane(l.endK[1-side], src.Now().Add(l.delay), l.id<<1|uint64(side), l.deliver[side], p)
+}
+
+// corrupted draws the wire-error experiment for one frame. Same-shard
+// links keep the historical shared rand stream (preserving existing
+// goldens byte-for-byte). A cross-shard link cannot share one stream
+// between two concurrent senders, so each direction draws from an
+// order-independent counter hash over (seed, link id, side, frame#);
+// the draw depends only on how many frames that side has sent, never on
+// how the two directions interleave.
+func (l *Link) corrupted(side int) bool {
+	if !l.CrossShard() {
+		if l.rng.Float64() < l.FCSErrorRate {
+			l.FCSErrors++
+			return true
+		}
+		return false
+	}
+	l.fcsDraws[side]++
+	x := uint64(l.k.Seed()) ^ l.id*0x9e3779b97f4a7c15 ^ uint64(side+1)<<62 ^ l.fcsDraws[side]
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if float64(x>>11)/(1<<53) < l.FCSErrorRate {
+		l.fcsErrSide[side]++
+		return true
+	}
+	return false
+}
+
+// FCSErrorCount totals corrupted frames across both the shared-stream
+// and per-side paths.
+func (l *Link) FCSErrorCount() uint64 {
+	return l.FCSErrors + l.fcsErrSide[0] + l.fcsErrSide[1]
 }
 
 // Item is one frame queued at an egress, with the bookkeeping needed to

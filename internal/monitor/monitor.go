@@ -78,16 +78,27 @@ type Pingmesh struct {
 	// OnResult, when set, observes every settled probe: ok=true with the
 	// measured RTT on an answer, ok=false (rtt=Timeout) on a timeout. The
 	// health plane's heatmap and sketches feed off this hook instead of
-	// re-probing the fabric.
+	// re-probing the fabric. In a sharded run the ok=true call executes
+	// on the answering pair's client shard, so the hook must either be
+	// nil or touch only state owned by that shard; the health plane
+	// therefore runs unsharded.
 	OnResult func(a, b *topology.Server, scope ProbeScope, rtt simtime.Duration, ok bool)
 
 	pairs []*meshPair
+
+	// sharded probing: answer callbacks run inside shard windows, so
+	// RTTs accumulate into per-shard scratch histograms (one owner per
+	// worker) and fold into RTT at the next Report, which runs at a
+	// barrier.
+	sharded  bool
+	perShard []map[ProbeScope]*stats.Histogram
 }
 
 type meshPair struct {
 	pp    workload.PingPong
 	a, b  *topology.Server
 	scope ProbeScope
+	shard int // client NIC's shard, 0 when unsharded
 	// outstanding guards against piling probes onto a stuck path.
 	outstanding bool
 }
@@ -110,6 +121,15 @@ func NewPingmesh(k *sim.Kernel, cfg PingmeshConfig) *Pingmesh {
 			pm.RTT[s] = k.Metrics().Histogram(name)
 		}
 	}
+	if g := k.Group(); g != nil && g.N() > 1 {
+		pm.sharded = true
+		pm.perShard = make([]map[ProbeScope]*stats.Histogram, g.N())
+		for i := range pm.perShard {
+			pm.perShard[i] = map[ProbeScope]*stats.Histogram{
+				ScopeToR: stats.NewHistogram(), ScopePodset: stats.NewHistogram(), ScopeDC: stats.NewHistogram(),
+			}
+		}
+	}
 	return pm
 }
 
@@ -124,8 +144,16 @@ func (pm *Pingmesh) AddPair(net *topology.Network, a, b *topology.Server) {
 		scope = ScopePodset
 	}
 	qa, qb := net.QPPair(a, b, nil)
-	pp := workload.NewRDMAPingPong(qa, qb, pm.k.Now)
-	pm.pairs = append(pm.pairs, &meshPair{pp: pp, a: a, b: b, scope: scope})
+	// RTTs are clocked on the client NIC's kernel: the answer callback
+	// runs in that shard's execution context, where the global kernel's
+	// clock may be a window behind. Identical to pm.k.Now unsharded.
+	ck := a.NIC.Kernel()
+	pp := workload.NewRDMAPingPong(qa, qb, ck.Now)
+	shard := ck.ShardIndex()
+	if shard < 0 {
+		shard = 0
+	}
+	pm.pairs = append(pm.pairs, &meshPair{pp: pp, a: a, b: b, scope: scope, shard: shard})
 }
 
 // Start begins probing all registered pairs.
@@ -168,16 +196,47 @@ func (pm *Pingmesh) probe(p *meshPair) {
 		}
 		settled = true
 		p.outstanding = false
-		timeout.Cancel()
-		pm.RTT[p.scope].Observe(float64(rtt))
+		if !pm.sharded {
+			// Cancelling saves heap space on the single kernel. In a
+			// sharded run this callback executes on the client shard and
+			// the timeout lives on the barrier-owned global heap, so the
+			// timer is left to fire as a settled no-op instead.
+			timeout.Cancel()
+		}
+		if pm.sharded {
+			pm.perShard[p.shard][p.scope].Observe(float64(rtt))
+		} else {
+			pm.RTT[p.scope].Observe(float64(rtt))
+		}
 		if pm.OnResult != nil {
 			pm.OnResult(p.a, p.b, p.scope, rtt, true)
 		}
 	})
 }
 
+// fold drains the per-shard scratch histograms into the published RTT
+// histograms. Callers run at a barrier (after RunUntil returns).
+func (pm *Pingmesh) fold() {
+	for i, m := range pm.perShard {
+		for s, h := range m {
+			if h.Count() > 0 {
+				pm.RTT[s].Merge(h)
+			}
+		}
+		pm.perShard[i] = map[ProbeScope]*stats.Histogram{
+			ScopeToR: stats.NewHistogram(), ScopePodset: stats.NewHistogram(), ScopeDC: stats.NewHistogram(),
+		}
+	}
+}
+
+// Fold publishes the per-shard scratch RTTs into the RTT histograms.
+// Callers run it at a barrier (after RunUntil returns) before reading
+// RTT directly; Report folds on its own.
+func (pm *Pingmesh) Fold() { pm.fold() }
+
 // Report renders a Pingmesh summary.
 func (pm *Pingmesh) Report() string {
+	pm.fold()
 	out := fmt.Sprintf("pingmesh: %d probes\n", pm.Probes)
 	for _, s := range []ProbeScope{ScopeToR, ScopePodset, ScopeDC} {
 		h := pm.RTT[s]

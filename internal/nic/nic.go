@@ -211,6 +211,10 @@ func (n *NIC) Attach(l *link.Link, side int) {
 // Name returns the NIC name.
 func (n *NIC) Name() string { return n.cfg.Name }
 
+// Kernel returns the kernel (shard) this NIC runs on — the link layer's
+// KernelOwner hook.
+func (n *NIC) Kernel() *sim.Kernel { return n.k }
+
 // Now returns the simulated clock (for layers above the NIC that stamp
 // completions).
 func (n *NIC) Now() simtime.Time { return n.k.Now() }

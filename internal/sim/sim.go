@@ -37,12 +37,18 @@ type ArgEvent func(arg any)
 // a fired or cancelled item is recycled, and gen is bumped on every
 // recycle so stale Handles can never cancel the item's next occupant.
 type item struct {
-	at  simtime.Time
-	seq uint64
-	fn  Event
-	afn ArgEvent
-	arg any
-	gen uint32
+	at simtime.Time
+	// schedAt is the scheduling context's clock when the event was
+	// created; lane disambiguates same-instant schedules from distinct
+	// physical sources (link sides). Together with seq they form the
+	// partition-independent fire order — see before().
+	schedAt simtime.Time
+	lane    uint64
+	seq     uint64
+	fn      Event
+	afn     ArgEvent
+	arg     any
+	gen     uint32
 }
 
 // live reports whether the item still carries a callback (not yet fired
@@ -110,20 +116,88 @@ type Kernel struct {
 	onAnnounce []func(any) // observers; late subscribers get a replay
 
 	seqs map[string]uint64 // kernel-scoped named counters (NamedSeq)
+
+	// group/shard place the kernel inside a ShardGroup: shard >= 0 for a
+	// shard kernel, -1 for the group's global (control) kernel. Both are
+	// nil/zero-value for a plain single-kernel simulation.
+	group *ShardGroup
+	shard int
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
 func NewKernel(seed int64) *Kernel {
-	k := &Kernel{seed: seed, metrics: telemetry.NewRegistry()}
+	k := &Kernel{seed: seed, metrics: telemetry.NewRegistry(), shard: -1}
 	k.trace = telemetry.NewTraceBus(func() simtime.Time { return k.now })
-	k.pool = packet.NewPool()
-	// Recycling is only legal while nobody retains packet pointers past
-	// the hop: flight recorders and flow tracers subscribe to
-	// packet-carrying trace events and keep the pointers, so their
-	// presence parks the pool (Put becomes a no-op and packets fall to
-	// the collector exactly as they did before pooling existed).
-	k.pool.Retain = func() bool { return k.trace.Wants(telemetry.EvPacketCarrying) }
+	k.pool = newKernelPool(k)
 	return k
+}
+
+// newKernelPool builds the kernel's frame pool. Recycling is only legal
+// while nobody retains packet pointers past the hop: flight recorders
+// and flow tracers subscribe to packet-carrying trace events and keep
+// the pointers, so their presence parks the pool (Put becomes a no-op
+// and packets fall to the collector exactly as they did before pooling
+// existed).
+func newKernelPool(k *Kernel) *packet.Pool {
+	p := packet.NewPool()
+	p.Retain = func() bool { return k.trace.Wants(telemetry.EvPacketCarrying) }
+	return p
+}
+
+// Group returns the ShardGroup this kernel belongs to, nil for a plain
+// kernel. Wiring layers use it to place devices on shard kernels.
+func (k *Kernel) Group() *ShardGroup { return k.group }
+
+// ShardIndex returns the kernel's shard number, -1 for a plain kernel
+// or a group's global kernel.
+func (k *Kernel) ShardIndex() int {
+	if k.group == nil {
+		return -1
+	}
+	return k.shard
+}
+
+// ScheduleOn schedules fn(arg) at the absolute time at on dst, which
+// may be any kernel of the same group. Same-kernel (and same-shard, and
+// barrier-context) calls schedule directly; a shard-to-shard call rides
+// the group's outbox and is merged deterministically at the next window
+// barrier. This is the only legal way for one shard's event to cause
+// work on another shard.
+func (k *Kernel) ScheduleOn(dst *Kernel, at simtime.Time, fn ArgEvent, arg any) {
+	k.ScheduleOnLane(dst, at, 0, fn, arg)
+}
+
+// ScheduleOnLane is ScheduleOn with an explicit ordering lane: events
+// for the same destination and instant fire in ascending lane order
+// (then schedule order within a lane), no matter how the simulation is
+// partitioned. Link delivery uses it with a stable per-wire lane so
+// same-picosecond arrivals at one device keep a canonical order; lane 0
+// (plain ScheduleOn) sorts first.
+func (k *Kernel) ScheduleOnLane(dst *Kernel, at simtime.Time, lane uint64, fn ArgEvent, arg any) {
+	if dst == k || k.group == nil || dst.group != k.group || dst.shard == k.shard {
+		dst.atKeyed(at, k.now, lane, fn, arg)
+		return
+	}
+	k.group.send(k, dst, at, k.now, lane, fn, arg)
+}
+
+// atKeyed schedules fn(arg) at at with an explicit (schedAt, lane)
+// ordering key — the cross-kernel insertion path, where the key must
+// reflect the scheduling context (the sender), not this kernel's clock.
+// The key is stamped before push so the heap entry carries it inline.
+func (k *Kernel) atKeyed(at, schedAt simtime.Time, lane uint64, fn ArgEvent, arg any) {
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
+	}
+	it := k.newItem(at)
+	it.schedAt = schedAt
+	it.lane = lane
+	it.afn = fn
+	it.arg = arg
+	k.push(it)
 }
 
 // Metrics returns the simulation's metric registry. Components register
@@ -134,6 +208,22 @@ func (k *Kernel) Metrics() *telemetry.Registry { return k.metrics }
 // Trace returns the simulation's packet-lifecycle trace bus. With no
 // subscribers, emission sites pay a single Active() check.
 func (k *Kernel) Trace() *telemetry.TraceBus { return k.trace }
+
+// TraceBuses returns every trace bus a fabric-wide observer must
+// subscribe to: just k's own for a plain kernel, or the global bus plus
+// one per shard for a grouped kernel (devices emit on their own shard's
+// bus). Any subscription on a shard bus switches the group to
+// sequential window execution, keeping observers single-threaded.
+func (k *Kernel) TraceBuses() []*telemetry.TraceBus {
+	if k.group == nil {
+		return []*telemetry.TraceBus{k.trace}
+	}
+	out := []*telemetry.TraceBus{k.group.global.trace}
+	for _, s := range k.group.shards {
+		out = append(out, s.trace)
+	}
+	return out
+}
 
 // PacketPool returns the kernel's frame pool. NICs draw data frames and
 // pause frames from it and every death point (delivery, drop, FCS error)
@@ -149,6 +239,16 @@ func (k *Kernel) Announce(v any) {
 	if v == nil {
 		return
 	}
+	// Group members share one announcement bus: an observer attached to
+	// any member (usually the global kernel) sees the whole fabric no
+	// matter which shards its devices landed on.
+	if g := k.group; g != nil {
+		g.announced = append(g.announced, v)
+		for _, fn := range g.onAnnounce {
+			fn(v)
+		}
+		return
+	}
 	k.announced = append(k.announced, v)
 	for _, fn := range k.onAnnounce {
 		fn(v)
@@ -159,6 +259,13 @@ func (k *Kernel) Announce(v any) {
 // announced are replayed immediately in announcement order, so observers
 // may attach at any point during setup.
 func (k *Kernel) OnAnnounce(fn func(any)) {
+	if g := k.group; g != nil {
+		g.onAnnounce = append(g.onAnnounce, fn)
+		for _, v := range g.announced {
+			fn(v)
+		}
+		return
+	}
 	k.onAnnounce = append(k.onAnnounce, fn)
 	for _, v := range k.announced {
 		fn(v)
@@ -171,28 +278,50 @@ func (k *Kernel) Now() simtime.Time { return k.now }
 // Seed returns the root seed the kernel was created with.
 func (k *Kernel) Seed() int64 { return k.seed }
 
-// EventsFired returns how many events have executed so far.
-func (k *Kernel) EventsFired() uint64 { return k.fired }
+// EventsFired returns how many events have executed so far. On a
+// group's global kernel it returns the group-wide total — the same
+// count a single kernel running the same simulation would report.
+func (k *Kernel) EventsFired() uint64 {
+	if k.group != nil && k.shard < 0 {
+		return k.group.EventsFired()
+	}
+	return k.fired
+}
 
 // Pending returns the number of live (non-cancelled) events currently
 // queued.
 func (k *Kernel) Pending() int { return len(k.queue) - k.cancelled }
 
-// ---- 4-ary heap over (at, seq) ----
+// ---- 4-ary heap over (at, band, schedAt, lane, seq) ----
 //
 // A 4-ary layout halves the tree depth of the binary heap: pops do more
 // comparisons per level but far fewer cache-missing levels, which is the
 // dominant cost at fabric-scale queue depths. Each heap entry carries its
 // ordering key inline so sift operations never dereference the item —
-// comparisons stay within the slice's cache lines. Order is the total
-// order (at, seq), so equal-time events still fire strictly in schedule
-// order and heap shape never leaks into results.
+// comparisons stay within the slice's cache lines.
+//
+// The total order is (at, observer band, schedAt, lane, seq). On a
+// single kernel this is indistinguishable from the historical (at, seq)
+// order whenever schedAt and lane don't discriminate: schedAt (the
+// clock at schedule time) is nondecreasing in seq, and lane is nonzero
+// only for link deliveries. What the richer key buys is partition
+// independence: schedAt and lane are properties of the logical event —
+// when it was caused and by which wire — not of which heap it sits in,
+// so same-instant arrivals at one device from different sources fire in
+// the same order whether those sources share the kernel or live on
+// other shards. The one place the key intentionally overrides raw
+// schedule order is a same-picosecond tie between two deliveries
+// scheduled at the same instant on different lanes: they fire in stable
+// lane (wire) order, like a switch sweeping its ingress ports in port
+// order.
 
-// heapEnt is one heap slot: the (at, seq) ordering key plus the item.
+// heapEnt is one heap slot: the full ordering key plus the item.
 type heapEnt struct {
-	at  simtime.Time
-	seq uint64
-	it  *item
+	at      simtime.Time
+	schedAt simtime.Time
+	lane    uint64
+	seq     uint64
+	it      *item
 }
 
 // before reports whether a must fire before b.
@@ -200,12 +329,21 @@ func before(a, b heapEnt) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
+	if ab, bb := a.seq&observerBand, b.seq&observerBand; ab != bb {
+		return ab < bb
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
 	return a.seq < b.seq
 }
 
 // push appends it and restores the heap invariant.
 func (k *Kernel) push(it *item) {
-	q := append(k.queue, heapEnt{at: it.at, seq: it.seq, it: it})
+	q := append(k.queue, heapEnt{at: it.at, schedAt: it.schedAt, lane: it.lane, seq: it.seq, it: it})
 	// Sift up.
 	i := len(q) - 1
 	for i > 0 {
@@ -276,6 +414,8 @@ func (k *Kernel) newItem(at simtime.Time) *item {
 		it = &item{}
 	}
 	it.at = at
+	it.schedAt = k.now
+	it.lane = 0
 	it.seq = k.seq
 	k.seq++
 	return it
@@ -435,6 +575,12 @@ func (k *Kernel) Step() bool {
 // Halt is called. The clock is advanced to the deadline if the queue
 // drains early, so a subsequent RunUntil continues from there.
 func (k *Kernel) RunUntil(deadline simtime.Time) {
+	// A group's global kernel is the run handle for the whole sharded
+	// simulation: experiments drive it exactly like a plain kernel.
+	if k.group != nil && k.shard < 0 {
+		k.group.runUntil(deadline)
+		return
+	}
 	k.halted = false
 	for !k.halted {
 		// Peek for the next live event.
@@ -477,6 +623,14 @@ func (k *Kernel) Rand(name string) *rand.Rand {
 // way in one process number their components identically, so same-seed
 // runs stay byte-identical no matter how many simulations ran before.
 func (k *Kernel) NamedSeq(name string) uint64 {
+	// Group-scoped: a fabric split across shard kernels numbers its
+	// links "link/1", "link/2", ... in construction order exactly like
+	// the same fabric on one kernel, so every device keeps the same
+	// random stream no matter the partitioning.
+	if k.group != nil {
+		k.group.seqs[name]++
+		return k.group.seqs[name]
+	}
 	if k.seqs == nil {
 		k.seqs = make(map[string]uint64)
 	}

@@ -228,15 +228,50 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 	}
 	n := &Network{K: k, Spec: spec}
 
-	newSwitch := func(level, name string, ports int, mac packet.MAC) (*fabric.Switch, error) {
-		return fabric.NewSwitch(k, swCfg(level, name, ports), mac)
+	// Shard assignment (fixed and deterministic, a pure function of the
+	// spec): ToR groups are cut into contiguous blocks of the shard
+	// count, servers follow their ToR, each pod's leafs spread across
+	// the shards its ToRs occupy, and spines spread evenly. Build called
+	// with a plain kernel (or a one-shard group) places everything on k,
+	// which is byte-identical to the pre-sharding wiring.
+	grp := k.Group()
+	nsh := 1
+	if grp != nil {
+		nsh = grp.N()
+	}
+	totTors := spec.Podsets * spec.TorsPerPod
+	shardOfTor := func(p, t int) int { return (p*spec.TorsPerPod + t) * nsh / totTors }
+	shardOfLeaf := func(p, lf int) int {
+		if spec.LeafsPerPod == 0 {
+			return 0
+		}
+		return shardOfTor(p, lf*spec.TorsPerPod/spec.LeafsPerPod)
+	}
+	shardOfSpine := func(sp int) int { return sp * nsh / spec.Spines }
+	kf := func(shard int) *sim.Kernel {
+		if grp == nil || nsh <= 1 {
+			return k
+		}
+		return grp.Shard(shard)
+	}
+	// minCross tracks the shortest cable whose ends landed on different
+	// shards: the group's conservative lookahead window.
+	minCross := simtime.Duration(-1)
+	crossCheck := func(l *link.Link) {
+		if l.CrossShard() && (minCross < 0 || l.Delay() < minCross) {
+			minCross = l.Delay()
+		}
+	}
+
+	newSwitch := func(kk *sim.Kernel, level, name string, ports int, mac packet.MAC) (*fabric.Switch, error) {
+		return fabric.NewSwitch(kk, swCfg(level, name, ports), mac)
 	}
 
 	// Create switches.
 	for p := 0; p < spec.Podsets; p++ {
 		for t := 0; t < spec.TorsPerPod; t++ {
 			ports := spec.ServersPerTor + spec.LeafsPerPod
-			sw, err := newSwitch("tor", fmt.Sprintf("tor-%d-%d", p, t), ports,
+			sw, err := newSwitch(kf(shardOfTor(p, t)), "tor", fmt.Sprintf("tor-%d-%d", p, t), ports,
 				packet.MAC{0x02, 0xF0, byte(p), byte(t), 0, 0})
 			if err != nil {
 				return nil, err
@@ -248,7 +283,7 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 			if spec.Spines > 0 {
 				ports += spec.Spines / spec.LeafsPerPod
 			}
-			sw, err := newSwitch("leaf", fmt.Sprintf("leaf-%d-%d", p, l), ports,
+			sw, err := newSwitch(kf(shardOfLeaf(p, l)), "leaf", fmt.Sprintf("leaf-%d-%d", p, l), ports,
 				packet.MAC{0x02, 0xF1, byte(p), byte(l), 0, 0})
 			if err != nil {
 				return nil, err
@@ -257,7 +292,7 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 		}
 	}
 	for sp := 0; sp < spec.Spines; sp++ {
-		sw, err := newSwitch("spine", fmt.Sprintf("spine-%d", sp), spec.Podsets,
+		sw, err := newSwitch(kf(shardOfSpine(sp)), "spine", fmt.Sprintf("spine-%d", sp), spec.Podsets,
 			packet.MAC{0x02, 0xF2, byte(sp >> 8), byte(sp), 0, 0})
 		if err != nil {
 			return nil, err
@@ -273,10 +308,11 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 				mac := packet.MAC{0x02, 0x00, byte(p), byte(t), 0x01, byte(s + 1)}
 				ip := serverIP(p, t, s)
 				name := fmt.Sprintf("srv-%d-%d-%d", p, t, s)
-				nc := nic.New(k, nicCfg(name, mac, ip))
+				nc := nic.New(tor.Kernel(), nicCfg(name, mac, ip))
 				l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.ServerCableM))
 				tor.AttachLink(s, l, 0, mac, true)
 				nc.Attach(l, 1)
+				crossCheck(l)
 				tor.SetARP(ip, mac)
 				tor.LearnMAC(mac, s)
 				n.Links = append(n.Links, LinkRec{A: tor.Name(), APort: s, B: name, BPort: 0, L: l})
@@ -301,6 +337,7 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 				l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.LeafCableM))
 				tor.AttachLink(torPort, l, 0, leaf.MAC(), false)
 				leaf.AttachLink(leafPort, l, 1, tor.MAC(), false)
+				crossCheck(l)
 				n.Links = append(n.Links, LinkRec{A: tor.Name(), APort: torPort, B: leaf.Name(), BPort: leafPort, L: l})
 				uplinks = append(uplinks, torPort)
 				// Leaf routes down to this ToR's subnet.
@@ -342,6 +379,7 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 					l := link.New(k, spec.LinkRate, simtime.PropagationDelay(spec.SpineCableM))
 					leaf.AttachLink(leafPort, l, 0, spine.MAC(), false)
 					spine.AttachLink(spinePort, l, 1, leaf.MAC(), false)
+					crossCheck(l)
 					n.Links = append(n.Links, LinkRec{A: leaf.Name(), APort: leafPort, B: spine.Name(), BPort: spinePort, L: l})
 					spinePorts = append(spinePorts, leafPort)
 					n.LeafSpineLinks = append(n.LeafSpineLinks, l)
@@ -401,6 +439,16 @@ func Build(k *sim.Kernel, spec Spec) (*Network, error) {
 	// injector resolving "link:tor-0-0~leaf-0-1" targets) can discover it
 	// through the kernel's component registry.
 	k.Announce(n)
+
+	if grp != nil && nsh > 1 {
+		if minCross > 0 {
+			grp.SetLookahead(minCross)
+		} else {
+			// No cable crosses a shard boundary; the shards never
+			// interact and any positive window is conservative.
+			grp.SetLookahead(simtime.Millisecond)
+		}
+	}
 	return n, nil
 }
 

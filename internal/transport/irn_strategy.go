@@ -98,6 +98,28 @@ func (s *irnStrategy) popRequest(q *QP, now simtime.Time) *packet.Packet {
 	return q.emitRequest(o, q.sndNxt, now, true)
 }
 
+// retxTimeout implements IRN's two-level timer: losses with packets
+// still behind them surface as NAK-with-SACK feedback, so the timer
+// only matters for tail losses — and those strand at most a pipe's
+// worth of packets. With at most LowFlightThresh packets in flight the
+// aggressive RTOLow applies (a spurious fire can re-send only that
+// handful); with a fuller pipe the conservative RTOHigh guards against
+// retransmission storms.
+func (s *irnStrategy) retxTimeout(q *QP) simtime.Duration {
+	flight := psnDiff(q.sndNxt, q.sndUna)
+	th := s.cfg.LowFlightThresh
+	if th == 0 {
+		th = irn.DefaultLowFlightThresh
+	}
+	if s.cfg.RTOLow > 0 && flight >= 0 && uint32(flight) <= th {
+		return s.cfg.RTOLow
+	}
+	if s.cfg.RTOHigh > 0 {
+		return s.cfg.RTOHigh
+	}
+	return q.cfg.RetxTimeout
+}
+
 func (s *irnStrategy) onTimeout(q *QP) {
 	if q.ops[0].kind == OpRead {
 		q.recoverRead(q.sndUna, false, false)

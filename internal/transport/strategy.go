@@ -47,6 +47,10 @@ type Strategy interface {
 	hasData(q *QP) bool
 	// popRequest emits the next requester packet.
 	popRequest(q *QP, now simtime.Time) *packet.Packet
+	// retxTimeout picks the retransmission-timer duration to arm now
+	// (per-flow for IRN: RTOLow with a near-empty pipe, RTOHigh
+	// otherwise; the QP-wide RetxTimeout for cumulative schemes).
+	retxTimeout(q *QP) simtime.Duration
 	// onTimeout selects what to retransmit when the retx timer fires.
 	onTimeout(q *QP)
 	// onNak reacts to a NAK (p.BTH.PSN is the responder's cumulative
@@ -203,6 +207,8 @@ func (c *cumulative) recover(q *QP, missing uint32, fromNak bool) {
 		q.sndNxt = missing
 	}
 }
+
+func (c *cumulative) retxTimeout(q *QP) simtime.Duration { return q.cfg.RetxTimeout }
 
 func (c *cumulative) onTimeout(q *QP) { c.recover(q, q.sndUna, false) }
 

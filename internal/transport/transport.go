@@ -564,12 +564,14 @@ func (q *QP) newCtl(op packet.Opcode) *packet.Packet {
 	return p
 }
 
-// armRetx (re)arms the retransmission timer.
+// armRetx (re)arms the retransmission timer for the duration the
+// strategy picks now (per-flow for IRN, the QP-wide RetxTimeout
+// otherwise).
 func (q *QP) armRetx() {
 	if q.retx.Pending() {
 		q.retx.Cancel()
 	}
-	q.retx = q.ep.After(q.cfg.RetxTimeout, q.retxEv)
+	q.retx = q.ep.After(q.strat.retxTimeout(q), q.retxEv)
 }
 
 // onRetxTimeout fires when no progress has been made for RetxTimeout.
