@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test test-race vet audit chaos transports health bench bench-json bench-kernel bench-compare bench-parallel report examples clean
+.PHONY: all check build test test-race vet audit chaos transports health rollout bench bench-json bench-kernel bench-compare bench-parallel report examples clean
 
 all: build vet test
 
@@ -12,7 +12,8 @@ all: build vet test
 # scoring; exits nonzero if an expected safeguard fails to fire),
 # then the quick transport matrix run twice and diffed (byte-
 # determinism is part of the gate), then the fleet health report run
-# twice and diffed the same way.
+# twice and diffed the same way, then the staged-rollout campaign run
+# twice, diffed, and diffed against its golden scorecard.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -21,6 +22,7 @@ check:
 	$(GO) run ./cmd/roce-chaos -quick
 	$(MAKE) transports
 	$(MAKE) health
+	$(MAKE) rollout
 	$(MAKE) bench-parallel
 
 # Fleet health reports (see EXPERIMENTS.md "Fleet health"): both
@@ -64,6 +66,21 @@ else
 	cmp /tmp/roce-transports-1.txt /tmp/roce-transports-2.txt
 	@cat /tmp/roce-transports-1.txt
 endif
+
+# Staged config-rollout campaign (see EXPERIMENTS.md "Config
+# rollouts"): good and bad payloads pushed through the canary → tor →
+# podset → fleet wave ladder with health-gated soaks and automatic
+# rollback. The JSON scorecard is rendered twice and byte-compared (the
+# rollout plane's determinism contract), diffed against the golden copy
+# under cmd/roce-rollout/testdata/, and lands in rollout-scorecard.json
+# for CI to archive. The command exits nonzero if any case misses its
+# expected outcome.
+rollout:
+	$(GO) run ./cmd/roce-rollout -json > rollout-scorecard.json
+	$(GO) run ./cmd/roce-rollout -json > /tmp/roce-rollout-2.json
+	cmp rollout-scorecard.json /tmp/roce-rollout-2.json
+	cmp rollout-scorecard.json cmd/roce-rollout/testdata/golden.json
+	$(GO) run ./cmd/roce-rollout
 
 # Runtime invariant audit alone: deadlock, storm, alpha incident and
 # livelock with the lossless/DCQCN auditor attached; exits nonzero on
@@ -139,4 +156,4 @@ examples:
 
 clean:
 	rm -f capture.pcap test_output.txt bench_output.txt bench_output.json
-	rm -f *.pprof cpu.prof mem.prof health-report.json
+	rm -f *.pprof cpu.prof mem.prof health-report.json rollout-scorecard.json

@@ -1,0 +1,57 @@
+// Command roce-rollout runs the staged config-rollout campaign: config
+// changes pushed across a two-podset fleet through the canary → tor →
+// podset → fleet wave ladder of internal/rollout, soaking between waves
+// on the health gates (config drift, invariant violations, SLO burn,
+// pingmesh RTT inflation) and auto-rolling-back on a trip. The campaign
+// includes payloads that are themselves bad — the §6.2 α
+// misconfiguration shipped by a faithless pipeline, a canary-evading
+// variant, and a drift-invisible MMU misprogramming — and scores each
+// on where the ladder stopped it, time-to-detect, blast radius, and
+// post-rollback cleanliness. The same seed renders the byte-identical
+// scorecard at any -shards value (a golden copy is kept under testdata/
+// and checked by the package test).
+//
+// The exit status is the CI contract: nonzero when any case missed its
+// expected outcome.
+//
+// Usage:
+//
+//	roce-rollout [-json] [-seed 1] [-shards 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rocesim/internal/rollout"
+)
+
+// scorecard runs the campaign. Factored out of main so the golden test
+// renders exactly what the command prints.
+func scorecard(seed int64, shards int) *rollout.Scorecard {
+	return rollout.DefaultCampaign(seed, shards).Run()
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the scorecard as JSON")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	shards := flag.Int("shards", 1, "parallel event-kernel shards per case (byte-identical output at any value)")
+	flag.Parse()
+
+	sc := scorecard(*seed, *shards)
+	if *jsonOut {
+		b, err := sc.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "roce-rollout:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", b)
+	} else {
+		fmt.Print(sc.Text())
+	}
+	if sc.Failed() {
+		fmt.Fprintln(os.Stderr, "roce-rollout: a rollout case missed its expected outcome")
+		os.Exit(1)
+	}
+}

@@ -297,13 +297,22 @@ func New(k *sim.Kernel, cfg Config) (*Deployment, error) {
 		Configs:     monitor.NewConfigStore(),
 		dcqcnParams: dcqcn.DefaultParams(spec.LinkRate),
 	}
+	d.Configs.SetClock(k.Now)
 	for _, sw := range net.Switches() {
 		d.Mon.WatchSwitch(sw)
 		d.Configs.RegisterReader(sw.Name(), monitor.SwitchConfigReader(sw))
+		d.Configs.RegisterWriter(sw.Name(), monitor.SwitchConfigWriter(sw))
 		d.Configs.SetDesired(sw.Name(), d.desiredSwitchConfig())
 	}
 	for _, s := range net.Servers {
 		d.Mon.WatchNIC(s.NIC)
+		// NICs are managed too: desired is captured from the as-built
+		// configuration (NICTweak included), so a fresh deployment is
+		// drift-free and any later divergence — or a NIC outside the
+		// config store entirely — pages.
+		read := monitor.NICConfigReader(s.NIC)
+		d.Configs.RegisterReader(s.NIC.Name(), read)
+		d.Configs.SetDesired(s.NIC.Name(), read())
 	}
 	return d, nil
 }

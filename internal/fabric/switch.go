@@ -952,6 +952,12 @@ func (s *Switch) SetBufferAlpha(a float64) {
 	s.mmu.SetAlpha(a)
 }
 
+// SetECNEnabled turns ECN marking on or off on the running switch — the
+// second knob (after α) a config-management rollout changes at runtime.
+func (s *Switch) SetECNEnabled(on bool) {
+	s.cfg.ECN.Enabled = on
+}
+
 // MisclassifyLossless reprograms the MMU's lossless classification of a
 // priority group without touching the declared configuration: the
 // hardware is misprogrammed while the operator intent — and the invariant

@@ -249,12 +249,40 @@ func (in *Injector) resolve(e Entry) (apply, revert func()) {
 		return func() { n.SetRxSlowdown(d) }, func() { n.SetRxSlowdown(0) }
 	case CfgAlpha:
 		sw := in.lookupSwitch(e.Target)
-		old := sw.Config().Buffer.Alpha
-		return func() { sw.SetBufferAlpha(param) }, func() { sw.SetBufferAlpha(old) }
+		// The pre-fault value is captured at apply time, not at arm time:
+		// an operator retune between topology announcement and the fault
+		// firing must survive the revert (arm-time capture restored the
+		// stale value; restoring a package default would be worse still).
+		var old float64
+		var captured bool
+		return func() {
+				if !captured {
+					old, captured = sw.Config().Buffer.Alpha, true
+				}
+				sw.SetBufferAlpha(param)
+			}, func() {
+				if captured {
+					sw.SetBufferAlpha(old)
+				}
+			}
 	case CfgLosslessAsLossy:
 		sw := in.lookupSwitch(e.Target)
 		pg := int(param)
-		return func() { sw.MisclassifyLossless(pg, false) }, func() { sw.MisclassifyLossless(pg, true) }
+		// Capture the PG's real classification at apply time and restore
+		// exactly that: reverting to a hard-coded "lossless" would
+		// silently repair a PG the deployment intentionally runs lossy
+		// (IRN fabrics, staged-rollout lossy tiers).
+		var wasLossless, captured bool
+		return func() {
+				if !captured {
+					wasLossless, captured = sw.MMU().Config().LosslessPGs[pg], true
+				}
+				sw.MisclassifyLossless(pg, false)
+			}, func() {
+				if captured {
+					sw.MisclassifyLossless(pg, wasLossless)
+				}
+			}
 	default:
 		panic(fmt.Sprintf("faults: unknown kind %q", e.Kind))
 	}

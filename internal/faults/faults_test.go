@@ -190,3 +190,62 @@ func TestScheduleSort(t *testing.T) {
 		}
 	}
 }
+
+// TestCfgAlphaRevertRestoresCapturedValue pins the capture timing of the
+// config-fault revert: the pre-fault α must be read at apply time, not
+// when the schedule is armed. An operator retune that lands between
+// topology announcement and the fault firing must survive the revert —
+// the arm-time capture restored the stale build-time value instead.
+func TestCfgAlphaRevertRestoresCapturedValue(t *testing.T) {
+	k := sim.NewKernel(1)
+	NewInjector(k, Schedule{{
+		At: ms(10), Duration: 10 * simtime.Millisecond,
+		Kind: CfgAlpha, Target: "switch:tor-0-0",
+	}})
+	net, err := topology.Build(k, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := net.Tors[0]
+	// The operator retunes α after the schedule is armed but before the
+	// fault applies: this, not the build-time default, is the value the
+	// revert must restore.
+	k.At(ms(5), func() { sw.SetBufferAlpha(1.0 / 8) })
+	k.At(ms(15), func() {
+		if got := sw.Config().Buffer.Alpha; got != 1.0/64 {
+			t.Errorf("alpha during fault = %v, want 1/64", got)
+		}
+	})
+	k.RunUntil(ms(30))
+	if got := sw.Config().Buffer.Alpha; got != 1.0/8 {
+		t.Errorf("alpha after revert = %v, want the captured 1/8", got)
+	}
+}
+
+// TestCfgLosslessAsLossyRevertRestoresCapturedState pins the same
+// capture rule for the MMU misprogramming fault: reverting on a PG the
+// deployment intentionally runs lossy must restore lossy, not the
+// hard-coded "lossless" the revert used to force.
+func TestCfgLosslessAsLossyRevertRestoresCapturedState(t *testing.T) {
+	k := sim.NewKernel(1)
+	NewInjector(k, Schedule{{
+		At: ms(10), Duration: 10 * simtime.Millisecond,
+		Kind: CfgLosslessAsLossy, Target: "switch:tor-0-0", Param: 3,
+	}})
+	net, err := topology.Build(k, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := net.Tors[0]
+	// This fabric runs PG 3 lossy by design (an IRN-style tier).
+	k.At(ms(1), func() { sw.MisclassifyLossless(3, false) })
+	k.At(ms(15), func() {
+		if sw.MMU().Config().LosslessPGs[3] {
+			t.Error("PG 3 still lossless during fault window")
+		}
+	})
+	k.RunUntil(ms(30))
+	if sw.MMU().Config().LosslessPGs[3] {
+		t.Error("revert forced PG 3 lossless; must restore the captured lossy state")
+	}
+}

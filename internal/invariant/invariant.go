@@ -111,7 +111,7 @@ type Auditor struct {
 	k    *sim.Kernel
 	opts Options
 	rec  *flighttrace.Recorder
-	sub  *telemetry.Subscription
+	subs []*telemetry.Subscription
 
 	switches map[string]*fabric.Switch
 	nics     map[string]*nic.NIC
@@ -141,8 +141,15 @@ func Attach(k *sim.Kernel, opts Options) *Auditor {
 		qps:      make(map[*transport.QP]*qpCount),
 		openXOFF: make(map[pauseKey]simtime.Time),
 	}
-	a.rec.Attach(k.Trace(), telemetry.EvAll)
-	a.sub = k.Trace().Subscribe(telemetry.EvAll, nil, a.onEvent)
+	// Subscribe to every trace bus: a plain kernel has one, a sharded
+	// group has the global bus plus one per shard (devices emit on their
+	// own shard's bus). Shard-bus subscriptions switch the group to
+	// sequential window execution, so the auditor stays single-threaded
+	// and byte-identical across shard counts.
+	for _, bus := range k.TraceBuses() {
+		a.rec.Attach(bus, telemetry.EvAll)
+		a.subs = append(a.subs, bus.Subscribe(telemetry.EvAll, nil, a.onEvent))
+	}
 	k.OnAnnounce(a.onAnnounce)
 	return a
 }
@@ -168,14 +175,23 @@ func (a *Auditor) onAnnounce(v any) {
 	}
 }
 
-// violate records one breach with flight-recorder context.
+// violate records one breach with flight-recorder context, stamped with
+// the attach kernel's clock (producer-side hooks have no event in hand).
 func (a *Auditor) violate(fam Family, node, detail string) {
+	a.violateAt(a.k.Now(), fam, node, detail)
+}
+
+// violateAt records one breach at the moment of the trace event that
+// exposed it — in a sharded run the attach kernel's clock is the barrier
+// time, a window behind the shard event, so event-driven checks pass the
+// event's own timestamp.
+func (a *Auditor) violateAt(at simtime.Time, fam Family, node, detail string) {
 	a.total++
 	if len(a.violations) >= a.opts.MaxViolations {
 		return
 	}
 	a.violations = append(a.violations, Violation{
-		At:      a.k.Now(),
+		At:      at,
 		Family:  fam,
 		Node:    node,
 		Detail:  detail,
@@ -199,14 +215,14 @@ func (a *Auditor) onEvent(ev telemetry.Event) {
 	case telemetry.EvPauseXOFF:
 		k := pauseKey{ev.Node, ev.Port, ev.Pri}
 		if since, open := a.openXOFF[k]; open {
-			a.violate(FamilyLossless, ev.Node, fmt.Sprintf(
+			a.violateAt(ev.At, FamilyLossless, ev.Node, fmt.Sprintf(
 				"double XOFF on port %d pri %d (open since %v)", ev.Port, ev.Pri, since))
 		}
 		a.openXOFF[k] = ev.At
 	case telemetry.EvPauseXON:
 		k := pauseKey{ev.Node, ev.Port, ev.Pri}
 		if _, open := a.openXOFF[k]; !open {
-			a.violate(FamilyLossless, ev.Node, fmt.Sprintf(
+			a.violateAt(ev.At, FamilyLossless, ev.Node, fmt.Sprintf(
 				"orphan XON on port %d pri %d (no matching XOFF)", ev.Port, ev.Pri))
 		}
 		delete(a.openXOFF, k)
@@ -216,7 +232,7 @@ func (a *Auditor) onEvent(ev telemetry.Event) {
 	// accounting is caught at the event that did it.
 	if sw, ok := a.switches[ev.Node]; ok {
 		if err := sw.MMU().CheckConservation(); err != nil {
-			a.violate(FamilyBuffer, ev.Node, err.Error())
+			a.violateAt(ev.At, FamilyBuffer, ev.Node, err.Error())
 		}
 	}
 }
@@ -228,7 +244,7 @@ func (a *Auditor) checkDrop(ev telemetry.Event) {
 	}
 	if sw, ok := a.switches[ev.Node]; ok {
 		if sw.Config().Buffer.LosslessPGs[ev.Pri] {
-			a.violate(FamilyLossless, ev.Node, fmt.Sprintf(
+			a.violateAt(ev.At, FamilyLossless, ev.Node, fmt.Sprintf(
 				"congestion drop (%s) on lossless pri %d, port %d", ev.Reason, ev.Pri, ev.Port))
 		}
 		return
@@ -242,7 +258,7 @@ func (a *Auditor) checkDrop(ev telemetry.Event) {
 		if n.PauseDisabled() {
 			return
 		}
-		a.violate(FamilyLossless, ev.Node, fmt.Sprintf(
+		a.violateAt(ev.At, FamilyLossless, ev.Node, fmt.Sprintf(
 			"congestion drop (%s) on lossless pri %d with PFC enabled", ev.Reason, ev.Pri))
 	}
 }
@@ -347,7 +363,10 @@ func (a *Auditor) Finish() []Violation {
 			"%s: XOFF on port %d pri %d still open at shutdown (since %v)",
 			k.node, k.port, k.pri, a.openXOFF[k]))
 	}
-	a.sub.Close()
+	for _, sub := range a.subs {
+		sub.Close()
+	}
+	a.subs = nil
 	a.rec.Close()
 	return a.violations
 }

@@ -8,9 +8,12 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"rocesim/internal/fabric"
 	"rocesim/internal/flighttrace"
@@ -346,12 +349,15 @@ func (c *Collector) TotalPauseRx() float64 {
 
 // ConfigStore is the configuration management service of Section 5.1: a
 // desired configuration per device, a reader for the running
-// configuration, and a drift checker. The 07/12/2015 incident — a new
-// switch model shipping α=1/64 instead of the expected 1/16 — is exactly
-// the class of bug it catches.
+// configuration, a writer for the keys the management plane may change,
+// and a drift checker. The 07/12/2015 incident — a new switch model
+// shipping α=1/64 instead of the expected 1/16 — is exactly the class of
+// bug it catches.
 type ConfigStore struct {
 	desired map[string]map[string]string
 	readers map[string]func() map[string]string
+	writers map[string]func(key, val string) error
+	now     func() simtime.Time
 }
 
 // NewConfigStore returns an empty store.
@@ -359,56 +365,165 @@ func NewConfigStore() *ConfigStore {
 	return &ConfigStore{
 		desired: make(map[string]map[string]string),
 		readers: make(map[string]func() map[string]string),
+		writers: make(map[string]func(key, val string) error),
 	}
 }
 
-// SetDesired records the intended configuration for a device.
+// SetClock wires the kernel clock that stamps drifts. Without it drifts
+// carry At=0 (the store also works outside a simulation).
+func (cs *ConfigStore) SetClock(now func() simtime.Time) { cs.now = now }
+
+// SetDesired records the intended configuration for a device. The map is
+// copied, so later caller-side mutation does not alias the store.
 func (cs *ConfigStore) SetDesired(device string, cfg map[string]string) {
-	cs.desired[device] = cfg
+	cs.desired[device] = copyConfig(cfg)
 }
+
+// Desired returns a copy of the device's desired configuration and
+// whether the device is managed at all — the capture a rollout journal
+// takes before touching the device.
+func (cs *ConfigStore) Desired(device string) (map[string]string, bool) {
+	cfg, ok := cs.desired[device]
+	return copyConfig(cfg), ok
+}
+
+// MergeDesired folds kv into the device's desired configuration,
+// creating it if the device was unmanaged.
+func (cs *ConfigStore) MergeDesired(device string, kv map[string]string) {
+	cfg, ok := cs.desired[device]
+	if !ok {
+		cfg = make(map[string]string, len(kv))
+		cs.desired[device] = cfg
+	}
+	for k, v := range kv {
+		cfg[k] = v
+	}
+}
+
+// DeleteDesired removes the device's desired configuration, returning it
+// to the unmanaged state (where every running key is a drift).
+func (cs *ConfigStore) DeleteDesired(device string) { delete(cs.desired, device) }
 
 // RegisterReader wires a live configuration reader for a device.
 func (cs *ConfigStore) RegisterReader(device string, read func() map[string]string) {
 	cs.readers[device] = read
 }
 
-// Drift is one desired-vs-running mismatch.
+// Running reads the device's live configuration (nil without a reader).
+func (cs *ConfigStore) Running(device string) map[string]string {
+	if read := cs.readers[device]; read != nil {
+		return read()
+	}
+	return nil
+}
+
+// ErrReadOnly is returned by a config writer for keys the management
+// plane can observe but not change at runtime (reboot-only settings like
+// headroom carving).
+var ErrReadOnly = errors.New("monitor: config key is read-only at runtime")
+
+// ErrNoWriter is returned by Write for a device with no registered
+// writer.
+var ErrNoWriter = errors.New("monitor: no config writer for device")
+
+// RegisterWriter wires a live configuration writer for a device; write
+// applies one key=value to the running device.
+func (cs *ConfigStore) RegisterWriter(device string, write func(key, val string) error) {
+	cs.writers[device] = write
+}
+
+// Write pushes one key=value to the running device through its
+// registered writer. This is the actuation path of a config rollout: the
+// same store that detects drift is the only thing allowed to create it.
+func (cs *ConfigStore) Write(device, key, val string) error {
+	w := cs.writers[device]
+	if w == nil {
+		return fmt.Errorf("%w: %s", ErrNoWriter, device)
+	}
+	return w(key, val)
+}
+
+func copyConfig(cfg map[string]string) map[string]string {
+	if cfg == nil {
+		return nil
+	}
+	out := make(map[string]string, len(cfg))
+	for k, v := range cfg {
+		out[k] = v
+	}
+	return out
+}
+
+// Drift is one desired-vs-running mismatch, stamped with the checking
+// kernel's clock so scorecards can compute time-to-detect from drift
+// alone.
 type Drift struct {
+	At                     simtime.Time
 	Device, Key, Want, Got string
 }
 
 // String renders the drift.
 func (d Drift) String() string {
-	return fmt.Sprintf("%s: %s=%q, want %q", d.Device, d.Key, d.Got, d.Want)
+	return fmt.Sprintf("%v %s: %s=%q, want %q", d.At, d.Device, d.Key, d.Got, d.Want)
 }
 
-// Check returns all drifts, deterministically ordered.
+// Check returns all drifts, ordered (at, device, key). The check is
+// set-symmetric over devices: a device with a desired configuration is
+// compared key-by-key against its running state (missing reader = every
+// desired key drifts), and a device that is running but was never given
+// (or was deleted from) the desired set is itself a drift — one entry
+// per running key, with an empty Want. Before this symmetry an
+// unmanaged device could never drift, which is exactly how the §6.2
+// switch model slipped in.
 func (cs *ConfigStore) Check() []Drift {
-	var out []Drift
-	devices := make([]string, 0, len(cs.desired))
+	var at simtime.Time
+	if cs.now != nil {
+		at = cs.now()
+	}
+	devset := make(map[string]bool, len(cs.desired)+len(cs.readers))
 	for d := range cs.desired {
+		devset[d] = true
+	}
+	for d := range cs.readers {
+		devset[d] = true
+	}
+	devices := make([]string, 0, len(devset))
+	for d := range devset {
 		devices = append(devices, d)
 	}
 	sort.Strings(devices)
+	var out []Drift
 	for _, dev := range devices {
-		want := cs.desired[dev]
-		read := cs.readers[dev]
 		var got map[string]string
-		if read != nil {
+		if read := cs.readers[dev]; read != nil {
 			got = read()
 		}
-		keys := make([]string, 0, len(want))
-		for k := range want {
-			keys = append(keys, k)
+		want, managed := cs.desired[dev]
+		if !managed {
+			// Running but unmanaged: nothing vouches for any of its keys.
+			keys := sortedKeys(got)
+			for _, k := range keys {
+				out = append(out, Drift{At: at, Device: dev, Key: k, Want: "", Got: got[k]})
+			}
+			continue
 		}
-		sort.Strings(keys)
+		keys := sortedKeys(want)
 		for _, k := range keys {
 			if got[k] != want[k] {
-				out = append(out, Drift{Device: dev, Key: k, Want: want[k], Got: got[k]})
+				out = append(out, Drift{At: at, Device: dev, Key: k, Want: want[k], Got: got[k]})
 			}
 		}
 	}
 	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // SwitchConfigReader exposes a switch's safety-relevant running
@@ -423,6 +538,67 @@ func SwitchConfigReader(sw *fabric.Switch) func() map[string]string {
 			"arp_fix":  fmt.Sprintf("%v", sw.Config().DropLosslessOnIncompleteARP),
 			"ecn":      fmt.Sprintf("%v", sw.Config().ECN.Enabled),
 			"watchdog": fmt.Sprintf("%v", sw.Config().Watchdog.Enabled),
+		}
+	}
+}
+
+// SwitchConfigWriter applies management-plane config changes to a
+// running switch — the actuation half of the reader above, reusing the
+// same runtime setters the fault injector exercises. Writable keys:
+// "alpha" ("1/N" or a float) and "ecn" (bool). The rest of the reader's
+// keys exist on the device but need a reboot (headroom carving) or a
+// maintenance window (watchdog, arp_fix, dynamic) to change, so writing
+// them returns ErrReadOnly.
+func SwitchConfigWriter(sw *fabric.Switch) func(key, val string) error {
+	return func(key, val string) error {
+		switch key {
+		case "alpha":
+			a, err := parseAlpha(val)
+			if err != nil {
+				return fmt.Errorf("monitor: %s: %w", sw.Name(), err)
+			}
+			sw.SetBufferAlpha(a)
+			return nil
+		case "ecn":
+			on, err := strconv.ParseBool(val)
+			if err != nil {
+				return fmt.Errorf("monitor: %s: bad ecn %q: %w", sw.Name(), val, err)
+			}
+			sw.SetECNEnabled(on)
+			return nil
+		case "dynamic", "headroom", "arp_fix", "watchdog":
+			return fmt.Errorf("%w: %s on %s", ErrReadOnly, key, sw.Name())
+		default:
+			return fmt.Errorf("monitor: %s: unknown config key %q", sw.Name(), key)
+		}
+	}
+}
+
+// parseAlpha reads the store's "1/N" α encoding (or a plain float).
+func parseAlpha(val string) (float64, error) {
+	if den, ok := strings.CutPrefix(val, "1/"); ok {
+		n, err := strconv.Atoi(den)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("bad alpha %q", val)
+		}
+		return 1 / float64(n), nil
+	}
+	a, err := strconv.ParseFloat(val, 64)
+	if err != nil || a <= 0 || a > 1 {
+		return 0, fmt.Errorf("bad alpha %q", val)
+	}
+	return a, nil
+}
+
+// NICConfigReader exposes a NIC's safety-relevant running configuration
+// for drift checking — the server-side half of the fleet's config
+// surface (the paper's §6.2 pause storm came from a NIC, not a switch).
+func NICConfigReader(n *nic.NIC) func() map[string]string {
+	return func() map[string]string {
+		c := n.Config()
+		return map[string]string{
+			"lossless_mask": fmt.Sprintf("%#02x", c.LosslessMask),
+			"watchdog":      fmt.Sprintf("%v", c.Watchdog.Enabled),
 		}
 	}
 }

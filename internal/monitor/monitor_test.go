@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -429,5 +430,125 @@ func TestIncidentDetectorBackToBackIncidents(t *testing.T) {
 	if det.Alerts[0].At != simtime.Time(20*simtime.Millisecond) ||
 		det.Alerts[1].At != simtime.Time(110*simtime.Millisecond) {
 		t.Fatalf("alert times = %v, %v; want 20ms, 110ms", det.Alerts[0].At, det.Alerts[1].At)
+	}
+}
+
+// TestUnmanagedRunningDeviceDrifts pins the set-symmetry of the drift
+// check: a device that is running (has a reader) but was never given —
+// or was deleted from — the desired set must surface as drift, one
+// entry per running key with an empty Want. Before the fix Check
+// iterated only the desired side, so such a device could never drift;
+// that is exactly how the §6.2 switch model slipped into the fleet.
+func TestUnmanagedRunningDeviceDrifts(t *testing.T) {
+	k := sim.NewKernel(9)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := net.Tors[0]
+	cs := NewConfigStore()
+	cs.RegisterReader(sw.Name(), SwitchConfigReader(sw))
+	drifts := cs.Check()
+	if len(drifts) != 6 {
+		t.Fatalf("unmanaged running device: got %d drifts, want one per running key (6): %v",
+			len(drifts), drifts)
+	}
+	for _, d := range drifts {
+		if d.Want != "" || d.Got == "" {
+			t.Fatalf("unmanaged drift should carry Want=\"\" and the running value: %v", d)
+		}
+	}
+	// Managing the device clears it...
+	cs.SetDesired(sw.Name(), cs.Running(sw.Name()))
+	if drifts := cs.Check(); len(drifts) != 0 {
+		t.Fatalf("managed, matching device still drifts: %v", drifts)
+	}
+	// ...and deleting it from the desired set re-opens the drift.
+	cs.DeleteDesired(sw.Name())
+	if drifts := cs.Check(); len(drifts) != 6 {
+		t.Fatalf("deleted desired: got %d drifts, want 6", len(drifts))
+	}
+}
+
+// TestDriftCarriesKernelTime pins the At stamp and the (at, device, key)
+// order: drifts from one check share the checking clock's time and sort
+// by device then key.
+func TestDriftCarriesKernelTime(t *testing.T) {
+	k := sim.NewKernel(9)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConfigStore()
+	cs.SetClock(k.Now)
+	cs.RegisterReader("b-dev", SwitchConfigReader(net.Tors[0]))
+	cs.SetDesired("b-dev", map[string]string{"ecn": "maybe", "alpha": "1/64"})
+	cs.SetDesired("a-dev", map[string]string{"alpha": "1/16"})
+	var got []Drift
+	k.At(simtime.Time(3*simtime.Millisecond), func() { got = cs.Check() })
+	k.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	want := []struct{ dev, key string }{
+		{"a-dev", "alpha"}, {"b-dev", "alpha"}, {"b-dev", "ecn"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drifts = %v, want %d", got, len(want))
+	}
+	for i, w := range want {
+		d := got[i]
+		if d.Device != w.dev || d.Key != w.key {
+			t.Errorf("drift[%d] = %s/%s, want %s/%s", i, d.Device, d.Key, w.dev, w.key)
+		}
+		if d.At != simtime.Time(3*simtime.Millisecond) {
+			t.Errorf("drift[%d].At = %v, want the checking kernel's 3ms", i, d.At)
+		}
+	}
+	if !strings.Contains(got[0].String(), "3ms") && !strings.Contains(got[0].String(), "3.0ms") {
+		t.Errorf("drift string lacks the timestamp: %s", got[0])
+	}
+}
+
+// TestSwitchConfigWriter exercises the actuation path: writable keys
+// reach the running switch, reboot-only keys return ErrReadOnly, and a
+// device without a writer reports ErrNoWriter.
+func TestSwitchConfigWriter(t *testing.T) {
+	k := sim.NewKernel(9)
+	net, err := topology.Build(k, topology.RackSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := net.Tors[0]
+	cs := NewConfigStore()
+	cs.RegisterReader(sw.Name(), SwitchConfigReader(sw))
+	cs.RegisterWriter(sw.Name(), SwitchConfigWriter(sw))
+
+	if err := cs.Write(sw.Name(), "alpha", "1/32"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Config().Buffer.Alpha; got != 1.0/32 {
+		t.Fatalf("alpha = %v after write, want 1/32", got)
+	}
+	if sw.MMU().Config().Alpha != 1.0/32 {
+		t.Fatal("write must reach the MMU, not just the declared config")
+	}
+	if err := cs.Write(sw.Name(), "ecn", "false"); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Config().ECN.Enabled {
+		t.Fatal("ecn write did not land")
+	}
+	if cs.Running(sw.Name())["ecn"] != "false" {
+		t.Fatal("reader does not see the written ecn state")
+	}
+	if err := cs.Write(sw.Name(), "headroom", "9000"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("headroom write: %v, want ErrReadOnly", err)
+	}
+	if err := cs.Write(sw.Name(), "mtu", "9216"); err == nil {
+		t.Fatal("unknown key must error")
+	}
+	if err := cs.Write(sw.Name(), "alpha", "zero"); err == nil {
+		t.Fatal("unparsable alpha must error")
+	}
+	if err := cs.Write("ghost", "alpha", "1/16"); !errors.Is(err, ErrNoWriter) {
+		t.Fatalf("ghost write: %v, want ErrNoWriter", err)
 	}
 }

@@ -1,0 +1,547 @@
+// Package rollout is the staged config-rollout control plane — the
+// actuation half of the paper's configuration management story
+// (Section 5.1 detects drift; Section 6.1 describes the staged
+// deployment ladder this package automates). A Controller applies one
+// config Change across the fleet in waves (canary device → remaining
+// ToRs of the canary podset → that podset's Leafs → the rest of the
+// fleet), soaking between waves on kernel-time health gates — config
+// drift, SLO burn-rate alerts, invariant-auditor violations, and
+// pingmesh RTT inflation — and rolls every touched device back to its
+// captured prior configuration the moment a gate trips.
+//
+// Everything runs as events on the deployment's root kernel: in a
+// sharded simulation the controller executes in barrier context, where
+// it may freely read and reprogram devices on any shard, so a rollout
+// is byte-identical for any shard count (see DESIGN.md §13).
+package rollout
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rocesim/internal/fabric"
+	"rocesim/internal/health"
+	"rocesim/internal/invariant"
+	"rocesim/internal/monitor"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/stats"
+	"rocesim/internal/topology"
+)
+
+// Wave is one stage of the ladder: a named set of switches, applied in
+// order.
+type Wave struct {
+	Name    string   `json:"name"`
+	Devices []string `json:"devices"`
+}
+
+// PlanWaves carves a fleet into the Section 6.1 ladder: the first ToR
+// of podset 0 is the canary, the podset's remaining ToRs are the "tor"
+// wave, its Leafs the "podset" wave, and everything else — the other
+// podsets plus the spine layer — ships in the "fleet" wave. Empty waves
+// (a single-ToR podset, a spineless fabric) are dropped.
+func PlanWaves(net *topology.Network) []Wave {
+	spec := net.Spec
+	var canary, tor, podset, fleet []string
+	for p := 0; p < spec.Podsets; p++ {
+		for t := 0; t < spec.TorsPerPod; t++ {
+			name := net.Tor(p, t).Name()
+			switch {
+			case p == 0 && t == 0:
+				canary = append(canary, name)
+			case p == 0:
+				tor = append(tor, name)
+			default:
+				fleet = append(fleet, name)
+			}
+		}
+	}
+	for i, lf := range net.Leafs {
+		if i < spec.LeafsPerPod { // podset-major order: podset 0 first
+			podset = append(podset, lf.Name())
+		} else {
+			fleet = append(fleet, lf.Name())
+		}
+	}
+	for _, sp := range net.Spines {
+		fleet = append(fleet, sp.Name())
+	}
+	var waves []Wave
+	for _, w := range []Wave{
+		{Name: "canary", Devices: canary},
+		{Name: "tor", Devices: tor},
+		{Name: "podset", Devices: podset},
+		{Name: "fleet", Devices: fleet},
+	} {
+		if len(w.Devices) > 0 {
+			waves = append(waves, w)
+		}
+	}
+	return waves
+}
+
+// Change is one config rollout payload. Intent is what the operator
+// believes is being shipped: it is merged into each device's desired
+// configuration as the device is touched, so the drift checker vouches
+// for the rollout itself. Write is the provisioning pipeline that
+// programs the device; nil is the faithful pipeline (every intent key
+// written through the device's registered config writer, in sorted key
+// order). A non-nil Write models the §6.2 incident class: the pipeline
+// the operator trusts ships something other than the intent.
+type Change struct {
+	Name   string
+	Intent map[string]string
+	Write  func(sw *fabric.Switch, apply func(key, val string) error) error
+}
+
+// Gates bundles the health signals a rollout soaks on. Store is
+// mandatory (a rollout without drift checking is flying blind); the
+// rest are optional and skipped when nil.
+type Gates struct {
+	Store   *monitor.ConfigStore
+	Mesh    *monitor.Pingmesh
+	Engine  *health.Engine
+	Auditor *invariant.Auditor
+
+	// RTTFactor trips the pingmesh gate when a scope's p99 RTT over the
+	// current wave's soak window exceeds RTTFactor × the pre-rollout
+	// baseline p99 (default 3).
+	RTTFactor float64
+	// MinRTTSamples is how many probe RTTs a soak window needs before
+	// the RTT gate judges it (default 8; thinner windows are noise).
+	MinRTTSamples uint64
+}
+
+// Config parameterizes a Controller. The zero durations take the
+// defaults noted per field.
+type Config struct {
+	Change Change
+	Waves  []Wave
+	// Start is when the first canary apply fires.
+	Start simtime.Time
+	// ApplyGap spaces consecutive device applies within a wave, and
+	// consecutive restores during a rollback (default 2ms).
+	ApplyGap simtime.Duration
+	// Soak is how long a fully-applied wave bakes before its gate
+	// decides to advance (default 20ms).
+	Soak simtime.Duration
+	// GateEvery is the mid-wave gate cadence: gates are also evaluated
+	// on this tick so a bad wave can be aborted half-applied instead of
+	// waiting for the soak gate (default 5ms).
+	GateEvery simtime.Duration
+	// Settle is the pause between the last rollback restore and the
+	// final residual-drift check (default 10ms).
+	Settle simtime.Duration
+	Gates  Gates
+}
+
+func (c *Config) fill() {
+	if c.ApplyGap <= 0 {
+		c.ApplyGap = 2 * simtime.Millisecond
+	}
+	if c.Soak <= 0 {
+		c.Soak = 20 * simtime.Millisecond
+	}
+	if c.GateEvery <= 0 {
+		c.GateEvery = 5 * simtime.Millisecond
+	}
+	if c.Settle <= 0 {
+		c.Settle = 10 * simtime.Millisecond
+	}
+	if c.Gates.RTTFactor <= 0 {
+		c.Gates.RTTFactor = 3
+	}
+	if c.Gates.MinRTTSamples == 0 {
+		c.Gates.MinRTTSamples = 8
+	}
+}
+
+// WaveStatus is one wave's outcome in the Result.
+type WaveStatus struct {
+	Name    string `json:"name"`
+	Devices int    `json:"devices"`
+	Applied int    `json:"applied"`
+	// Outcome: "clean" (applied and its gate passed), "tripped" (fully
+	// applied, a gate tripped during the soak), "aborted" (a gate
+	// tripped mid-apply), "skipped" (never started).
+	Outcome string `json:"outcome"`
+}
+
+// Result is the rollout's deterministic summary.
+type Result struct {
+	Change string `json:"change"`
+	// Fleet is the total device count across all planned waves.
+	Fleet     int  `json:"fleet"`
+	Completed bool `json:"completed"`
+	// RolledBack reports that a gate tripped and every touched device
+	// was restored.
+	RolledBack bool `json:"rolled_back"`
+	// Gate/GateDetail/TrippedWave identify what tripped and where.
+	Gate        string `json:"gate,omitempty"`
+	GateDetail  string `json:"gate_detail,omitempty"`
+	TrippedWave string `json:"tripped_wave,omitempty"`
+	// Touched is how many devices the rollout wrote before completing
+	// or tripping; BlastRadius is Touched/Fleet.
+	Touched     int     `json:"touched"`
+	BlastRadius float64 `json:"blast_radius"`
+	// DetectNs is the time from the tripped wave's first apply to the
+	// gate trip (-1 when no gate tripped).
+	DetectNs int64 `json:"detect_ns"`
+	// RecoverNs is the time from the gate trip to the end of the
+	// rollback's settle check (-1 when no rollback ran).
+	RecoverNs int64 `json:"recover_ns"`
+	// ResidualDrifts is the drift count after the run reached its final
+	// state (zero for both a clean completion and a clean rollback).
+	ResidualDrifts int          `json:"residual_drifts"`
+	Waves          []WaveStatus `json:"waves"`
+
+	// Log is the apply/gate/rollback journal, in event order. Excluded
+	// from JSON goldens (it is long); rendered by the text report.
+	Log []string `json:"-"`
+}
+
+// journalEntry captures everything needed to return one device to its
+// pre-rollout state: the desired entry (and whether one existed), the
+// running config snapshot, and the MMU's lossless map (which no config
+// reader sees — restoring it is what makes rollback complete even for
+// drift-invisible misprogramming).
+type journalEntry struct {
+	dev        string
+	sw         *fabric.Switch
+	desired    map[string]string
+	hadDesired bool
+	running    map[string]string
+	lossless   [8]bool
+	mmuAlpha   float64
+}
+
+// Controller executes one staged rollout. Create with New, arm with
+// Start, read Result after the kernel run.
+type Controller struct {
+	k   *sim.Kernel
+	net *topology.Network
+	cfg Config
+
+	switches map[string]*fabric.Switch
+
+	res     Result
+	journal []journalEntry
+	touched map[string]bool
+
+	wave       int // index into cfg.Waves
+	waveStart  simtime.Time
+	halted     bool
+	done       bool
+	auditBase  uint64
+	baseRTT    map[monitor.ProbeScope]*stats.Histogram
+	waveRTT    map[monitor.ProbeScope]*stats.Histogram
+	trippedAt  simtime.Time
+	firstApply simtime.Time
+}
+
+// New builds a controller over the deployment's network. It panics on a
+// plan naming an unknown switch or an empty wave list — a bad plan is a
+// programming error, not a runtime condition.
+func New(k *sim.Kernel, net *topology.Network, cfg Config) *Controller {
+	cfg.fill()
+	if cfg.Gates.Store == nil {
+		panic("rollout: Gates.Store is mandatory")
+	}
+	if len(cfg.Waves) == 0 {
+		panic("rollout: empty wave plan")
+	}
+	c := &Controller{
+		k: k, net: net, cfg: cfg,
+		switches: make(map[string]*fabric.Switch),
+		touched:  make(map[string]bool),
+	}
+	for _, sw := range net.Switches() {
+		c.switches[sw.Name()] = sw
+	}
+	fleet := 0
+	for _, w := range cfg.Waves {
+		for _, dev := range w.Devices {
+			if c.switches[dev] == nil {
+				panic(fmt.Sprintf("rollout: wave %q names unknown switch %q", w.Name, dev))
+			}
+			fleet++
+		}
+		c.res.Waves = append(c.res.Waves, WaveStatus{
+			Name: w.Name, Devices: len(w.Devices), Outcome: "skipped",
+		})
+	}
+	c.res.Change = cfg.Change.Name
+	c.res.Fleet = fleet
+	c.res.DetectNs = -1
+	c.res.RecoverNs = -1
+	return c
+}
+
+// Start arms the rollout: the first canary apply fires at cfg.Start.
+func (c *Controller) Start() {
+	c.k.At(c.cfg.Start, c.begin)
+}
+
+// Done reports whether the rollout reached a final state (completed or
+// rolled back).
+func (c *Controller) Done() bool { return c.done }
+
+// Result returns the summary; call after the kernel run (or once Done).
+func (c *Controller) Result() *Result { return &c.res }
+
+func (c *Controller) logf(format string, args ...any) {
+	c.res.Log = append(c.res.Log, fmt.Sprintf("%v ", c.k.Now())+fmt.Sprintf(format, args...))
+}
+
+// begin snapshots the pre-rollout health baseline and launches the
+// first wave plus the mid-wave gate ticker.
+func (c *Controller) begin() {
+	if c.cfg.Gates.Auditor != nil {
+		c.auditBase = c.cfg.Gates.Auditor.Total()
+	}
+	if m := c.cfg.Gates.Mesh; m != nil {
+		m.Fold()
+		c.baseRTT = make(map[monitor.ProbeScope]*stats.Histogram)
+		for s, h := range m.RTT {
+			c.baseRTT[s] = h.Clone()
+		}
+	}
+	c.logf("rollout %q: %d wave(s), %d device(s)", c.cfg.Change.Name, len(c.cfg.Waves), c.res.Fleet)
+	c.startWave(0)
+	c.k.After(c.cfg.GateEvery, c.gateTick)
+}
+
+func (c *Controller) startWave(i int) {
+	c.wave = i
+	c.waveStart = c.k.Now()
+	if m := c.cfg.Gates.Mesh; m != nil {
+		m.Fold()
+		c.waveRTT = make(map[monitor.ProbeScope]*stats.Histogram)
+		for s, h := range m.RTT {
+			c.waveRTT[s] = h.Clone()
+		}
+	}
+	c.logf("wave %q: %d device(s)", c.cfg.Waves[i].Name, len(c.cfg.Waves[i].Devices))
+	c.applyNext(0)
+}
+
+func (c *Controller) applyNext(idx int) {
+	if c.halted {
+		return
+	}
+	w := c.cfg.Waves[c.wave]
+	if idx >= len(w.Devices) {
+		c.k.After(c.cfg.Soak, c.waveGate)
+		return
+	}
+	c.applyDevice(w.Devices[idx])
+	c.res.Waves[c.wave].Applied = idx + 1
+	c.k.After(c.cfg.ApplyGap, func() { c.applyNext(idx + 1) })
+}
+
+// applyDevice journals the device's prior state on first touch, merges
+// the intent into its desired config, and runs the pipeline.
+func (c *Controller) applyDevice(dev string) {
+	sw := c.switches[dev]
+	if !c.touched[dev] {
+		c.touched[dev] = true
+		c.res.Touched++
+		desired, had := c.cfg.Gates.Store.Desired(dev)
+		c.journal = append(c.journal, journalEntry{
+			dev: dev, sw: sw,
+			desired: desired, hadDesired: had,
+			running:  c.cfg.Gates.Store.Running(dev),
+			lossless: sw.MMU().Config().LosslessPGs,
+			mmuAlpha: sw.MMU().Config().Alpha,
+		})
+	}
+	if c.res.Waves[c.wave].Applied == 0 {
+		// First apply of this wave: the wave-relative detect clock.
+		c.firstApply = c.k.Now()
+	}
+	c.cfg.Gates.Store.MergeDesired(dev, c.cfg.Change.Intent)
+	apply := func(key, val string) error {
+		err := c.cfg.Gates.Store.Write(dev, key, val)
+		if err != nil {
+			c.logf("apply %s: %s=%s failed: %v", dev, key, val, err)
+		} else {
+			c.logf("apply %s: %s=%s", dev, key, val)
+		}
+		return err
+	}
+	if c.cfg.Change.Write != nil {
+		if err := c.cfg.Change.Write(sw, apply); err != nil {
+			c.logf("apply %s: pipeline error: %v", dev, err)
+		}
+		return
+	}
+	for _, key := range sortedKeys(c.cfg.Change.Intent) {
+		// The faithful pipeline writes the intent verbatim. ErrReadOnly
+		// keys stay unwritten and surface as drift at the next gate —
+		// which is the correct outcome for a rollout that tries to change
+		// what the device cannot change at runtime.
+		_ = apply(key, c.cfg.Change.Intent[key])
+	}
+}
+
+// gateTick is the mid-wave gate: it evaluates the same gates the soak
+// gate does, so a bad wave aborts half-applied.
+func (c *Controller) gateTick() {
+	if c.done || c.halted {
+		return
+	}
+	if gate, detail, tripped := c.evaluate(); tripped {
+		c.trip(gate, detail)
+		return
+	}
+	c.k.After(c.cfg.GateEvery, c.gateTick)
+}
+
+// waveGate decides a fully-applied, fully-soaked wave: advance or roll
+// back.
+func (c *Controller) waveGate() {
+	if c.done || c.halted {
+		return
+	}
+	if gate, detail, tripped := c.evaluate(); tripped {
+		c.trip(gate, detail)
+		return
+	}
+	c.res.Waves[c.wave].Outcome = "clean"
+	c.logf("wave %q gate: clean", c.cfg.Waves[c.wave].Name)
+	if c.wave+1 < len(c.cfg.Waves) {
+		c.startWave(c.wave + 1)
+		return
+	}
+	c.done = true
+	c.res.Completed = true
+	c.res.ResidualDrifts = len(c.cfg.Gates.Store.Check())
+	c.res.BlastRadius = round3(float64(c.res.Touched) / float64(c.res.Fleet))
+	c.logf("rollout complete: %d device(s), %d residual drift(s)", c.res.Touched, c.res.ResidualDrifts)
+}
+
+// evaluate runs the gates in fixed order — drift, invariant, SLO, RTT —
+// and reports the first trip. The order is the attribution order: drift
+// names the device and key, the auditor names the guarantee, the SLO
+// engine names the objective, and RTT inflation is the catch-all.
+func (c *Controller) evaluate() (gate, detail string, tripped bool) {
+	if drifts := c.cfg.Gates.Store.Check(); len(drifts) > 0 {
+		return "drift", fmt.Sprintf("%d drift(s), first: %v", len(drifts), drifts[0]), true
+	}
+	if a := c.cfg.Gates.Auditor; a != nil {
+		if n := a.Total(); n > c.auditBase {
+			return "invariant", fmt.Sprintf("%d new violation(s)", n-c.auditBase), true
+		}
+	}
+	if e := c.cfg.Gates.Engine; e != nil {
+		if at, ok := e.FirstBreachAfter(c.cfg.Start); ok {
+			for _, al := range e.Alerts {
+				if !al.Cleared && al.At == at {
+					return "slo", al.String(), true
+				}
+			}
+			return "slo", fmt.Sprintf("breach at %v", at), true
+		}
+	}
+	if m := c.cfg.Gates.Mesh; m != nil {
+		m.Fold()
+		for _, s := range []monitor.ProbeScope{monitor.ScopeToR, monitor.ScopePodset, monitor.ScopeDC} {
+			base, ok := c.baseRTT[s]
+			if !ok || base.Count() == 0 {
+				continue
+			}
+			win := m.RTT[s].Since(c.waveRTT[s])
+			if win.Count() < c.cfg.Gates.MinRTTSamples {
+				continue
+			}
+			b99, w99 := base.Quantile(0.99), win.Quantile(0.99)
+			if b99 > 0 && w99 > c.cfg.Gates.RTTFactor*b99 {
+				return "rtt", fmt.Sprintf("%s p99 %.0fus vs baseline %.0fus (>%gx)",
+					s, w99/1e6, b99/1e6, c.cfg.Gates.RTTFactor), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// trip opens the rollback: every journaled device is restored in
+// reverse touch order, spaced by ApplyGap, then the fleet settles and
+// the residual drift check closes the incident.
+func (c *Controller) trip(gate, detail string) {
+	c.halted = true
+	c.trippedAt = c.k.Now()
+	w := &c.res.Waves[c.wave]
+	if w.Applied < w.Devices {
+		w.Outcome = "aborted"
+	} else {
+		w.Outcome = "tripped"
+	}
+	c.res.Gate = gate
+	c.res.GateDetail = detail
+	c.res.TrippedWave = c.cfg.Waves[c.wave].Name
+	c.res.DetectNs = int64(c.trippedAt.Sub(c.firstApply) / simtime.Nanosecond)
+	c.res.BlastRadius = round3(float64(c.res.Touched) / float64(c.res.Fleet))
+	c.logf("gate %q tripped in wave %q: %s — rolling back %d device(s)",
+		gate, c.cfg.Waves[c.wave].Name, detail, len(c.journal))
+	for i := range c.journal {
+		e := c.journal[len(c.journal)-1-i]
+		c.k.After(c.cfg.ApplyGap*simtime.Duration(i), func() { c.restore(e) })
+	}
+	settleAt := c.cfg.ApplyGap*simtime.Duration(len(c.journal)) + c.cfg.Settle
+	c.k.After(settleAt, func() {
+		c.done = true
+		c.res.RolledBack = true
+		c.res.ResidualDrifts = len(c.cfg.Gates.Store.Check())
+		c.res.RecoverNs = int64(c.k.Now().Sub(c.trippedAt) / simtime.Nanosecond)
+		c.logf("rollback settled: %d residual drift(s)", c.res.ResidualDrifts)
+	})
+}
+
+// restore returns one device to its journaled state: desired entry,
+// writable running keys, and the MMU lossless map.
+func (c *Controller) restore(e journalEntry) {
+	if e.hadDesired {
+		c.cfg.Gates.Store.SetDesired(e.dev, e.desired)
+	} else {
+		c.cfg.Gates.Store.DeleteDesired(e.dev)
+	}
+	for _, key := range sortedKeys(e.running) {
+		cur := c.cfg.Gates.Store.Running(e.dev)
+		if cur[key] == e.running[key] {
+			continue // untouched (or read-only and unchanged): nothing to write back
+		}
+		if err := c.cfg.Gates.Store.Write(e.dev, key, e.running[key]); err != nil &&
+			!errors.Is(err, monitor.ErrReadOnly) {
+			c.logf("restore %s: %s=%s failed: %v", e.dev, key, e.running[key], err)
+		}
+	}
+	// The MMU state no config reader sees — the lossless map and the
+	// ASIC-side α — is restored from the journal directly: a pipeline
+	// that misprogrammed the ASIC while the config DB reads clean
+	// (§6.2's incident class) must not survive the rollback.
+	mmu := e.sw.MMU()
+	cur := mmu.Config().LosslessPGs
+	for pg := 0; pg < 8; pg++ {
+		if cur[pg] != e.lossless[pg] {
+			e.sw.MisclassifyLossless(pg, e.lossless[pg])
+		}
+	}
+	if mmu.Config().Alpha != e.mmuAlpha {
+		mmu.SetAlpha(e.mmuAlpha)
+	}
+	c.logf("restore %s", e.dev)
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }

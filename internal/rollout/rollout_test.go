@@ -1,0 +1,274 @@
+package rollout
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rocesim/internal/core"
+	"rocesim/internal/fabric"
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/topology"
+	"rocesim/internal/workload"
+)
+
+func ms(n int) simtime.Time { return simtime.Time(simtime.Duration(n) * simtime.Millisecond) }
+
+// smallFleet builds a one-podset deployment (2 ToRs, 2 Leafs, 2 servers
+// per ToR) with one cross-ToR stream, big enough for a canary → tor →
+// podset ladder and shard-parallel execution. The returned kernel is
+// the root the controller must run on.
+func smallFleet(t *testing.T, shards int) (*sim.Kernel, *core.Deployment) {
+	t.Helper()
+	k := sim.NewRoot(7, shards)
+	spec := topology.Spec{
+		Name: "small-fleet", Podsets: 1, LeafsPerPod: 2, TorsPerPod: 2,
+		ServersPerTor: 2, LinkRate: 10 * simtime.Gbps,
+		ServerCableM: 2, LeafCableM: 20,
+	}
+	d, err := core.New(k, core.DefaultConfig(spec))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	qa, _ := d.Connect(d.Net.Server(0, 0, 0), d.Net.Server(0, 1, 0), core.ClassBulk)
+	(&workload.Streamer{QP: qa, Size: 1 << 18}).Start(2)
+	return k, d
+}
+
+func TestPlanWaves(t *testing.T) {
+	_, d := smallFleet(t, 1)
+	waves := PlanWaves(d.Net)
+	want := []struct {
+		name string
+		devs []string
+	}{
+		{"canary", []string{"tor-0-0"}},
+		{"tor", []string{"tor-0-1"}},
+		{"podset", []string{"leaf-0-0", "leaf-0-1"}},
+	}
+	if len(waves) != len(want) {
+		t.Fatalf("waves = %d, want %d (%+v)", len(waves), len(want), waves)
+	}
+	for i, w := range want {
+		if waves[i].Name != w.name {
+			t.Fatalf("wave %d = %q, want %q", i, waves[i].Name, w.name)
+		}
+		if len(waves[i].Devices) != len(w.devs) {
+			t.Fatalf("wave %q devices = %v, want %v", w.name, waves[i].Devices, w.devs)
+		}
+		for j, dev := range w.devs {
+			if waves[i].Devices[j] != dev {
+				t.Fatalf("wave %q devices = %v, want %v", w.name, waves[i].Devices, w.devs)
+			}
+		}
+	}
+}
+
+func TestGoodRolloutCompletes(t *testing.T) {
+	k, d := smallFleet(t, 1)
+	waves := PlanWaves(d.Net)
+	ctrl := New(k, d.Net, Config{
+		Change: Change{Name: "alpha-1-8", Intent: map[string]string{"alpha": "1/8"}},
+		Waves:  waves,
+		Start:  ms(10),
+		Gates:  Gates{Store: d.Configs},
+	})
+	ctrl.Start()
+	k.RunUntil(ms(120))
+
+	r := ctrl.Result()
+	if !r.Completed || r.RolledBack {
+		t.Fatalf("completed=%v rolledBack=%v, want completed cleanly\n%v", r.Completed, r.RolledBack, r.Log)
+	}
+	if r.Touched != r.Fleet || r.Fleet != 4 {
+		t.Fatalf("touched %d of fleet %d, want 4 of 4", r.Touched, r.Fleet)
+	}
+	for _, w := range r.Waves {
+		if w.Outcome != "clean" {
+			t.Fatalf("wave %q outcome %q, want clean", w.Name, w.Outcome)
+		}
+	}
+	if r.ResidualDrifts != 0 {
+		t.Fatalf("residual drifts = %d, want 0", r.ResidualDrifts)
+	}
+	for _, sw := range d.Net.Switches() {
+		if a := sw.Config().Buffer.Alpha; a != 1.0/8 {
+			t.Fatalf("%s alpha = %v after complete rollout, want 1/8", sw.Name(), a)
+		}
+		des, ok := d.Configs.Desired(sw.Name())
+		if !ok || des["alpha"] != "1/8" {
+			t.Fatalf("%s desired alpha = %q, want 1/8", sw.Name(), des["alpha"])
+		}
+	}
+}
+
+// abortResult runs the mid-wave-abort scenario: the pipeline is
+// faithful everywhere except leaf-0-0, the first device of the podset
+// wave, and the gate cadence (2 ms) is faster than the apply gap (6 ms),
+// so the drift gate trips while the podset wave is half-applied.
+func abortResult(t *testing.T, shards int) (*core.Deployment, *Result) {
+	t.Helper()
+	k, d := smallFleet(t, shards)
+	waves := PlanWaves(d.Net)
+	ctrl := New(k, d.Net, Config{
+		Change: Change{
+			Name:   "alpha-1-8",
+			Intent: map[string]string{"alpha": "1/8"},
+			Write: func(sw *fabric.Switch, apply func(key, val string) error) error {
+				if sw.Name() == "leaf-0-0" {
+					return apply("alpha", "1/64")
+				}
+				return apply("alpha", "1/8")
+			},
+		},
+		Waves:     waves,
+		Start:     simtime.Time(20*simtime.Millisecond) + 1,
+		ApplyGap:  6 * simtime.Millisecond,
+		GateEvery: 2 * simtime.Millisecond,
+		Soak:      8 * simtime.Millisecond,
+		Settle:    4 * simtime.Millisecond,
+		Gates:     Gates{Store: d.Configs},
+	})
+	ctrl.Start()
+	k.RunUntil(ms(120))
+	if !ctrl.Done() {
+		t.Fatalf("rollout not done\n%v", ctrl.Result().Log)
+	}
+	return d, ctrl.Result()
+}
+
+// TestMidWaveAbortRollsBackExactlyTouched is the rollback-idempotence
+// contract: a gate tripping while a wave is half-applied rolls back
+// exactly the devices touched so far — the untouched remainder of the
+// wave is never written, every touched device returns to its captured
+// prior state, and the drift checker ends clean.
+func TestMidWaveAbortRollsBackExactlyTouched(t *testing.T) {
+	d, r := abortResult(t, 1)
+
+	if !r.RolledBack || r.Completed {
+		t.Fatalf("rolledBack=%v completed=%v, want rollback\n%v", r.RolledBack, r.Completed, r.Log)
+	}
+	if r.Gate != "drift" || r.TrippedWave != "podset" {
+		t.Fatalf("gate %q in wave %q, want drift in podset\n%v", r.Gate, r.TrippedWave, r.Log)
+	}
+	if r.Touched != 3 {
+		t.Fatalf("touched = %d, want 3 (canary, tor, half of podset)", r.Touched)
+	}
+	outcomes := map[string]string{}
+	for _, w := range r.Waves {
+		outcomes[w.Name] = w.Outcome
+	}
+	if outcomes["canary"] != "clean" || outcomes["tor"] != "clean" || outcomes["podset"] != "aborted" {
+		t.Fatalf("wave outcomes = %v, want canary/tor clean, podset aborted", outcomes)
+	}
+	for _, w := range r.Waves {
+		if w.Name == "podset" && w.Applied != 1 {
+			t.Fatalf("podset applied = %d of %d, want 1 (aborted mid-apply)", w.Applied, w.Devices)
+		}
+	}
+
+	// Every touched device is back to its pre-rollout state, in both the
+	// config plane and the store's desired entry.
+	for _, name := range []string{"tor-0-0", "tor-0-1", "leaf-0-0"} {
+		sw := findSwitch(t, d, name)
+		if a := sw.Config().Buffer.Alpha; a != 1.0/16 {
+			t.Fatalf("%s alpha = %v after rollback, want 1/16", name, a)
+		}
+		if a := sw.MMU().Config().Alpha; a != 1.0/16 {
+			t.Fatalf("%s MMU alpha = %v after rollback, want 1/16", name, a)
+		}
+		des, ok := d.Configs.Desired(name)
+		if !ok || des["alpha"] != "1/16" {
+			t.Fatalf("%s desired alpha = %q after rollback, want 1/16", name, des["alpha"])
+		}
+	}
+	// The untouched half of the aborted wave was never written at all.
+	lf := findSwitch(t, d, "leaf-0-1")
+	if a := lf.Config().Buffer.Alpha; a != 1.0/16 {
+		t.Fatalf("leaf-0-1 alpha = %v, want untouched 1/16", a)
+	}
+	des, _ := d.Configs.Desired("leaf-0-1")
+	if des["alpha"] != "1/16" {
+		t.Fatalf("leaf-0-1 desired alpha = %q, want untouched 1/16", des["alpha"])
+	}
+
+	if r.ResidualDrifts != 0 {
+		t.Fatalf("residual drifts = %d, want 0", r.ResidualDrifts)
+	}
+	if drifts := d.Configs.Check(); len(drifts) != 0 {
+		t.Fatalf("drift check after rollback: %v", drifts)
+	}
+}
+
+// TestAbortShardInvariance: the aborted rollout's Result is
+// byte-identical whether the fleet simulation ran on one shard or four.
+func TestAbortShardInvariance(t *testing.T) {
+	_, r1 := abortResult(t, 1)
+	_, r4 := abortResult(t, 4)
+	b1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b4, err := json.Marshal(r4)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(b1) != string(b4) {
+		t.Fatalf("results diverge across shard counts:\nshards=1: %s\nshards=4: %s", b1, b4)
+	}
+}
+
+// TestRollbackRestoresDriftInvisibleState: a payload that misprograms
+// the MMU — lossless map and ASIC-side α, neither visible to any config
+// reader — is fully reverted by the rollback journal.
+func TestRollbackRestoresDriftInvisibleState(t *testing.T) {
+	k, d := smallFleet(t, 1)
+	waves := PlanWaves(d.Net)
+	ctrl := New(k, d.Net, Config{
+		Change: Change{
+			Name:   "alpha-1-8",
+			Intent: map[string]string{"alpha": "1/8"},
+			Write: func(sw *fabric.Switch, apply func(key, val string) error) error {
+				// ASIC damage on every device; a config-visible mistake
+				// only on tor-0-1, so the trip happens in the tor wave
+				// after the canary's invisible damage is journaled.
+				sw.MisclassifyLossless(core.ClassBulk, false)
+				sw.MMU().SetAlpha(1.0 / 256)
+				if sw.Name() == "tor-0-1" {
+					return apply("alpha", "1/64")
+				}
+				return apply("alpha", "1/8")
+			},
+		},
+		Waves: waves,
+		Start: simtime.Time(20*simtime.Millisecond) + 1,
+		Gates: Gates{Store: d.Configs},
+	})
+	ctrl.Start()
+	k.RunUntil(ms(150))
+
+	r := ctrl.Result()
+	if !r.RolledBack || r.TrippedWave != "tor" {
+		t.Fatalf("rolledBack=%v wave=%q, want rollback in tor wave\n%v", r.RolledBack, r.TrippedWave, r.Log)
+	}
+	for _, name := range []string{"tor-0-0", "tor-0-1"} {
+		sw := findSwitch(t, d, name)
+		if !sw.MMU().Config().LosslessPGs[core.ClassBulk] {
+			t.Fatalf("%s: bulk class still lossy after rollback", name)
+		}
+		if a := sw.MMU().Config().Alpha; a != 1.0/16 {
+			t.Fatalf("%s MMU alpha = %v after rollback, want 1/16", name, a)
+		}
+	}
+}
+
+func findSwitch(t *testing.T, d *core.Deployment, name string) *fabric.Switch {
+	t.Helper()
+	for _, sw := range d.Net.Switches() {
+		if sw.Name() == name {
+			return sw
+		}
+	}
+	t.Fatalf("no switch %q", name)
+	return nil
+}

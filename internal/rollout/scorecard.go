@@ -1,0 +1,132 @@
+package rollout
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Cell is one scored rollout case: a Change pushed through the full
+// wave ladder against live traffic, judged on where the ladder stopped
+// it and what it cost.
+type Cell struct {
+	Case string `json:"case"`
+
+	// Rollout outcome, copied from the controller's Result.
+	Completed   bool    `json:"completed"`
+	RolledBack  bool    `json:"rolled_back"`
+	Gate        string  `json:"gate,omitempty"`
+	GateDetail  string  `json:"gate_detail,omitempty"`
+	TrippedWave string  `json:"tripped_wave,omitempty"`
+	Touched     int     `json:"touched"`
+	Fleet       int     `json:"fleet"`
+	BlastRadius float64 `json:"blast_radius"`
+
+	// DetectNs is the time from the tripped wave's first apply to the
+	// gate trip; RecoverNs from the trip to the settled rollback. -1
+	// when not applicable.
+	DetectNs  int64 `json:"detect_ns"`
+	RecoverNs int64 `json:"recover_ns"`
+
+	// ResidualDrifts is the drift count after the rollout reached its
+	// final state — zero is the contract for both outcomes.
+	ResidualDrifts int `json:"residual_drifts"`
+
+	// Goodput of the measured streams before the rollout started and
+	// over the run's final windows; Recovered is final ≥ 0.5×baseline.
+	BaselineGbps float64 `json:"baseline_gbps"`
+	FinalGbps    float64 `json:"final_gbps"`
+	Recovered    bool    `json:"recovered"`
+
+	// Expect names the outcome this case must produce ("complete",
+	// "rollback@canary", "rollback<=podset"); ExpectMet reports it.
+	Expect    string       `json:"expect"`
+	ExpectMet bool         `json:"expect_met"`
+	Waves     []WaveStatus `json:"waves"`
+
+	// Log is the controller journal, excluded from goldens (it is
+	// long); rendered only by the text report's failure dumps.
+	Log []string `json:"-"`
+}
+
+// Scorecard is a rollout campaign's full result. It deliberately does
+// not record the shard count: the same seed must render byte-identical
+// at any shard count, so shards are not part of the result's identity.
+type Scorecard struct {
+	Seed  int64  `json:"seed"`
+	Cells []Cell `json:"cells"`
+}
+
+// Failed reports whether any cell missed its expected outcome.
+func (s *Scorecard) Failed() bool {
+	for _, c := range s.Cells {
+		if !c.ExpectMet {
+			return true
+		}
+	}
+	return false
+}
+
+// Unrecovered returns the cells whose goodput did not return to the
+// recovery floor by end of run.
+func (s *Scorecard) Unrecovered() []Cell {
+	var out []Cell
+	for _, c := range s.Cells {
+		if !c.Recovered {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// JSON renders the scorecard as stable, indented JSON.
+func (s *Scorecard) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the scorecard as a fixed-width table plus, for any cell
+// that missed its expectation, the controller journal.
+func (s *Scorecard) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rollout campaign (seed %d): %d cases\n\n", s.Seed, len(s.Cells))
+	fmt.Fprintf(&b, "%-22s %-22s %-10s %7s %8s %8s %6s %8s %8s  %s\n",
+		"case", "outcome", "gate", "blast", "detect", "recover", "drift", "base", "final", "expect")
+	for _, c := range s.Cells {
+		outcome := "INCOMPLETE"
+		switch {
+		case c.Completed:
+			outcome = "complete"
+		case c.RolledBack:
+			outcome = "rollback@" + c.TrippedWave
+		}
+		gate := c.Gate
+		if gate == "" {
+			gate = "-"
+		}
+		det, rec := "-", "-"
+		if c.DetectNs >= 0 {
+			det = fmt.Sprintf("%.1fms", float64(c.DetectNs)/1e6)
+		}
+		if c.RecoverNs >= 0 {
+			rec = fmt.Sprintf("%.1fms", float64(c.RecoverNs)/1e6)
+		}
+		blast := fmt.Sprintf("%d/%d", c.Touched, c.Fleet)
+		mark := "!"
+		if c.ExpectMet {
+			mark = "+"
+		}
+		fmt.Fprintf(&b, "%-22s %-22s %-10s %7s %8s %8s %6d %7.1fG %7.1fG %s %s\n",
+			c.Case, outcome, gate, blast, det, rec, c.ResidualDrifts,
+			c.BaselineGbps, c.FinalGbps, mark, c.Expect)
+	}
+	for _, c := range s.Cells {
+		if c.ExpectMet {
+			continue
+		}
+		fmt.Fprintf(&b, "\n=== journal: %s (expected %s) ===\n", c.Case, c.Expect)
+		for _, line := range c.Log {
+			fmt.Fprintf(&b, "%s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -142,6 +142,54 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.hasData = true
 }
 
+// Clone returns an independent copy of h — the snapshot a windowed
+// comparison (rollout health gates) takes before more samples arrive.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		gamma: h.gamma, logG: h.logG,
+		counts: make(map[int]uint64, len(h.counts)),
+		total:  h.total, sum: h.sum,
+		min: h.min, max: h.max, hasData: h.hasData,
+	}
+	for i, n := range h.counts {
+		c.counts[i] = n
+	}
+	return c
+}
+
+// Since returns the samples h has accumulated beyond the earlier
+// snapshot prev (taken with Clone from this same histogram): a
+// bucket-wise difference. Min/max of the window are approximated by the
+// window's occupied bucket bounds; quantiles are exact to bucket
+// resolution, which is what windowed gating needs.
+func (h *Histogram) Since(prev *Histogram) *Histogram {
+	if prev == nil {
+		return h.Clone()
+	}
+	if prev.gamma != h.gamma {
+		panic("stats: diffing histograms with different gamma")
+	}
+	w := NewHistogram()
+	for i, n := range h.counts {
+		d := n - prev.counts[i]
+		if d == 0 {
+			continue
+		}
+		w.counts[i] = d
+		w.total += d
+		v := math.Pow(w.gamma, float64(i))
+		w.sum += v * float64(d)
+		if !w.hasData || v < w.min {
+			w.min = v
+		}
+		if !w.hasData || v > w.max {
+			w.max = v
+		}
+		w.hasData = true
+	}
+	return w
+}
+
 // Summary formats min/p50/p99/p99.9/max on one line using the given unit
 // divisor and label (e.g. 1e6, "us" for picosecond latencies shown in
 // microseconds).
