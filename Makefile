@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test test-race vet audit chaos transports health rollout bench bench-json bench-kernel bench-compare bench-parallel report examples clean
+.PHONY: all check build test test-race vet audit chaos transports health rollout tenants bench bench-json bench-kernel bench-compare bench-parallel report examples clean
 
 all: build vet test
 
@@ -23,6 +23,7 @@ check:
 	$(MAKE) transports
 	$(MAKE) health
 	$(MAKE) rollout
+	$(MAKE) tenants
 	$(MAKE) bench-parallel
 
 # Fleet health reports (see EXPERIMENTS.md "Fleet health"): both
@@ -81,6 +82,22 @@ rollout:
 	cmp rollout-scorecard.json /tmp/roce-rollout-2.json
 	cmp rollout-scorecard.json cmd/roce-rollout/testdata/golden.json
 	$(GO) run ./cmd/roce-rollout
+
+# Multi-tenant QoS matrix (see EXPERIMENTS.md "Multi-tenant
+# isolation"): GPU collective and storage tenants solo, mixed, and
+# mixed under a mid-run shared-PG fat-finger. The JSON scorecard is
+# rendered twice and byte-compared (the tenant plane's determinism
+# contract), diffed against the golden copy under
+# cmd/roce-tenants/testdata/, and lands in tenants-scorecard.json for
+# CI to archive. The command exits nonzero when isolation fails under
+# the configured mix, when the misconfig is not demonstrably worse, or
+# when no safeguard catches it.
+tenants:
+	$(GO) run ./cmd/roce-tenants -json > tenants-scorecard.json
+	$(GO) run ./cmd/roce-tenants -json > /tmp/roce-tenants-2.json
+	cmp tenants-scorecard.json /tmp/roce-tenants-2.json
+	cmp tenants-scorecard.json cmd/roce-tenants/testdata/golden.json
+	$(GO) run ./cmd/roce-tenants
 
 # Runtime invariant audit alone: deadlock, storm, alpha incident and
 # livelock with the lossless/DCQCN auditor attached; exits nonzero on
@@ -157,3 +174,4 @@ examples:
 clean:
 	rm -f capture.pcap test_output.txt bench_output.txt bench_output.json
 	rm -f *.pprof cpu.prof mem.prof health-report.json rollout-scorecard.json
+	rm -f tenants-scorecard.json

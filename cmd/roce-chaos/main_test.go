@@ -188,8 +188,53 @@ func TestCellsMatchPR6(t *testing.T) {
 		}
 	}
 	for name := range cur {
-		if _, ok := old[name]; !ok {
-			t.Errorf("cell %s not in PR6 golden", name)
+		if _, ok := old[name]; !ok && !addedPR10[name] {
+			t.Errorf("cell %s not in PR6 golden and not a known PR10 addition", name)
+		}
+	}
+}
+
+// addedPR10 names the cells the multi-tenant QoS plane added: the two
+// cross-class config faults. Every other cell must predate PR10.
+var addedPR10 = map[string]bool{
+	"rack-pair/shared-pg":       true,
+	"rack-pair/cnp-lossy-class": true,
+}
+
+// TestCellsMatchPR9 pins every cell to the snapshot taken before the
+// multi-tenant QoS plane (testdata/golden-pr9.json): the per-class
+// buffer/ECN/QoS-map plumbing defaults to the old single-class behavior
+// and the two cross-class fault cells are additive, so every pre-existing
+// cell must score exactly what it scored then, field for field, with no
+// new scoring columns.
+func TestCellsMatchPR9(t *testing.T) {
+	old, cur := loadCells(t, "golden-pr9.json"), loadCells(t, "golden.json")
+	if len(old) == 0 {
+		t.Fatal("golden-pr9.json holds no cells")
+	}
+	for name, want := range old {
+		got, ok := cur[name]
+		if !ok {
+			t.Errorf("cell %s disappeared from the campaign", name)
+			continue
+		}
+		for key, w := range want {
+			if !reflect.DeepEqual(got[key], w) {
+				t.Errorf("%s: %s drifted from PR9: %v -> %v", name, key, w, got[key])
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: field count %d, want %d (no new columns in PR10)", name, len(got), len(want))
+		}
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok && !addedPR10[name] {
+			t.Errorf("cell %s not in PR9 golden and not a known PR10 addition", name)
+		}
+	}
+	for name := range addedPR10 {
+		if _, ok := cur[name]; !ok {
+			t.Errorf("cross-class fault cell %s missing from the campaign", name)
 		}
 	}
 }

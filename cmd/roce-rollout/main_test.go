@@ -121,6 +121,19 @@ func TestAcceptanceCases(t *testing.T) {
 		t.Errorf("drift gate cannot see an MMU-only payload, yet it tripped: %+v", mmu)
 	}
 
+	ecn := cell("good-ecn-per-class")
+	if !ecn.Completed || ecn.RolledBack || ecn.Touched != ecn.Fleet {
+		t.Errorf("per-class ECN retune did not reach the fleet: %+v", ecn)
+	}
+
+	shared := cell("shared-pg-fatfinger")
+	if !shared.RolledBack || shared.TrippedWave != "canary" || shared.Touched != 1 {
+		t.Errorf("shared-PG fat-finger not caught at the canary: %+v", shared)
+	}
+	if shared.Gate != "drift" {
+		t.Errorf("shared-PG fat-finger caught by %q, want the drift gate", shared.Gate)
+	}
+
 	for _, c := range sc.Cells {
 		if c.ResidualDrifts != 0 {
 			t.Errorf("%s: %d residual drifts after final state", c.Case, c.ResidualDrifts)

@@ -16,7 +16,7 @@ import (
 func TestSeedFlagParity(t *testing.T) {
 	cmds := []string{
 		"roce-chaos", "roce-transports", "roce-metrics", "roce-pingmesh", "roce-health",
-		"roce-rollout",
+		"roce-rollout", "roce-tenants",
 	}
 	for _, cmd := range cmds {
 		src, err := os.ReadFile(filepath.Join("cmd", cmd, "main.go"))
@@ -37,7 +37,7 @@ func TestSeedFlagParity(t *testing.T) {
 func TestShardsFlagParity(t *testing.T) {
 	cmds := []string{
 		"roce-storm", "roce-deadlock", "roce-livelock", "roce-incident", "roce-pingmesh",
-		"roce-throughput", "roce-rollout",
+		"roce-throughput", "roce-rollout", "roce-tenants",
 	}
 	for _, cmd := range cmds {
 		src, err := os.ReadFile(filepath.Join("cmd", cmd, "main.go"))

@@ -37,6 +37,30 @@ type Config struct {
 	// LosslessPGs marks which of the 8 priority groups are lossless. The
 	// paper can afford exactly two on shallow-buffer switches.
 	LosslessPGs [8]bool
+	// PGAlpha optionally overrides Alpha per priority group (0 = inherit
+	// Alpha). Multi-tenant fabrics give each traffic class its own
+	// dynamic-threshold aggressiveness — a bulk storage class can be
+	// squeezed harder than a latency-sensitive collective class.
+	PGAlpha [8]float64
+	// PGHeadroom optionally overrides HeadroomPerPG per priority group
+	// (0 = inherit HeadroomPerPG). Only meaningful for lossless PGs.
+	PGHeadroom [8]int
+}
+
+// AlphaFor returns the dynamic-threshold α in effect for pg.
+func (c *Config) AlphaFor(pg int) float64 {
+	if a := c.PGAlpha[pg]; a > 0 {
+		return a
+	}
+	return c.Alpha
+}
+
+// HeadroomFor returns the headroom reservation in effect for pg.
+func (c *Config) HeadroomFor(pg int) int {
+	if h := c.PGHeadroom[pg]; h > 0 {
+		return h
+	}
+	return c.HeadroomPerPG
 }
 
 // Validate reports configuration errors.
@@ -55,6 +79,14 @@ func (c *Config) Validate() error {
 	}
 	if c.HeadroomPerPG < 0 {
 		return fmt.Errorf("buffer: HeadroomPerPG %d", c.HeadroomPerPG)
+	}
+	for pg := range c.PGAlpha {
+		if c.PGAlpha[pg] < 0 {
+			return fmt.Errorf("buffer: PGAlpha[%d] %v", pg, c.PGAlpha[pg])
+		}
+		if c.PGHeadroom[pg] < 0 {
+			return fmt.Errorf("buffer: PGHeadroom[%d] %d", pg, c.PGHeadroom[pg])
+		}
 	}
 	return nil
 }
@@ -115,8 +147,9 @@ type MMU struct {
 	paused     map[key]bool
 	// reserved tracks lossless buckets that have claimed their headroom
 	// reservation (claimed on first use, never returned — matching how
-	// operators provision headroom per configured port).
-	reserved      map[key]struct{}
+	// operators provision headroom per configured port). The value is the
+	// bytes claimed, which can differ per PG under PGHeadroom overrides.
+	reserved      map[key]int
 	reservedBytes int
 
 	// Counters for monitoring.
@@ -135,7 +168,7 @@ func New(cfg Config) (*MMU, error) {
 		shared:   make(map[key]int),
 		headroom: make(map[key]int),
 		paused:   make(map[key]bool),
-		reserved: make(map[key]struct{}),
+		reserved: make(map[key]int),
 	}, nil
 }
 
@@ -146,6 +179,10 @@ func (m *MMU) Config() Config { return m.cfg }
 // wrong α to a running switch, the §6.2 incident as a live config fault.
 // Takes effect on the next admission; existing accounting is untouched.
 func (m *MMU) SetAlpha(a float64) { m.cfg.Alpha = a }
+
+// SetPGAlpha changes the per-PG dynamic-threshold override at runtime
+// (0 restores inheritance from the global Alpha).
+func (m *MMU) SetPGAlpha(pg int, a float64) { m.cfg.PGAlpha[pg] = a }
 
 // SetLossless reprograms whether PG pg is treated as lossless. It
 // deliberately leaves paused state, headroom charges and reservations in
@@ -185,12 +222,26 @@ func (m *MMU) claim(k key) {
 	if _, ok := m.reserved[k]; ok {
 		return
 	}
-	m.reserved[k] = struct{}{}
-	m.reservedBytes += m.cfg.HeadroomPerPG
+	h := m.cfg.HeadroomFor(k.pg)
+	m.reserved[k] = h
+	m.reservedBytes += h
 }
 
-// threshold returns the current XOFF threshold for one bucket.
-func (m *MMU) threshold() int {
+// threshold returns the current XOFF threshold for one bucket of pg.
+func (m *MMU) threshold(pg int) int {
+	if !m.cfg.Dynamic {
+		return m.cfg.StaticLimit
+	}
+	ub := m.sharedPool() - m.sharedUsed
+	if ub < 0 {
+		ub = 0
+	}
+	return int(m.cfg.AlphaFor(pg) * float64(ub))
+}
+
+// Threshold exposes the instantaneous XOFF threshold of a PG with no
+// per-class override, for monitoring and tests.
+func (m *MMU) Threshold() int {
 	if !m.cfg.Dynamic {
 		return m.cfg.StaticLimit
 	}
@@ -201,9 +252,9 @@ func (m *MMU) threshold() int {
 	return int(m.cfg.Alpha * float64(ub))
 }
 
-// Threshold exposes the instantaneous XOFF threshold, for monitoring and
-// tests.
-func (m *MMU) Threshold() int { return m.threshold() }
+// ThresholdFor exposes the instantaneous XOFF threshold of pg, honoring
+// per-class α overrides.
+func (m *MMU) ThresholdFor(pg int) int { return m.threshold(pg) }
 
 // Admit charges bytes of an arriving packet to (port, pg) and returns the
 // admission outcome together with any pause transition the ingress must
@@ -212,7 +263,7 @@ func (m *MMU) Admit(port, pg, bytes int) (Outcome, Transition) {
 	k := key{port, pg}
 	lossless := m.cfg.LosslessPGs[pg]
 	m.claim(k)
-	thr := m.threshold()
+	thr := m.threshold(pg)
 
 	if m.shared[k]+bytes <= thr && m.sharedUsed+bytes <= m.sharedPool() {
 		m.shared[k] += bytes
@@ -225,7 +276,7 @@ func (m *MMU) Admit(port, pg, bytes int) (Outcome, Transition) {
 		return AdmitShared, m.updatePause(k, thr)
 	}
 
-	if lossless && m.headroom[k]+bytes <= m.cfg.HeadroomPerPG {
+	if lossless && m.headroom[k]+bytes <= m.cfg.HeadroomFor(pg) {
 		m.headroom[k] += bytes
 		return AdmitHeadroom, m.updatePause(k, thr)
 	}
@@ -263,7 +314,7 @@ func (m *MMU) Release(port, pg, bytes int) Transition {
 		}
 		m.sharedUsed -= bytes
 	}
-	return m.updatePause(k, m.threshold())
+	return m.updatePause(k, m.threshold(k.pg))
 }
 
 // updatePause recomputes the pause state of one bucket and returns the
@@ -322,14 +373,15 @@ func (m *MMU) CheckConservation() error {
 		if v <= 0 {
 			return fmt.Errorf("buffer: headroom[%d,%d]=%d (stale or negative entry)", k.port, k.pg, v)
 		}
-		if v > m.cfg.HeadroomPerPG {
-			return fmt.Errorf("buffer: headroom[%d,%d]=%d exceeds reservation %d", k.port, k.pg, v, m.cfg.HeadroomPerPG)
+		res, claimed := m.reserved[k]
+		if !claimed {
+			return fmt.Errorf("buffer: headroom charged to unclaimed bucket (%d,%d)", k.port, k.pg)
+		}
+		if v > res {
+			return fmt.Errorf("buffer: headroom[%d,%d]=%d exceeds reservation %d", k.port, k.pg, v, res)
 		}
 		if !m.cfg.LosslessPGs[k.pg] {
 			return fmt.Errorf("buffer: headroom charged to lossy PG (%d,%d)", k.port, k.pg)
-		}
-		if _, ok := m.reserved[k]; !ok {
-			return fmt.Errorf("buffer: headroom charged to unclaimed bucket (%d,%d)", k.port, k.pg)
 		}
 	}
 	for k := range m.paused {
@@ -337,7 +389,11 @@ func (m *MMU) CheckConservation() error {
 			return fmt.Errorf("buffer: lossy PG (%d,%d) in paused state", k.port, k.pg)
 		}
 	}
-	if want := len(m.reserved) * m.cfg.HeadroomPerPG; m.reservedBytes != want {
+	want := 0
+	for _, res := range m.reserved {
+		want += res
+	}
+	if m.reservedBytes != want {
 		return fmt.Errorf("buffer: reservedBytes=%d, want %d for %d claims", m.reservedBytes, want, len(m.reserved))
 	}
 	return nil
@@ -349,14 +405,20 @@ func (m *MMU) CheckConservation() error {
 // when the unallocated pool grows because of releases elsewhere.
 func (m *MMU) Reevaluate() []PGRef {
 	var resumed []PGRef
-	thr := m.threshold()
-	// The threshold is fixed for the whole sweep and resuming one PG
-	// does not change another's verdict, so the XON set is iteration-
-	// order independent — but callers act on the returned order (pause
-	// frames, trace events), so it must not inherit Go's randomized
-	// map order. Sort to keep same-seed runs byte-identical.
+	// Per-PG thresholds are fixed for the whole sweep (updatePause never
+	// touches pool usage) and resuming one PG does not change another's
+	// verdict, so the XON set is iteration-order independent — but
+	// callers act on the returned order (pause frames, trace events), so
+	// it must not inherit Go's randomized map order. Sort to keep
+	// same-seed runs byte-identical.
+	var thr [8]int
+	var have [8]bool
 	for k := range m.paused {
-		if m.updatePause(k, thr) == XON {
+		if !have[k.pg] {
+			thr[k.pg] = m.threshold(k.pg)
+			have[k.pg] = true
+		}
+		if m.updatePause(k, thr[k.pg]) == XON {
 			resumed = append(resumed, PGRef{Port: k.port, PG: k.pg})
 		}
 	}

@@ -300,9 +300,17 @@ func New(k *sim.Kernel, cfg Config) (*Deployment, error) {
 	d.Configs.SetClock(k.Now)
 	for _, sw := range net.Switches() {
 		d.Mon.WatchSwitch(sw)
-		d.Configs.RegisterReader(sw.Name(), monitor.SwitchConfigReader(sw))
+		read := monitor.SwitchConfigReader(sw)
+		d.Configs.RegisterReader(sw.Name(), read)
 		d.Configs.RegisterWriter(sw.Name(), monitor.SwitchConfigWriter(sw))
-		d.Configs.SetDesired(sw.Name(), d.desiredSwitchConfig())
+		want := d.desiredSwitchConfig()
+		// Per-class QoS intent (priority→PG map, per-class ECN) is
+		// whatever the build plan — SwitchTweak included — programmed, so
+		// a fresh deployment is drift-free and later divergence pages.
+		run := read()
+		want["qos_map"] = run["qos_map"]
+		want["ecn_classes"] = run["ecn_classes"]
+		d.Configs.SetDesired(sw.Name(), want)
 	}
 	for _, s := range net.Servers {
 		d.Mon.WatchNIC(s.NIC)

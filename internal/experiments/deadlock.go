@@ -5,6 +5,7 @@ import (
 
 	"rocesim/internal/fabric"
 	"rocesim/internal/flighttrace"
+	"rocesim/internal/irn"
 	"rocesim/internal/link"
 	"rocesim/internal/nic"
 	"rocesim/internal/packet"
@@ -19,6 +20,13 @@ type DeadlockConfig struct {
 	// FixEnabled applies the paper's option-3 fix: drop lossless packets
 	// whose ARP entry is incomplete.
 	FixEnabled bool
+	// IRNNoPFC runs the alternative the IRN line of work argues for:
+	// no lossless classes anywhere (switches drop instead of pausing,
+	// NICs never emit pause frames) and selective-repeat transport
+	// absorbing the resulting loss. Without pause frames there is no
+	// buffer dependency between switches, so the Figure 4 cycle cannot
+	// form no matter how the flooding replicates packets.
+	IRNNoPFC bool
 	// Duration is how long the senders run before the fabric is
 	// inspected.
 	Duration simtime.Duration
@@ -63,8 +71,12 @@ func (r DeadlockResult) Table() string {
 			state += " (PERMANENT)"
 		}
 	}
+	mode := fmt.Sprintf("fix=%-5v", r.Cfg.FixEnabled)
+	if r.Cfg.IRNNoPFC {
+		mode = "irn-no-pfc"
+	}
 	out := row(
-		fmt.Sprintf("fix=%-5v", r.Cfg.FixEnabled),
+		mode,
 		fmt.Sprintf("%-44s", state),
 		fmt.Sprintf("floods=%-6d", r.Floods),
 		fmt.Sprintf("arpDrops=%-6d", r.ARPDrops),
@@ -110,6 +122,10 @@ func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 		c.Buffer.Dynamic = false
 		c.Buffer.StaticLimit = 64 << 10
 		c.Buffer.XOFFDelta = 8 << 10
+		if cfg.IRNNoPFC {
+			// No lossless classes: full buffers drop, never pause.
+			c.Buffer.LosslessPGs = [8]bool{}
+		}
 		sw, err := fabric.NewSwitch(kk, c, packet.MAC{0x02, 0xff, 0, 0, 0, m})
 		if err != nil {
 			panic(err)
@@ -124,7 +140,11 @@ func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 
 	g40 := 40 * simtime.Gbps
 	mkNIC := func(kk *sim.Kernel, name string, m byte, ip packet.Addr) *nic.NIC {
-		return nic.New(kk, nic.DefaultConfig(name, packet.MAC{0x02, 0, 0, 0, 0, m}, ip))
+		nc := nic.DefaultConfig(name, packet.MAC{0x02, 0, 0, 0, 0, m}, ip)
+		if cfg.IRNNoPFC {
+			nc.LosslessMask = 0 // never generate pause frames
+		}
+		return nic.New(kk, nc)
 	}
 	s1 := mkNIC(kT0, "S1", 1, packet.IPv4Addr(10, 0, 0, 1))
 	s2 := mkNIC(kT0, "S2", 2, packet.IPv4Addr(10, 0, 0, 2))
@@ -184,13 +204,21 @@ func RunDeadlock(cfg DeadlockConfig) DeadlockResult {
 	// gives the paper's incast pressure at T1 once flooding replicates
 	// the purple packets.
 	mkQP := func(on *nic.NIC, gw packet.MAC, dst packet.Addr, qpn uint32) *transport.QP {
-		return on.CreateQP(transport.Config{
+		qc := transport.Config{
 			QPN: qpn, PeerQPN: qpn + 1000,
 			DstIP: dst, GwMAC: gw,
 			Priority: 3, MTU: 1024,
 			Recovery:    transport.GoBackN,
 			RetxTimeout: simtime.Millisecond,
-		})
+		}
+		if cfg.IRNNoPFC {
+			// Selective repeat with a BDP-bounded flight: the lossy
+			// fabric's drops recover per-segment instead of go-back-N.
+			// BDP over the 300 m leaf path at 40 Gbps is ~30 KB.
+			qc.Recovery = transport.IRN
+			qc.IRN = &irn.Config{BDPBytes: 32 << 10}
+		}
+		return on.CreateQP(qc)
 	}
 	purple1 := mkQP(s1, t0.MAC(), s3.IP(), 1)
 	purple2 := mkQP(s1, t0.MAC(), s3.IP(), 2)

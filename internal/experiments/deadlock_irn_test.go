@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestDeadlockIRNNoPFC pins the alternative the deadlock experiment's
+// irn-no-pfc mode demonstrates: with no lossless classes there are no
+// pause frames, so the Figure 4 cyclic buffer dependency cannot form —
+// the same dead-server flooding that permanently wedges the PFC fabric
+// leaves the lossy-IRN fabric degraded but live.
+func TestDeadlockIRNNoPFC(t *testing.T) {
+	cfg := DefaultDeadlock(false)
+	cfg.IRNNoPFC = true
+	r := RunDeadlock(cfg)
+
+	if r.CycleObserved || r.Permanent || len(r.Cycle) != 0 {
+		t.Fatalf("irn-no-pfc formed a buffer dependency cycle: %+v", r.Cycle)
+	}
+	if r.PFC == nil {
+		t.Fatal("no PFC report")
+	}
+	if r.PFC.HasCycle {
+		t.Fatalf("PFC analyzer saw a pause cycle without pause frames: %v", r.PFC.Cycle)
+	}
+	if len(r.PFC.Paused) != 0 {
+		t.Fatalf("pause frames on a fabric with no lossless classes: %+v", r.PFC.Paused)
+	}
+	if r.LiveFlowStalls || r.LiveFlowMB <= 0 {
+		t.Fatalf("healthy S1→S5 flow made no progress: %.1f MB, stalled=%v",
+			r.LiveFlowMB, r.LiveFlowStalls)
+	}
+
+	// Same scenario, PFC without the ARP fix: the cycle must still form
+	// — the contrast the mode exists to draw.
+	base := RunDeadlock(DefaultDeadlock(false))
+	if !base.CycleObserved {
+		t.Fatal("baseline PFC run no longer deadlocks; the irn-no-pfc contrast is vacuous")
+	}
+}

@@ -39,10 +39,22 @@ type Config struct {
 	Buffer buffer.Config
 	// ECN is the marking profile for lossless queues.
 	ECN ECNConfig
+	// PGECN optionally overrides the marking profile per priority group
+	// (nil entry = inherit ECN). Multi-tenant fabrics mark a latency-
+	// sensitive collective class earlier than a throughput-oriented
+	// storage class.
+	PGECN [8]*ECNConfig
 	// DSCPMap classifies untagged IP packets into priorities; nil means
 	// identity over the low 3 DSCP bits (the paper maps DSCP i to
 	// priority i).
 	DSCPMap func(dscp uint8) int
+	// QoSMap, when non-nil, remaps the wire priority (the PCP/DSCP
+	// classification result) to the priority group the ASIC actually
+	// services — the trust/QoS map every ToS-based deployment programs.
+	// nil means identity. A wrong entry here is exactly the cross-class
+	// misconfiguration (two tenants sharing a PG) that spiderpool's
+	// rdma-qos.sh exists to prevent.
+	QoSMap *[8]int
 	// DropLosslessOnIncompleteARP enables the paper's deadlock fix
 	// (option 3): lossless packets whose ARP entry has no MAC-table
 	// match are dropped instead of flooded.
@@ -424,6 +436,9 @@ func (s *Switch) Receive(n int, p *packet.Packet) {
 	}
 
 	pri := p.Priority(s.cfg.DSCPMap)
+	if qm := s.cfg.QoSMap; qm != nil {
+		pri = qm[pri] & 0x7
+	}
 	ps.RxByPri[pri]++
 	lossless := s.cfg.Buffer.LosslessPGs[pri]
 
@@ -688,9 +703,17 @@ func (s *Switch) enqueueOut(out int, it link.Item) {
 	s.port[out].egress.Enqueue(it)
 }
 
+// ecnFor returns the marking profile in effect for a priority group.
+func (s *Switch) ecnFor(pri int) ECNConfig {
+	if o := s.cfg.PGECN[pri]; o != nil {
+		return *o
+	}
+	return s.cfg.ECN
+}
+
 // maybeMarkECN applies the WRED marking profile at the egress queue.
 func (s *Switch) maybeMarkECN(out int, p *packet.Packet, pri int) {
-	e := s.cfg.ECN
+	e := s.ecnFor(pri)
 	if !e.Enabled || p.IP == nil {
 		return
 	}
@@ -957,6 +980,17 @@ func (s *Switch) SetBufferAlpha(a float64) {
 func (s *Switch) SetECNEnabled(on bool) {
 	s.cfg.ECN.Enabled = on
 }
+
+// SetQoSMap replaces the running priority→PG map (nil restores
+// identity) — declared config, so the drift checker sees a misprogrammed
+// entry through the "qos_map" key.
+func (s *Switch) SetQoSMap(m *[8]int) { s.cfg.QoSMap = m }
+
+// SetPGECN installs (or with nil removes) a per-class ECN marking
+// override for pg — the per-class DCQCN congestion-point tuning a
+// multi-tenant rollout stages, visible to the drift checker through the
+// "ecn_classes" key.
+func (s *Switch) SetPGECN(pg int, e *ECNConfig) { s.cfg.PGECN[pg] = e }
 
 // MisclassifyLossless reprograms the MMU's lossless classification of a
 // priority group without touching the declared configuration: the

@@ -537,6 +537,14 @@ func DefaultCampaign(seed int64) Campaign {
 			{Name: "uplink-down", Kind: LinkDown, Role: "irn-uplink", Expect: "ecmp-failover"},
 			{Name: "srv-link-corrupt", Kind: LinkCorrupt, Role: "irn-ecn-victim-link", Expect: "selective-repeat"},
 			{Name: "nic-rx-degrade", Kind: NICRxDegrade, Role: "irn-ecn-victim-nic"},
+			// Cross-class misconfiguration (the multi-tenant QoS plane's
+			// failure mode): the ToR's QoS map folds the bulk class into
+			// the real-time PG — pause pairing breaks on the first hop and
+			// the shared PG overflows — and a NIC's CNP priority lands in
+			// a lossy class. Both are declared-config faults the drift
+			// checker pages on.
+			{Name: "shared-pg", Kind: CfgSharedPG, Role: "tor", Param: 4, Permanent: true, Expect: "config-drift"},
+			{Name: "cnp-lossy-class", Kind: CfgCNPLossy, Role: "victim-nic", Param: 1, Permanent: true, Expect: "config-drift"},
 		},
 	}
 }

@@ -64,12 +64,28 @@ const (
 	// the invariant auditor reading it) still says lossless: congestion
 	// drops on the class surface as lossless-guarantee violations.
 	CfgLosslessAsLossy Kind = "cfg-lossless-as-lossy"
+	// CfgSharedPG misprograms a switch's QoS map so the traffic class
+	// Param (4) is serviced in priority group Param−1 — two tenants
+	// sharing a PG, the cross-class drift spiderpool's rdma-qos.sh
+	// exists to prevent. Pause pairing breaks on the first hop: the
+	// switch pauses the remapped PG while the sender keeps transmitting
+	// in its own class, so the shared PG's headroom overflows and the
+	// lossless guarantee is violated. Visible to the drift checker
+	// through the "qos_map" key.
+	CfgSharedPG Kind = "cfg-shared-pg"
+	// CfgCNPLossy reprograms a NIC so its CNPs are emitted in lossy
+	// class Param (1) instead of riding the data class — the
+	// misprogrammed CNP priority of a multi-tenant QoS plan. Congestion
+	// feedback now competes unprotected with lossy traffic. Visible to
+	// the drift checker through the NIC reader's "cnp_prio" key.
+	CfgCNPLossy Kind = "cfg-cnp-lossy"
 )
 
 // Kinds lists the whole fault library, in stable order.
 func Kinds() []Kind {
 	return []Kind{LinkDown, LinkFlap, LinkCorrupt, SwitchReboot,
-		NICPauseStorm, NICRxDegrade, CfgAlpha, CfgLosslessAsLossy}
+		NICPauseStorm, NICRxDegrade, CfgAlpha, CfgLosslessAsLossy,
+		CfgSharedPG, CfgCNPLossy}
 }
 
 // DefaultParam returns the kind's default Param value.
@@ -85,6 +101,10 @@ func DefaultParam(k Kind) float64 {
 		return 1.0 / 64
 	case CfgLosslessAsLossy:
 		return 3
+	case CfgSharedPG:
+		return 4
+	case CfgCNPLossy:
+		return 1
 	default:
 		return 0
 	}
@@ -281,6 +301,45 @@ func (in *Injector) resolve(e Entry) (apply, revert func()) {
 			}, func() {
 				if captured {
 					sw.MisclassifyLossless(pg, wasLossless)
+				}
+			}
+	case CfgSharedPG:
+		sw := in.lookupSwitch(e.Target)
+		pri := int(param) & 0x7
+		// Same capture-at-apply discipline as CfgAlpha: restore whatever
+		// map was actually programmed, not a package default.
+		var old *[8]int
+		var captured bool
+		return func() {
+				if !captured {
+					old, captured = sw.Config().QoSMap, true
+				}
+				m := new([8]int)
+				for i := range m {
+					m[i] = i
+				}
+				if base := old; base != nil {
+					*m = *base
+				}
+				m[pri] = pri - 1
+				sw.SetQoSMap(m)
+			}, func() {
+				if captured {
+					sw.SetQoSMap(old)
+				}
+			}
+	case CfgCNPLossy:
+		n := in.lookupNIC(e.Target)
+		var old int
+		var captured bool
+		return func() {
+				if !captured {
+					old, captured = n.Config().CNPPriority, true
+				}
+				n.SetCNPPriority(int(param))
+			}, func() {
+				if captured {
+					n.SetCNPPriority(old)
 				}
 			}
 	default:

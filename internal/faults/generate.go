@@ -53,9 +53,9 @@ func Generate(k *sim.Kernel, net *topology.Network, spec GenSpec) Schedule {
 		case LinkDown, LinkFlap, LinkCorrupt:
 			rec := net.Links[rng.Intn(len(net.Links))]
 			target = fmt.Sprintf("link:%s~%s", rec.A, rec.B)
-		case SwitchReboot, CfgAlpha, CfgLosslessAsLossy:
+		case SwitchReboot, CfgAlpha, CfgLosslessAsLossy, CfgSharedPG:
 			target = "switch:" + switches[rng.Intn(len(switches))].Name()
-		case NICPauseStorm, NICRxDegrade:
+		case NICPauseStorm, NICRxDegrade, CfgCNPLossy:
 			target = "nic:" + net.Servers[rng.Intn(len(net.Servers))].NIC.Name()
 		default:
 			panic(fmt.Sprintf("faults: cannot generate kind %q", kind))

@@ -532,23 +532,123 @@ func SwitchConfigReader(sw *fabric.Switch) func() map[string]string {
 	return func() map[string]string {
 		b := sw.Config().Buffer
 		return map[string]string{
-			"alpha":    fmt.Sprintf("1/%d", int(1/b.Alpha+0.5)),
-			"dynamic":  fmt.Sprintf("%v", b.Dynamic),
-			"headroom": fmt.Sprintf("%d", b.HeadroomPerPG),
-			"arp_fix":  fmt.Sprintf("%v", sw.Config().DropLosslessOnIncompleteARP),
-			"ecn":      fmt.Sprintf("%v", sw.Config().ECN.Enabled),
-			"watchdog": fmt.Sprintf("%v", sw.Config().Watchdog.Enabled),
+			"alpha":       fmt.Sprintf("1/%d", int(1/b.Alpha+0.5)),
+			"dynamic":     fmt.Sprintf("%v", b.Dynamic),
+			"headroom":    fmt.Sprintf("%d", b.HeadroomPerPG),
+			"arp_fix":     fmt.Sprintf("%v", sw.Config().DropLosslessOnIncompleteARP),
+			"ecn":         fmt.Sprintf("%v", sw.Config().ECN.Enabled),
+			"watchdog":    fmt.Sprintf("%v", sw.Config().Watchdog.Enabled),
+			"qos_map":     qosMapString(sw.Config().QoSMap),
+			"ecn_classes": ecnClassesString(sw.Config().PGECN),
 		}
 	}
+}
+
+// qosMapString renders a switch's running priority→PG map: "identity"
+// when every class is serviced in its own PG, otherwise the remapped
+// entries as "pri->pg" pairs in priority order.
+func qosMapString(m *[8]int) string {
+	if m == nil {
+		return "identity"
+	}
+	var parts []string
+	for pri, pg := range m {
+		if pg != pri {
+			parts = append(parts, fmt.Sprintf("%d->%d", pri, pg))
+		}
+	}
+	if len(parts) == 0 {
+		return "identity"
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseQoSMap inverts qosMapString. "identity" yields nil (no map
+// programmed).
+func parseQoSMap(val string) (*[8]int, error) {
+	if val == "identity" {
+		return nil, nil
+	}
+	m := new([8]int)
+	for i := range m {
+		m[i] = i
+	}
+	for _, part := range strings.Split(val, ",") {
+		lhs, rhs, ok := strings.Cut(part, "->")
+		if !ok {
+			return nil, fmt.Errorf("bad qos_map entry %q", part)
+		}
+		pri, err1 := strconv.Atoi(lhs)
+		pg, err2 := strconv.Atoi(rhs)
+		if err1 != nil || err2 != nil || pri < 0 || pri > 7 || pg < 0 || pg > 7 {
+			return nil, fmt.Errorf("bad qos_map entry %q", part)
+		}
+		m[pri] = pg
+	}
+	return m, nil
+}
+
+// ecnClassesString renders per-class ECN marking overrides: "uniform"
+// when every class inherits the global profile, otherwise the overridden
+// classes as "pgN:kmin/kmax/pmax" (or "pgN:off") in PG order.
+func ecnClassesString(pg [8]*fabric.ECNConfig) string {
+	var parts []string
+	for i, e := range pg {
+		if e == nil {
+			continue
+		}
+		if !e.Enabled {
+			parts = append(parts, fmt.Sprintf("pg%d:off", i))
+		} else {
+			parts = append(parts, fmt.Sprintf("pg%d:%d/%d/%.2f", i, e.KMin, e.KMax, e.PMax))
+		}
+	}
+	if len(parts) == 0 {
+		return "uniform"
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseECNClasses inverts ecnClassesString into the full override table
+// ("uniform" yields all-nil).
+func parseECNClasses(val string) ([8]*fabric.ECNConfig, error) {
+	var out [8]*fabric.ECNConfig
+	if val == "uniform" {
+		return out, nil
+	}
+	for _, part := range strings.Split(val, ",") {
+		lhs, rhs, ok := strings.Cut(part, ":")
+		if !ok || !strings.HasPrefix(lhs, "pg") {
+			return out, fmt.Errorf("bad ecn_classes entry %q", part)
+		}
+		pg, err := strconv.Atoi(lhs[2:])
+		if err != nil || pg < 0 || pg > 7 {
+			return out, fmt.Errorf("bad ecn_classes entry %q", part)
+		}
+		if rhs == "off" {
+			out[pg] = &fabric.ECNConfig{}
+			continue
+		}
+		var kmin, kmax int
+		var pmax float64
+		if _, err := fmt.Sscanf(rhs, "%d/%d/%f", &kmin, &kmax, &pmax); err != nil ||
+			kmin < 0 || kmax <= kmin || pmax <= 0 || pmax > 1 {
+			return out, fmt.Errorf("bad ecn_classes entry %q", part)
+		}
+		out[pg] = &fabric.ECNConfig{Enabled: true, KMin: kmin, KMax: kmax, PMax: pmax}
+	}
+	return out, nil
 }
 
 // SwitchConfigWriter applies management-plane config changes to a
 // running switch — the actuation half of the reader above, reusing the
 // same runtime setters the fault injector exercises. Writable keys:
-// "alpha" ("1/N" or a float) and "ecn" (bool). The rest of the reader's
-// keys exist on the device but need a reboot (headroom carving) or a
-// maintenance window (watchdog, arp_fix, dynamic) to change, so writing
-// them returns ErrReadOnly.
+// "alpha" ("1/N" or a float), "ecn" (bool), "qos_map" ("identity" or
+// "pri->pg" pairs) and "ecn_classes" ("uniform" or per-class
+// "pgN:kmin/kmax/pmax" profiles). The rest of the reader's keys exist on
+// the device but need a reboot (headroom carving) or a maintenance
+// window (watchdog, arp_fix, dynamic) to change, so writing them returns
+// ErrReadOnly.
 func SwitchConfigWriter(sw *fabric.Switch) func(key, val string) error {
 	return func(key, val string) error {
 		switch key {
@@ -565,6 +665,22 @@ func SwitchConfigWriter(sw *fabric.Switch) func(key, val string) error {
 				return fmt.Errorf("monitor: %s: bad ecn %q: %w", sw.Name(), val, err)
 			}
 			sw.SetECNEnabled(on)
+			return nil
+		case "qos_map":
+			m, err := parseQoSMap(val)
+			if err != nil {
+				return fmt.Errorf("monitor: %s: %w", sw.Name(), err)
+			}
+			sw.SetQoSMap(m)
+			return nil
+		case "ecn_classes":
+			tab, err := parseECNClasses(val)
+			if err != nil {
+				return fmt.Errorf("monitor: %s: %w", sw.Name(), err)
+			}
+			for pg, e := range tab {
+				sw.SetPGECN(pg, e)
+			}
 			return nil
 		case "dynamic", "headroom", "arp_fix", "watchdog":
 			return fmt.Errorf("%w: %s on %s", ErrReadOnly, key, sw.Name())
@@ -599,6 +715,7 @@ func NICConfigReader(n *nic.NIC) func() map[string]string {
 		return map[string]string{
 			"lossless_mask": fmt.Sprintf("%#02x", c.LosslessMask),
 			"watchdog":      fmt.Sprintf("%v", c.Watchdog.Enabled),
+			"cnp_prio":      fmt.Sprintf("%d", c.CNPPriority),
 		}
 	}
 }

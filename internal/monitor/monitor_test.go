@@ -449,8 +449,8 @@ func TestUnmanagedRunningDeviceDrifts(t *testing.T) {
 	cs := NewConfigStore()
 	cs.RegisterReader(sw.Name(), SwitchConfigReader(sw))
 	drifts := cs.Check()
-	if len(drifts) != 6 {
-		t.Fatalf("unmanaged running device: got %d drifts, want one per running key (6): %v",
+	if len(drifts) != 8 {
+		t.Fatalf("unmanaged running device: got %d drifts, want one per running key (8): %v",
 			len(drifts), drifts)
 	}
 	for _, d := range drifts {
@@ -465,8 +465,8 @@ func TestUnmanagedRunningDeviceDrifts(t *testing.T) {
 	}
 	// ...and deleting it from the desired set re-opens the drift.
 	cs.DeleteDesired(sw.Name())
-	if drifts := cs.Check(); len(drifts) != 6 {
-		t.Fatalf("deleted desired: got %d drifts, want 6", len(drifts))
+	if drifts := cs.Check(); len(drifts) != 8 {
+		t.Fatalf("deleted desired: got %d drifts, want 8", len(drifts))
 	}
 }
 

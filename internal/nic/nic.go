@@ -56,7 +56,16 @@ type Config struct {
 	// LosslessMask is the priorities the NIC pauses when its buffer
 	// fills.
 	LosslessMask uint8
-	Watchdog     WatchdogConfig
+	// CNPPriority, when > 0, is the dedicated traffic class CNPs are
+	// emitted in (spiderpool's GPU_CNP_PRIORITY=6 convention); 0 means
+	// CNPs ride their QP's data class, the paper's deployment. A CNP
+	// class misprogrammed into a lossy priority is one of the cross-class
+	// config faults the chaos campaign injects.
+	CNPPriority int
+	// DSCPOf, when non-nil, is the priority→DSCP encoding the NIC stamps
+	// on rewritten packets (CNP class override); nil means identity.
+	DSCPOf   func(pri int) uint8
+	Watchdog WatchdogConfig
 }
 
 // DefaultConfig returns a 40GbE-class NIC: 512 KB receive buffer with
@@ -303,6 +312,9 @@ func (n *NIC) resumeAll() {
 func (n *NIC) CreateQP(cfg transport.Config) *transport.QP {
 	cfg.SrcMAC = n.cfg.MAC
 	cfg.SrcIP = n.cfg.IP
+	if cfg.DSCP == 0 && n.cfg.DSCPOf != nil {
+		cfg.DSCP = n.cfg.DSCPOf(cfg.Priority)
+	}
 	if cfg.SrcPort == 0 {
 		cfg.SrcPort = uint16(49152 + n.rng.Intn(16384))
 	}
@@ -358,6 +370,20 @@ func (n *NIC) inject(p *packet.Packet, pri int) {
 	n.eg.Enqueue(link.Item{P: p, Pri: pri, IngressPort: -1, PG: -1})
 }
 
+// dscpOf applies the configured priority→DSCP encoding (identity when
+// unset).
+func (n *NIC) dscpOf(pri int) uint8 {
+	if n.cfg.DSCPOf != nil {
+		return n.cfg.DSCPOf(pri)
+	}
+	return uint8(pri)
+}
+
+// SetCNPPriority reprograms the class CNPs are emitted in at runtime
+// (0 restores ride-with-data). Declared config: the drift checker sees
+// a misprogrammed CNP class through the NIC reader's "cnp_prio" key.
+func (n *NIC) SetCNPPriority(pri int) { n.cfg.CNPPriority = pri }
+
 // qpEndpoint adapts the NIC to transport.Endpoint.
 type qpEndpoint struct{ n *NIC }
 
@@ -397,7 +423,19 @@ func (n *NIC) txKick() {
 				continue
 			}
 			n.rrIdx = (n.rrIdx + i + 1) % len(n.order)
-			n.inject(p, q.Config().Priority)
+			pri := q.Config().Priority
+			if p.IsCNP() && n.cfg.CNPPriority > 0 {
+				// Dedicated CNP class: the notification leaves in its own
+				// priority, re-stamped so every hop classifies it there.
+				pri = n.cfg.CNPPriority
+				if p.IP != nil {
+					p.IP.DSCP = n.dscpOf(pri)
+				}
+				if p.VLAN != nil {
+					p.VLAN.PCP = uint8(pri)
+				}
+			}
+			n.inject(p, pri)
 			sent = true
 			break
 		}

@@ -105,6 +105,16 @@ func (p *Packet) Priority(dscpMap func(dscp uint8) int) int {
 	return 0
 }
 
+// DSCPForPriority encodes a PFC priority in the DSCP field using the
+// production convention DSCP = priority × 8 (each class owns a DSCP
+// block of 8; the class selector code points CS0..CS7).
+func DSCPForPriority(pri int) uint8 { return uint8(pri&0x7) << 3 }
+
+// PriorityForDSCP inverts DSCPForPriority: the class selector's high 3
+// bits name the priority. Use as the fabric's DSCPMap in deployments
+// that run the ×8 convention.
+func PriorityForDSCP(dscp uint8) int { return int(dscp >> 3) }
+
 // FlowKey is the five-tuple the fabric's ECMP hashes on.
 type FlowKey struct {
 	Src, Dst         Addr

@@ -35,12 +35,14 @@ type Campaign struct {
 	Cases  []Case
 }
 
-// DefaultCampaign is the matrix cmd/roce-rollout runs: one good config
-// push that must reach the whole fleet, and three §6.2-style bad
-// payloads — a pipeline that ships the wrong α, the same pipeline
-// skipping the canary (the rollout that passes its canary and breaks
-// the fleet), and a drift-invisible MMU misprogramming that only the
-// health gates can catch.
+// DefaultCampaign is the matrix cmd/roce-rollout runs: two good config
+// pushes that must reach the whole fleet (a buffer α bump and a
+// per-class ECN retune), and four §6.2-style bad payloads — a pipeline
+// that ships the wrong α, the same pipeline skipping the canary (the
+// rollout that passes its canary and breaks the fleet), a
+// drift-invisible MMU misprogramming that only the health gates can
+// catch, and a QoS-map fat-finger that folds two traffic classes into
+// one priority group.
 func DefaultCampaign(seed int64, shards int) Campaign {
 	faithless := func(sw *fabric.Switch, apply func(key, val string) error) error {
 		return apply("alpha", "1/64")
@@ -107,6 +109,39 @@ func DefaultCampaign(seed int64, shards int) Campaign {
 					},
 				},
 				Expect: "rollback<=podset",
+			},
+			{
+				// The multi-tenant good case: retune the real-time class's
+				// ECN marking profile (§5-style DCQCN parameter change) as a
+				// staged per-class push. The value is the codec's canonical
+				// rendering, so a faithful write leaves desired == running
+				// and every wave soaks clean.
+				Name: "good-ecn-per-class",
+				Change: Change{
+					Name:   "ecn-rt-retune",
+					Intent: map[string]string{"ecn_classes": "pg3:20480/81920/0.20"},
+				},
+				Expect: "complete",
+			},
+			{
+				// The cross-class fat-finger: the operator intends an α bump,
+				// but the pipeline also ships a QoS map that folds the bulk
+				// class into the real-time class's priority group — two
+				// tenants suddenly sharing one PG's buffer and pause state.
+				// qos_map is not in the intent, so desired stays "identity"
+				// and the drift gate trips at the canary's first tick.
+				Name: "shared-pg-fatfinger",
+				Change: Change{
+					Name:   "alpha-1-8",
+					Intent: map[string]string{"alpha": "1/8"},
+					Write: func(sw *fabric.Switch, apply func(key, val string) error) error {
+						if err := apply("alpha", "1/8"); err != nil {
+							return err
+						}
+						return apply("qos_map", "4->3")
+					},
+				},
+				Expect: "rollback@canary",
 			},
 		},
 	}

@@ -118,10 +118,17 @@ func (r Rate) Transmission(n int) Duration {
 	if r <= 0 {
 		panic("simtime: non-positive rate")
 	}
-	bits := int64(n) * 8
-	// bits * ps_per_second / rate, rounded up.
-	num := bits * int64(Second)
-	return Duration((num + int64(r) - 1) / int64(r))
+	if n <= 0 {
+		return 0
+	}
+	// bits * ps_per_second / rate, rounded up. 128-bit multiply: megabyte
+	// counts overflow int64 when scaled to picoseconds.
+	hi, lo := bits.Mul64(uint64(n)*8, uint64(Second))
+	q, rem := bits.Div64(hi, lo, uint64(r))
+	if rem > 0 {
+		q++
+	}
+	return Duration(q)
 }
 
 // BytesIn returns how many whole bytes rate r delivers in duration d.

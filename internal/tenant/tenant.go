@@ -1,0 +1,114 @@
+// Package tenant is the multi-tenant QoS plane: the paper's
+// two-lossless-class plan (Section 2) generalized to a per-tenant class
+// table where every tenant owns a wire priority, a priority-group
+// buffer policy (dynamic α, headroom) and an ECN marking profile, with
+// CNPs elevated into their own class so congestion feedback survives
+// the congestion it reports. The package programs the plan onto a core
+// deployment end to end — DSCP = priority × 8 on the wire, per-PG MMU
+// thresholds and marking in the switches, per-priority pause at the
+// NICs — and scores tenant isolation under GPU-collective and
+// cloud-storage workloads (matrix.go).
+package tenant
+
+import (
+	"rocesim/internal/fabric"
+	"rocesim/internal/nic"
+	"rocesim/internal/packet"
+)
+
+// Class is one tenant's traffic class: the wire priority it owns and
+// the per-priority-group policy programmed for it on every switch.
+type Class struct {
+	// Name identifies the tenant in scorecards.
+	Name string
+	// Priority is the PFC priority (and priority group) the tenant's
+	// data rides in; its DSCP block is Priority × 8.
+	Priority int
+	// Lossless enables PFC for the class on switches and NICs.
+	Lossless bool
+	// Alpha overrides the dynamic-buffer α for the class's PG
+	// (0 inherits the switch default).
+	Alpha float64
+	// HeadroomBytes overrides the per-(port, PG) PFC headroom
+	// (0 inherits).
+	HeadroomBytes int
+	// ECN overrides the marking profile for the class's PG
+	// (nil inherits the switch-wide profile).
+	ECN *fabric.ECNConfig
+}
+
+// Plan is a fleet QoS plan: the tenant class table plus the shared CNP
+// class every NIC stamps congestion notifications into.
+type Plan struct {
+	Classes []Class
+	// CNPPriority is the dedicated class for congestion-notification
+	// packets (0 lets CNPs ride each tenant's data class).
+	CNPPriority int
+}
+
+// DefaultPlan is the plan the matrix runs: a GPU-collective tenant on
+// priority 5 with an aggressive marking ramp and a generous α (the
+// collective is barrier-synchronized, so early marking beats deep
+// queues), a storage tenant on the paper's bulk class 4 with the
+// deployment defaults, and CNPs on class 6 — the production convention
+// of priority-5 RDMA / priority-6 CNP GPU fabrics.
+func DefaultPlan() Plan {
+	return Plan{
+		CNPPriority: 6,
+		Classes: []Class{
+			{
+				Name: "gpu", Priority: 5, Lossless: true,
+				Alpha: 1.0 / 8,
+				ECN:   &fabric.ECNConfig{Enabled: true, KMin: 20 << 10, KMax: 80 << 10, PMax: 0.2},
+			},
+			{
+				Name: "storage", Priority: 4, Lossless: true,
+			},
+		},
+	}
+}
+
+// Class returns the named tenant's class (zero value when absent).
+func (p Plan) Class(name string) Class {
+	for _, c := range p.Classes {
+		if c.Name == name {
+			return c
+		}
+	}
+	return Class{}
+}
+
+// SwitchTweak programs the plan onto one switch configuration: the ×8
+// DSCP→priority map plus each tenant's lossless flag, per-PG α,
+// headroom and ECN profile. Pass as core.Config.SwitchTweak.
+func (p Plan) SwitchTweak(level string, c *fabric.Config) {
+	c.DSCPMap = packet.PriorityForDSCP
+	for _, cl := range p.Classes {
+		pg := cl.Priority & 0x7
+		c.Buffer.LosslessPGs[pg] = cl.Lossless
+		if cl.Alpha > 0 {
+			c.Buffer.PGAlpha[pg] = cl.Alpha
+		}
+		if cl.HeadroomBytes > 0 {
+			c.Buffer.PGHeadroom[pg] = cl.HeadroomBytes
+		}
+		if cl.ECN != nil {
+			e := *cl.ECN
+			c.PGECN[pg] = &e
+		}
+	}
+}
+
+// NICTweak programs the plan onto one NIC configuration: pause
+// generation for every lossless tenant class on top of the deployment
+// defaults, the ×8 DSCP stamping, and the dedicated CNP class. Pass as
+// core.Config.NICTweak.
+func (p Plan) NICTweak(c *nic.Config) {
+	for _, cl := range p.Classes {
+		if cl.Lossless {
+			c.LosslessMask |= 1 << uint(cl.Priority&0x7)
+		}
+	}
+	c.CNPPriority = p.CNPPriority
+	c.DSCPOf = packet.DSCPForPriority
+}

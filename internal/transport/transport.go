@@ -103,6 +103,11 @@ type Config struct {
 	// over ECMP paths.
 	SrcPort  uint16
 	Priority int
+	// DSCP is the code point stamped on emitted packets; 0 means the
+	// identity convention DSCP = Priority (the paper's deployment).
+	// Multi-tenant fabrics run DSCP = priority × 8 (packet.DSCPForPriority)
+	// so each class owns a code-point block.
+	DSCP uint8
 	// MTU is the payload bytes per packet (1024 in the paper's
 	// experiments: 1086-byte frames).
 	MTU      int
@@ -536,9 +541,13 @@ func (q *QP) newDataPacket() *packet.Packet {
 	} else {
 		p = &packet.Packet{}
 	}
+	dscp := q.cfg.DSCP
+	if dscp == 0 {
+		dscp = uint8(q.cfg.Priority)
+	}
 	p.Eth = packet.Ethernet{Dst: q.cfg.GwMAC, Src: q.cfg.SrcMAC, EtherType: packet.EtherTypeIPv4}
 	*p.AttachIP() = packet.IPv4{
-		DSCP:     uint8(q.cfg.Priority),
+		DSCP:     dscp,
 		ECN:      packet.ECNECT0,
 		ID:       q.ep.NextIPID(),
 		TTL:      64,

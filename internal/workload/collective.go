@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"math/rand"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/transport"
+)
+
+// SizeBuckets is a bucketed flow-size distribution: training frameworks
+// fuse gradients into a small set of fixed bucket sizes before handing
+// them to the collective, so collective flow sizes cluster on a few
+// discrete points instead of a smooth curve. Weights are relative draw
+// frequencies.
+type SizeBuckets struct {
+	Sizes   []int
+	Weights []int
+}
+
+// DefaultGradientBuckets is a training-shaped mix: mostly full fusion
+// buckets with a tail of smaller flush buckets (the last partial bucket
+// of each layer group).
+func DefaultGradientBuckets() SizeBuckets {
+	return SizeBuckets{
+		Sizes:   []int{256 << 10, 1 << 20, 4 << 20},
+		Weights: []int{1, 2, 5},
+	}
+}
+
+// Draw picks one bucket size. The draw consumes exactly one rng value,
+// so generators stay reproducible under a named kernel stream.
+func (b SizeBuckets) Draw(rng *rand.Rand) int {
+	total := 0
+	for _, w := range b.Weights {
+		total += w
+	}
+	if total <= 0 || len(b.Sizes) == 0 {
+		return 0
+	}
+	n := rng.Intn(total)
+	for i, w := range b.Weights {
+		if n < w {
+			return b.Sizes[i]
+		}
+		n -= w
+	}
+	return b.Sizes[len(b.Sizes)-1]
+}
+
+// RingAllReduce drives the bandwidth-optimal ring collective: N workers
+// arranged in a ring run 2(N−1) steps per round, every worker sending
+// one chunk (bucket/N bytes) to its right neighbor each step. Steps are
+// synchronized — no worker starts step s+1 until every worker finished
+// step s — which is what makes GPU collectives latency-sensitive: one
+// slow link stalls the whole ring.
+type RingAllReduce struct {
+	// Ring[i] is the requester QP from worker i toward worker (i+1)%N.
+	Ring []*transport.QP
+	// Buckets shapes the per-round gradient size.
+	Buckets SizeBuckets
+	// Rounds bounds the run; 0 streams rounds until Stop.
+	Rounds int
+	// OnRound observes each completed round with the bucket it moved.
+	OnRound func(round, bucketBytes int, elapsed simtime.Duration)
+	// Done fires after the final round (only when Rounds > 0).
+	Done func()
+
+	k       *sim.Kernel
+	rng     *rand.Rand
+	round   int
+	stopped bool
+}
+
+// NewRingAllReduce builds the driver. name seeds the bucket-draw stream
+// so distinct jobs desynchronize.
+func NewRingAllReduce(k *sim.Kernel, name string, ring []*transport.QP) *RingAllReduce {
+	return &RingAllReduce{
+		Ring: ring, Buckets: DefaultGradientBuckets(),
+		k: k, rng: k.Rand("allreduce/ring/" + name),
+	}
+}
+
+// Start launches the first round.
+func (r *RingAllReduce) Start() { r.startRound() }
+
+// Stop ends the job after the in-flight round.
+func (r *RingAllReduce) Stop() { r.stopped = true }
+
+func (r *RingAllReduce) startRound() {
+	if r.stopped || (r.Rounds > 0 && r.round >= r.Rounds) {
+		if !r.stopped && r.Done != nil {
+			r.Done()
+		}
+		return
+	}
+	n := len(r.Ring)
+	if n < 2 {
+		return
+	}
+	bucket := r.Buckets.Draw(r.rng)
+	chunk := bucket / n
+	if chunk < 1 {
+		chunk = 1
+	}
+	start := r.k.Now()
+	steps := 2 * (n - 1) // N−1 reduce-scatter + N−1 all-gather
+	var step func(s int)
+	step = func(s int) {
+		if s == steps {
+			if r.OnRound != nil {
+				r.OnRound(r.round, bucket, r.k.Now().Sub(start))
+			}
+			r.round++
+			r.startRound()
+			return
+		}
+		left := n
+		for _, q := range r.Ring {
+			q.Post(transport.OpSend, chunk, func(_, _ simtime.Time) {
+				left--
+				if left == 0 {
+					step(s + 1)
+				}
+			})
+		}
+	}
+	step(0)
+}
+
+// TreeAllReduce drives a binary-tree collective: a reduce phase where
+// each level's workers send their partial sums to their parents, then a
+// broadcast phase down the same tree. Latency scales with tree depth
+// instead of ring length, but interior links carry full buckets rather
+// than 1/N chunks. Worker 0 is the root; worker i's parent is (i−1)/2.
+type TreeAllReduce struct {
+	// Up[i] is the requester QP from worker i toward its parent; Down[i]
+	// the parent's requester back toward worker i. Index 0 is unused.
+	Up, Down []*transport.QP
+	Buckets  SizeBuckets
+	Rounds   int
+	OnRound  func(round, bucketBytes int, elapsed simtime.Duration)
+	Done     func()
+
+	k       *sim.Kernel
+	rng     *rand.Rand
+	round   int
+	stopped bool
+}
+
+// NewTreeAllReduce builds the driver over the tree edges.
+func NewTreeAllReduce(k *sim.Kernel, name string, up, down []*transport.QP) *TreeAllReduce {
+	return &TreeAllReduce{
+		Up: up, Down: down, Buckets: DefaultGradientBuckets(),
+		k: k, rng: k.Rand("allreduce/tree/" + name),
+	}
+}
+
+// Start launches the first round.
+func (t *TreeAllReduce) Start() { t.startRound() }
+
+// Stop ends the job after the in-flight round.
+func (t *TreeAllReduce) Stop() { t.stopped = true }
+
+// levels groups worker indices 1..N−1 by tree depth, deepest first for
+// the reduce phase.
+func (t *TreeAllReduce) levels() [][]int {
+	var lv [][]int
+	for i := 1; i < len(t.Up); i++ {
+		d := 0
+		for j := i; j > 0; j = (j - 1) / 2 {
+			d++
+		}
+		for len(lv) < d {
+			lv = append(lv, nil)
+		}
+		lv[d-1] = append(lv[d-1], i)
+	}
+	// Deepest level first.
+	for a, b := 0, len(lv)-1; a < b; a, b = a+1, b-1 {
+		lv[a], lv[b] = lv[b], lv[a]
+	}
+	return lv
+}
+
+func (t *TreeAllReduce) startRound() {
+	if t.stopped || (t.Rounds > 0 && t.round >= t.Rounds) {
+		if !t.stopped && t.Done != nil {
+			t.Done()
+		}
+		return
+	}
+	bucket := t.Buckets.Draw(t.rng)
+	if bucket < 1 {
+		bucket = 1
+	}
+	start := t.k.Now()
+	lv := t.levels()
+	// Phase order: every reduce level deepest→shallowest, then every
+	// broadcast level shallowest→deepest. Each phase entry is the QP set
+	// to post on; the next phase starts when all complete.
+	var phases [][]*transport.QP
+	for _, ws := range lv {
+		qs := make([]*transport.QP, 0, len(ws))
+		for _, w := range ws {
+			qs = append(qs, t.Up[w])
+		}
+		phases = append(phases, qs)
+	}
+	for i := len(lv) - 1; i >= 0; i-- {
+		qs := make([]*transport.QP, 0, len(lv[i]))
+		for _, w := range lv[i] {
+			qs = append(qs, t.Down[w])
+		}
+		phases = append(phases, qs)
+	}
+	var phase func(p int)
+	phase = func(p int) {
+		if p == len(phases) {
+			if t.OnRound != nil {
+				t.OnRound(t.round, bucket, t.k.Now().Sub(start))
+			}
+			t.round++
+			t.startRound()
+			return
+		}
+		left := len(phases[p])
+		for _, q := range phases[p] {
+			q.Post(transport.OpSend, bucket, func(_, _ simtime.Time) {
+				left--
+				if left == 0 {
+					phase(p + 1)
+				}
+			})
+		}
+	}
+	phase(0)
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"testing"
+
+	"rocesim/internal/sim"
+	"rocesim/internal/simtime"
+	"rocesim/internal/topology"
+	"rocesim/internal/transport"
+)
+
+// TestSizeBucketsDistribution pins the bucketed-size draw: only listed
+// sizes ever come out, frequencies track the weights, and the draw
+// consumes exactly one rng value so generator streams stay aligned.
+func TestSizeBucketsDistribution(t *testing.T) {
+	k := sim.NewKernel(11)
+	b := DefaultGradientBuckets()
+	rng := k.Rand("buckets")
+	const n = 8000
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[b.Draw(rng)]++
+	}
+	total := 0
+	for _, w := range b.Weights {
+		total += w
+	}
+	for i, size := range b.Sizes {
+		got := counts[size]
+		want := n * b.Weights[i] / total
+		if got < want*8/10 || got > want*12/10 {
+			t.Errorf("bucket %d: drew %d times, want ~%d (weight %d/%d)",
+				size, got, want, b.Weights[i], total)
+		}
+		delete(counts, size)
+	}
+	if len(counts) != 0 {
+		t.Errorf("draws outside the bucket list: %v", counts)
+	}
+
+	// Same named stream, same sequence.
+	r1, r2 := sim.NewKernel(5).Rand("g"), sim.NewKernel(5).Rand("g")
+	for i := 0; i < 100; i++ {
+		if a, c := b.Draw(r1), b.Draw(r2); a != c {
+			t.Fatalf("draw %d diverged across identically seeded streams: %d vs %d", i, a, c)
+		}
+	}
+
+	// Degenerate inputs don't panic.
+	if got := (SizeBuckets{}).Draw(rng); got != 0 {
+		t.Errorf("empty buckets drew %d, want 0", got)
+	}
+}
+
+// buildCollectiveRack wires a 4-server rack and returns the kernel plus
+// the ring QPs (i toward (i+1)%4) and tree edges used by the drivers.
+func buildCollectiveRack(t *testing.T, seed int64) (*sim.Kernel, []*transport.QP, []*transport.QP, []*transport.QP) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	net, err := topology.Build(k, topology.RackSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := make([]*transport.QP, 4)
+	for i := 0; i < 4; i++ {
+		qa, _ := net.QPPair(net.Server(0, 0, i), net.Server(0, 0, (i+1)%4), nil)
+		ring[i] = qa
+	}
+	up := make([]*transport.QP, 4)
+	down := make([]*transport.QP, 4)
+	for i := 1; i < 4; i++ {
+		parent := (i - 1) / 2
+		qa, qb := net.QPPair(net.Server(0, 0, parent), net.Server(0, 0, i), nil)
+		down[i], up[i] = qa, qb
+	}
+	return k, ring, up, down
+}
+
+// TestRingAllReduceRounds checks the step-synchronized ring: a bounded
+// job completes its rounds, observes each one with a positive elapsed
+// time, and two identically seeded runs produce the identical
+// bucket/elapsed sequence (the byte-determinism the tenant matrix
+// relies on).
+func TestRingAllReduceRounds(t *testing.T) {
+	type round struct {
+		bucket  int
+		elapsed simtime.Duration
+	}
+	run := func(seed int64) []round {
+		k, ring, _, _ := buildCollectiveRack(t, seed)
+		rj := NewRingAllReduce(k, "job", ring)
+		rj.Rounds = 8
+		var got []round
+		done := false
+		rj.OnRound = func(_, bucket int, elapsed simtime.Duration) {
+			got = append(got, round{bucket, elapsed})
+		}
+		rj.Done = func() { done = true }
+		rj.Start()
+		k.RunUntil(simtime.Time(100 * simtime.Millisecond))
+		if !done {
+			t.Fatalf("seed %d: ring job incomplete after 100ms (%d rounds)", seed, len(got))
+		}
+		return got
+	}
+	a, b := run(21), run(21)
+	if len(a) != 8 {
+		t.Fatalf("completed %d/8 rounds", len(a))
+	}
+	for i := range a {
+		if a[i].elapsed <= 0 {
+			t.Fatalf("round %d: non-positive elapsed %v", i, a[i].elapsed)
+		}
+		if a[i] != b[i] {
+			t.Fatalf("round %d diverged across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTreeAllReduceRounds mirrors the ring test for the tree collective
+// and additionally checks the level structure drives full-bucket edges:
+// a tree round moves the whole bucket per edge, so it takes longer than
+// serializing one bucket at line rate.
+func TestTreeAllReduceRounds(t *testing.T) {
+	k, _, up, down := buildCollectiveRack(t, 22)
+	tj := NewTreeAllReduce(k, "job", up, down)
+	tj.Rounds = 6
+	var buckets []int
+	var elapsed []simtime.Duration
+	done := false
+	tj.OnRound = func(_, bucket int, d simtime.Duration) {
+		buckets = append(buckets, bucket)
+		elapsed = append(elapsed, d)
+	}
+	tj.Done = func() { done = true }
+	tj.Start()
+	k.RunUntil(simtime.Time(100 * simtime.Millisecond))
+	if !done || len(buckets) != 6 {
+		t.Fatalf("completed %d/6 rounds (done=%v)", len(buckets), done)
+	}
+	rate := 40 * simtime.Gbps
+	for i := range buckets {
+		if min := rate.Transmission(buckets[i]); elapsed[i] <= min {
+			t.Fatalf("round %d: %v faster than one bucket's serialization %v", i, elapsed[i], min)
+		}
+	}
+}
+
+// TestReplicationFanout checks the storage driver: every op completes
+// at the slowest of three replicas, repairs fire on schedule, and Stop
+// quiesces the stream.
+func TestReplicationFanout(t *testing.T) {
+	k := sim.NewKernel(23)
+	net, err := topology.Build(k, topology.RackSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := make([]*transport.QP, 0, 3)
+	for r := 1; r <= 3; r++ {
+		qa, _ := net.QPPair(net.Server(0, 0, 0), net.Server(0, 0, r), nil)
+		writes = append(writes, qa)
+	}
+	cfg := DefaultReplication()
+	cfg.Interval = 100 * simtime.Microsecond
+	rep := NewReplication(k, "c0", cfg, writes)
+	var worst simtime.Duration
+	rep.OnOp = func(_, bytes int, elapsed simtime.Duration) {
+		if bytes != cfg.ObjectBytes {
+			t.Fatalf("op moved %d bytes, want %d", bytes, cfg.ObjectBytes)
+		}
+		if elapsed > worst {
+			worst = elapsed
+		}
+	}
+	rep.Start()
+	k.RunUntil(simtime.Time(20 * simtime.Millisecond))
+	if rep.Ops < 10 {
+		t.Fatalf("only %d ops in 20ms at 100µs mean interval", rep.Ops)
+	}
+	// The op completes when the slowest replica acks: never faster than
+	// one object's line-rate serialization (three share one uplink).
+	rate := 40 * simtime.Gbps
+	if worst <= rate.Transmission(cfg.ObjectBytes) {
+		t.Fatalf("worst op %v beat a single object's serialization", worst)
+	}
+	rep.Stop()
+	n := rep.Ops
+	k.RunUntil(simtime.Time(30 * simtime.Millisecond))
+	if rep.Ops > n+1 {
+		t.Fatal("replication kept issuing after Stop")
+	}
+}
+
+// TestShuffleDeterministic runs the all-to-all exchange twice from the
+// same seed and requires the identical completion time — the run-twice
+// determinism check at the workload layer.
+func TestShuffleDeterministic(t *testing.T) {
+	run := func() simtime.Duration {
+		k := sim.NewKernel(31)
+		net, err := topology.Build(k, topology.RackSpec(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qps := make([][]*transport.QP, 4)
+		for i := range qps {
+			qps[i] = make([]*transport.QP, 4)
+			for j := range qps[i] {
+				if i == j {
+					continue
+				}
+				qa, _ := net.QPPair(net.Server(0, 0, i), net.Server(0, 0, j), nil)
+				qps[i][j] = qa
+			}
+		}
+		sh := NewShuffle(k, qps, 1<<20)
+		var elapsed simtime.Duration
+		sh.Done = func(d simtime.Duration) { elapsed = d }
+		sh.Start()
+		k.RunUntil(simtime.Time(50 * simtime.Millisecond))
+		if elapsed == 0 {
+			t.Fatal("shuffle incomplete")
+		}
+		return elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("shuffle diverged across identical seeds: %v vs %v", a, b)
+	}
+}
